@@ -1,0 +1,51 @@
+// Command experiments regenerates every experiment table of the
+// reproduction (E1-E10; see EXPERIMENTS.md for the index mapping each
+// experiment to the paper's theorems and lemmas).
+//
+// Usage:
+//
+//	experiments           # run the full suite
+//	experiments E1 E5     # run selected experiments
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"kset"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	want := make(map[string]bool, len(args))
+	for _, a := range args {
+		want[a] = true
+	}
+	failed := 0
+	for _, e := range kset.Experiments() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return min(failed, 1)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

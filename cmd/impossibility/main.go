@@ -1,0 +1,155 @@
+// Command impossibility applies the Theorem 1 reduction engine to a
+// candidate algorithm: it builds the partition, constructs the solo and
+// pasted runs, searches the subsystem <D-bar> for a consensus failure, and
+// prints the verdict with the witness run's decision census.
+//
+// Usage:
+//
+//	impossibility -alg minwait -n 5 -f 3 -k 2            # Theorem 2 setting
+//	impossibility -alg quorummin -n 5 -k 2 -theorem10    # Theorem 10 setting
+//	impossibility -alg firstheard -n 6 -k 3 -groups "1,2|3,4" -budget 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kset"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		algName   = flag.String("alg", "minwait", "algorithm: minwait, flpkset, sigmaomega, quorummin, decideown, firstheard")
+		n         = flag.Int("n", 5, "number of processes")
+		f         = flag.Int("f", 3, "fault parameter handed to the algorithm / Theorem 2 partition")
+		k         = flag.Int("k", 2, "agreement parameter k")
+		groups    = flag.String("groups", "", "explicit decider groups like \"1,2|3,4\" (default: Theorem 2 partition)")
+		theorem10 = flag.Bool("theorem10", false, "use the Theorem 10 construction with partition failure detectors")
+		budget    = flag.Int("budget", 1, "crash budget inside <D-bar>")
+		maxCfg    = flag.Int("maxconfigs", 80000, "subsystem exploration budget")
+		verbose   = flag.Bool("v", false, "print the per-condition explanation")
+	)
+	flag.Parse()
+
+	if *theorem10 {
+		rep, merged, err := kset.Theorem10Construction(*n, *k, *maxCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "theorem 10 construction: %v\n", err)
+			return 1
+		}
+		fmt.Println(rep.Summary())
+		if merged != nil {
+			fmt.Printf("Lemma 12 merged run: %d distinct decisions across the %d partitions (indistinguishable: %t)\n",
+				len(merged.Distinct), *k, merged.IndistinguishableOK)
+		}
+		if rep.Refuted {
+			return 0
+		}
+		return 1
+	}
+
+	alg, err := pickAlgorithm(*algName, *f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	var spec kset.PartitionSpec
+	if *groups != "" {
+		gs, err := parseGroups(*groups)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -groups: %v\n", err)
+			return 2
+		}
+		spec, err = kset.NewPartitionSpec(*n, *k, gs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else {
+		spec, err = kset.Theorem2Partition(*n, *f, *k)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "Theorem 2 partition: %v\n", err)
+			return 2
+		}
+	}
+
+	rep, err := kset.CheckImpossibility(kset.ImpossibilityInstance{
+		Alg:             alg,
+		Inputs:          kset.DistinctInputs(*n),
+		Spec:            spec,
+		DBarCrashBudget: *budget,
+		MaxConfigs:      *maxCfg,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "engine: %v\n", err)
+		return 1
+	}
+	fmt.Println(rep.Summary())
+	if *verbose {
+		if err := rep.WriteExplanation(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "explanation: %v\n", err)
+			return 1
+		}
+	}
+	if rep.Pasted != nil {
+		fmt.Printf("pasted run: %d events, decisions %v, blocked %v\n",
+			len(rep.Pasted.Events), rep.DistinctDecided, rep.BlockedInPasted)
+	}
+	for i, decs := range rep.GroupDecisions {
+		fmt.Printf("  D_%d solo decisions: %v\n", i+1, decs)
+	}
+	if rep.DBarWitness != nil {
+		fmt.Printf("  D-bar witness: %s — %s (visited %d configurations)\n",
+			rep.DBarWitness.Kind, rep.DBarWitness.Detail, rep.DBarWitness.Stats.Visited)
+	}
+	return 0
+}
+
+func pickAlgorithm(name string, f int) (kset.Algorithm, error) {
+	switch name {
+	case "flpkset":
+		return kset.NewFLPKSet(f), nil
+	case "minwait":
+		return kset.NewMinWait(f), nil
+	case "sigmaomega":
+		return kset.NewSigmaOmega(), nil
+	case "quorummin":
+		return kset.NewQuorumMin(), nil
+	case "decideown":
+		return kset.NewDecideOwn(), nil
+	case "firstheard":
+		return kset.NewFirstHeard(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func parseGroups(s string) ([][]kset.ProcessID, error) {
+	var out [][]kset.ProcessID
+	for _, g := range strings.Split(s, "|") {
+		var ids []kset.ProcessID
+		for _, part := range strings.Split(g, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			id, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("id %q: %w", part, err)
+			}
+			ids = append(ids, kset.ProcessID(id))
+		}
+		if len(ids) > 0 {
+			out = append(out, ids)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+// Command ksetsim runs a single simulation of one of the library's
+// agreement protocols under a fair asynchronous schedule with optional
+// initial crashes, partitions, and failure detectors, and prints the
+// decision census.
+//
+// Usage:
+//
+//	ksetsim -alg flpkset -n 6 -f 3 -dead 2,5
+//	ksetsim -alg minwait -n 7 -f 2 -partition "1,2,3|4,5,6,7"
+//	ksetsim -alg sigmaomega -n 4 -detector sigma-omega
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"kset"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		algName   = flag.String("alg", "flpkset", "algorithm: flpkset, minwait, sigmaomega, quorummin, decideown, firstheard")
+		n         = flag.Int("n", 5, "number of processes")
+		f         = flag.Int("f", 1, "fault parameter handed to the algorithm")
+		dead      = flag.String("dead", "", "comma-separated ids of initially dead processes")
+		partition = flag.String("partition", "", "groups like \"1,2|3,4,5\": cross-group messages delayed until all decided")
+		detector  = flag.String("detector", "", "failure detector: empty, sigma-omega, partition")
+		k         = flag.Int("k", 0, "detector index k (default: 1 or the group count)")
+		maxSteps  = flag.Int("maxsteps", 0, "step horizon (0 = default)")
+		verbose   = flag.Bool("v", false, "print per-process decisions")
+		trace     = flag.Bool("trace", false, "print the full event trace")
+		asJSON    = flag.Bool("json", false, "print the run summary as JSON and exit")
+	)
+	flag.Parse()
+
+	alg, err := pickAlgorithm(*algName, *f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	opts := kset.SimOptions{MaxSteps: *maxSteps}
+	if *dead != "" {
+		ids, err := parseIDs(*dead)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -dead: %v\n", err)
+			return 2
+		}
+		opts.InitialDead = ids
+	}
+	if *partition != "" {
+		groups, err := parseGroups(*partition)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -partition: %v\n", err)
+			return 2
+		}
+		opts.Partition = groups
+	}
+	if *detector != "" {
+		opts.Detector = kset.DetectorSpec{Kind: *detector, K: *k}
+	}
+
+	run, err := kset.Simulate(alg, kset.DistinctInputs(*n), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simulation: %v\n", err)
+		if run == nil {
+			return 1
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(run.Summarize()); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 1
+		}
+		if len(run.Blocked) > 0 {
+			return 1
+		}
+		return 0
+	}
+
+	fmt.Printf("algorithm: %s, n=%d, steps=%d\n", run.Algorithm, run.N(), len(run.Events))
+	if *trace {
+		if err := run.WriteTrace(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			return 1
+		}
+	}
+	if *verbose {
+		for i, v := range run.Decisions() {
+			status := "undecided"
+			if v != kset.NoValue {
+				status = fmt.Sprintf("decided %d", v)
+			}
+			crashed := ""
+			if run.Final.Crashed(kset.ProcessID(i + 1)) {
+				crashed = " (crashed)"
+			}
+			fmt.Printf("  p%d: %s%s\n", i+1, status, crashed)
+		}
+	}
+	fmt.Printf("distinct decisions: %v\n", run.DistinctDecisions())
+	if len(run.Blocked) > 0 {
+		fmt.Printf("BLOCKED correct processes: %v\n", run.Blocked)
+		return 1
+	}
+	return 0
+}
+
+func pickAlgorithm(name string, f int) (kset.Algorithm, error) {
+	switch name {
+	case "flpkset":
+		return kset.NewFLPKSet(f), nil
+	case "minwait":
+		return kset.NewMinWait(f), nil
+	case "sigmaomega":
+		return kset.NewSigmaOmega(), nil
+	case "quorummin":
+		return kset.NewQuorumMin(), nil
+	case "decideown":
+		return kset.NewDecideOwn(), nil
+	case "firstheard":
+		return kset.NewFirstHeard(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func parseIDs(s string) ([]kset.ProcessID, error) {
+	var out []kset.ProcessID
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("id %q: %w", part, err)
+		}
+		out = append(out, kset.ProcessID(id))
+	}
+	return out, nil
+}
+
+func parseGroups(s string) ([][]kset.ProcessID, error) {
+	var out [][]kset.ProcessID
+	for _, g := range strings.Split(s, "|") {
+		ids, err := parseIDs(g)
+		if err != nil {
+			return nil, err
+		}
+		if len(ids) > 0 {
+			out = append(out, ids)
+		}
+	}
+	return out, nil
+}

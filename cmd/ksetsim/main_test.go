@@ -1,0 +1,54 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"kset"
+)
+
+func TestParseIDs(t *testing.T) {
+	got, err := parseIDs("1, 3,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []kset.ProcessID{1, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseIDs = %v, want %v", got, want)
+	}
+	if _, err := parseIDs("1,x"); err == nil {
+		t.Fatal("bad id accepted")
+	}
+	got, err = parseIDs("")
+	if err != nil || got != nil {
+		t.Fatalf("empty parse = %v, %v", got, err)
+	}
+}
+
+func TestParseGroups(t *testing.T) {
+	got, err := parseGroups("1,2|3|4,5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || len(got[0]) != 2 || len(got[1]) != 1 {
+		t.Fatalf("parseGroups = %v", got)
+	}
+	if _, err := parseGroups("1|a"); err == nil {
+		t.Fatal("bad group accepted")
+	}
+}
+
+func TestPickAlgorithm(t *testing.T) {
+	for _, name := range []string{"flpkset", "minwait", "sigmaomega", "quorummin", "decideown", "firstheard"} {
+		alg, err := pickAlgorithm(name, 1)
+		if err != nil {
+			t.Errorf("pickAlgorithm(%s): %v", name, err)
+		}
+		if alg == nil || alg.Name() == "" {
+			t.Errorf("pickAlgorithm(%s) returned bad algorithm", name)
+		}
+	}
+	if _, err := pickAlgorithm("bogus", 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package kset
+
+import (
+	"fmt"
+
+	"kset/internal/ho"
+	"kset/internal/sim"
+)
+
+// ExperimentRoundModel realizes the Discussion section's outlook: the
+// partitioning argument of Theorem 1 transported to the Heard-Of round
+// model. For each (n, k) the heard-of adversary confines every process's
+// heard-of sets to its group until the decision round; the flooding
+// algorithm then decides one value per group — k distinct decisions — while
+// the same algorithm under the complete (failure-free synchronous)
+// assignment reaches consensus. The communication-predicate checkers
+// confirm what separates the two runs: the partitioned assignment has an
+// empty kernel (no process heard by all), the complete one does not.
+func ExperimentRoundModel() (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "Discussion outlook: the partition argument in the Heard-Of round model",
+		Columns: []string{
+			"algorithm", "n", "k", "assignment", "kernel nonempty", "rounds", "distinct decisions", "expected",
+		},
+		Notes: []string{
+			"partitioned assignments confine HO sets to k groups for the decision window",
+			"FloodMin decides unconditionally: one value per partition (the Theorem 1 violation shape)",
+			"OneThirdRule decides only above the 2n/3 threshold: it stays safe inside partitions by never deciding — the HO incarnation of 'condition (A) fails'",
+		},
+	}
+	cases := []struct {
+		n, k int
+	}{
+		{4, 2}, {6, 2}, {6, 3}, {8, 4}, {9, 3},
+	}
+	for _, c := range cases {
+		groups := make([][]sim.ProcessID, c.k)
+		next := 1
+		for gi := 0; gi < c.k; gi++ {
+			size := c.n / c.k
+			if gi < c.n%c.k {
+				size++
+			}
+			for j := 0; j < size; j++ {
+				groups[gi] = append(groups[gi], sim.ProcessID(next))
+				next++
+			}
+		}
+		const r = 3
+
+		complete := ho.Complete(c.n)
+		partitioned := ho.Partitioned(c.n, groups, r)
+
+		full, err := ho.Execute(ho.FloodMin{R: r}, DistinctInputs(c.n), complete, 3*r)
+		if err != nil {
+			return nil, fmt.Errorf("E11: complete n=%d: %w", c.n, err)
+		}
+		part, err := ho.Execute(ho.FloodMin{R: r}, DistinctInputs(c.n), partitioned, 3*r)
+		if err != nil {
+			return nil, fmt.Errorf("E11: partitioned n=%d k=%d: %w", c.n, c.k, err)
+		}
+
+		t.AddRow("floodmin", c.n, c.k, "complete", ho.CheckNonemptyKernel(c.n, complete, r), full.Rounds,
+			len(full.DistinctDecisions()), len(full.DistinctDecisions()) == 1)
+		t.AddRow("floodmin", c.n, c.k, "partitioned", ho.CheckNonemptyKernel(c.n, partitioned, r), part.Rounds,
+			len(part.DistinctDecisions()), len(part.DistinctDecisions()) == c.k)
+
+		// The predicate-conditioned algorithm: decides under the complete
+		// assignment, stays undecided (safe) inside sub-threshold
+		// partitions for the whole window.
+		const otrWindow = 12
+		otrFull, err := ho.Execute(ho.OneThirdRule{}, DistinctInputs(c.n), complete, otrWindow)
+		if err != nil {
+			return nil, fmt.Errorf("E11: one-third complete n=%d: %w", c.n, err)
+		}
+		otrPart, err := ho.Execute(ho.OneThirdRule{}, DistinctInputs(c.n), ho.Partitioned(c.n, groups, otrWindow), otrWindow)
+		if err != nil {
+			return nil, fmt.Errorf("E11: one-third partitioned n=%d k=%d: %w", c.n, c.k, err)
+		}
+		t.AddRow("onethird", c.n, c.k, "complete", true, otrFull.Rounds,
+			len(otrFull.DistinctDecisions()), len(otrFull.DistinctDecisions()) == 1)
+		// Expected: no decisions at all when every group is below 2n/3.
+		subThreshold := true
+		for _, g := range groups {
+			if 3*len(g) > 2*c.n {
+				subThreshold = false
+			}
+		}
+		otrOK := len(otrPart.Decisions) == 0 || !subThreshold
+		t.AddRow("onethird", c.n, c.k, "partitioned", false, otrPart.Rounds,
+			len(otrPart.DistinctDecisions()), otrOK)
+	}
+	return t, nil
+}

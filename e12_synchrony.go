@@ -1,0 +1,124 @@
+package kset
+
+import (
+	"errors"
+	"fmt"
+
+	"kset/internal/algorithms"
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+// ExperimentSynchronyLadder sweeps the model dimensions of Section II (the
+// paper builds on Dolev-Dwork-Stockmeyer's 32-model taxonomy, varying
+// process synchrony and communication behaviour): the same protocols run
+// under four scheduler/adversary combinations —
+//
+//	async          fair asynchronous scheduling, prompt delivery
+//	async+part     fair scheduling, cross-group delivery delayed
+//	lockstep       synchronous processes, prompt delivery
+//	lockstep+part  synchronous processes, cross-group delivery delayed
+//
+// The table shows what each dimension buys: prompt delivery yields
+// consensus-like convergence for every protocol; partitioned delivery
+// splits the unconditional protocols regardless of process synchrony
+// (Theorem 2's hypothesis: process synchrony alone does not help); and the
+// synchronous-only RoundFlood is correct exactly on the lockstep-prompt
+// rung.
+func ExperimentSynchronyLadder() (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "Synchrony ladder: the same protocols across model dimensions (Section II / DDS)",
+		Columns: []string{
+			"algorithm", "n", "model", "distinct", "blocked", "within claim",
+		},
+		Notes: []string{
+			"partition gates delay cross-group messages until every process decided (groups of size n/2)",
+			"'within claim' compares against each protocol's own correctness envelope in that model",
+		},
+	}
+
+	n := 6
+	groups := [][]sim.ProcessID{{1, 2, 3}, {4, 5, 6}}
+	type rung struct {
+		name     string
+		lockstep bool
+		gated    bool
+	}
+	rungs := []rung{
+		{"async", false, false},
+		{"async+part", false, true},
+		{"lockstep", true, false},
+		{"lockstep+part", true, true},
+	}
+	type subject struct {
+		alg sim.Algorithm
+		// claim returns whether the observed (distinct, blocked) outcome is
+		// within the protocol's correctness envelope on the given rung.
+		claim func(r rung, distinct, blocked int) bool
+	}
+	subjects := []subject{
+		{
+			alg: algorithms.MinWait{F: 3},
+			// f-resilient: terminates everywhere; <= f+1 = 4 values. The
+			// partition rungs split it into one value per group (2), still
+			// within f+1 but above k for any k < 2 claim.
+			claim: func(r rung, d, b int) bool { return b == 0 && d <= 4 },
+		},
+		{
+			alg: algorithms.FLPKSet{F: 3},
+			// Initial-crash protocol, L = 3: <= floor(6/3) = 2 values,
+			// terminates under every rung (failure-free here).
+			claim: func(r rung, d, b int) bool { return b == 0 && d <= 2 },
+		},
+		{
+			alg: algorithms.RoundFlood{F: 2},
+			// Synchronous FloodSet: consensus is guaranteed only with
+			// prompt delivery; the gated rungs may split it (that is the
+			// E9/Theorem 2 story), so the envelope there is just
+			// termination.
+			claim: func(r rung, d, b int) bool {
+				if r.gated {
+					return b == 0
+				}
+				return b == 0 && d == 1
+			},
+		},
+	}
+
+	for _, sub := range subjects {
+		for _, r := range rungs {
+			run, err := runLadder(sub.alg, n, groups, r.lockstep, r.gated)
+			if err != nil {
+				return nil, fmt.Errorf("E12: %s on %s: %w", sub.alg.Name(), r.name, err)
+			}
+			d := len(run.DistinctDecisions())
+			b := len(run.Blocked)
+			t.AddRow(sub.alg.Name(), n, r.name, d, b, sub.claim(r, d, b))
+		}
+	}
+	return t, nil
+}
+
+func runLadder(alg sim.Algorithm, n int, groups [][]sim.ProcessID, lockstep, gated bool) (*sim.Run, error) {
+	cp := sched.CrashPlan{}
+	var gate sched.Gate
+	if gated {
+		all := make([]sim.ProcessID, n)
+		for i := range all {
+			all[i] = sim.ProcessID(i + 1)
+		}
+		gate = sched.PartitionUntilDecidedGate(groups, all)
+	}
+	var s sim.Scheduler
+	if lockstep {
+		s = &sched.Lockstep{Crash: cp, Gate: gate, Stop: sched.AllCorrectDecided(cp)}
+	} else {
+		s = &sched.Fair{Crash: cp, Gate: gate, Stop: sched.AllCorrectDecided(cp)}
+	}
+	run, err := sim.Execute(alg, DistinctInputs(n), s, sim.Options{})
+	if err != nil && !errors.Is(err, sim.ErrHorizon) {
+		return nil, err
+	}
+	return run, nil
+}

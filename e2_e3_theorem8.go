@@ -1,0 +1,148 @@
+package kset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kset/internal/algorithms"
+	"kset/internal/core"
+)
+
+// E2Params parameterizes the Theorem 8 possibility sweep.
+type E2Params struct {
+	MinN, MaxN int
+	// TrialsPerPoint is the number of random initial-crash patterns tried
+	// per (n, f).
+	TrialsPerPoint int
+	// Seed feeds the crash-pattern generator.
+	Seed int64
+}
+
+// DefaultE2Params returns the sweep used by cmd/experiments and benchmarks.
+func DefaultE2Params() E2Params {
+	return E2Params{MinN: 3, MaxN: 8, TrialsPerPoint: 5, Seed: 1}
+}
+
+// ExperimentInitialCrashPossibility sweeps the solvable region of Theorem 8
+// (kn > (k+1)f with k = floor(n/L), L = n-f): for each point, the
+// generalized FLP protocol of Section VI runs against random initial-crash
+// patterns of size f under a fair schedule; every correct process must
+// decide and at most k distinct values may appear.
+func ExperimentInitialCrashPossibility(p E2Params) (*Table, error) {
+	t := &Table{
+		ID:    "E2",
+		Title: "Theorem 8 possibility: FLP-style k-set agreement with f initial crashes (L = n-f)",
+		Columns: []string{
+			"n", "f", "L", "k=floor(n/L)", "trials", "max distinct", "partitioned distinct", "all decided", "ok",
+		},
+		Notes: []string{
+			"covers every (n, f) in range with kn > (k+1)f, i.e. the paper's solvable region",
+			"'partitioned distinct' is the decision count when the adversary isolates floor(n/L) groups — the runs that make the bound floor(n/L) tight",
+		},
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for n := p.MinN; n <= p.MaxN; n++ {
+		for f := 0; f < n; f++ {
+			l := n - f
+			k := n / l
+			if k*n <= (k+1)*f {
+				continue
+			}
+			maxDistinct := 0
+			allDecided := true
+			for trial := 0; trial < p.TrialsPerPoint; trial++ {
+				var dead []ProcessID
+				perm := rng.Perm(n)
+				for i := 0; i < f; i++ {
+					dead = append(dead, ProcessID(perm[i]+1))
+				}
+				run, err := Simulate(algorithms.FLPKSet{F: f}, DistinctInputs(n), SimOptions{InitialDead: dead})
+				if err != nil {
+					return nil, fmt.Errorf("E2: n=%d f=%d trial=%d: %w", n, f, trial, err)
+				}
+				if len(run.Blocked) > 0 {
+					allDecided = false
+				}
+				if d := len(run.DistinctDecisions()); d > maxDistinct {
+					maxDistinct = d
+				}
+			}
+			// Adversarial partition run: isolate k groups of size >= L
+			// (failure-free), which drives the decision count to exactly k.
+			partDistinct := "-"
+			if k >= 2 {
+				groups := make([][]ProcessID, k)
+				next := 1
+				for gi := 0; gi < k; gi++ {
+					size := n / k
+					if gi < n%k {
+						size++
+					}
+					for j := 0; j < size; j++ {
+						groups[gi] = append(groups[gi], ProcessID(next))
+						next++
+					}
+				}
+				prun, err := Simulate(algorithms.FLPKSet{F: f}, DistinctInputs(n), SimOptions{Partition: groups})
+				if err != nil {
+					return nil, fmt.Errorf("E2: partitioned n=%d f=%d: %w", n, f, err)
+				}
+				partDistinct = fmt.Sprintf("%d", len(prun.DistinctDecisions()))
+				if d := len(prun.DistinctDecisions()); d > maxDistinct {
+					maxDistinct = d
+				}
+			}
+			ok := allDecided && maxDistinct <= k
+			t.AddRow(n, f, l, k, p.TrialsPerPoint, maxDistinct, partDistinct, allDecided, ok)
+		}
+	}
+	return t, nil
+}
+
+// ExperimentBorderImpossibility reproduces the border case of Theorem 8
+// (kn = (k+1)f): the system splits into k+1 groups of n-f processes, each
+// decides its own value in a solo run, and the merged run — which is
+// indistinguishable (until decision) from the solo runs for every group —
+// carries k+1 > k distinct decisions.
+func ExperimentBorderImpossibility() (*Table, error) {
+	t := &Table{
+		ID:    "E3",
+		Title: "Theorem 8 border (kn = (k+1)f): the k+1-partition argument",
+		Columns: []string{
+			"n", "f", "k", "groups", "distinct in merged run", "indistinguishable", "violates k-agreement",
+		},
+	}
+	cases := []struct{ n, f, k int }{
+		{2, 1, 1},
+		{4, 2, 1},
+		{6, 3, 1},
+		{3, 2, 2},
+		{6, 4, 2},
+		{4, 3, 3},
+		{8, 6, 3},
+		{5, 4, 4},
+	}
+	for _, c := range cases {
+		groups, err := core.BorderPartition(c.n, c.f, c.k)
+		if err != nil {
+			return nil, fmt.Errorf("E3: partition n=%d f=%d k=%d: %w", c.n, c.f, c.k, err)
+		}
+		rep, err := core.BuildMergedGroupsRun(algorithms.FLPKSet{F: c.f}, DistinctInputs(c.n), groups, nil, 0)
+		if err != nil {
+			return nil, fmt.Errorf("E3: merged run n=%d f=%d k=%d: %w", c.n, c.f, c.k, err)
+		}
+		violates := len(rep.Distinct) > c.k
+		t.AddRow(c.n, c.f, c.k, len(groups), len(rep.Distinct), rep.IndistinguishableOK, violates)
+	}
+	return t, nil
+}
+
+// MergedBorderRun exposes the E3 construction for one parameter point,
+// returning the merged run (used by examples and tests).
+func MergedBorderRun(n, f, k int) (*core.MergedGroupsReport, error) {
+	groups, err := core.BorderPartition(n, f, k)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildMergedGroupsRun(algorithms.FLPKSet{F: f}, DistinctInputs(n), groups, nil, 0)
+}

@@ -1,0 +1,78 @@
+package kset_test
+
+import (
+	"fmt"
+
+	"kset"
+)
+
+// ExampleSimulate runs the Section VI initial-crash protocol to decision.
+func ExampleSimulate() {
+	run, err := kset.Simulate(kset.NewFLPKSet(3), kset.DistinctInputs(6), kset.SimOptions{
+		InitialDead: []kset.ProcessID{2, 5},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distinct decisions:", len(run.DistinctDecisions()))
+	fmt.Println("blocked:", len(run.Blocked))
+	// Output:
+	// distinct decisions: 1
+	// blocked: 0
+}
+
+// ExampleSimulate_partition shows the partition adversary driving the
+// protocol to its k-agreement bound.
+func ExampleSimulate_partition() {
+	run, err := kset.Simulate(kset.NewFLPKSet(3), kset.DistinctInputs(6), kset.SimOptions{
+		Partition: [][]kset.ProcessID{{1, 2, 3}, {4, 5, 6}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("distinct decisions:", len(run.DistinctDecisions()))
+	// Output:
+	// distinct decisions: 2
+}
+
+// ExampleCheckImpossibility vets a flawed candidate with the Theorem 1
+// engine: MinWait with f = 3 crashes cannot solve 2-set agreement for
+// n = 5 (Theorem 2: k <= (n-1)/(n-f) = 2), and the engine constructs the
+// violating run.
+func ExampleCheckImpossibility() {
+	spec, err := kset.Theorem2Partition(5, 3, 2)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := kset.CheckImpossibility(kset.ImpossibilityInstance{
+		Alg:             kset.NewMinWait(3),
+		Inputs:          kset.DistinctInputs(5),
+		Spec:            spec,
+		DBarCrashBudget: 1,
+		MaxConfigs:      60000,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("refuted:", rep.Refuted)
+	fmt.Println("violation:", rep.Violation)
+	fmt.Println("decisions in witness run:", len(rep.DistinctDecided))
+	// Output:
+	// refuted: true
+	// violation: k-agreement
+	// decisions in witness run: 3
+}
+
+// ExampleTheorem10Construction reproduces the failure-detector
+// impossibility: (Sigma_2, Omega_2) cannot solve 2-set agreement for n = 5.
+func ExampleTheorem10Construction() {
+	rep, merged, err := kset.Theorem10Construction(5, 2, 80000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("refuted:", rep.Refuted)
+	fmt.Println("merged partitions decided:", len(merged.Distinct))
+	// Output:
+	// refuted: true
+	// merged partitions decided: 2
+}

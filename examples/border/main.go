@@ -1,0 +1,64 @@
+// Border: walk the exact solvability border of Theorem 8 — k-set agreement
+// with f initially dead processes is solvable iff kn > (k+1)f.
+//
+// Below the border, the Section VI protocol decides with at most k values.
+// At the border (kn = (k+1)f), the k+1-partition argument constructs a
+// merged run, indistinguishable from k+1 solo runs, with k+1 distinct
+// decisions — the paper's impossibility witness.
+//
+// Run with:
+//
+//	go run ./examples/border
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kset"
+)
+
+func main() {
+	fmt.Println("Theorem 8: k-set agreement with f initial crashes iff kn > (k+1)f")
+	fmt.Println()
+
+	// Solvable side: n=6, f=3, k=2 (12 > 9).
+	{
+		n, f, k := 6, 3, 2
+		run, err := kset.Simulate(kset.NewFLPKSet(f), kset.DistinctInputs(n), kset.SimOptions{
+			InitialDead: []kset.ProcessID{1, 4, 6},
+		})
+		if err != nil {
+			log.Fatalf("solvable side: %v", err)
+		}
+		fmt.Printf("solvable (n=%d f=%d k=%d, kn=%d > (k+1)f=%d): %d distinct decisions, blocked %v\n",
+			n, f, k, k*n, (k+1)*f, len(run.DistinctDecisions()), run.Blocked)
+	}
+
+	// Border: n=6, f=4, k=2 (12 = 12): the k+1-partition run.
+	{
+		n, f, k := 6, 4, 2
+		rep, err := kset.MergedBorderRun(n, f, k)
+		if err != nil {
+			log.Fatalf("border: %v", err)
+		}
+		fmt.Printf("border   (n=%d f=%d k=%d, kn=%d = (k+1)f=%d): merged run has %d distinct decisions (> k!)\n",
+			n, f, k, k*n, (k+1)*f, len(rep.Distinct))
+		fmt.Printf("         groups decide values %v; indistinguishable from their solo runs: %t\n",
+			rep.Distinct, rep.IndistinguishableOK)
+	}
+
+	// Sweep a band of parameters and print, per (n, f), the minimal k for
+	// which k-set agreement is solvable with f initial crashes: by Theorem
+	// 8 that is the smallest k with kn > (k+1)f, i.e. k > f/(n-f); every
+	// smaller k is impossible.
+	fmt.Println("\nminimal solvable k per (n, f) — every smaller k is impossible (Theorem 8):")
+	for n := 3; n <= 9; n++ {
+		fmt.Printf("  n=%d: ", n)
+		for f := 1; f < n; f++ {
+			kmin := f/(n-f) + 1
+			fmt.Printf("f=%d:k>=%d  ", f, kmin)
+		}
+		fmt.Println()
+	}
+}

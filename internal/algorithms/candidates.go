@@ -1,0 +1,209 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"kset/internal/fd"
+	"kset/internal/sim"
+)
+
+// This file contains deliberately flawed k-set agreement candidates. The
+// paper remarks (Section III) that Theorem 1 doubles as a vetting tool:
+// "if (dec-D) can be satisfied in some runs, i.e., (A) holds, the algorithm
+// is very likely flawed, as the remaining conditions are typically easy to
+// construct in sufficiently asynchronous systems." The candidates below are
+// plausible-looking protocols whose partitioned runs the reduction engine
+// finds mechanically; the experiments feed them to the Theorem 1 pipeline
+// and report the witnesses.
+
+// DecideOwn is the trivially wrong candidate: every process decides its own
+// proposal immediately. It satisfies Validity and Termination but allows n
+// distinct decisions, so it solves k-set agreement for no k < n. The
+// reduction engine finds (dec-D) runs for it instantly.
+type DecideOwn struct{}
+
+// Name implements sim.Algorithm.
+func (DecideOwn) Name() string { return "decideown" }
+
+// Init implements sim.Algorithm.
+func (DecideOwn) Init(n int, id sim.ProcessID, input sim.Value) sim.State {
+	return decideOwnState{input: input}
+}
+
+type decideOwnState struct {
+	input   sim.Value
+	stepped bool
+}
+
+// Step implements sim.State.
+func (s decideOwnState) Step(in sim.Input) (sim.State, []sim.Send) {
+	return decideOwnState{input: s.input, stepped: true}, nil
+}
+
+// Decided implements sim.State.
+func (s decideOwnState) Decided() (sim.Value, bool) { return s.input, s.stepped }
+
+// Key implements sim.State.
+func (s decideOwnState) Key() string { return fmt.Sprintf("own{%d,%t}", s.input, s.stepped) }
+
+// QuorumMin is the natural — and flawed — attempt at k-set agreement from
+// Sigma_k alone: broadcast your value, remember everything received, and
+// decide the minimum value you hold as soon as every member of the quorum
+// currently output by Sigma_k is among the processes you heard from.
+//
+// It looks plausible because quorum intersection seems to force shared
+// values between deciders. It is wrong: in a run where every process's
+// quorums contain only processes holding large values (e.g. everyone trusts
+// only p_n, whose proposal is the maximum), every process decides its own
+// value — n distinct decisions. This is precisely the kind of candidate
+// Section III's remark targets, and the partition adversary exhibits the
+// violating runs for any k < n.
+type QuorumMin struct{}
+
+// Name implements sim.Algorithm.
+func (QuorumMin) Name() string { return "quorummin" }
+
+// Init implements sim.Algorithm.
+func (QuorumMin) Init(n int, id sim.ProcessID, input sim.Value) sim.State {
+	return &quorumMinState{
+		n: n, id: id, input: input,
+		vals:     map[sim.ProcessID]sim.Value{id: input},
+		decision: sim.NoValue,
+	}
+}
+
+type quorumMinState struct {
+	n        int
+	id       sim.ProcessID
+	input    sim.Value
+	sent     bool
+	vals     map[sim.ProcessID]sim.Value
+	decision sim.Value
+}
+
+func (s *quorumMinState) clone() *quorumMinState {
+	cp := *s
+	cp.vals = make(map[sim.ProcessID]sim.Value, len(s.vals))
+	for p, v := range s.vals {
+		cp.vals[p] = v
+	}
+	return &cp
+}
+
+// Step implements sim.State.
+func (s *quorumMinState) Step(in sim.Input) (sim.State, []sim.Send) {
+	next := s.clone()
+	var sends []sim.Send
+	if !next.sent {
+		next.sent = true
+		sends = sim.Broadcast(next.n, ValuePayload{From: next.id, Value: next.input})
+	}
+	for _, m := range in.Delivered {
+		if vp, ok := m.Payload.(ValuePayload); ok {
+			next.vals[vp.From] = vp.Value
+		}
+	}
+	if next.decision == sim.NoValue {
+		if q, ok := quorumFromFD(in.FD); ok && len(q.IDs) > 0 {
+			covered := true
+			for _, id := range q.IDs {
+				if _, have := next.vals[id]; !have {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				minV := next.input
+				for _, v := range next.vals {
+					if v < minV {
+						minV = v
+					}
+				}
+				next.decision = minV
+			}
+		}
+	}
+	return next, sends
+}
+
+// Decided implements sim.State.
+func (s *quorumMinState) Decided() (sim.Value, bool) {
+	return s.decision, s.decision != sim.NoValue
+}
+
+// Key implements sim.State.
+func (s *quorumMinState) Key() string {
+	return fmt.Sprintf("qm{id=%d in=%d sent=%t dec=%d vals=%s}",
+		s.id, s.input, s.sent, s.decision, encodeVals(s.vals))
+}
+
+func quorumFromFD(v sim.FDValue) (fd.TrustSet, bool) {
+	switch x := v.(type) {
+	case fd.TrustSet:
+		return x, true
+	case fd.Combined:
+		return x.Quorum, true
+	default:
+		return fd.TrustSet{}, false
+	}
+}
+
+// FirstHeard is a flawed "fast" candidate: broadcast your value and decide
+// the minimum of your own value and the first value received. It decides in
+// one message delay and in fact guarantees at most n-1 distinct decisions
+// when every process decides via reception (the holder of the maximum input
+// always adopts a smaller value). It is nevertheless not an f-resilient
+// k-set algorithm for k < n-1: partitioned pairs each produce their own
+// minimum, so k partitions force k distinct values while the rest of the
+// system is still undecided — the exact shape of (dec-D).
+type FirstHeard struct{}
+
+// Name implements sim.Algorithm.
+func (FirstHeard) Name() string { return "firstheard" }
+
+// Init implements sim.Algorithm.
+func (FirstHeard) Init(n int, id sim.ProcessID, input sim.Value) sim.State {
+	return &firstHeardState{n: n, id: id, input: input, decision: sim.NoValue}
+}
+
+type firstHeardState struct {
+	n        int
+	id       sim.ProcessID
+	input    sim.Value
+	sent     bool
+	decision sim.Value
+}
+
+// Step implements sim.State.
+func (s *firstHeardState) Step(in sim.Input) (sim.State, []sim.Send) {
+	next := *s
+	var sends []sim.Send
+	if !next.sent {
+		next.sent = true
+		sends = sim.Broadcast(next.n, ValuePayload{From: next.id, Value: next.input})
+	}
+	for _, m := range in.Delivered {
+		vp, ok := m.Payload.(ValuePayload)
+		if !ok || vp.From == next.id {
+			continue
+		}
+		if next.decision == sim.NoValue {
+			if vp.Value < next.input {
+				next.decision = vp.Value
+			} else {
+				next.decision = next.input
+			}
+		}
+	}
+	return &next, sends
+}
+
+// Decided implements sim.State.
+func (s *firstHeardState) Decided() (sim.Value, bool) {
+	return s.decision, s.decision != sim.NoValue
+}
+
+// Key implements sim.State.
+func (s *firstHeardState) Key() string {
+	return fmt.Sprintf("fh{id=%d in=%d sent=%t dec=%d}", s.id, s.input, s.sent, s.decision)
+}

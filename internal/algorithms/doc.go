@@ -1,0 +1,22 @@
+// Package algorithms implements the agreement protocols the paper uses,
+// proposes, or vets:
+//
+//   - FLPKSet: the generalized FLP two-stage protocol of Section VI, which
+//     solves k-set agreement with up to f initially dead processes whenever
+//     kn > (k+1)f (Theorem 8). This is the paper's own constructive
+//     contribution.
+//   - MinWait: the classic f-resilient asynchronous protocol (broadcast,
+//     wait for n-f values, decide the minimum), which solves k-set agreement
+//     for f < k and is the baseline the impossibility side is compared
+//     against.
+//   - SigmaOmega: ballot-based consensus from the failure-detector pair
+//     (Sigma, Omega) — the k = 1 endpoint of Corollary 13.
+//   - The candidates subpackage: deliberately flawed k-set candidates used
+//     to demonstrate Theorem 1 as an algorithm-vetting tool (Section III's
+//     remark: "if (dec-D) can be satisfied in some runs ... the algorithm is
+//     very likely flawed").
+//
+// All state machines are pure: Step returns a fresh state. Payload and state
+// Key methods produce deterministic encodings used for indistinguishability
+// checking and bounded exploration.
+package algorithms

@@ -1,0 +1,269 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kset/internal/graph"
+	"kset/internal/sim"
+)
+
+// Stage1Payload is the first-stage message of the FLP-style protocol: it
+// carries only the sender's identity.
+type Stage1Payload struct {
+	From sim.ProcessID
+}
+
+// Key implements sim.Payload.
+func (p Stage1Payload) Key() string { return fmt.Sprintf("S1(%d)", p.From) }
+
+// Stage2Payload is the second-stage message: the sender's identity, its
+// proposal value, and the list of processes it heard from in stage 1.
+type Stage2Payload struct {
+	From  sim.ProcessID
+	Value sim.Value
+	Heard []sim.ProcessID // sorted ascending
+}
+
+// Key implements sim.Payload.
+func (p Stage2Payload) Key() string {
+	parts := make([]string, len(p.Heard))
+	for i, q := range p.Heard {
+		parts[i] = fmt.Sprintf("%d", q)
+	}
+	return fmt.Sprintf("S2(%d,%d,[%s])", p.From, p.Value, strings.Join(parts, " "))
+}
+
+// FLPKSet is the generalized Fischer-Lynch-Paterson initial-crash protocol
+// of Section VI, solving k-set agreement in an asynchronous system with up
+// to f initially dead processes whenever kn > (k+1)f (Theorem 8).
+//
+// Stage 1: broadcast your id; wait until you have received stage-1 messages
+// from L-1 distinct other processes, where L = n-f; the senders heard form
+// your in-neighbourhood in the communication graph G (edge u -> w iff w
+// received from u in stage 1).
+//
+// Stage 2: broadcast (id, proposal, heard-list); wait until you have
+// received a stage-2 message from every process you heard from in stage 1
+// and from every process mentioned in any list you receive. After this
+// closure completes, every source component of G that reaches you is fully
+// known (an in-neighbour of an ancestor is an ancestor), so you can pick the
+// source component with the smallest member id among those reaching you and
+// decide the proposal of its smallest member.
+//
+// Since every node of G has in-degree >= L-1, Lemma 6 bounds the number of
+// source components by floor(n/L), so at most floor(n/L) <= k distinct
+// values are decided system-wide.
+type FLPKSet struct {
+	// F is the number of initial crashes tolerated; L = n - F.
+	F int
+}
+
+// Name implements sim.Algorithm.
+func (a FLPKSet) Name() string { return fmt.Sprintf("flpkset(f=%d)", a.F) }
+
+// Init implements sim.Algorithm.
+func (a FLPKSet) Init(n int, id sim.ProcessID, input sim.Value) sim.State {
+	return &flpState{
+		n: n, f: a.F, id: id, input: input,
+		stage:    1,
+		s1seen:   map[sim.ProcessID]bool{},
+		lists:    map[sim.ProcessID][]sim.ProcessID{},
+		vals:     map[sim.ProcessID]sim.Value{id: input},
+		decision: sim.NoValue,
+	}
+}
+
+type flpState struct {
+	n, f  int
+	id    sim.ProcessID
+	input sim.Value
+
+	stage  int // 1 = collecting ids, 2 = collecting lists, 3 = decided
+	sentS1 bool
+	sentS2 bool
+
+	s1seen map[sim.ProcessID]bool            // stage-1 senders received so far
+	heard  []sim.ProcessID                   // frozen stage-1 in-neighbourhood (sorted)
+	lists  map[sim.ProcessID][]sim.ProcessID // stage-2 lists received (plus own after freeze)
+	vals   map[sim.ProcessID]sim.Value       // proposals learned (own included)
+
+	decision sim.Value
+}
+
+func (s *flpState) l() int { return s.n - s.f }
+
+func (s *flpState) clone() *flpState {
+	cp := *s
+	cp.s1seen = make(map[sim.ProcessID]bool, len(s.s1seen))
+	for p := range s.s1seen {
+		cp.s1seen[p] = true
+	}
+	cp.heard = append([]sim.ProcessID(nil), s.heard...)
+	cp.lists = make(map[sim.ProcessID][]sim.ProcessID, len(s.lists))
+	for p, l := range s.lists {
+		cp.lists[p] = l // lists are never mutated after storing
+	}
+	cp.vals = make(map[sim.ProcessID]sim.Value, len(s.vals))
+	for p, v := range s.vals {
+		cp.vals[p] = v
+	}
+	return &cp
+}
+
+// Step implements sim.State.
+func (s *flpState) Step(in sim.Input) (sim.State, []sim.Send) {
+	next := s.clone()
+	var sends []sim.Send
+
+	if !next.sentS1 {
+		next.sentS1 = true
+		sends = append(sends, sim.Broadcast(next.n, Stage1Payload{From: next.id})...)
+	}
+
+	for _, m := range in.Delivered {
+		switch p := m.Payload.(type) {
+		case Stage1Payload:
+			if p.From != next.id && next.stage == 1 {
+				next.s1seen[p.From] = true
+			}
+		case Stage2Payload:
+			if p.From == next.id {
+				continue
+			}
+			if _, known := next.lists[p.From]; !known {
+				next.lists[p.From] = append([]sim.ProcessID(nil), p.Heard...)
+				next.vals[p.From] = p.Value
+			}
+		}
+	}
+
+	if next.stage == 1 && len(next.s1seen) >= next.l()-1 {
+		// Freeze the in-neighbourhood and enter stage 2.
+		next.heard = make([]sim.ProcessID, 0, len(next.s1seen))
+		for p := range next.s1seen {
+			next.heard = append(next.heard, p)
+		}
+		sort.Slice(next.heard, func(i, j int) bool { return next.heard[i] < next.heard[j] })
+		next.lists[next.id] = next.heard
+		next.stage = 2
+	}
+
+	if next.stage == 2 && !next.sentS2 {
+		next.sentS2 = true
+		sends = append(sends, sim.Broadcast(next.n, Stage2Payload{
+			From:  next.id,
+			Value: next.input,
+			Heard: next.heard,
+		})...)
+	}
+
+	if next.stage == 2 && next.closureComplete() {
+		next.decide()
+		next.stage = 3
+	}
+
+	return next, sends
+}
+
+// closureComplete reports whether a stage-2 message has arrived from every
+// process the protocol is waiting for: everyone in the frozen stage-1
+// in-neighbourhood and everyone mentioned in any received list.
+func (s *flpState) closureComplete() bool {
+	for _, list := range s.lists {
+		for _, q := range list {
+			if q == s.id {
+				continue
+			}
+			if _, ok := s.lists[q]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// decide builds the known part of the communication graph G, finds the
+// source components reaching this process, and decides the proposal of the
+// smallest-id member of the smallest such component.
+func (s *flpState) decide() {
+	g := graph.New()
+	g.AddNode(int(s.id))
+	for w, list := range s.lists {
+		g.AddNode(int(w))
+		for _, u := range list {
+			if u == w {
+				continue
+			}
+			// Simple graph with u != w, so AddEdge cannot fail.
+			_ = g.AddEdge(int(u), int(w))
+		}
+	}
+	comps := g.SourceComponentsReaching(int(s.id))
+	if len(comps) == 0 {
+		// Unreachable: a node is always reached by at least its own
+		// component. Kept as a defensive decision on own input.
+		s.decision = s.input
+		return
+	}
+	c := comps[0]
+	root := sim.ProcessID(c[0])
+	if v, ok := s.vals[root]; ok {
+		s.decision = v
+		return
+	}
+	// The root's value is unknown only if the root never sent stage 2,
+	// which the closure wait rules out; decide own input defensively.
+	s.decision = s.input
+}
+
+// Decided implements sim.State.
+func (s *flpState) Decided() (sim.Value, bool) {
+	return s.decision, s.decision != sim.NoValue
+}
+
+// Key implements sim.State.
+func (s *flpState) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flp{id=%d in=%d st=%d s1=%t s2=%t dec=%d seen=", s.id, s.input, s.stage, s.sentS1, s.sentS2, s.decision)
+	b.WriteString(encodeIDSet(s.s1seen))
+	b.WriteString(" heard=")
+	b.WriteString(encodeIDs(s.heard))
+	b.WriteString(" lists=")
+	b.WriteString(encodeLists(s.lists))
+	b.WriteString(" vals=")
+	b.WriteString(encodeVals(s.vals))
+	b.WriteString("}")
+	return b.String()
+}
+
+func encodeIDs(ids []sim.ProcessID) string {
+	parts := make([]string, len(ids))
+	for i, p := range ids {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func encodeIDSet(set map[sim.ProcessID]bool) string {
+	ids := make([]sim.ProcessID, 0, len(set))
+	for p := range set {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return encodeIDs(ids)
+}
+
+func encodeLists(lists map[sim.ProcessID][]sim.ProcessID) string {
+	ids := make([]sim.ProcessID, 0, len(lists))
+	for p := range lists {
+		ids = append(ids, p)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	parts := make([]string, len(ids))
+	for i, p := range ids {
+		parts[i] = fmt.Sprintf("%d:%s", p, encodeIDs(lists[p]))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

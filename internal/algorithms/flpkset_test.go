@@ -1,0 +1,177 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+func runFLP(t *testing.T, n, f int, dead []sim.ProcessID) *sim.Run {
+	t.Helper()
+	cp := sched.CrashPlan{InitialDead: dead}
+	run, err := sim.Execute(FLPKSet{F: f}, inputs(n), sched.NewFair(cp), sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute(n=%d f=%d dead=%v): %v", n, f, dead, err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked processes %v (n=%d f=%d dead=%v)", run.Blocked, n, f, dead)
+	}
+	return run
+}
+
+func TestFLPConsensusFailureFree(t *testing.T) {
+	// k=1 configuration: n=5, f=2, L=3; kn > (k+1)f iff 5 > 4: solvable.
+	run := runFLP(t, 5, 2, nil)
+	if got := distinctCount(run); got != 1 {
+		t.Fatalf("distinct decisions = %d, want 1 (consensus)", got)
+	}
+}
+
+func TestFLPConsensusWithInitialCrashes(t *testing.T) {
+	// Majority alive: n=5, f=2, two initially dead.
+	run := runFLP(t, 5, 2, []sim.ProcessID{2, 4})
+	if got := distinctCount(run); got != 1 {
+		t.Fatalf("distinct decisions = %d, want 1", got)
+	}
+	for _, p := range []sim.ProcessID{2, 4} {
+		if _, decided := run.Final.Decision(p); decided {
+			t.Errorf("dead process %d decided", p)
+		}
+	}
+}
+
+func TestFLPKSetBound(t *testing.T) {
+	// n=6, f=3, L=3: k-set agreement for k >= floor(6/3) = 2.
+	run := runFLP(t, 6, 3, []sim.ProcessID{6})
+	if got := distinctCount(run); got > 2 {
+		t.Fatalf("distinct decisions = %d, want <= 2", got)
+	}
+}
+
+func TestFLPValidity(t *testing.T) {
+	in := inputs(7)
+	proposed := make(map[sim.Value]bool, len(in))
+	for _, v := range in {
+		proposed[v] = true
+	}
+	run := runFLP(t, 7, 2, []sim.ProcessID{1})
+	for p, v := range run.Decisions() {
+		if v == sim.NoValue {
+			continue
+		}
+		if !proposed[v] {
+			t.Errorf("process %d decided unproposed value %d", p+1, v)
+		}
+	}
+}
+
+// TestFLPTheorem8Sweep sweeps the solvable region kn > (k+1)f and checks
+// Termination and k-Agreement under random initial-crash patterns and a
+// fair schedule. This is the possibility half of Theorem 8.
+func TestFLPTheorem8Sweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 3; n <= 8; n++ {
+		for f := 0; f < n; f++ {
+			l := n - f
+			k := n / l // floor(n/L): the algorithm decides <= k values
+			if k*n <= (k+1)*f {
+				continue // outside the solvable region for this k
+			}
+			// Random initial-crash set of size <= f.
+			var dead []sim.ProcessID
+			perm := rng.Perm(n)
+			for i := 0; i < f && i < len(perm); i++ {
+				dead = append(dead, sim.ProcessID(perm[i]+1))
+			}
+			run := runFLP(t, n, f, dead)
+			if got := distinctCount(run); got > k {
+				t.Errorf("n=%d f=%d: distinct=%d > k=%d", n, f, got, k)
+			}
+		}
+	}
+}
+
+// TestFLPAgreementUnderAdversarialDelay delays messages between two halves
+// until the first half decides; the bound floor(n/L) <= k must still hold
+// because it follows from the stage-1 graph structure, not from timing.
+func TestFLPAgreementUnderAdversarialDelay(t *testing.T) {
+	n, f := 6, 3 // L=3, k=2
+	g1 := []sim.ProcessID{1, 2, 3}
+	g2 := []sim.ProcessID{4, 5, 6}
+	cp := sched.CrashPlan{}
+	s := &sched.Fair{
+		Crash: cp,
+		Gate:  sched.PartitionUntilDecidedGate([][]sim.ProcessID{g1, g2}, g1),
+		Stop:  sched.AllCorrectDecided(cp),
+	}
+	run, err := sim.Execute(FLPKSet{F: f}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	if got := distinctCount(run); got > 2 {
+		t.Fatalf("distinct = %d, want <= 2", got)
+	}
+}
+
+// TestFLPPartitionedGroupsDecideSeparately drives each group of size L in
+// isolation (others' messages gated): each group decides on its own and the
+// total distinct count is exactly n/L — the runs that make the Section VI
+// bound tight.
+func TestFLPPartitionedGroupsDecideSeparately(t *testing.T) {
+	n, f := 6, 3 // L = 3, two groups
+	g1 := []sim.ProcessID{1, 2, 3}
+	g2 := []sim.ProcessID{4, 5, 6}
+	cp := sched.CrashPlan{}
+	s := &sched.Fair{
+		Crash: cp,
+		Gate:  sched.IntraGroupGate([][]sim.ProcessID{g1, g2}),
+		Stop:  sched.AllCorrectDecided(cp),
+	}
+	run, err := sim.Execute(FLPKSet{F: f}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	if got := distinctCount(run); got != 2 {
+		t.Fatalf("distinct = %d, want exactly 2 (one per isolated group)", got)
+	}
+}
+
+func TestFLPPayloadKeys(t *testing.T) {
+	s2a := Stage2Payload{From: 1, Value: 5, Heard: []sim.ProcessID{2, 3}}
+	s2b := Stage2Payload{From: 1, Value: 5, Heard: []sim.ProcessID{2, 3}}
+	s2c := Stage2Payload{From: 1, Value: 5, Heard: []sim.ProcessID{2, 4}}
+	if s2a.Key() != s2b.Key() {
+		t.Fatal("equal stage-2 payloads differ")
+	}
+	if s2a.Key() == s2c.Key() {
+		t.Fatal("different heard lists collide")
+	}
+	if (Stage1Payload{From: 3}).Key() == (Stage1Payload{From: 4}).Key() {
+		t.Fatal("stage-1 keys collide")
+	}
+}
+
+func TestFLPStatePurity(t *testing.T) {
+	s := FLPKSet{F: 1}.Init(3, 1, 7)
+	before := s.Key()
+	_, _ = s.Step(sim.Input{})
+	if s.Key() != before {
+		t.Fatal("Step mutated the receiver")
+	}
+}
+
+func TestFLPDegenerateFZero(t *testing.T) {
+	// f=0: L=n, every process waits for everyone; consensus.
+	run := runFLP(t, 4, 0, nil)
+	if got := distinctCount(run); got != 1 {
+		t.Fatalf("distinct = %d, want 1", got)
+	}
+}

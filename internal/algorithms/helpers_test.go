@@ -1,0 +1,18 @@
+package algorithms
+
+import (
+	"kset/internal/fd"
+	"kset/internal/sched"
+)
+
+// fdPatternForTest returns a failure-free pattern for an n-process system.
+func fdPatternForTest(n int) *fd.Pattern { return fd.NewPattern(n) }
+
+// sigmaOmegaOracleForTest returns a (Sigma, Omega) oracle with immediate
+// stabilization for the given pattern.
+func sigmaOmegaOracleForTest(pattern *fd.Pattern) sched.Oracle {
+	return fd.CombinedOracle{
+		Sigma: fd.SigmaOracle{K: 1, Pattern: pattern},
+		Omega: fd.OmegaOracle{K: 1, Pattern: pattern, GST: 0},
+	}
+}

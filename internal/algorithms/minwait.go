@@ -1,0 +1,117 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kset/internal/sim"
+)
+
+// ValuePayload carries a process's proposal value; it is the single message
+// type of MinWait and of several candidate algorithms.
+type ValuePayload struct {
+	From  sim.ProcessID
+	Value sim.Value
+}
+
+// Key implements sim.Payload.
+func (p ValuePayload) Key() string { return fmt.Sprintf("VAL(%d,%d)", p.From, p.Value) }
+
+// MinWait is the classic f-resilient asynchronous k-set agreement protocol:
+// every process broadcasts its proposal, waits until it holds values from
+// n-f processes (its own included), and decides the minimum value it holds.
+//
+// With at most f crash failures the wait terminates, and the decided minima
+// can take at most f+1 distinct values (each decided value is among the f+1
+// smallest proposals), so MinWait solves k-set agreement whenever f < k.
+// It is the standard possibility counterpoint to the paper's impossibility
+// results: Theorem 2's bound k <= (n-1)/(n-f) never overlaps f <= k-1.
+type MinWait struct {
+	// F is the number of crash failures tolerated.
+	F int
+}
+
+// Name implements sim.Algorithm.
+func (a MinWait) Name() string { return fmt.Sprintf("minwait(f=%d)", a.F) }
+
+// Init implements sim.Algorithm.
+func (a MinWait) Init(n int, id sim.ProcessID, input sim.Value) sim.State {
+	return &minWaitState{
+		n: n, f: a.F, id: id, input: input,
+		vals:     map[sim.ProcessID]sim.Value{id: input},
+		decision: sim.NoValue,
+	}
+}
+
+type minWaitState struct {
+	n, f     int
+	id       sim.ProcessID
+	input    sim.Value
+	sent     bool
+	vals     map[sim.ProcessID]sim.Value
+	decision sim.Value
+}
+
+func (s *minWaitState) clone() *minWaitState {
+	cp := *s
+	cp.vals = make(map[sim.ProcessID]sim.Value, len(s.vals))
+	for p, v := range s.vals {
+		cp.vals[p] = v
+	}
+	return &cp
+}
+
+// Step implements sim.State.
+func (s *minWaitState) Step(in sim.Input) (sim.State, []sim.Send) {
+	next := s.clone()
+	var sends []sim.Send
+	if !next.sent {
+		next.sent = true
+		sends = sim.Broadcast(next.n, ValuePayload{From: next.id, Value: next.input})
+	}
+	for _, m := range in.Delivered {
+		if vp, ok := m.Payload.(ValuePayload); ok {
+			next.vals[vp.From] = vp.Value
+		}
+	}
+	if next.decision == sim.NoValue && len(next.vals) >= next.n-next.f {
+		minV := sim.Value(0)
+		first := true
+		for _, v := range next.vals {
+			if first || v < minV {
+				minV = v
+				first = false
+			}
+		}
+		next.decision = minV
+	}
+	return next, sends
+}
+
+// Decided implements sim.State.
+func (s *minWaitState) Decided() (sim.Value, bool) {
+	return s.decision, s.decision != sim.NoValue
+}
+
+// Key implements sim.State.
+func (s *minWaitState) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mw{id=%d in=%d sent=%t dec=%d vals=", s.id, s.input, s.sent, s.decision)
+	b.WriteString(encodeVals(s.vals))
+	b.WriteString("}")
+	return b.String()
+}
+
+func encodeVals(vals map[sim.ProcessID]sim.Value) string {
+	ids := make([]int, 0, len(vals))
+	for p := range vals {
+		ids = append(ids, int(p))
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, p := range ids {
+		parts[i] = fmt.Sprintf("%d:%d", p, vals[sim.ProcessID(p)])
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,138 @@
+package algorithms
+
+import (
+	"testing"
+
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+func distinctCount(r *sim.Run) int { return len(r.DistinctDecisions()) }
+
+func inputs(n int) []sim.Value {
+	out := make([]sim.Value, n)
+	for i := range out {
+		out[i] = sim.Value(100 + i) // all distinct, as Theorem 1 assumes
+	}
+	return out
+}
+
+func TestMinWaitFailureFreeDecidesMinimum(t *testing.T) {
+	n := 5
+	run, err := sim.Execute(MinWait{F: 2}, inputs(n), sched.NewFair(sched.CrashPlan{}), sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	for p, v := range run.Decisions() {
+		// Each decision is a min over >= n-f values, so it is at most the
+		// (f+1)-th smallest input; with a fair prompt schedule every process
+		// sees all values and decides the global minimum.
+		if v != 100 {
+			t.Errorf("process %d decided %d, want 100", p+1, v)
+		}
+	}
+}
+
+func TestMinWaitInitialCrashesWithinBudget(t *testing.T) {
+	// n=6, f=2: crash 2 initially; correct processes must decide and the
+	// distinct-decision count must stay <= f+1 <= k for any k > f.
+	n := 6
+	cp := sched.CrashPlan{InitialDead: []sim.ProcessID{3, 5}}
+	run, err := sim.Execute(MinWait{F: 2}, inputs(n), sched.NewFair(cp), sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	if got := distinctCount(run); got > 3 {
+		t.Fatalf("distinct decisions = %d, want <= f+1 = 3", got)
+	}
+	for _, p := range []sim.ProcessID{3, 5} {
+		if _, decided := run.Final.Decision(p); decided {
+			t.Errorf("initially dead process %d decided", p)
+		}
+	}
+}
+
+func TestMinWaitAdversarialDelayBound(t *testing.T) {
+	// Adversary: split into two halves; deliver only intra-group messages
+	// until the watched group decides. With f=3 < n-f the isolated group of
+	// size 4 >= n-f=4 can decide alone; distinct decisions stay <= f+1.
+	n := 7
+	f := 3
+	g1 := []sim.ProcessID{1, 2, 3, 4}
+	g2 := []sim.ProcessID{5, 6, 7}
+	cp := sched.CrashPlan{}
+	s := &sched.Fair{
+		Crash: cp,
+		Gate:  sched.PartitionUntilDecidedGate([][]sim.ProcessID{g1, g2}, g1),
+		Stop:  sched.AllCorrectDecided(cp),
+	}
+	run, err := sim.Execute(MinWait{F: f}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	if got := distinctCount(run); got > f+1 {
+		t.Fatalf("distinct decisions = %d, want <= %d", got, f+1)
+	}
+}
+
+func TestMinWaitBlocksWhenTooManyCrash(t *testing.T) {
+	// f=1 tolerated but 3 initially dead: waiting for n-f=4 of 5 values can
+	// never complete with only 2 alive.
+	n := 5
+	cp := sched.CrashPlan{InitialDead: []sim.ProcessID{1, 2, 3}}
+	s := sched.NewFair(cp)
+	run, err := sim.Execute(MinWait{F: 1}, inputs(n), s, sim.Options{MaxSteps: 2000})
+	if err == nil {
+		// The scheduler never stops on its own since correct processes
+		// cannot decide; reaching here means the run ended unexpectedly.
+		if len(run.Blocked) == 0 {
+			t.Fatal("expected blocked processes")
+		}
+		return
+	}
+	if len(run.Blocked) != 2 {
+		t.Fatalf("blocked = %v, want the two live processes", run.Blocked)
+	}
+}
+
+func TestMinWaitStateKeyDeterministic(t *testing.T) {
+	s1 := MinWait{F: 1}.Init(3, 1, 7)
+	s2 := MinWait{F: 1}.Init(3, 1, 7)
+	if s1.Key() != s2.Key() {
+		t.Fatal("equal states have different keys")
+	}
+	next1, _ := s1.Step(sim.Input{})
+	if next1.Key() == s1.Key() {
+		t.Fatal("step that broadcasts should change the state key")
+	}
+}
+
+func TestMinWaitPurity(t *testing.T) {
+	s := MinWait{F: 1}.Init(3, 1, 7)
+	before := s.Key()
+	_, _ = s.Step(sim.Input{})
+	if s.Key() != before {
+		t.Fatal("Step mutated the receiver")
+	}
+}
+
+func TestValuePayloadKey(t *testing.T) {
+	a := ValuePayload{From: 1, Value: 5}
+	b := ValuePayload{From: 1, Value: 5}
+	c := ValuePayload{From: 2, Value: 5}
+	if a.Key() != b.Key() {
+		t.Fatal("equal payloads differ")
+	}
+	if a.Key() == c.Key() {
+		t.Fatal("distinct payloads collide")
+	}
+}

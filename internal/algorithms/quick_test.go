@@ -1,0 +1,208 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+// randomizedScheduler steps random live processes delivering random
+// prefixes of their buffers — a chaotic but admissible asynchronous
+// schedule for property tests.
+type randomizedScheduler struct {
+	rng   *rand.Rand
+	crash sched.CrashPlan
+	steps int
+	max   int
+}
+
+func (s *randomizedScheduler) Next(c *sim.Configuration) (sim.StepRequest, bool) {
+	if s.steps >= s.max {
+		return sim.StepRequest{}, false
+	}
+	s.steps++
+	var live []sim.ProcessID
+	for _, p := range c.Processes() {
+		if !c.Crashed(p) && !s.crash.IsInitialDead(p) {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return sim.StepRequest{}, false
+	}
+	// Silent-crash the initially dead first.
+	for _, p := range s.crash.InitialDead {
+		if !c.Crashed(p) {
+			return sim.StepRequest{Proc: p, SilentCrash: true}, true
+		}
+	}
+	p := live[s.rng.Intn(len(live))]
+	buf := c.Buffer(p)
+	var deliver []int64
+	if len(buf) > 0 {
+		cut := s.rng.Intn(len(buf) + 1)
+		for i := 0; i < cut; i++ {
+			deliver = append(deliver, buf[i].ID)
+		}
+	}
+	return sim.StepRequest{Proc: p, Deliver: deliver}, true
+}
+
+// TestQuickMinWaitInvariants: under arbitrary admissible schedules with up
+// to f initial crashes, MinWait never decides more than f+1 distinct
+// values, never decides an unproposed value, and decided processes never
+// flip (the kernel enforces write-once, so reaching the end is the check).
+func TestQuickMinWaitInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		f := rng.Intn(n)
+		var dead []sim.ProcessID
+		perm := rng.Perm(n)
+		for i := 0; i < rng.Intn(f+1); i++ {
+			dead = append(dead, sim.ProcessID(perm[i]+1))
+		}
+		in := inputs(n)
+		s := &randomizedScheduler{
+			rng:   rng,
+			crash: sched.CrashPlan{InitialDead: dead},
+			max:   40 * n,
+		}
+		run, err := sim.Execute(MinWait{F: f}, in, s, sim.Options{})
+		if err != nil {
+			return false
+		}
+		if len(run.DistinctDecisions()) > f+1 {
+			return false
+		}
+		proposed := map[sim.Value]bool{}
+		for _, v := range in {
+			proposed[v] = true
+		}
+		for _, v := range run.DistinctDecisions() {
+			if !proposed[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickFLPKSetInvariants: under arbitrary admissible schedules with up
+// to f initial crashes, the Section VI protocol never exceeds floor(n/L)
+// distinct decisions and satisfies Validity.
+func TestQuickFLPKSetInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		f := rng.Intn(n)
+		l := n - f
+		k := n / l
+		var dead []sim.ProcessID
+		perm := rng.Perm(n)
+		for i := 0; i < rng.Intn(f+1); i++ {
+			dead = append(dead, sim.ProcessID(perm[i]+1))
+		}
+		in := inputs(n)
+		s := &randomizedScheduler{
+			rng:   rng,
+			crash: sched.CrashPlan{InitialDead: dead},
+			max:   60 * n,
+		}
+		run, err := sim.Execute(FLPKSet{F: f}, in, s, sim.Options{})
+		if err != nil {
+			return false
+		}
+		if len(run.DistinctDecisions()) > k {
+			return false
+		}
+		proposed := map[sim.Value]bool{}
+		for _, v := range in {
+			proposed[v] = true
+		}
+		for _, v := range run.DistinctDecisions() {
+			if !proposed[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSigmaOmegaUniformAgreement: under randomized schedules with
+// admissible detector histories, the ballot protocol never produces two
+// distinct decisions (uniform agreement), even among processes that crash
+// later.
+func TestQuickSigmaOmegaUniformAgreement(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(3)
+		pattern := fdPatternForTest(n)
+		oracle := sigmaOmegaOracleForTest(pattern)
+		s := &randomizedScheduler{rng: rng, max: 80 * n}
+		// Wrap with the oracle: randomizedScheduler has no oracle hook, so
+		// decorate its requests.
+		run, err := sim.Execute(SigmaOmega{}, inputs(n), &oracleDecorator{inner: s, oracle: oracle}, sim.Options{})
+		if err != nil {
+			return false
+		}
+		return len(run.DistinctDecisions()) <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type oracleDecorator struct {
+	inner  sim.Scheduler
+	oracle sched.Oracle
+}
+
+func (d *oracleDecorator) Next(c *sim.Configuration) (sim.StepRequest, bool) {
+	req, ok := d.inner.Next(c)
+	if ok && !req.SilentCrash {
+		req.FD = d.oracle.Query(req.Proc, c.Time(), c)
+	}
+	return req, ok
+}
+
+func BenchmarkMinWaitFairRun(b *testing.B) {
+	in := inputs(8)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Execute(MinWait{F: 3}, in, sched.NewFair(sched.CrashPlan{}), sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFLPKSetFairRun(b *testing.B) {
+	in := inputs(8)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Execute(FLPKSet{F: 3}, in, sched.NewFair(sched.CrashPlan{}), sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSigmaOmegaFairRun(b *testing.B) {
+	n := 6
+	pattern := fdPatternForTest(n)
+	oracle := sigmaOmegaOracleForTest(pattern)
+	in := inputs(n)
+	cp := sched.CrashPlan{}
+	for i := 0; i < b.N; i++ {
+		s := &sched.Fair{Crash: cp, Oracle: oracle, Stop: sched.AllCorrectDecided(cp)}
+		if _, err := sim.Execute(SigmaOmega{}, in, s, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

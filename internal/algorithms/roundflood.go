@@ -1,0 +1,88 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"kset/internal/sim"
+)
+
+// FloodPayload carries a round-tagged estimate for RoundFlood.
+type FloodPayload struct {
+	From  sim.ProcessID
+	Round int
+	Est   sim.Value
+}
+
+// Key implements sim.Payload.
+func (p FloodPayload) Key() string { return fmt.Sprintf("FL(%d,%d,%d)", p.From, p.Round, p.Est) }
+
+// RoundFlood is the classic synchronous FloodSet consensus: processes
+// proceed in rounds, each round broadcasting their current minimum
+// estimate and adopting the minimum received; after F+1 rounds they decide.
+//
+// The algorithm is correct in the fully synchronous model (lock-step
+// processes AND prompt reliable communication): with at most F crashes,
+// some round among the first F+1 is crash-free, after which all estimates
+// coincide. It counts its own steps as rounds, which is sound exactly when
+// the scheduler is the Lockstep one with an open gate.
+//
+// Run under asynchronous communication — Theorem 2's setting — the round
+// counter decouples from real message arrivals and the protocol is flawed:
+// the partition adversary lets each group "complete" its F+1 rounds in
+// isolation, and the Theorem 1 engine constructs the violation run. The
+// pair (correct synchronously, refuted asynchronously) is the sharpest
+// illustration of what Theorem 2's "communication is asynchronous"
+// hypothesis does.
+type RoundFlood struct {
+	// F is the crash tolerance; decision happens after F+1 rounds.
+	F int
+}
+
+// Name implements sim.Algorithm.
+func (a RoundFlood) Name() string { return fmt.Sprintf("roundflood(f=%d)", a.F) }
+
+// Init implements sim.Algorithm.
+func (a RoundFlood) Init(n int, id sim.ProcessID, input sim.Value) sim.State {
+	return roundFloodState{n: n, f: a.F, id: id, est: input, round: 0}
+}
+
+type roundFloodState struct {
+	n, f  int
+	id    sim.ProcessID
+	est   sim.Value
+	round int // completed own rounds
+}
+
+// Step implements sim.State.
+func (s roundFloodState) Step(in sim.Input) (sim.State, []sim.Send) {
+	if _, done := s.Decided(); done {
+		// Decided states are quiescent: late deliveries are absorbed
+		// without changing the state, so configuration spaces stay finite.
+		return s, nil
+	}
+	next := s
+	for _, m := range in.Delivered {
+		if fp, ok := m.Payload.(FloodPayload); ok && fp.Est < next.est {
+			next.est = fp.Est
+		}
+	}
+	var sends []sim.Send
+	if next.round <= next.f {
+		sends = sim.Broadcast(next.n, FloodPayload{From: next.id, Round: next.round, Est: next.est})
+	}
+	next.round++
+	return next, sends
+}
+
+// Decided implements sim.State.
+func (s roundFloodState) Decided() (sim.Value, bool) {
+	if s.round > s.f+1 {
+		return s.est, true
+	}
+	return sim.NoValue, false
+}
+
+// Key implements sim.State.
+func (s roundFloodState) Key() string {
+	return fmt.Sprintf("rf{%d,%d,%d}", s.id, s.est, s.round)
+}

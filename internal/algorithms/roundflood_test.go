@@ -1,0 +1,99 @@
+package algorithms
+
+import (
+	"testing"
+
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+func lockstepRun(t *testing.T, alg sim.Algorithm, n int, cp sched.CrashPlan) *sim.Run {
+	t.Helper()
+	ls := &sched.Lockstep{Crash: cp, Stop: sched.AllCorrectDecided(cp)}
+	run, err := sim.Execute(alg, inputs(n), ls, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return run
+}
+
+func TestRoundFloodSynchronousConsensusFailureFree(t *testing.T) {
+	run := lockstepRun(t, RoundFlood{F: 2}, 5, sched.CrashPlan{})
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	if got := len(run.DistinctDecisions()); got != 1 {
+		t.Fatalf("distinct = %d, want 1 (synchronous consensus)", got)
+	}
+	if run.DistinctDecisions()[0] != 100 {
+		t.Fatalf("decision = %v, want the global minimum 100", run.DistinctDecisions())
+	}
+}
+
+func TestRoundFloodSynchronousConsensusWithCrashes(t *testing.T) {
+	// The minimum holder crashes mid-protocol, omitting sends to half the
+	// system; FloodSet with F=2 still reaches agreement after F+1 rounds.
+	cp := sched.CrashPlan{
+		CrashAtTime: map[sim.ProcessID]int{1: 5},
+		OmitTo:      map[sim.ProcessID][]sim.ProcessID{1: {4, 5}},
+	}
+	run := lockstepRun(t, RoundFlood{F: 2}, 5, cp)
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	if got := len(run.DistinctDecisions()); got != 1 {
+		t.Fatalf("distinct = %d, want 1 (uniform agreement with crash)", got)
+	}
+}
+
+func TestRoundFloodInitialCrashes(t *testing.T) {
+	cp := sched.CrashPlan{InitialDead: []sim.ProcessID{1, 2}}
+	run := lockstepRun(t, RoundFlood{F: 2}, 5, cp)
+	if got := len(run.DistinctDecisions()); got != 1 {
+		t.Fatalf("distinct = %d, want 1", got)
+	}
+	// The dead minimum holders never spoke: survivors agree on 102.
+	if run.DistinctDecisions()[0] != 102 {
+		t.Fatalf("decision = %v, want 102", run.DistinctDecisions())
+	}
+}
+
+// TestRoundFloodBrokenUnderAsynchrony: the same protocol under the
+// asynchronous partition adversary splits — rounds decouple from message
+// arrivals, each isolated group completes its F+1 rounds alone. This is the
+// Theorem 2 hypothesis at work: process synchrony without communication
+// synchrony does not help.
+func TestRoundFloodBrokenUnderAsynchrony(t *testing.T) {
+	n := 6
+	groups := [][]sim.ProcessID{{1, 2}, {3, 4}, {5, 6}}
+	cp := sched.CrashPlan{}
+	s := &sched.Fair{
+		Crash: cp,
+		Gate:  sched.IntraGroupGate(groups),
+		Stop:  sched.AllCorrectDecided(cp),
+	}
+	run, err := sim.Execute(RoundFlood{F: 1}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if got := len(run.DistinctDecisions()); got != 3 {
+		t.Fatalf("distinct = %d, want 3 (one per isolated pair)", got)
+	}
+}
+
+func TestRoundFloodStatePurity(t *testing.T) {
+	s := RoundFlood{F: 1}.Init(3, 1, 7)
+	before := s.Key()
+	_, _ = s.Step(sim.Input{})
+	if s.Key() != before {
+		t.Fatal("Step mutated the receiver")
+	}
+}
+
+func TestFloodPayloadKey(t *testing.T) {
+	a := FloodPayload{From: 1, Round: 2, Est: 3}
+	b := FloodPayload{From: 1, Round: 2, Est: 4}
+	if a.Key() == b.Key() {
+		t.Fatal("distinct payloads collide")
+	}
+}

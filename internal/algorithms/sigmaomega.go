@@ -1,0 +1,350 @@
+package algorithms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kset/internal/fd"
+	"kset/internal/sim"
+)
+
+// Ballot is a Paxos-style ballot number. Ballot b is owned by process
+// ((b-1) mod n) + 1, so distinct processes never reuse each other's ballots.
+type Ballot int64
+
+// Owner returns the process owning ballot b in an n-process system.
+func (b Ballot) Owner(n int) sim.ProcessID {
+	return sim.ProcessID((int64(b)-1)%int64(n) + 1)
+}
+
+// The message kinds of SigmaOmega consensus.
+type (
+	// PreparePayload opens ballot B (phase 1a).
+	PreparePayload struct {
+		From sim.ProcessID
+		B    Ballot
+	}
+	// PromisePayload answers a prepare (phase 1b) with the acceptor's
+	// previously accepted ballot/value (AccB = 0 when none).
+	PromisePayload struct {
+		From sim.ProcessID
+		B    Ballot
+		AccB Ballot
+		AccV sim.Value
+	}
+	// AcceptPayload asks acceptors to accept V at ballot B (phase 2a).
+	AcceptPayload struct {
+		From sim.ProcessID
+		B    Ballot
+		V    sim.Value
+	}
+	// AcceptedPayload is an acceptor's vote (phase 2b), broadcast to all.
+	AcceptedPayload struct {
+		From sim.ProcessID
+		B    Ballot
+		V    sim.Value
+	}
+	// DecidePayload propagates a decision reliably.
+	DecidePayload struct {
+		From sim.ProcessID
+		V    sim.Value
+	}
+)
+
+// Key implements sim.Payload.
+func (p PreparePayload) Key() string { return fmt.Sprintf("P1A(%d,%d)", p.From, p.B) }
+
+// Key implements sim.Payload.
+func (p PromisePayload) Key() string {
+	return fmt.Sprintf("P1B(%d,%d,%d,%d)", p.From, p.B, p.AccB, p.AccV)
+}
+
+// Key implements sim.Payload.
+func (p AcceptPayload) Key() string { return fmt.Sprintf("P2A(%d,%d,%d)", p.From, p.B, p.V) }
+
+// Key implements sim.Payload.
+func (p AcceptedPayload) Key() string { return fmt.Sprintf("P2B(%d,%d,%d)", p.From, p.B, p.V) }
+
+// Key implements sim.Payload.
+func (p DecidePayload) Key() string { return fmt.Sprintf("DEC(%d,%d)", p.From, p.V) }
+
+// SigmaOmega is ballot-based uniform consensus from the failure-detector
+// pair (Sigma, Omega) — the k = 1 endpoint of Corollary 13 ("(Sigma_1,
+// Omega_1) is sufficient for solving consensus", citing Delporte-Gallet et
+// al.). It is a Paxos-style protocol in which the classical "majority" is
+// replaced by the detector's quorums:
+//
+//   - a process that trusts itself to be the leader (its Omega output
+//     contains its own id) runs prepare/accept phases for ballots it owns;
+//   - a phase completes when answers have arrived from every member of some
+//     quorum currently output by Sigma; the Intersection property of
+//     Definition 4 (k = 1: any two quorums taken at any two times
+//     intersect) gives the standard Paxos safety argument, and Liveness
+//     makes waiting for a full quorum of correct processes eventually
+//     succeed;
+//   - decisions are flooded with DECIDE messages, so every correct process
+//     decides once any process does.
+//
+// Validity holds because any chosen value traces back to some proposer's
+// input; uniform agreement holds by quorum intersection over phase-2 votes.
+type SigmaOmega struct{}
+
+// Name implements sim.Algorithm.
+func (SigmaOmega) Name() string { return "sigmaomega" }
+
+// Init implements sim.Algorithm.
+func (SigmaOmega) Init(n int, id sim.ProcessID, input sim.Value) sim.State {
+	return &soState{
+		n: n, id: id, input: input,
+		accV:     sim.NoValue,
+		decision: sim.NoValue,
+	}
+}
+
+type promiseInfo struct {
+	accB Ballot
+	accV sim.Value
+}
+
+type soState struct {
+	n     int
+	id    sim.ProcessID
+	input sim.Value
+
+	// Acceptor.
+	maxB Ballot    // highest ballot promised or accepted
+	accB Ballot    // ballot of last accepted value (0 = none)
+	accV sim.Value // last accepted value
+
+	// Leader.
+	curB     Ballot // ballot this process is currently driving (0 = none)
+	phase    int    // 0 idle, 1 collecting promises, 2 collecting votes
+	promises map[sim.ProcessID]promiseInfo
+	proposal sim.Value // value being driven in phase 2
+
+	// Learner: votes[p] = (ballot, value) of p's latest ACCEPTED.
+	votes map[sim.ProcessID]promiseInfo
+
+	decision sim.Value
+	decSent  bool
+}
+
+func (s *soState) clone() *soState {
+	cp := *s
+	cp.promises = clonePromises(s.promises)
+	cp.votes = clonePromises(s.votes)
+	return &cp
+}
+
+func clonePromises(m map[sim.ProcessID]promiseInfo) map[sim.ProcessID]promiseInfo {
+	if m == nil {
+		return nil
+	}
+	cp := make(map[sim.ProcessID]promiseInfo, len(m))
+	for p, v := range m {
+		cp[p] = v
+	}
+	return cp
+}
+
+// nextOwnBallot returns the smallest ballot owned by s.id that is strictly
+// greater than b.
+func (s *soState) nextOwnBallot(b Ballot) Ballot {
+	base := Ballot(s.id)
+	for base <= b {
+		base += Ballot(s.n)
+	}
+	return base
+}
+
+// Step implements sim.State.
+func (s *soState) Step(in sim.Input) (sim.State, []sim.Send) {
+	next := s.clone()
+	var sends []sim.Send
+
+	quorum, leaders, haveFD := splitFD(in.FD)
+
+	// 1. Process incoming messages.
+	for _, m := range in.Delivered {
+		sends = append(sends, next.handle(m)...)
+	}
+
+	// 2. Decision flooding: decide as soon as any DECIDE arrived (handled
+	// in handle) or a quorum of votes for one (ballot, value) exists.
+	if next.decision == sim.NoValue && haveFD {
+		if v, ok := next.quorumVoted(quorum); ok {
+			next.decision = v
+		}
+	}
+	if next.decision != sim.NoValue && !next.decSent {
+		next.decSent = true
+		sends = append(sends, sim.Broadcast(next.n, DecidePayload{From: next.id, V: next.decision})...)
+	}
+	if next.decision != sim.NoValue {
+		return next, sends
+	}
+
+	if !haveFD {
+		return next, sends
+	}
+
+	// 3. Leader logic: start a ballot when Omega nominates us and we are
+	// not driving a live ballot.
+	if leaders.Contains(next.id) {
+		if next.curB == 0 || next.maxB > next.curB {
+			// Our previous ballot (if any) was superseded: start afresh.
+			next.curB = next.nextOwnBallot(next.maxB)
+			next.phase = 1
+			next.promises = make(map[sim.ProcessID]promiseInfo)
+			next.proposal = sim.NoValue
+			sends = append(sends, sim.Broadcast(next.n, PreparePayload{From: next.id, B: next.curB})...)
+		}
+	}
+
+	// 4. Phase completion checks against the *current* quorum.
+	if next.phase == 1 && next.curB != 0 && coversQuorum(next.promises, quorum) {
+		// Choose the accepted value of the highest ballot among promises,
+		// or our own input when none.
+		v := next.input
+		best := Ballot(0)
+		for _, pi := range next.promises {
+			if pi.accB > best {
+				best = pi.accB
+				v = pi.accV
+			}
+		}
+		next.phase = 2
+		next.proposal = v
+		sends = append(sends, sim.Broadcast(next.n, AcceptPayload{From: next.id, B: next.curB, V: v})...)
+	}
+
+	return next, sends
+}
+
+// handle processes one message, returning any immediate replies.
+func (s *soState) handle(m sim.Message) []sim.Send {
+	switch p := m.Payload.(type) {
+	case PreparePayload:
+		if p.B > s.maxB {
+			s.maxB = p.B
+		}
+		if p.B >= s.maxB {
+			return []sim.Send{{To: p.From, Payload: PromisePayload{
+				From: s.id, B: p.B, AccB: s.accB, AccV: s.accV,
+			}}}
+		}
+	case PromisePayload:
+		if p.B == s.curB && s.phase == 1 {
+			if s.promises == nil {
+				s.promises = make(map[sim.ProcessID]promiseInfo)
+			}
+			s.promises[p.From] = promiseInfo{accB: p.AccB, accV: p.AccV}
+		}
+	case AcceptPayload:
+		if p.B >= s.maxB {
+			s.maxB = p.B
+			s.accB = p.B
+			s.accV = p.V
+			return sim.Broadcast(s.n, AcceptedPayload{From: s.id, B: p.B, V: p.V})
+		}
+	case AcceptedPayload:
+		if s.votes == nil {
+			s.votes = make(map[sim.ProcessID]promiseInfo)
+		}
+		if cur, ok := s.votes[p.From]; !ok || p.B > cur.accB {
+			s.votes[p.From] = promiseInfo{accB: p.B, accV: p.V}
+		}
+	case DecidePayload:
+		if s.decision == sim.NoValue {
+			s.decision = p.V
+		}
+	}
+	return nil
+}
+
+// quorumVoted reports whether every member of the current quorum has voted
+// for one common (ballot, value).
+func (s *soState) quorumVoted(q fd.TrustSet) (sim.Value, bool) {
+	if len(q.IDs) == 0 || len(s.votes) == 0 {
+		return sim.NoValue, false
+	}
+	// Group by ballot: all quorum members must have their latest vote on
+	// the same ballot.
+	first := true
+	var b Ballot
+	var v sim.Value
+	for _, id := range q.IDs {
+		vote, ok := s.votes[id]
+		if !ok {
+			return sim.NoValue, false
+		}
+		if first {
+			b, v = vote.accB, vote.accV
+			first = false
+			continue
+		}
+		if vote.accB != b || vote.accV != v {
+			return sim.NoValue, false
+		}
+	}
+	return v, true
+}
+
+func coversQuorum(got map[sim.ProcessID]promiseInfo, q fd.TrustSet) bool {
+	if len(q.IDs) == 0 {
+		return false
+	}
+	for _, id := range q.IDs {
+		if _, ok := got[id]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// splitFD extracts the quorum and leader parts of the detector output.
+func splitFD(v sim.FDValue) (fd.TrustSet, fd.Leaders, bool) {
+	switch x := v.(type) {
+	case fd.Combined:
+		return x.Quorum, x.Leaders, true
+	case fd.TrustSet:
+		return x, fd.Leaders{}, true
+	case fd.Leaders:
+		return fd.TrustSet{}, x, true
+	default:
+		return fd.TrustSet{}, fd.Leaders{}, false
+	}
+}
+
+// Decided implements sim.State.
+func (s *soState) Decided() (sim.Value, bool) {
+	return s.decision, s.decision != sim.NoValue
+}
+
+// Key implements sim.State.
+func (s *soState) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "so{id=%d in=%d maxB=%d accB=%d accV=%d curB=%d ph=%d prop=%d dec=%d sent=%t",
+		s.id, s.input, s.maxB, s.accB, s.accV, s.curB, s.phase, s.proposal, s.decision, s.decSent)
+	b.WriteString(" prom=")
+	b.WriteString(encodePromises(s.promises))
+	b.WriteString(" votes=")
+	b.WriteString(encodePromises(s.votes))
+	b.WriteString("}")
+	return b.String()
+}
+
+func encodePromises(m map[sim.ProcessID]promiseInfo) string {
+	ids := make([]int, 0, len(m))
+	for p := range m {
+		ids = append(ids, int(p))
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, p := range ids {
+		pi := m[sim.ProcessID(p)]
+		parts[i] = fmt.Sprintf("%d:(%d,%d)", p, pi.accB, pi.accV)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

@@ -1,0 +1,231 @@
+package algorithms
+
+import (
+	"testing"
+
+	"kset/internal/fd"
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+func sigmaOmegaOracle(pattern *fd.Pattern, gst int) sched.Oracle {
+	return fd.CombinedOracle{
+		Sigma: fd.SigmaOracle{K: 1, Pattern: pattern},
+		Omega: fd.OmegaOracle{K: 1, Pattern: pattern, GST: gst},
+	}
+}
+
+func runSigmaOmega(t *testing.T, n int, cp sched.CrashPlan, pattern *fd.Pattern, gst int) *sim.Run {
+	t.Helper()
+	s := &sched.Fair{
+		Crash:  cp,
+		Oracle: sigmaOmegaOracle(pattern, gst),
+		Stop:   sched.AllCorrectDecided(cp),
+	}
+	run, err := sim.Execute(SigmaOmega{}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	return run
+}
+
+func TestSigmaOmegaFailureFreeConsensus(t *testing.T) {
+	n := 4
+	run := runSigmaOmega(t, n, sched.CrashPlan{}, fd.NewPattern(n), 0)
+	if got := distinctCount(run); got != 1 {
+		t.Fatalf("distinct decisions = %d, want 1", got)
+	}
+	// Validity: the decided value is some process's input.
+	dec := run.DistinctDecisions()[0]
+	valid := false
+	for _, v := range inputs(n) {
+		if v == dec {
+			valid = true
+		}
+	}
+	if !valid {
+		t.Fatalf("decided unproposed value %d", dec)
+	}
+}
+
+func TestSigmaOmegaToleratesMinorityOfAnySize(t *testing.T) {
+	// (Sigma, Omega) consensus is (n-1)-resilient: crash all but one.
+	n := 4
+	dead := []sim.ProcessID{2, 3, 4}
+	cp := sched.CrashPlan{InitialDead: dead}
+	pattern := fd.NewPattern(n).WithInitiallyDead(dead...)
+	run := runSigmaOmega(t, n, cp, pattern, 0)
+	v, decided := run.Final.Decision(1)
+	if !decided {
+		t.Fatal("lone survivor did not decide")
+	}
+	if v != inputs(n)[0] {
+		t.Fatalf("lone survivor decided %d, want its own input %d", v, inputs(n)[0])
+	}
+}
+
+func TestSigmaOmegaLateCrashUniformAgreement(t *testing.T) {
+	// p1 crashes mid-run at time 6; uniform agreement must bind any
+	// decision it made before crashing.
+	n := 5
+	cp := sched.CrashPlan{CrashAtTime: map[sim.ProcessID]int{1: 6}}
+	pattern := fd.NewPattern(n).WithCrash(1, 6)
+	run := runSigmaOmega(t, n, cp, pattern, 8)
+	if got := distinctCount(run); got > 1 {
+		t.Fatalf("distinct decisions = %d, want <= 1 (uniform)", got)
+	}
+}
+
+func TestSigmaOmegaLateGSTStillDecides(t *testing.T) {
+	// Rotating leaders before GST = 40 may duel; after stabilization the
+	// unique leader must drive a decision.
+	n := 4
+	run := runSigmaOmega(t, n, sched.CrashPlan{}, fd.NewPattern(n), 40)
+	if got := distinctCount(run); got != 1 {
+		t.Fatalf("distinct decisions = %d, want 1", got)
+	}
+}
+
+func TestSigmaOmegaDelayedMessages(t *testing.T) {
+	// Withhold every message until global time 25: no decision can happen
+	// before communication resumes, and consensus must still be reached.
+	n := 4
+	cp := sched.CrashPlan{}
+	pattern := fd.NewPattern(n)
+	s := &sched.Fair{
+		Crash:  cp,
+		Gate:   sched.DelayUntilTimeGate(25),
+		Oracle: sigmaOmegaOracle(pattern, 0),
+		Stop:   sched.AllCorrectDecided(cp),
+	}
+	run, err := sim.Execute(SigmaOmega{}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	if got := distinctCount(run); got != 1 {
+		t.Fatalf("distinct decisions = %d, want 1", got)
+	}
+	for _, ev := range run.Events {
+		if ev.Decided && ev.Time < 25 {
+			t.Fatalf("decision at time %d despite total message delay", ev.Time)
+		}
+	}
+}
+
+func TestSigmaOmegaHistoriesAreAdmissible(t *testing.T) {
+	// The oracle-produced history must satisfy Definitions 4 and 5 with
+	// k = 1 — cross-validating oracles against checkers.
+	n := 5
+	cp := sched.CrashPlan{CrashAtTime: map[sim.ProcessID]int{5: 4}}
+	pattern := fd.NewPattern(n).WithCrash(5, 4)
+	run := runSigmaOmega(t, n, cp, pattern, 10)
+	h := fd.HistoryFromRun(run)
+	if err := fd.CheckSigmaIntersection(h, 1); err != nil {
+		t.Errorf("Sigma intersection: %v", err)
+	}
+	if err := fd.CheckSigmaLiveness(h, pattern); err != nil {
+		t.Errorf("Sigma liveness: %v", err)
+	}
+	if err := fd.CheckOmegaValidity(h, 1); err != nil {
+		t.Errorf("Omega validity: %v", err)
+	}
+	if err := fd.CheckOmegaEventualLeadership(h, pattern); err != nil {
+		t.Errorf("Omega leadership: %v", err)
+	}
+}
+
+func TestSigmaOmegaStatePurity(t *testing.T) {
+	s := SigmaOmega{}.Init(3, 1, 7)
+	before := s.Key()
+	_, _ = s.Step(sim.Input{FD: fd.Combined{
+		Quorum:  fd.NewTrustSet(1, 2, 3),
+		Leaders: fd.NewLeaders(1),
+	}})
+	if s.Key() != before {
+		t.Fatal("Step mutated the receiver")
+	}
+}
+
+func TestBallotOwner(t *testing.T) {
+	n := 4
+	for id := 1; id <= n; id++ {
+		for round := 0; round < 3; round++ {
+			b := Ballot(id + round*n)
+			if got := b.Owner(n); got != sim.ProcessID(id) {
+				t.Errorf("Ballot(%d).Owner = %d, want %d", b, got, id)
+			}
+		}
+	}
+}
+
+func TestDecideOwnAlwaysSplits(t *testing.T) {
+	n := 4
+	run, err := sim.Execute(DecideOwn{}, inputs(n), sched.NewFair(sched.CrashPlan{}), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := distinctCount(run); got != n {
+		t.Fatalf("distinct = %d, want %d", got, n)
+	}
+}
+
+func TestQuorumMinTrustMaxWorldViolation(t *testing.T) {
+	// The adversarial Sigma history "everyone trusts only p_n" is
+	// admissible (all quorums share p_n, liveness holds when p_n is
+	// correct), yet QuorumMin then decides n distinct values — the flaw the
+	// vetting pipeline is meant to catch.
+	n := 4
+	cp := sched.CrashPlan{}
+	trustMax := sched.OracleFunc(func(p sim.ProcessID, t int, c *sim.Configuration) sim.FDValue {
+		return fd.NewTrustSet(sim.ProcessID(n))
+	})
+	// The adversary delays every message not sent by p_n until all have
+	// decided (asynchrony permits this).
+	onlyFromMax := func(m sim.Message, c *sim.Configuration) bool {
+		return m.From == sim.ProcessID(n) || c.AllDecided(fd.AllProcesses(n))
+	}
+	s := &sched.Fair{Crash: cp, Gate: onlyFromMax, Oracle: trustMax, Stop: sched.AllCorrectDecided(cp)}
+	run, err := sim.Execute(QuorumMin{}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inputs ascend with id, so p_n holds the maximum: everyone decides
+	// its own value.
+	if got := distinctCount(run); got != n {
+		t.Fatalf("distinct = %d, want %d (the violation)", got, n)
+	}
+	// The history is nevertheless Sigma_1-admissible.
+	h := fd.HistoryFromRun(run)
+	if err := fd.CheckSigmaIntersection(h, 1); err != nil {
+		t.Fatalf("trust-max history should satisfy intersection: %v", err)
+	}
+	if err := fd.CheckSigmaLiveness(h, fd.NewPattern(n)); err != nil {
+		t.Fatalf("trust-max history should satisfy liveness: %v", err)
+	}
+}
+
+func TestFirstHeardPairPartitions(t *testing.T) {
+	// Partition into pairs: each pair decides its own minimum, producing
+	// n/2 distinct values — the (dec-D) shape for k = n/2.
+	n := 6
+	groups := [][]sim.ProcessID{{1, 2}, {3, 4}, {5, 6}}
+	cp := sched.CrashPlan{}
+	s := &sched.Fair{
+		Crash: cp,
+		Gate:  sched.IntraGroupGate(groups),
+		Stop:  sched.AllCorrectDecided(cp),
+	}
+	run, err := sim.Execute(FirstHeard{}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := distinctCount(run); got != 3 {
+		t.Fatalf("distinct = %d, want 3 (one per pair)", got)
+	}
+}

@@ -1,0 +1,122 @@
+package algorithms
+
+import (
+	"fmt"
+
+	"kset/internal/sim"
+)
+
+// OriginPayload carries a proposal tagged with its original proposer, for
+// SingletonQuorum's gossip.
+type OriginPayload struct {
+	From   sim.ProcessID // forwarder
+	Origin sim.ProcessID // original proposer
+	Value  sim.Value     // the origin's proposal
+}
+
+// Key implements sim.Payload.
+func (p OriginPayload) Key() string {
+	return fmt.Sprintf("OR(%d,%d,%d)", p.From, p.Origin, p.Value)
+}
+
+// SingletonQuorum is an (n-1)-set agreement protocol from Sigma_{n-1},
+// included as the library's construction for the k = n-1 endpoint of
+// Corollary 13 (the paper cites Bonnet-Raynal for it; this is an
+// independent protocol with an elementary safety proof and a documented
+// liveness condition).
+//
+// Rules (process p_i with proposal v_i):
+//
+//	(a) adopt: upon learning any origin-tagged pair (j, v_j) with j < i,
+//	    decide v_j (and forward the pair, helping others);
+//	(b) self: upon querying Sigma_{n-1} and receiving the *singleton*
+//	    quorum {i}, decide own v_i.
+//
+// Safety ((n-1)-agreement, unconditional): suppose all n processes decide
+// pairwise distinct values. Decisions have the form d_i = v_{o(i)} with
+// o(i) < i for (a)-deciders and o(i) = i for (b)-deciders; distinctness
+// makes o injective, and o(i) <= i forces o to be the identity, so every
+// process (b)-decided — giving n singleton quorums {1}, ..., {n} at the n
+// decision times. They are pairwise disjoint, contradicting the
+// Intersection property of Sigma_{n-1} (Definition 4 with k+1 = n: some
+// two of any n quorums must intersect). Hence at most n-1 distinct values.
+// Validity is immediate (every decision is some proposal).
+//
+// Liveness (documented condition, not unconditional): p_i decides once a
+// smaller-origin pair reaches it or its quorum output becomes exactly
+// {p_i}. The smallest-id correct process can only take the second route,
+// so Termination needs the environment's Sigma histories to eventually
+// output the singleton at it — admissible behaviour (the singleton {p}
+// intersects every other quorum that trusts p) but not forced by
+// Definition 4. This is precisely the gap the paper's Discussion points
+// at: Sigma_k alone cannot force consensus-grade convergence inside a
+// partition; whatever is added to it must. The tests exercise both an
+// environment providing the singleton (full termination) and the plain
+// alive-set environment (everyone but the minimum-id process decides).
+type SingletonQuorum struct{}
+
+// Name implements sim.Algorithm.
+func (SingletonQuorum) Name() string { return "singletonquorum" }
+
+// Init implements sim.Algorithm.
+func (SingletonQuorum) Init(n int, id sim.ProcessID, input sim.Value) sim.State {
+	return &sqState{n: n, id: id, input: input, decision: sim.NoValue}
+}
+
+type sqState struct {
+	n        int
+	id       sim.ProcessID
+	input    sim.Value
+	sent     bool
+	helped   bool
+	decision sim.Value
+	adopted  OriginPayload // the pair that triggered rule (a), if any
+}
+
+// Step implements sim.State.
+func (s *sqState) Step(in sim.Input) (sim.State, []sim.Send) {
+	next := *s
+	var sends []sim.Send
+	if !next.sent {
+		next.sent = true
+		sends = append(sends, sim.Broadcast(next.n, OriginPayload{
+			From: next.id, Origin: next.id, Value: next.input,
+		})...)
+	}
+	for _, m := range in.Delivered {
+		op, ok := m.Payload.(OriginPayload)
+		if !ok || op.Origin >= next.id {
+			continue
+		}
+		if next.decision == sim.NoValue {
+			next.decision = op.Value
+			next.adopted = op
+		}
+		// Forward the winning pair once, helping processes that have not
+		// heard a small origin yet (decided processes may keep helping
+		// per Definition 2's "until decision" semantics).
+		if !next.helped {
+			next.helped = true
+			sends = append(sends, sim.Broadcast(next.n, OriginPayload{
+				From: next.id, Origin: op.Origin, Value: op.Value,
+			})...)
+		}
+	}
+	if next.decision == sim.NoValue {
+		if q, ok := quorumFromFD(in.FD); ok && len(q.IDs) == 1 && q.IDs[0] == next.id {
+			next.decision = next.input
+		}
+	}
+	return &next, sends
+}
+
+// Decided implements sim.State.
+func (s *sqState) Decided() (sim.Value, bool) {
+	return s.decision, s.decision != sim.NoValue
+}
+
+// Key implements sim.State.
+func (s *sqState) Key() string {
+	return fmt.Sprintf("sq{id=%d in=%d sent=%t helped=%t dec=%d adopt=%d/%d}",
+		s.id, s.input, s.sent, s.helped, s.decision, s.adopted.Origin, s.adopted.Value)
+}

@@ -1,0 +1,188 @@
+package algorithms
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kset/internal/fd"
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+// singletonEventually is an admissible Sigma_{n-1} oracle that outputs the
+// alive set until time gst and the querying process's own singleton
+// afterwards at the smallest-id correct process: the environment that makes
+// SingletonQuorum fully live.
+func singletonEventually(pattern *fd.Pattern, gst int) sched.Oracle {
+	return sched.OracleFunc(func(p sim.ProcessID, t int, c *sim.Configuration) sim.FDValue {
+		correct := pattern.Correct()
+		if t >= gst && len(correct) > 0 && p == correct[0] {
+			return fd.NewTrustSet(p)
+		}
+		return fd.NewTrustSet(pattern.Alive(t)...)
+	})
+}
+
+func TestSingletonQuorumFullTermination(t *testing.T) {
+	n := 5
+	pattern := fd.NewPattern(n)
+	cp := sched.CrashPlan{}
+	s := &sched.Fair{
+		Crash:  cp,
+		Oracle: singletonEventually(pattern, 3),
+		Stop:   sched.AllCorrectDecided(cp),
+	}
+	run, err := sim.Execute(SingletonQuorum{}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	if got := len(run.DistinctDecisions()); got > n-1 {
+		t.Fatalf("distinct = %d, want <= n-1 = %d", got, n-1)
+	}
+	// p1 self-decides its own value; everyone else adopts origin 1 (prompt
+	// delivery): exactly one value.
+	if got := len(run.DistinctDecisions()); got != 1 {
+		t.Fatalf("distinct = %d under prompt delivery, want 1", got)
+	}
+}
+
+// TestSingletonQuorumAliveSetEnvironment: with the plain alive-set oracle
+// the smallest-id process never sees its singleton; the documented liveness
+// gap appears (p1 blocked), but everyone else decides and the agreement
+// bound holds — exactly the behaviour the algorithm's doc comment states.
+func TestSingletonQuorumAliveSetEnvironment(t *testing.T) {
+	n := 4
+	pattern := fd.NewPattern(n)
+	cp := sched.CrashPlan{}
+	s := &sched.Fair{
+		Crash:  cp,
+		Oracle: fd.SigmaOracle{K: n - 1, Pattern: pattern},
+		Stop: func(c *sim.Configuration) bool {
+			// Everyone except p1 can decide.
+			for p := sim.ProcessID(2); int(p) <= n; p++ {
+				if _, ok := c.Decision(p); !ok {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	run, err := sim.Execute(SingletonQuorum{}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if _, decided := run.Final.Decision(1); decided {
+		t.Fatal("p1 decided without singleton or smaller origin")
+	}
+	for p := sim.ProcessID(2); int(p) <= n; p++ {
+		v, decided := run.Final.Decision(p)
+		if !decided {
+			t.Fatalf("p%d undecided", p)
+		}
+		if v != 100 {
+			t.Fatalf("p%d decided %d, want adopted origin-1 value 100", p, v)
+		}
+	}
+}
+
+// TestSingletonQuorumSafetyUnderAdversarialHistories is the property test
+// of the safety proof: under random admissible Sigma_{n-1} histories
+// (random quorums that always contain some fixed pivot process, plus
+// occasional own-singletons — both intersection-compliant) and random
+// schedules, the number of distinct decisions never reaches n.
+func TestSingletonQuorumSafetyUnderAdversarialHistories(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4)
+		pivot := sim.ProcessID(1 + rng.Intn(n))
+		oracle := sched.OracleFunc(func(p sim.ProcessID, tm int, c *sim.Configuration) sim.FDValue {
+			// Quorums always contain the pivot, except that each process
+			// may sometimes legally see its own singleton only if p ==
+			// pivot (singletons other than the pivot's would need care to
+			// stay admissible; the pivot's singleton intersects every
+			// pivot-containing quorum).
+			if p == pivot && rng.Intn(3) == 0 {
+				return fd.NewTrustSet(pivot)
+			}
+			ids := []sim.ProcessID{pivot}
+			for q := 1; q <= n; q++ {
+				if rng.Intn(2) == 0 {
+					ids = append(ids, sim.ProcessID(q))
+				}
+			}
+			return fd.NewTrustSet(ids...)
+		})
+		s := &oracleDecorator{
+			inner:  &randomizedScheduler{rng: rng, max: 30 * n},
+			oracle: oracle,
+		}
+		run, err := sim.Execute(SingletonQuorum{}, inputs(n), s, sim.Options{})
+		if err != nil {
+			return false
+		}
+		return len(run.DistinctDecisions()) <= n-1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingletonQuorumAllSingletonWorldIsInadmissible documents why the
+// dangerous environment (every process seeing its own singleton) cannot
+// occur: such a history violates the Sigma_{n-1} Intersection property, and
+// the package's own checker rejects it.
+func TestSingletonQuorumAllSingletonWorldIsInadmissible(t *testing.T) {
+	n := 4
+	h := fd.NewHistory(n)
+	for p := 1; p <= n; p++ {
+		h.Add(sim.ProcessID(p), p, fd.NewTrustSet(sim.ProcessID(p)))
+	}
+	if err := fd.CheckSigmaIntersection(h, n-1); err == nil {
+		t.Fatal("pairwise-disjoint singleton history accepted as Sigma_{n-1}")
+	}
+}
+
+func TestSingletonQuorumValidity(t *testing.T) {
+	n := 5
+	pattern := fd.NewPattern(n)
+	cp := sched.CrashPlan{}
+	s := &sched.Fair{
+		Crash:  cp,
+		Oracle: singletonEventually(pattern, 0),
+		Stop:   sched.AllCorrectDecided(cp),
+	}
+	run, err := sim.Execute(SingletonQuorum{}, inputs(n), s, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proposed := map[sim.Value]bool{}
+	for _, v := range inputs(n) {
+		proposed[v] = true
+	}
+	for _, v := range run.DistinctDecisions() {
+		if !proposed[v] {
+			t.Fatalf("unproposed decision %d", v)
+		}
+	}
+}
+
+func TestSingletonQuorumStatePurity(t *testing.T) {
+	s := SingletonQuorum{}.Init(3, 2, 7)
+	before := s.Key()
+	_, _ = s.Step(sim.Input{FD: fd.NewTrustSet(2)})
+	if s.Key() != before {
+		t.Fatal("Step mutated the receiver")
+	}
+}
+
+func TestOriginPayloadKey(t *testing.T) {
+	a := OriginPayload{From: 1, Origin: 2, Value: 3}
+	b := OriginPayload{From: 1, Origin: 2, Value: 4}
+	if a.Key() == b.Key() {
+		t.Fatal("distinct payloads collide")
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"kset/internal/explore"
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+// Status reports the outcome of checking one of Theorem 1's conditions on a
+// concrete algorithm.
+type Status int
+
+// Condition outcomes.
+const (
+	// StatusUnchecked means the pipeline did not reach the condition.
+	StatusUnchecked Status = iota
+	// StatusSatisfied means the condition's witness was constructed and
+	// machine-checked.
+	StatusSatisfied
+	// StatusFailed means the condition could not be established for this
+	// algorithm (for condition (A) this is the expected outcome for a
+	// correct algorithm: isolated partitions refuse to decide).
+	StatusFailed
+	// StatusInconclusive means a bounded search ended without a witness but
+	// without exhausting the space.
+	StatusInconclusive
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSatisfied:
+		return "satisfied"
+	case StatusFailed:
+		return "failed"
+	case StatusInconclusive:
+		return "inconclusive"
+	default:
+		return "unchecked"
+	}
+}
+
+// Instance describes one application of the Theorem 1 engine: the algorithm
+// under test, the proposal vector (distinct values, as the theorem
+// requires), the partition, and the model plumbing.
+type Instance struct {
+	Alg    sim.Algorithm
+	Inputs []sim.Value
+	Spec   PartitionSpec
+
+	// SoloOracle, when non-nil, supplies the failure-detector oracle for the
+	// solo run of group index i (0-based; len(Spec.Groups) is not passed —
+	// solo runs exist only for the decider groups). Nil for detector-free
+	// models.
+	SoloOracle func(i int, group []sim.ProcessID) sched.Oracle
+
+	// DBarCrashBudget is the number of crashes the adversary may use inside
+	// the subsystem <D-bar> (condition (C)): 1 for Theorem 2's model,
+	// |D-bar|-1 for the wait-free setting of Theorem 10.
+	DBarCrashBudget int
+
+	// DBarOracle, when non-nil, supplies detector values to the restricted
+	// algorithm during the subsystem exploration.
+	DBarOracle sched.Oracle
+
+	// MaxSteps bounds each constructed run; MaxConfigs bounds the subsystem
+	// exploration. Zero means package defaults.
+	MaxSteps   int
+	MaxConfigs int
+}
+
+// Report is the outcome of the pipeline: which conditions were established,
+// the constructed runs, and the final verdict.
+type Report struct {
+	Spec PartitionSpec
+
+	// Condition (A): solo runs of the decider groups.
+	CondA       Status
+	CondADetail string
+	SoloRuns    []*sim.Run
+	// GroupDecisions[i] lists the distinct decisions of group i's solo run.
+	GroupDecisions [][]sim.Value
+
+	// Condition (C): consensus failure in <D-bar>.
+	CondC       Status
+	CondCDetail string
+	DBarWitness *explore.Witness
+
+	// Conditions (B) and (D): machine-checked indistinguishability between
+	// the pasted run and the solo/witness runs.
+	CondB Status
+	CondD Status
+
+	// The combined full-system run and its decision census.
+	Pasted          *sim.Run
+	DistinctDecided []sim.Value
+	BlockedInPasted []sim.ProcessID
+
+	// Refuted is true when a full-system violation run was constructed.
+	Refuted   bool
+	Violation string // "k-agreement" or "termination" when refuted
+}
+
+// Summary renders a human-readable verdict.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "partition: %d groups + D-bar %v; ", len(r.Spec.Groups), r.Spec.DBar())
+	fmt.Fprintf(&b, "(A)=%s (B)=%s (C)=%s (D)=%s; ", r.CondA, r.CondB, r.CondC, r.CondD)
+	if r.Refuted {
+		fmt.Fprintf(&b, "REFUTED: %s violation", r.Violation)
+		if r.Violation == "k-agreement" {
+			fmt.Fprintf(&b, " (%d distinct decisions > k=%d)", len(r.DistinctDecided), r.Spec.K)
+		}
+	} else {
+		b.WriteString("not refuted")
+		if r.CondADetail != "" {
+			fmt.Fprintf(&b, " — %s", r.CondADetail)
+		}
+		if r.CondCDetail != "" {
+			fmt.Fprintf(&b, " — %s", r.CondCDetail)
+		}
+	}
+	return b.String()
+}
+
+// CheckImpossibility runs the full Theorem 1 pipeline on the instance. The
+// returned report is never nil; err is reserved for mechanical failures
+// (illegal instance), not for "the algorithm survived vetting".
+func CheckImpossibility(inst Instance) (*Report, error) {
+	if len(inst.Inputs) != inst.Spec.N {
+		return nil, fmt.Errorf("core: %d inputs for %d processes", len(inst.Inputs), inst.Spec.N)
+	}
+	if err := requireDistinct(inst.Inputs); err != nil {
+		return nil, err
+	}
+	r := &Report{Spec: inst.Spec}
+
+	// --- Condition (A): solo runs of each decider group. ---
+	inputOf := func(p sim.ProcessID) sim.Value { return inst.Inputs[p-1] }
+	for i, g := range inst.Spec.Groups {
+		var oracle sched.Oracle
+		if inst.SoloOracle != nil {
+			oracle = inst.SoloOracle(i, g)
+		}
+		run, err := sim.Execute(inst.Alg, inst.Inputs, sched.Solo(inst.Spec.N, g, oracle), sim.Options{MaxSteps: inst.MaxSteps})
+		if err != nil && !errors.Is(err, sim.ErrHorizon) {
+			return nil, fmt.Errorf("core: solo run of D_%d: %w", i+1, err)
+		}
+		r.SoloRuns = append(r.SoloRuns, run)
+		if err != nil || !run.Final.AllDecided(g) {
+			r.CondA = StatusFailed
+			r.CondADetail = fmt.Sprintf("group D_%d %v cannot decide in isolation (condition (A) fails; the partition argument does not apply)", i+1, g)
+			return r, nil
+		}
+		decs := groupDecisions(run, g)
+		r.GroupDecisions = append(r.GroupDecisions, decs)
+		// Validity within the group: each decision must be a group member's
+		// proposal, which also guarantees cross-group distinctness.
+		for _, v := range decs {
+			ok := false
+			for _, p := range g {
+				if inputOf(p) == v {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				r.CondA = StatusFailed
+				r.CondADetail = fmt.Sprintf("group D_%d decided %d, not proposed inside the group; distinctness of the v_i is not guaranteed", i+1, v)
+				return r, nil
+			}
+		}
+	}
+	r.CondA = StatusSatisfied
+
+	// --- Condition (C): consensus failure of A|D-bar in <D-bar>. ---
+	dbar := inst.Spec.DBar()
+	restricted := sim.Restrict(inst.Alg, dbar)
+	// DFS dives to complete executions first, which finds disagreement and
+	// blocking witnesses in subsystems too large for breadth-first search.
+	ex := explore.New(restricted, inst.Inputs, explore.Options{
+		Live:       dbar,
+		MaxCrashes: inst.DBarCrashBudget,
+		MaxConfigs: inst.MaxConfigs,
+		Oracle:     inst.DBarOracle,
+		Strategy:   "dfs",
+	})
+	witness, found, err := ex.FindDisagreement()
+	if err != nil {
+		return nil, fmt.Errorf("core: subsystem disagreement search: %w", err)
+	}
+	if !found {
+		truncated := witness != nil && witness.Stats.Truncated
+		witness, found, err = ex.FindBlocking()
+		if err != nil {
+			return nil, fmt.Errorf("core: subsystem blocking search: %w", err)
+		}
+		if !found {
+			if truncated || (witness != nil && witness.Stats.Truncated) {
+				r.CondC = StatusInconclusive
+				r.CondCDetail = "bounded subsystem search found no consensus failure (truncated)"
+			} else {
+				r.CondC = StatusFailed
+				r.CondCDetail = "A|D-bar solves consensus in <D-bar> under the explored adversary (condition (C) fails for this algorithm/model)"
+			}
+			return r, nil
+		}
+	}
+	r.CondC = StatusSatisfied
+	r.CondCDetail = witness.Detail
+	r.DBarWitness = witness
+
+	// --- Paste everything into one full-system run. ---
+	pasted, err := buildPastedRun(inst, r.SoloRuns, witness)
+	if err != nil {
+		return nil, fmt.Errorf("core: pasting: %w", err)
+	}
+	r.Pasted = pasted
+	r.DistinctDecided = pasted.DistinctDecisions()
+	r.BlockedInPasted = pasted.Blocked
+
+	// --- Conditions (B)/(D): machine-check indistinguishability. ---
+	r.CondB = StatusSatisfied
+	for i, g := range inst.Spec.Groups {
+		if !sim.IndistinguishableForAll(r.SoloRuns[i], pasted, g) {
+			r.CondB = StatusFailed
+			return r, fmt.Errorf("core: pasted run distinguishable from solo run for D_%d", i+1)
+		}
+	}
+	r.CondD = StatusSatisfied
+	if !sim.IndistinguishableForAll(witness.Run, pasted, dbar) {
+		r.CondD = StatusFailed
+		return r, fmt.Errorf("core: pasted run distinguishable from subsystem witness for D-bar")
+	}
+
+	// --- Verdict. ---
+	switch witness.Kind {
+	case "disagreement":
+		if len(r.DistinctDecided) > inst.Spec.K {
+			r.Refuted = true
+			r.Violation = "k-agreement"
+		}
+	case "blocking":
+		if len(r.BlockedInPasted) > 0 {
+			r.Refuted = true
+			r.Violation = "termination"
+		}
+	}
+	if !r.Refuted {
+		r.CondCDetail += " (pasted run did not exceed k decisions; report inspected manually)"
+	}
+	return r, nil
+}
+
+func requireDistinct(vs []sim.Value) error {
+	seen := make(map[sim.Value]bool, len(vs))
+	for _, v := range vs {
+		if seen[v] {
+			return fmt.Errorf("core: Theorem 1 requires distinct proposal values; %d repeats", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+func groupDecisions(run *sim.Run, g []sim.ProcessID) []sim.Value {
+	seen := make(map[sim.Value]bool)
+	var out []sim.Value
+	for _, p := range g {
+		if v, ok := run.Final.Decision(p); ok && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"testing"
+
+	"kset/internal/algorithms"
+	"kset/internal/sim"
+)
+
+func distinctInputs(n int) []sim.Value {
+	out := make([]sim.Value, n)
+	for i := range out {
+		out[i] = sim.Value(100 + i)
+	}
+	return out
+}
+
+func TestNewPartitionSpecValidation(t *testing.T) {
+	if _, err := NewPartitionSpec(5, 3, [][]sim.ProcessID{{1}, {1}}); err == nil {
+		t.Error("overlapping groups accepted")
+	}
+	if _, err := NewPartitionSpec(5, 3, [][]sim.ProcessID{{1}}); err == nil {
+		t.Error("wrong group count accepted")
+	}
+	if _, err := NewPartitionSpec(5, 3, [][]sim.ProcessID{{1}, {}}); err == nil {
+		t.Error("empty group accepted")
+	}
+	if _, err := NewPartitionSpec(3, 3, [][]sim.ProcessID{{1, 2}, {3}}); err == nil {
+		t.Error("empty D-bar accepted")
+	}
+	if _, err := NewPartitionSpec(3, 2, [][]sim.ProcessID{{9}}); err == nil {
+		t.Error("out-of-range id accepted")
+	}
+	ps, err := NewPartitionSpec(5, 3, [][]sim.ProcessID{{2, 1}, {4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbar := ps.DBar()
+	if len(dbar) != 2 || dbar[0] != 3 || dbar[1] != 5 {
+		t.Fatalf("DBar = %v, want [3 5]", dbar)
+	}
+	d := ps.D()
+	if len(d) != 3 || d[0] != 1 || d[2] != 4 {
+		t.Fatalf("D = %v", d)
+	}
+	if got := len(ps.AllGroups()); got != 3 {
+		t.Fatalf("AllGroups = %d, want 3", got)
+	}
+}
+
+func TestTheorem2PartitionShape(t *testing.T) {
+	// n=7, f=4: l=3, bound k <= (7-1)/3 = 2.
+	ps, err := Theorem2Partition(7, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps.Groups) != 1 || len(ps.Groups[0]) != 3 {
+		t.Fatalf("groups = %v", ps.Groups)
+	}
+	if got := len(ps.DBar()); got != 4 {
+		t.Fatalf("|D-bar| = %d, want n-f+1 <= 4", got)
+	}
+	// Lemma 3: |D-bar| >= n-f+1.
+	if got := len(ps.DBar()); got < 7-4+1 {
+		t.Fatalf("|D-bar| = %d < n-f+1", got)
+	}
+	if _, err := Theorem2Partition(7, 4, 3); err == nil {
+		t.Error("k above the Theorem 2 bound accepted")
+	}
+	if _, err := Theorem2Partition(4, 4, 1); err == nil {
+		t.Error("n-f <= 0 accepted")
+	}
+}
+
+func TestTheorem10PartitionShape(t *testing.T) {
+	ps, err := Theorem10Partition(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// j = n-k+1 = 5; groups are singletons {6}, {7}.
+	if got := len(ps.DBar()); got != 5 {
+		t.Fatalf("|D-bar| = %d, want 5", got)
+	}
+	if len(ps.Groups) != 2 {
+		t.Fatalf("groups = %v", ps.Groups)
+	}
+	for _, g := range ps.Groups {
+		if len(g) != 1 {
+			t.Fatalf("non-singleton group %v", g)
+		}
+	}
+	if _, err := Theorem10Partition(7, 1); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Theorem10Partition(7, 6); err == nil {
+		t.Error("k=n-1 accepted")
+	}
+}
+
+func TestBorderPartition(t *testing.T) {
+	// k=2, n=6, f=4: kn = 12 = (k+1)f. Groups of size 2, three of them.
+	groups, err := BorderPartition(6, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	for _, g := range groups {
+		if len(g) != 2 {
+			t.Fatalf("group size = %d, want 2", len(g))
+		}
+	}
+	if _, err := BorderPartition(6, 3, 2); err == nil {
+		t.Error("non-border parameters accepted")
+	}
+}
+
+// TestTheorem2RefutesMinWait applies the Theorem 1 pipeline in the Theorem
+// 2 setting to the f-resilient MinWait protocol: n=7, f=4, k=2. MinWait
+// requires f < k to be correct (here 4 >= 2), and the engine must construct
+// the full violation run: D_1 decides its own value in isolation, and
+// adversarial delivery makes D-bar split, exceeding k decisions.
+func TestTheorem2RefutesMinWait(t *testing.T) {
+	n, f, k := 5, 3, 2
+	spec, err := Theorem2Partition(n, f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckImpossibility(Instance{
+		Alg:             algorithms.MinWait{F: f},
+		Inputs:          distinctInputs(n),
+		Spec:            spec,
+		DBarCrashBudget: 1,
+		MaxConfigs:      60000,
+	})
+	if err != nil {
+		t.Fatalf("CheckImpossibility: %v", err)
+	}
+	if !rep.Refuted {
+		t.Fatalf("not refuted: %s", rep.Summary())
+	}
+	if rep.Violation != "k-agreement" {
+		t.Fatalf("violation = %q, want k-agreement", rep.Violation)
+	}
+	if len(rep.DistinctDecided) <= k {
+		t.Fatalf("distinct = %v, want > k", rep.DistinctDecided)
+	}
+	if rep.CondA != StatusSatisfied || rep.CondB != StatusSatisfied ||
+		rep.CondC != StatusSatisfied || rep.CondD != StatusSatisfied {
+		t.Fatalf("conditions: %s", rep.Summary())
+	}
+	// The pasted run must be admissible.
+	if vs := sim.CheckAdmissible(rep.Pasted, sim.AdmissibilityOptions{}); len(vs) != 0 {
+		t.Fatalf("pasted run inadmissible: %v", vs)
+	}
+}
+
+// TestTheorem2RefutesFLPKSetWithLateCrash: the paper's Theorem 2 holds
+// "even if, of the f possibly faulty processes, f-1 can fail by crashing
+// initially and only one process can crash during the execution". The
+// initial-crash protocol of Section VI survives the disagreement search
+// (its stage-1 graph has one source component in D-bar) but succumbs to the
+// single late crash with a Termination violation.
+func TestTheorem2RefutesFLPKSetWithLateCrash(t *testing.T) {
+	n, f, k := 5, 3, 2
+	spec, err := Theorem2Partition(n, f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckImpossibility(Instance{
+		Alg:             algorithms.FLPKSet{F: f},
+		Inputs:          distinctInputs(n),
+		Spec:            spec,
+		DBarCrashBudget: 1,
+		MaxConfigs:      60000,
+	})
+	if err != nil {
+		t.Fatalf("CheckImpossibility: %v", err)
+	}
+	if !rep.Refuted {
+		t.Fatalf("not refuted: %s", rep.Summary())
+	}
+	if rep.Violation != "termination" {
+		t.Fatalf("violation = %q, want termination: %s", rep.Violation, rep.Summary())
+	}
+	if len(rep.BlockedInPasted) == 0 {
+		t.Fatal("no blocked process in pasted run")
+	}
+}
+
+// TestConditionAFailsForConservativeAlgorithm: when the isolated group
+// cannot decide (MinWait waiting for more values than the group holds), the
+// pipeline must stop at condition (A) and report the algorithm as not
+// refutable by this partition — the expected outcome for parameters where
+// k-set agreement is solvable.
+func TestConditionAFailsForConservativeAlgorithm(t *testing.T) {
+	n := 7
+	spec, err := NewPartitionSpec(n, 2, [][]sim.ProcessID{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckImpossibility(Instance{
+		Alg:             algorithms.MinWait{F: 1}, // waits for 6 of 7 values
+		Inputs:          distinctInputs(n),
+		Spec:            spec,
+		DBarCrashBudget: 1,
+		MaxSteps:        3000,
+	})
+	if err != nil {
+		t.Fatalf("CheckImpossibility: %v", err)
+	}
+	if rep.Refuted {
+		t.Fatalf("spuriously refuted: %s", rep.Summary())
+	}
+	if rep.CondA != StatusFailed {
+		t.Fatalf("CondA = %s, want failed", rep.CondA)
+	}
+}
+
+// TestFLPConsensusImpossibilityViaEngine: the k=1 corner of the pipeline is
+// exactly the FLP setting — no decider groups, D-bar = Pi, one crash: the
+// engine reduces to finding the consensus failure of the algorithm itself.
+func TestFLPConsensusImpossibilityViaEngine(t *testing.T) {
+	n := 3
+	spec, err := NewPartitionSpec(n, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckImpossibility(Instance{
+		Alg:             algorithms.MinWait{F: 1},
+		Inputs:          distinctInputs(n),
+		Spec:            spec,
+		DBarCrashBudget: 1,
+		MaxConfigs:      60000,
+	})
+	if err != nil {
+		t.Fatalf("CheckImpossibility: %v", err)
+	}
+	if !rep.Refuted {
+		t.Fatalf("MinWait{F:1} should be refuted as a consensus algorithm: %s", rep.Summary())
+	}
+}
+
+// TestTheorem8BorderMergedRun reproduces the k+1-partition argument of
+// Section VI: at kn = (k+1)f the system splits into k+1 groups of n-f that
+// each decide their own value, so the merged run has k+1 > k distinct
+// decisions while being indistinguishable from the solo runs.
+func TestTheorem8BorderMergedRun(t *testing.T) {
+	n, f, k := 6, 4, 2
+	groups, err := BorderPartition(n, f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := BuildMergedGroupsRun(algorithms.FLPKSet{F: f}, distinctInputs(n), groups, nil, 0)
+	if err != nil {
+		t.Fatalf("BuildMergedGroupsRun: %v", err)
+	}
+	if got := len(rep.Distinct); got != k+1 {
+		t.Fatalf("distinct = %v, want k+1 = %d values", rep.Distinct, k+1)
+	}
+	if !rep.IndistinguishableOK {
+		t.Fatal("merged run distinguishable from solo runs")
+	}
+	if vs := sim.CheckAdmissible(rep.Merged, sim.AdmissibilityOptions{}); len(vs) != 0 {
+		t.Fatalf("merged run inadmissible: %v", vs)
+	}
+}
+
+// TestVettingCandidates runs the Section III vetting pipeline over the
+// deliberately flawed candidates: each must be refuted.
+func TestVettingCandidates(t *testing.T) {
+	// DecideOwn decides solo, so singleton decider groups suffice and no
+	// crash budget is needed (its D-bar disagrees crash-free).
+	n := 5
+	specSingles, err := NewPartitionSpec(n, 3, [][]sim.ProcessID{{1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckImpossibility(Instance{
+		Alg:             algorithms.DecideOwn{},
+		Inputs:          distinctInputs(n),
+		Spec:            specSingles,
+		DBarCrashBudget: 0,
+		MaxConfigs:      60000,
+	})
+	if err != nil {
+		t.Fatalf("decideown: %v", err)
+	}
+	if !rep.Refuted {
+		t.Errorf("decideown survived vetting: %s", rep.Summary())
+	}
+
+	// FirstHeard needs a peer before deciding, so the decider groups are
+	// pairs; its D-bar pair always agrees crash-free, but one crash blocks
+	// the survivor forever (Termination violation).
+	n = 6
+	specPairs, err := NewPartitionSpec(n, 3, [][]sim.ProcessID{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err = CheckImpossibility(Instance{
+		Alg:             algorithms.FirstHeard{},
+		Inputs:          distinctInputs(n),
+		Spec:            specPairs,
+		DBarCrashBudget: 1,
+		MaxConfigs:      60000,
+	})
+	if err != nil {
+		t.Fatalf("firstheard: %v", err)
+	}
+	if !rep.Refuted {
+		t.Errorf("firstheard survived vetting: %s", rep.Summary())
+	}
+}
+
+func TestReportSummaryReadable(t *testing.T) {
+	n, f, k := 5, 3, 2
+	spec, err := Theorem2Partition(n, f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckImpossibility(Instance{
+		Alg:             algorithms.MinWait{F: f},
+		Inputs:          distinctInputs(n),
+		Spec:            spec,
+		DBarCrashBudget: 1,
+		MaxConfigs:      60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteExplanation renders the report as a narrative walk through Theorem
+// 1's conditions — what was constructed, what was checked, and how the
+// pieces combine into the verdict. It is the -v output of
+// cmd/impossibility and a debugging aid when a condition unexpectedly
+// fails.
+func (r *Report) WriteExplanation(w io.Writer) error {
+	p := func(format string, args ...interface{}) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("Theorem 1 instance: k=%d, n=%d\n", r.Spec.K, r.Spec.N); err != nil {
+		return err
+	}
+	for i, g := range r.Spec.Groups {
+		if err := p("  D_%d = %v\n", i+1, g); err != nil {
+			return err
+		}
+	}
+	if err := p("  D-bar = %v\n\n", r.Spec.DBar()); err != nil {
+		return err
+	}
+
+	// Condition (A).
+	if err := p("condition (A) — runs R(D) where each D_i decides its own value: %s\n", r.CondA); err != nil {
+		return err
+	}
+	if r.CondA == StatusSatisfied {
+		for i, decs := range r.GroupDecisions {
+			if err := p("  D_%d solo run: %d events, decisions %v\n", i+1, len(r.SoloRuns[i].Events), decs); err != nil {
+				return err
+			}
+		}
+	} else if r.CondADetail != "" {
+		if err := p("  %s\n", r.CondADetail); err != nil {
+			return err
+		}
+	}
+	if r.CondA != StatusSatisfied {
+		return p("\nverdict: not refuted — the partition argument does not apply to this algorithm.\n")
+	}
+
+	// Condition (C).
+	if err := p("\ncondition (C) — consensus failure of A|D-bar in <D-bar>: %s\n", r.CondC); err != nil {
+		return err
+	}
+	if r.DBarWitness != nil {
+		if err := p("  witness: %s — %s (%d configurations explored)\n",
+			r.DBarWitness.Kind, r.DBarWitness.Detail, r.DBarWitness.Stats.Visited); err != nil {
+			return err
+		}
+	} else if r.CondCDetail != "" {
+		if err := p("  %s\n", r.CondCDetail); err != nil {
+			return err
+		}
+	}
+	if r.CondC != StatusSatisfied {
+		return p("\nverdict: not refuted — no consensus failure was exhibited in the subsystem.\n")
+	}
+
+	// Conditions (B)/(D) and the pasted run.
+	if err := p("\nconditions (B)/(D) — indistinguishability of the pasted run (Definition 2): (B)=%s (D)=%s\n",
+		r.CondB, r.CondD); err != nil {
+		return err
+	}
+	if r.Pasted != nil {
+		if err := p("  pasted run: %d events, distinct decisions %v, blocked %v\n",
+			len(r.Pasted.Events), r.DistinctDecided, r.BlockedInPasted); err != nil {
+			return err
+		}
+	}
+
+	if r.Refuted {
+		switch r.Violation {
+		case "k-agreement":
+			return p("\nverdict: REFUTED — the pasted run has %d > k = %d distinct decisions.\n",
+				len(r.DistinctDecided), r.Spec.K)
+		case "termination":
+			return p("\nverdict: REFUTED — correct processes %v can never decide in the pasted run.\n",
+				r.BlockedInPasted)
+		}
+	}
+	return p("\nverdict: not refuted by this instantiation.\n")
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"kset/internal/algorithms"
+	"kset/internal/sim"
+)
+
+func TestWriteExplanationRefuted(t *testing.T) {
+	spec, err := Theorem2Partition(5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckImpossibility(Instance{
+		Alg:             algorithms.MinWait{F: 3},
+		Inputs:          distinctInputs(5),
+		Spec:            spec,
+		DBarCrashBudget: 1,
+		MaxConfigs:      60000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.WriteExplanation(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Theorem 1 instance: k=2, n=5",
+		"condition (A)",
+		"condition (C)",
+		"conditions (B)/(D)",
+		"REFUTED",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explanation missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteExplanationCondAFailure(t *testing.T) {
+	spec, err := NewPartitionSpec(5, 2, [][]sim.ProcessID{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := CheckImpossibility(Instance{
+		Alg:             algorithms.MinWait{F: 1},
+		Inputs:          distinctInputs(5),
+		Spec:            spec,
+		DBarCrashBudget: 1,
+		MaxSteps:        3000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.WriteExplanation(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "not refuted") {
+		t.Fatalf("explanation should conclude not refuted:\n%s", out)
+	}
+	if !strings.Contains(out, "partition argument does not apply") {
+		t.Fatalf("explanation missing condition (A) narrative:\n%s", out)
+	}
+}

@@ -1,0 +1,167 @@
+// Package core implements the paper's primary contribution: the generic
+// k-set agreement impossibility theorem (Theorem 1) as an executable
+// reduction engine. Given a candidate algorithm, a system model (scheduler
+// family and failure-detector oracles), and a partition specification
+// (D_1, ..., D_{k-1}, D-bar), the engine mechanically
+//
+//  1. constructs the solo runs establishing (dec-D) — condition (A);
+//  2. constructs the pasted run of Lemmas 11 and 12 in which the k-1
+//     partitions decide k-1 distinct values while D-bar runs in isolation —
+//     the runs R(D, D-bar), with the indistinguishability claims of
+//     conditions (B) and (D) machine-checked against Definition 2;
+//  3. drives the bounded explorer over the restricted algorithm A|D-bar in
+//     the subsystem <D-bar> to exhibit the consensus failure that condition
+//     (C) asserts — a disagreement or a blocking schedule; and
+//  4. combines the pieces into a single full-system run in which the
+//     algorithm visibly violates k-Agreement or Termination.
+//
+// For a correct algorithm the pipeline reports which condition failed to
+// materialize (typically (A): the partitions refuse to decide on their own),
+// which is exactly how the paper suggests using Theorem 1 as a vetting tool.
+package core
+
+import (
+	"fmt"
+
+	"kset/internal/sim"
+)
+
+// PartitionSpec fixes the sets of Theorem 1: the k-1 disjoint decider
+// groups D_1, ..., D_{k-1} and the remainder D-bar = Pi \ D on which the
+// consensus reduction happens.
+type PartitionSpec struct {
+	N      int
+	K      int
+	Groups [][]sim.ProcessID // D_1, ..., D_{k-1}
+	dbar   []sim.ProcessID
+}
+
+// NewPartitionSpec validates and builds a partition specification: the
+// groups must be nonempty, pairwise disjoint, contain only ids in 1..n, and
+// leave a nonempty D-bar; there must be exactly k-1 groups.
+func NewPartitionSpec(n, k int, groups [][]sim.ProcessID) (PartitionSpec, error) {
+	if k < 1 {
+		return PartitionSpec{}, fmt.Errorf("core: k = %d < 1", k)
+	}
+	if len(groups) != k-1 {
+		return PartitionSpec{}, fmt.Errorf("core: %d groups, want k-1 = %d", len(groups), k-1)
+	}
+	seen := make(map[sim.ProcessID]bool)
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return PartitionSpec{}, fmt.Errorf("core: group D_%d is empty", gi+1)
+		}
+		for _, p := range g {
+			if p < 1 || int(p) > n {
+				return PartitionSpec{}, fmt.Errorf("core: process %d out of range 1..%d", p, n)
+			}
+			if seen[p] {
+				return PartitionSpec{}, fmt.Errorf("core: process %d in two groups", p)
+			}
+			seen[p] = true
+		}
+	}
+	var dbar []sim.ProcessID
+	for p := 1; p <= n; p++ {
+		if !seen[sim.ProcessID(p)] {
+			dbar = append(dbar, sim.ProcessID(p))
+		}
+	}
+	if len(dbar) == 0 {
+		return PartitionSpec{}, fmt.Errorf("core: D-bar is empty; Theorem 1 needs a nonempty remainder")
+	}
+	cp := make([][]sim.ProcessID, len(groups))
+	for i, g := range groups {
+		cp[i] = append([]sim.ProcessID(nil), g...)
+		sim.SortProcessIDs(cp[i])
+	}
+	return PartitionSpec{N: n, K: k, Groups: cp, dbar: dbar}, nil
+}
+
+// DBar returns D-bar = Pi \ (D_1 u ... u D_{k-1}), sorted.
+func (ps PartitionSpec) DBar() []sim.ProcessID {
+	return append([]sim.ProcessID(nil), ps.dbar...)
+}
+
+// D returns the union of the decider groups, sorted.
+func (ps PartitionSpec) D() []sim.ProcessID {
+	var out []sim.ProcessID
+	for _, g := range ps.Groups {
+		out = append(out, g...)
+	}
+	return sim.SortProcessIDs(out)
+}
+
+// AllGroups returns D_1, ..., D_{k-1}, D-bar — the k-way split used by the
+// partition failure detector of Definition 7 (there D-bar is called D_k).
+func (ps PartitionSpec) AllGroups() [][]sim.ProcessID {
+	out := make([][]sim.ProcessID, 0, len(ps.Groups)+1)
+	for _, g := range ps.Groups {
+		out = append(out, append([]sim.ProcessID(nil), g...))
+	}
+	out = append(out, ps.DBar())
+	return out
+}
+
+// Theorem2Partition builds the partition used in the proof of Theorem 2 for
+// a system of n processes with f faults: with l = n-f, the groups are
+// D_i = {p_{(i-1)l+1}, ..., p_{il}} for 1 <= i < k, which exist exactly
+// when the failure bound k <= (n-1)/(n-f) holds (equivalently
+// k(n-f)+1 <= n, Lemma 3), leaving |D-bar| >= n-f+1.
+func Theorem2Partition(n, f, k int) (PartitionSpec, error) {
+	l := n - f
+	if l <= 0 {
+		return PartitionSpec{}, fmt.Errorf("core: n-f = %d <= 0", l)
+	}
+	if k*l+1 > n {
+		return PartitionSpec{}, fmt.Errorf("core: k=%d exceeds the Theorem 2 bound (n-1)/(n-f) = %d/%d", k, n-1, l)
+	}
+	groups := make([][]sim.ProcessID, 0, k-1)
+	for i := 1; i < k; i++ {
+		var g []sim.ProcessID
+		for j := (i-1)*l + 1; j <= i*l; j++ {
+			g = append(g, sim.ProcessID(j))
+		}
+		groups = append(groups, g)
+	}
+	return NewPartitionSpec(n, k, groups)
+}
+
+// Theorem10Partition builds the partition used in the proof of Theorem 10:
+// D-bar = {p_1, ..., p_j} with j = n-k+1 >= 3 (so 2 <= k <= n-2), and the
+// k-1 singleton groups {p_{j+1}}, ..., {p_n}.
+func Theorem10Partition(n, k int) (PartitionSpec, error) {
+	if k < 2 || k > n-2 {
+		return PartitionSpec{}, fmt.Errorf("core: Theorem 10 needs 2 <= k <= n-2, got k=%d n=%d", k, n)
+	}
+	j := n - k + 1
+	groups := make([][]sim.ProcessID, 0, k-1)
+	for p := j + 1; p <= n; p++ {
+		groups = append(groups, []sim.ProcessID{sim.ProcessID(p)})
+	}
+	return NewPartitionSpec(n, k, groups)
+}
+
+// BorderPartition builds the k+1-way partition of the Theorem 8 border
+// argument (kn = (k+1)f): the system splits into k+1 disjoint groups of
+// size n-f = n/(k+1) each; every group can decide its own value in
+// isolation, forcing k+1 distinct decisions. The groups are returned as a
+// plain slice (this argument needs no D-bar).
+func BorderPartition(n, f, k int) ([][]sim.ProcessID, error) {
+	if k*n != (k+1)*f {
+		return nil, fmt.Errorf("core: border partition needs kn = (k+1)f, got k=%d n=%d f=%d", k, n, f)
+	}
+	size := n - f
+	if size*(k+1) != n {
+		return nil, fmt.Errorf("core: n=%d not divisible into k+1=%d groups of n-f=%d", n, k+1, size)
+	}
+	groups := make([][]sim.ProcessID, 0, k+1)
+	for i := 0; i <= k; i++ {
+		var g []sim.ProcessID
+		for j := i*size + 1; j <= (i+1)*size; j++ {
+			g = append(g, sim.ProcessID(j))
+		}
+		groups = append(groups, g)
+	}
+	return groups, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"kset/internal/explore"
+	"kset/internal/fd"
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+// buildPastedRun constructs the run beta' of Lemma 11 for the Theorem 1
+// pipeline: starting from the initial configuration of the *full* system,
+//
+//  1. each decider group D_i executes exactly its solo-run schedule, with
+//     all cross-group messages withheld and the group's recorded
+//     failure-detector values replayed, so D_i's processes move through the
+//     same state sequence as in alpha_i;
+//  2. then D-bar executes the subsystem witness schedule step by step, with
+//     deliveries matched by message content among intra-D-bar messages and
+//     the witness's recorded detector values presented verbatim.
+//
+// The result is one admissible full-system run in which the k-1 groups have
+// decided k-1 distinct values and D-bar exhibits the consensus failure.
+func buildPastedRun(inst Instance, soloRuns []*sim.Run, witness *explore.Witness) (*sim.Run, error) {
+	cfg := sim.NewConfiguration(inst.Alg, inst.Inputs)
+	combined := &sim.Run{
+		Algorithm: inst.Alg.Name(),
+		Inputs:    append([]sim.Value(nil), inst.Inputs...),
+		Final:     cfg,
+	}
+	gate := sched.IntraGroupGate(inst.Spec.AllGroups())
+
+	for i, g := range inst.Spec.Groups {
+		s := &sched.Fair{
+			Only:   g,
+			Gate:   gate,
+			Oracle: fd.ReplayFromRun(soloRuns[i]),
+			Stop:   sched.SetDecided(g),
+		}
+		phase, err := sim.Continue(inst.Alg.Name(), inst.Inputs, cfg, s, sim.Options{MaxSteps: inst.MaxSteps})
+		if err != nil && !errors.Is(err, sim.ErrHorizon) {
+			return nil, fmt.Errorf("phase D_%d: %w", i+1, err)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("phase D_%d did not reach its solo decisions: %w", i+1, err)
+		}
+		combined.Events = append(combined.Events, phase.Events...)
+	}
+
+	if err := replayWitnessPhase(combined, cfg, inst.Spec.DBar(), witness.Run); err != nil {
+		return nil, err
+	}
+
+	var blocked []sim.ProcessID
+	for _, p := range cfg.Processes() {
+		if _, decided := cfg.Decision(p); !decided && !cfg.Crashed(p) {
+			blocked = append(blocked, p)
+		}
+	}
+	combined.Blocked = blocked
+	return combined, nil
+}
+
+// replayWitnessPhase re-executes the D-bar witness schedule on the combined
+// configuration. Deliveries are matched by content: the witness's delivered
+// messages are located among the pending intra-D-bar messages of the
+// combined configuration (cross-partition messages stay withheld, which is
+// exactly property (dec-D-bar)).
+func replayWitnessPhase(combined *sim.Run, cfg *sim.Configuration, dbar []sim.ProcessID, wrun *sim.Run) error {
+	member := make(map[sim.ProcessID]bool, len(dbar))
+	for _, p := range dbar {
+		member[p] = true
+	}
+	for _, ev := range wrun.Events {
+		if ev.Silent {
+			// Initial deaths of Pi \ D-bar in the restricted witness; the
+			// combined run keeps those processes alive (they already ran).
+			continue
+		}
+		if !member[ev.Proc] {
+			return fmt.Errorf("witness schedules non-D-bar process %d", ev.Proc)
+		}
+		req := sim.StepRequest{Proc: ev.Proc, Crash: ev.Crashed, FD: ev.FD}
+		if ev.Crashed && len(ev.Sent) == 0 {
+			// The witness's crash step sent nothing: replay it with
+			// omit-all, which is identical whether the witness omitted its
+			// sends (MASYNC clause (2)) or simply had nothing to send.
+			req.OmitTo = make(map[sim.ProcessID]bool, cfg.N())
+			for _, q := range cfg.Processes() {
+				req.OmitTo[q] = true
+			}
+		}
+		deliver, err := matchDeliveries(cfg, ev.Proc, ev.Delivered, member)
+		if err != nil {
+			return err
+		}
+		req.Deliver = deliver
+		applied, err := cfg.Apply(req)
+		if err != nil {
+			return fmt.Errorf("replaying witness step at t=%d: %w", cfg.Time(), err)
+		}
+		if applied.StateKey != ev.StateKey {
+			return fmt.Errorf("pasting diverged for process %d: state %q != witness %q", ev.Proc, applied.StateKey, ev.StateKey)
+		}
+		combined.Events = append(combined.Events, applied)
+	}
+	return nil
+}
+
+// matchDeliveries finds, among the pending intra-D-bar messages of p in
+// cfg, messages whose content matches the witness's delivered messages, in
+// order. Determinism of the state machines guarantees a content match
+// exists when the pasted prefix is faithful.
+func matchDeliveries(cfg *sim.Configuration, p sim.ProcessID, want []sim.Message, member map[sim.ProcessID]bool) ([]int64, error) {
+	if len(want) == 0 {
+		return nil, nil
+	}
+	buf := cfg.Buffer(p)
+	used := make(map[int64]bool, len(want))
+	out := make([]int64, 0, len(want))
+	for _, w := range want {
+		found := false
+		for _, m := range buf {
+			if used[m.ID] || !member[m.From] {
+				continue
+			}
+			if m.Key() == w.Key() {
+				used[m.ID] = true
+				out = append(out, m.ID)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("no pending message matching %q for process %d (pasting out of sync)", w.Key(), p)
+		}
+	}
+	return out, nil
+}
+
+// MergedGroupsReport is the outcome of BuildMergedGroupsRun.
+type MergedGroupsReport struct {
+	SoloRuns []*sim.Run
+	Merged   *sim.Run
+	Distinct []sim.Value
+	// IndistinguishableOK confirms every group's processes observed the
+	// same states in the merged run as in their solo run (Definition 2).
+	IndistinguishableOK bool
+}
+
+// BuildMergedGroupsRun realizes the k+1-partition argument of Section VI's
+// border case and Lemma 12's run alpha: every group executes its solo
+// schedule inside one full-system configuration, with all cross-group
+// communication delayed. Each group therefore decides exactly as when the
+// others are initially dead, and the merged failure-free run collects one
+// decision value per group.
+func BuildMergedGroupsRun(alg sim.Algorithm, inputs []sim.Value, groups [][]sim.ProcessID, oracle func(i int, g []sim.ProcessID) sched.Oracle, maxSteps int) (*MergedGroupsReport, error) {
+	n := len(inputs)
+	rep := &MergedGroupsReport{}
+
+	for i, g := range groups {
+		var o sched.Oracle
+		if oracle != nil {
+			o = oracle(i, g)
+		}
+		run, err := sim.Execute(alg, inputs, sched.Solo(n, g, o), sim.Options{MaxSteps: maxSteps})
+		if err != nil {
+			return nil, fmt.Errorf("core: solo run of group %d: %w", i+1, err)
+		}
+		if !run.Final.AllDecided(g) {
+			return nil, fmt.Errorf("core: group %d did not decide in isolation", i+1)
+		}
+		rep.SoloRuns = append(rep.SoloRuns, run)
+	}
+
+	cfg := sim.NewConfiguration(alg, inputs)
+	merged := &sim.Run{Algorithm: alg.Name(), Inputs: append([]sim.Value(nil), inputs...), Final: cfg}
+	gate := sched.IntraGroupGate(groups)
+	for i, g := range groups {
+		s := &sched.Fair{
+			Only:   g,
+			Gate:   gate,
+			Oracle: fd.ReplayFromRun(rep.SoloRuns[i]),
+			Stop:   sched.SetDecided(g),
+		}
+		phase, err := sim.Continue(alg.Name(), inputs, cfg, s, sim.Options{MaxSteps: maxSteps})
+		if err != nil {
+			return nil, fmt.Errorf("core: merged phase %d: %w", i+1, err)
+		}
+		merged.Events = append(merged.Events, phase.Events...)
+	}
+	rep.Merged = merged
+	rep.Distinct = cfg.DistinctDecisions()
+
+	rep.IndistinguishableOK = true
+	for i, g := range groups {
+		if !sim.IndistinguishableForAll(rep.SoloRuns[i], merged, g) {
+			rep.IndistinguishableOK = false
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,69 @@
+package explore
+
+import (
+	"testing"
+
+	"kset/internal/algorithms"
+	"kset/internal/sim"
+)
+
+func BenchmarkFindDisagreementBFS(b *testing.B) {
+	inputs := []sim.Value{0, 1, 2}
+	for i := 0; i < b.N; i++ {
+		e := New(algorithms.MinWait{F: 1}, inputs, Options{Live: []sim.ProcessID{1, 2, 3}})
+		_, found, err := e.FindDisagreement()
+		if err != nil || !found {
+			b.Fatalf("found=%t err=%v", found, err)
+		}
+	}
+}
+
+func BenchmarkFindDisagreementDFS(b *testing.B) {
+	inputs := []sim.Value{0, 1, 2}
+	for i := 0; i < b.N; i++ {
+		e := New(algorithms.MinWait{F: 1}, inputs, Options{Live: []sim.ProcessID{1, 2, 3}, Strategy: "dfs"})
+		_, found, err := e.FindDisagreement()
+		if err != nil || !found {
+			b.Fatalf("found=%t err=%v", found, err)
+		}
+	}
+}
+
+func BenchmarkFindDisagreementDFSWide(b *testing.B) {
+	// Five live processes: the regime where DFS beats BFS decisively.
+	inputs := []sim.Value{0, 1, 2, 3, 4}
+	live := []sim.ProcessID{1, 2, 3, 4, 5}
+	for i := 0; i < b.N; i++ {
+		e := New(algorithms.MinWait{F: 2}, inputs, Options{Live: live, Strategy: "dfs"})
+		_, found, err := e.FindDisagreement()
+		if err != nil || !found {
+			b.Fatalf("found=%t err=%v", found, err)
+		}
+	}
+}
+
+func BenchmarkFindBlockingLateCrash(b *testing.B) {
+	inputs := []sim.Value{0, 1, 2}
+	for i := 0; i < b.N; i++ {
+		e := New(algorithms.FLPKSet{F: 1}, inputs, Options{
+			Live:       []sim.ProcessID{1, 2, 3},
+			MaxCrashes: 1,
+			Strategy:   "dfs",
+		})
+		_, found, err := e.FindBlocking()
+		if err != nil || !found {
+			b.Fatalf("found=%t err=%v", found, err)
+		}
+	}
+}
+
+func BenchmarkValence(b *testing.B) {
+	inputs := []sim.Value{0, 1, 1}
+	for i := 0; i < b.N; i++ {
+		e := New(algorithms.MinWait{F: 1}, inputs, Options{Live: []sim.ProcessID{1, 2, 3}})
+		vals, _, err := e.Valence(2)
+		if err != nil || len(vals) < 2 {
+			b.Fatalf("vals=%v err=%v", vals, err)
+		}
+	}
+}

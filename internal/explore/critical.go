@@ -1,0 +1,148 @@
+package explore
+
+import (
+	"fmt"
+
+	"kset/internal/sim"
+)
+
+// StepValence describes one adversary action available at a configuration
+// together with the valence of the configuration it leads to.
+type StepValence struct {
+	Proc  sim.ProcessID
+	Mode  DeliveryMode
+	Crash bool
+	// Values are the decision values reachable after taking the action.
+	Values []sim.Value
+	// Forcing is true when the successor configuration is univalent while
+	// the current configuration is bivalent — the action is a "critical
+	// step" in the FLP sense: the adversary's choice at this configuration
+	// decides the outcome.
+	Forcing bool
+}
+
+// CriticalAnalysis classifies every available action at the initial
+// configuration by the valence of its successor. For a bivalent initial
+// configuration of a consensus algorithm this exhibits the FLP Lemma 3
+// shape: some single steps commit the system to one value, so the
+// adversary, by choosing among them, controls the decision — and by
+// stalling the pivotal process it can defer commitment.
+type CriticalAnalysis struct {
+	// InitialValues is the valence of the initial configuration itself.
+	InitialValues []sim.Value
+	// Bivalent reports len(InitialValues) >= 2.
+	Bivalent bool
+	// Steps lists every applicable first action with its successor valence.
+	Steps []StepValence
+	// Stats aggregates the exploration effort across all successor
+	// valence computations.
+	Stats Stats
+}
+
+// AnalyzeCriticalSteps computes the valence of the initial configuration
+// and of every one-step successor. Exploration budgets apply per successor;
+// a truncated successor valence is reported as-is with Stats.Truncated set
+// on the aggregate.
+func (e *Explorer) AnalyzeCriticalSteps() (*CriticalAnalysis, error) {
+	initVals, initStats, err := e.Valence(0)
+	if err != nil {
+		return nil, fmt.Errorf("explore: initial valence: %w", err)
+	}
+	out := &CriticalAnalysis{
+		InitialValues: initVals,
+		Bivalent:      len(initVals) >= 2,
+		Stats:         initStats,
+	}
+
+	start, err := e.initial()
+	if err != nil {
+		return nil, err
+	}
+	for _, act := range e.actions(start, 0) {
+		next, ok := e.apply(start, act)
+		if !ok {
+			continue
+		}
+		vals, stats, err := e.valenceFrom(next, boolToInt(act.Crash))
+		if err != nil {
+			return nil, fmt.Errorf("explore: successor valence: %w", err)
+		}
+		out.Stats.Visited += stats.Visited
+		if stats.Truncated {
+			out.Stats.Truncated = true
+		}
+		out.Steps = append(out.Steps, StepValence{
+			Proc:    act.Proc,
+			Mode:    act.Mode,
+			Crash:   act.Crash,
+			Values:  vals,
+			Forcing: out.Bivalent && len(vals) == 1,
+		})
+	}
+	return out, nil
+}
+
+// valenceFrom computes the reachable decision values from an arbitrary
+// configuration (with crashes already spent).
+func (e *Explorer) valenceFrom(start *sim.Configuration, crashesSpent int) ([]sim.Value, Stats, error) {
+	seenVals := map[sim.Value]bool{}
+	for _, v := range start.DistinctDecisions() {
+		seenVals[v] = true
+	}
+	stats := Stats{}
+	visited := map[string]bool{nodeKey(start, crashesSpent): true}
+	type qent struct {
+		cfg     *sim.Configuration
+		crashes int
+	}
+	queue := []qent{{cfg: start, crashes: crashesSpent}}
+	for len(queue) > 0 {
+		if stats.Visited >= e.opts.MaxConfigs {
+			stats.Truncated = true
+			break
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		stats.Visited++
+		for _, act := range e.actions(cur.cfg, cur.crashes) {
+			next, ok := e.apply(cur.cfg, act)
+			if !ok {
+				continue
+			}
+			crashes := cur.crashes
+			if act.Crash {
+				crashes++
+			}
+			key := nodeKey(next, crashes)
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			for _, v := range next.DistinctDecisions() {
+				seenVals[v] = true
+			}
+			queue = append(queue, qent{cfg: next, crashes: crashes})
+		}
+	}
+	vals := make([]sim.Value, 0, len(seenVals))
+	for v := range seenVals {
+		vals = append(vals, v)
+	}
+	sortValues(vals)
+	return vals, stats, nil
+}
+
+func sortValues(vs []sim.Value) {
+	for i := 1; i < len(vs); i++ {
+		for j := i; j > 0 && vs[j] < vs[j-1]; j-- {
+			vs[j], vs[j-1] = vs[j-1], vs[j]
+		}
+	}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

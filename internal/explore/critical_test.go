@@ -1,0 +1,103 @@
+package explore
+
+import (
+	"testing"
+
+	"kset/internal/algorithms"
+)
+
+// TestCriticalStepsBivalentMinWait reproduces the FLP Lemma 3 shape on the
+// concrete protocol: from the bivalent configuration (0,1,1) of
+// MinWait{F:1}, some single adversary actions force univalence.
+func TestCriticalStepsBivalentMinWait(t *testing.T) {
+	e := New(algorithms.MinWait{F: 1}, vals(0, 1, 1), Options{Live: live(1, 2, 3)})
+	an, err := e.AnalyzeCriticalSteps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.Bivalent {
+		t.Fatalf("initial valence %v, want bivalent", an.InitialValues)
+	}
+	if an.Stats.Truncated {
+		t.Skipf("valence truncated after %d configs", an.Stats.Visited)
+	}
+	forcing := 0
+	bivalentSuccessors := 0
+	for _, s := range an.Steps {
+		if s.Forcing {
+			forcing++
+		}
+		if len(s.Values) >= 2 {
+			bivalentSuccessors++
+		}
+	}
+	// FLP Lemma 3: from a bivalent configuration the adversary can both
+	// stay bivalent and (eventually) commit; at depth one of this protocol
+	// both kinds of successor exist.
+	if forcing == 0 {
+		t.Fatal("no forcing (critical) steps found from the bivalent configuration")
+	}
+	if bivalentSuccessors == 0 {
+		t.Fatal("no bivalence-preserving steps found: adversary could not stall")
+	}
+}
+
+// TestCriticalStepsUnivalent: from a univalent configuration no action can
+// be forcing, and every successor carries the same single value.
+func TestCriticalStepsUnivalent(t *testing.T) {
+	e := New(algorithms.MinWait{F: 1}, vals(7, 7, 7), Options{Live: live(1, 2, 3)})
+	an, err := e.AnalyzeCriticalSteps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.Bivalent {
+		t.Fatalf("uniform inputs produced bivalence: %v", an.InitialValues)
+	}
+	for _, s := range an.Steps {
+		if s.Forcing {
+			t.Fatalf("forcing step from univalent configuration: %+v", s)
+		}
+		if len(s.Values) != 1 || s.Values[0] != 7 {
+			t.Fatalf("successor valence %v, want [7]", s.Values)
+		}
+	}
+}
+
+// TestCriticalStepsWithCrashBudget: crash actions appear in the analysis
+// when the budget allows them.
+func TestCriticalStepsWithCrashBudget(t *testing.T) {
+	e := New(algorithms.MinWait{F: 1}, vals(0, 1, 1), Options{Live: live(1, 2, 3), MaxCrashes: 1})
+	an, err := e.AnalyzeCriticalSteps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawCrash := false
+	for _, s := range an.Steps {
+		if s.Crash {
+			sawCrash = true
+			break
+		}
+	}
+	if !sawCrash {
+		t.Fatal("no crash actions analyzed despite budget")
+	}
+}
+
+// TestStepValenceDeliveryModes: the analysis covers delivery-mode choices
+// distinctly (an empty buffer collapses Oldest/All into None, so at the
+// very first configuration only DeliverNone applies per process).
+func TestStepValenceFirstStepModes(t *testing.T) {
+	e := New(algorithms.MinWait{F: 1}, vals(0, 1, 1), Options{Live: live(1, 2, 3)})
+	an, err := e.AnalyzeCriticalSteps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range an.Steps {
+		if s.Mode != DeliverNone {
+			t.Fatalf("unexpected mode %v at empty-buffer configuration", s.Mode)
+		}
+	}
+	if len(an.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3 (one per live process)", len(an.Steps))
+	}
+}

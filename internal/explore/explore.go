@@ -1,0 +1,220 @@
+// Package explore performs bounded adversarial exploration of the
+// configuration space of a message-passing algorithm, in the style of the
+// FLP bivalence argument. It is the computational content behind condition
+// (C) of Theorem 1 ("there is no algorithm that solves consensus in M'"):
+// for a concrete algorithm restricted to the subsystem D-bar, the explorer
+// searches the space of adversarial schedules — process-step order, message
+// delivery subsets, and up to a budget of crashes — for
+//
+//   - disagreement witnesses: reachable configurations in which two
+//     processes have decided different values (the algorithm does not solve
+//     consensus in the subsystem), and
+//   - blocking witnesses: reachable quiescent configurations in which some
+//     correct process can never decide (a Termination violation), and
+//   - valence classifications: whether a configuration is univalent or
+//     bivalent, reproducing the FLP-style analysis for concrete protocols.
+//
+// Exploration is exact for protocols that send a bounded number of messages
+// (the protocols in this repository broadcast a constant number of times per
+// process), and budget-bounded otherwise.
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+// action is one adversarial choice: step process Proc delivering the
+// messages selected by Mode, optionally crashing it. Omit makes the crash
+// step drop all of its sends (MASYNC clause (2) allows omitting sends to
+// any subset of receivers in the final step; the explorer uses the two
+// extremes, none and all).
+type action struct {
+	Proc  sim.ProcessID
+	Mode  DeliveryMode
+	Crash bool
+	Omit  bool
+}
+
+// DeliveryMode selects which pending messages a step delivers.
+type DeliveryMode int
+
+// Delivery modes available to the adversary.
+const (
+	// DeliverNone performs a step with an empty delivered set L.
+	DeliverNone DeliveryMode = iota
+	// DeliverOldest delivers only the oldest pending message.
+	DeliverOldest
+	// DeliverAll flushes the whole buffer.
+	DeliverAll
+)
+
+func (m DeliveryMode) String() string {
+	switch m {
+	case DeliverNone:
+		return "none"
+	case DeliverOldest:
+		return "oldest"
+	case DeliverAll:
+		return "all"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options configures an exploration.
+type Options struct {
+	// Live lists the processes the adversary schedules; all others are
+	// silently crashed before exploration starts (the restricted system
+	// <D-bar> with the rest of Pi initially dead).
+	Live []sim.ProcessID
+	// MaxCrashes is the crash budget among Live processes (e.g. 1 for the
+	// single late crash of Theorem 2).
+	MaxCrashes int
+	// MaxConfigs bounds the number of distinct configurations visited;
+	// 0 means DefaultMaxConfigs.
+	MaxConfigs int
+	// Oracle optionally supplies failure-detector values (deterministic per
+	// (process, time, configuration)); nil for detector-free models.
+	Oracle sched.Oracle
+	// Modes lists the delivery modes the adversary may use; nil means all
+	// three.
+	Modes []DeliveryMode
+	// Strategy selects the search order: "bfs" (default) finds shortest
+	// witnesses; "dfs" dives to complete executions first and scales to
+	// larger subsystems where BFS drowns in breadth before any process can
+	// decide.
+	Strategy string
+}
+
+// DefaultMaxConfigs bounds exploration when Options.MaxConfigs is zero.
+const DefaultMaxConfigs = 250000
+
+// Explorer enumerates reachable configurations of an algorithm under
+// adversarial scheduling.
+type Explorer struct {
+	alg    sim.Algorithm
+	inputs []sim.Value
+	opts   Options
+}
+
+// New returns an explorer for the given algorithm and proposal vector.
+// Inputs must cover all n processes of the full system; processes outside
+// opts.Live are silently crashed at the start of every exploration.
+func New(alg sim.Algorithm, inputs []sim.Value, opts Options) *Explorer {
+	if len(opts.Modes) == 0 {
+		opts.Modes = []DeliveryMode{DeliverNone, DeliverOldest, DeliverAll}
+	}
+	if opts.MaxConfigs <= 0 {
+		opts.MaxConfigs = DefaultMaxConfigs
+	}
+	live := append([]sim.ProcessID(nil), opts.Live...)
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	opts.Live = live
+	return &Explorer{alg: alg, inputs: append([]sim.Value(nil), inputs...), opts: opts}
+}
+
+// initial builds the starting configuration: everyone outside Live is
+// silently crashed (initially dead).
+func (e *Explorer) initial() (*sim.Configuration, error) {
+	cfg := sim.NewConfiguration(e.alg, e.inputs)
+	liveSet := make(map[sim.ProcessID]bool, len(e.opts.Live))
+	for _, p := range e.opts.Live {
+		liveSet[p] = true
+	}
+	for _, p := range cfg.Processes() {
+		if !liveSet[p] {
+			if _, err := cfg.Apply(sim.StepRequest{Proc: p, SilentCrash: true}); err != nil {
+				return nil, fmt.Errorf("explore: initial silent crash of %d: %w", p, err)
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// node tracks how a configuration was reached for witness reconstruction.
+type node struct {
+	parent  string // parent node key ("" for root)
+	act     action
+	crashes int
+}
+
+// key combines the configuration key with the crash budget spent, since the
+// same configuration with different remaining budgets has different futures.
+func nodeKey(cfg *sim.Configuration, crashes int) string {
+	return fmt.Sprintf("c%d|%s", crashes, cfg.Key())
+}
+
+// apply performs an action on a clone of cfg and returns the new
+// configuration, or ok=false if the action is inapplicable.
+func (e *Explorer) apply(cfg *sim.Configuration, act action) (*sim.Configuration, bool) {
+	if cfg.Crashed(act.Proc) {
+		return nil, false
+	}
+	next := cfg.Clone()
+	req := sim.StepRequest{Proc: act.Proc, Crash: act.Crash}
+	if act.Crash && act.Omit {
+		req.OmitTo = make(map[sim.ProcessID]bool, next.N())
+		for _, q := range next.Processes() {
+			req.OmitTo[q] = true
+		}
+	}
+	switch act.Mode {
+	case DeliverNone:
+	case DeliverOldest:
+		buf := next.Buffer(act.Proc)
+		if len(buf) == 0 {
+			return nil, false // identical to DeliverNone; skip duplicate branch
+		}
+		req.Deliver = []int64{buf[0].ID}
+	case DeliverAll:
+		ids := next.DeliverAll(act.Proc)
+		if len(ids) == 0 {
+			return nil, false // identical to DeliverNone
+		}
+		req.Deliver = ids
+	}
+	if e.opts.Oracle != nil {
+		req.FD = e.opts.Oracle.Query(act.Proc, next.Time(), next)
+	}
+	if _, err := next.Apply(req); err != nil {
+		return nil, false
+	}
+	return next, true
+}
+
+// actions enumerates the adversary's choices at cfg with the given crash
+// budget already spent.
+func (e *Explorer) actions(cfg *sim.Configuration, crashes int) []action {
+	var out []action
+	for _, p := range e.opts.Live {
+		if cfg.Crashed(p) {
+			continue
+		}
+		// Crash variants first, plain steps last: DFS pops from the end of
+		// the slice, so it drives ordinary full-delivery steps toward
+		// decisions before spending the crash budget.
+		if crashes < e.opts.MaxCrashes {
+			for _, m := range e.opts.Modes {
+				out = append(out, action{Proc: p, Mode: m, Crash: true})
+				out = append(out, action{Proc: p, Mode: m, Crash: true, Omit: true})
+			}
+		}
+		for _, m := range e.opts.Modes {
+			out = append(out, action{Proc: p, Mode: m})
+		}
+	}
+	return out
+}
+
+// Stats reports exploration effort.
+type Stats struct {
+	// Visited is the number of distinct configurations explored.
+	Visited int
+	// Truncated reports that the MaxConfigs budget stopped the search, so a
+	// negative answer ("no witness found") is not exhaustive.
+	Truncated bool
+}

@@ -1,0 +1,200 @@
+package explore
+
+import (
+	"testing"
+
+	"kset/internal/algorithms"
+	"kset/internal/sim"
+)
+
+func live(ids ...sim.ProcessID) []sim.ProcessID { return ids }
+
+func vals(vs ...int) []sim.Value {
+	out := make([]sim.Value, len(vs))
+	for i, v := range vs {
+		out[i] = sim.Value(v)
+	}
+	return out
+}
+
+// TestMinWaitDisagreementInSubsystem reproduces the heart of condition (C)
+// for the MinWait baseline: restricted to a 3-process subsystem where it
+// waits for only 2 values, adversarial delivery produces two different
+// minima — MinWait|D does not solve consensus in <D>.
+func TestMinWaitDisagreementInSubsystem(t *testing.T) {
+	// Full system n=3, f=1 (waits for 2 of 3). All three processes live.
+	alg := algorithms.MinWait{F: 1}
+	e := New(alg, vals(0, 1, 2), Options{Live: live(1, 2, 3)})
+	w, found, err := e.FindDisagreement()
+	if err != nil {
+		t.Fatalf("FindDisagreement: %v", err)
+	}
+	if !found {
+		t.Fatalf("no disagreement found (visited %d, truncated %t)", w.Stats.Visited, w.Stats.Truncated)
+	}
+	if got := len(w.Run.DistinctDecisions()); got < 2 {
+		t.Fatalf("witness run has %d distinct decisions", got)
+	}
+	// The witness replays deterministically.
+	if len(w.Run.Events) == 0 {
+		t.Fatal("empty witness run")
+	}
+}
+
+// TestMinWaitNoDisagreementWhenWaitingForAll verifies the explorer is not
+// trigger-happy: with f=0 MinWait waits for all three values and always
+// decides the global minimum; no disagreement exists (without crashes).
+func TestMinWaitNoDisagreementWhenWaitingForAll(t *testing.T) {
+	alg := algorithms.MinWait{F: 0}
+	e := New(alg, vals(0, 1, 2), Options{Live: live(1, 2, 3)})
+	w, found, err := e.FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatalf("spurious disagreement: %s", w.Detail)
+	}
+	if w.Stats.Truncated {
+		t.Fatalf("search truncated after %d configs; raise budget", w.Stats.Visited)
+	}
+}
+
+// TestFLPKSetBlockingWithLateCrash reproduces the Theorem 2 failure mode of
+// the initial-crash protocol: one crash *during* the run (after the victim
+// was counted in someone's stage-1 neighbourhood but before it sent its
+// stage-2 message) blocks a correct process forever.
+func TestFLPKSetBlockingWithLateCrash(t *testing.T) {
+	// n=3, f=1: L=2, each waits for 1 other in stage 1.
+	alg := algorithms.FLPKSet{F: 1}
+	e := New(alg, vals(0, 1, 2), Options{Live: live(1, 2, 3), MaxCrashes: 1})
+	w, found, err := e.FindBlocking()
+	if err != nil {
+		t.Fatalf("FindBlocking: %v", err)
+	}
+	if !found {
+		t.Fatalf("no blocking witness (visited %d, truncated %t)", w.Stats.Visited, w.Stats.Truncated)
+	}
+	if len(w.Run.Blocked) == 0 {
+		t.Fatal("witness run reports no blocked process")
+	}
+	// The witness must actually contain a crash.
+	sawCrash := false
+	for _, ev := range w.Run.Events {
+		if ev.Crashed && !ev.Silent {
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Fatal("blocking witness without a crash — FLPKSet should terminate crash-free")
+	}
+}
+
+// TestFLPKSetNoBlockingWithoutCrashes confirms the initial-crash protocol
+// never blocks when the adversary has no crash budget (Theorem 8
+// possibility, here verified exhaustively for a small instance).
+func TestFLPKSetNoBlockingWithoutCrashes(t *testing.T) {
+	alg := algorithms.FLPKSet{F: 1}
+	e := New(alg, vals(0, 1, 2), Options{Live: live(1, 2, 3), MaxCrashes: 0})
+	w, found, err := e.FindBlocking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found {
+		t.Fatalf("spurious blocking witness: %s", w.Detail)
+	}
+	if w.Stats.Truncated {
+		t.Skipf("state space truncated at %d configs; cannot claim exhaustiveness", w.Stats.Visited)
+	}
+}
+
+// TestValenceBivalentInitialConfiguration reproduces the FLP-style initial
+// bivalence: MinWait{F:1} on inputs (0,1,1) can reach decision 0 and
+// decision 1 depending on scheduling alone.
+func TestValenceBivalentInitialConfiguration(t *testing.T) {
+	alg := algorithms.MinWait{F: 1}
+	e := New(alg, vals(0, 1, 1), Options{Live: live(1, 2, 3)})
+	vs, stats, err := e.Valence(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) < 2 {
+		t.Fatalf("valence = %v (visited %d), want bivalent", vs, stats.Visited)
+	}
+}
+
+// TestValenceUnivalentConfiguration: with all-equal inputs only one value is
+// ever decidable (Validity), so the configuration is univalent.
+func TestValenceUnivalentConfiguration(t *testing.T) {
+	alg := algorithms.MinWait{F: 1}
+	e := New(alg, vals(7, 7, 7), Options{Live: live(1, 2, 3)})
+	vs, stats, err := e.Valence(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Truncated {
+		t.Skipf("truncated at %d configs", stats.Visited)
+	}
+	if len(vs) != 1 || vs[0] != 7 {
+		t.Fatalf("valence = %v, want [7]", vs)
+	}
+}
+
+// TestSubsystemRestrictsToLiveSet: processes outside Live are dead from the
+// start and must not decide or step.
+func TestSubsystemRestrictsToLiveSet(t *testing.T) {
+	alg := algorithms.MinWait{F: 2}
+	restricted := sim.Restrict(alg, live(1, 2))
+	e := New(restricted, vals(0, 1, 2, 3), Options{Live: live(1, 2)})
+	w, found, err := e.FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MinWait{F:2} on n=4 waits for 2 values; in the 2-process subsystem
+	// both live processes always assemble {v1, v2} and decide min = 0:
+	// no disagreement.
+	if found {
+		t.Fatalf("unexpected disagreement: %s", w.Detail)
+	}
+	if w.Stats.Truncated {
+		t.Skipf("truncated at %d", w.Stats.Visited)
+	}
+}
+
+// TestDecideOwnImmediateDisagreement: the trivially flawed candidate
+// disagrees after two steps.
+func TestDecideOwnImmediateDisagreement(t *testing.T) {
+	e := New(algorithms.DecideOwn{}, vals(0, 1), Options{Live: live(1, 2)})
+	w, found, err := e.FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("DecideOwn disagreement not found")
+	}
+	if len(w.Run.Events) > 4 {
+		t.Fatalf("witness unexpectedly long: %d events", len(w.Run.Events))
+	}
+}
+
+// TestWitnessReplayMatchesFailurePattern: blocked/decided bookkeeping on the
+// replayed run must be self-consistent.
+func TestWitnessReplayConsistency(t *testing.T) {
+	alg := algorithms.MinWait{F: 1}
+	e := New(alg, vals(0, 1, 2), Options{Live: live(1, 2, 3), MaxCrashes: 1})
+	w, found, err := e.FindDisagreement()
+	if err != nil || !found {
+		t.Fatalf("found=%t err=%v", found, err)
+	}
+	run := w.Run
+	if vs := sim.CheckAdmissible(run, sim.AdmissibilityOptions{}); len(vs) != 0 {
+		t.Fatalf("witness run inadmissible: %v", vs)
+	}
+	// Every decided process's decision is among the proposals (Validity of
+	// MinWait).
+	proposed := map[sim.Value]bool{0: true, 1: true, 2: true}
+	for _, v := range run.DistinctDecisions() {
+		if !proposed[v] {
+			t.Fatalf("unproposed decision %d", v)
+		}
+	}
+}

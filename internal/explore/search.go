@@ -1,0 +1,294 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"kset/internal/sim"
+)
+
+// Witness is an adversarial schedule found by the explorer, replayable as a
+// recorded run.
+type Witness struct {
+	// Kind is "disagreement" or "blocking".
+	Kind string
+	// Run is the replayed run exhibiting the witness.
+	Run *sim.Run
+	// Detail describes the violation.
+	Detail string
+	// Stats reports exploration effort.
+	Stats Stats
+}
+
+// FindDisagreement searches for a reachable configuration in which two
+// live processes have decided different values. A witness proves that the
+// algorithm does not solve consensus in the explored (sub)system under the
+// explored adversary. The boolean reports whether a witness was found; the
+// Stats of the returned witness (also set on failure) report whether the
+// search was exhaustive.
+func (e *Explorer) FindDisagreement() (*Witness, bool, error) {
+	return e.search(func(cfg *sim.Configuration) (string, bool) {
+		if vs := cfg.DistinctDecisions(); len(vs) >= 2 {
+			return fmt.Sprintf("decisions %v reached", vs), true
+		}
+		return "", false
+	}, "disagreement")
+}
+
+// FindBlocking searches for a reachable quiescent configuration in which
+// some live, non-crashed process is undecided: all buffers of live processes
+// are empty and stepping any live process (with nothing to deliver) changes
+// nothing, so no continuation can ever decide — a Termination violation.
+func (e *Explorer) FindBlocking() (*Witness, bool, error) {
+	return e.search(func(cfg *sim.Configuration) (string, bool) {
+		p, ok := e.quiescentBlocked(cfg)
+		if !ok {
+			return "", false
+		}
+		return fmt.Sprintf("process %d can never decide (quiescent configuration)", p), true
+	}, "blocking")
+}
+
+// quiescentBlocked reports whether cfg is quiescent (no pending messages at
+// live processes, and every live process's empty-delivery step is a no-op
+// producing no sends) while some live process is undecided.
+func (e *Explorer) quiescentBlocked(cfg *sim.Configuration) (sim.ProcessID, bool) {
+	var undecided sim.ProcessID
+	for _, p := range e.opts.Live {
+		if cfg.Crashed(p) {
+			continue
+		}
+		if cfg.BufferSize(p) > 0 {
+			return 0, false
+		}
+		if _, ok := cfg.Decision(p); !ok && undecided == 0 {
+			undecided = p
+		}
+	}
+	if undecided == 0 {
+		return 0, false
+	}
+	// Quiescence: stepping any live process without deliveries must neither
+	// change its state key nor send anything. (With a detector the output
+	// could change behaviour; the oracle is part of the step here.)
+	for _, p := range e.opts.Live {
+		if cfg.Crashed(p) {
+			continue
+		}
+		probe := cfg.Clone()
+		req := sim.StepRequest{Proc: p}
+		if e.opts.Oracle != nil {
+			req.FD = e.opts.Oracle.Query(p, probe.Time(), probe)
+		}
+		ev, err := probe.Apply(req)
+		if err != nil {
+			return 0, false
+		}
+		if len(ev.Sent) > 0 || ev.StateKey != cfg.State(p).Key() {
+			return 0, false
+		}
+	}
+	return undecided, true
+}
+
+// search runs a BFS or DFS (per Options.Strategy) from the initial
+// configuration until goal holds.
+func (e *Explorer) search(goal func(*sim.Configuration) (string, bool), kind string) (*Witness, bool, error) {
+	start, err := e.initial()
+	if err != nil {
+		return nil, false, err
+	}
+	type qent struct {
+		cfg     *sim.Configuration
+		key     string
+		crashes int
+	}
+	startKey := nodeKey(start, 0)
+	parents := map[string]node{startKey: {parent: "", crashes: 0}}
+	queue := []qent{{cfg: start, key: startKey, crashes: 0}}
+	dfs := e.opts.Strategy == "dfs"
+	stats := Stats{}
+
+	if detail, ok := goal(start); ok {
+		run, err := e.replay(parents, startKey, start)
+		if err != nil {
+			return nil, false, err
+		}
+		return &Witness{Kind: kind, Run: run, Detail: detail, Stats: stats}, true, nil
+	}
+
+	for len(queue) > 0 {
+		if stats.Visited >= e.opts.MaxConfigs {
+			stats.Truncated = true
+			return &Witness{Kind: kind, Stats: stats}, false, nil
+		}
+		var cur qent
+		if dfs {
+			cur = queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+		} else {
+			cur = queue[0]
+			queue = queue[1:]
+		}
+		stats.Visited++
+
+		for _, act := range e.actions(cur.cfg, cur.crashes) {
+			next, ok := e.apply(cur.cfg, act)
+			if !ok {
+				continue
+			}
+			crashes := cur.crashes
+			if act.Crash {
+				crashes++
+			}
+			key := nodeKey(next, crashes)
+			if _, seen := parents[key]; seen {
+				continue
+			}
+			parents[key] = node{parent: cur.key, act: act, crashes: crashes}
+			if detail, ok := goal(next); ok {
+				run, err := e.replay(parents, key, next)
+				if err != nil {
+					return nil, false, err
+				}
+				return &Witness{Kind: kind, Run: run, Detail: detail, Stats: stats}, true, nil
+			}
+			queue = append(queue, qent{cfg: next, key: key, crashes: crashes})
+		}
+	}
+	return &Witness{Kind: kind, Stats: stats}, false, nil
+}
+
+// replay reconstructs the action path to key and re-executes it from the
+// initial configuration, producing a recorded run.
+func (e *Explorer) replay(parents map[string]node, key string, final *sim.Configuration) (*sim.Run, error) {
+	var acts []action
+	for key != "" {
+		n, ok := parents[key]
+		if !ok {
+			return nil, fmt.Errorf("explore: broken parent chain at %q", key)
+		}
+		if n.parent == "" {
+			break
+		}
+		acts = append(acts, n.act)
+		key = n.parent
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(acts)-1; i < j; i, j = i+1, j-1 {
+		acts[i], acts[j] = acts[j], acts[i]
+	}
+
+	cfg, err := e.initial()
+	if err != nil {
+		return nil, err
+	}
+	run := &sim.Run{Algorithm: e.alg.Name(), Inputs: append([]sim.Value(nil), e.inputs...), Final: cfg}
+	// Record the initial silent crashes as events for failure-pattern
+	// extraction. They were applied inside initial(); reconstruct them.
+	liveSet := make(map[sim.ProcessID]bool, len(e.opts.Live))
+	for _, p := range e.opts.Live {
+		liveSet[p] = true
+	}
+	for _, p := range cfg.Processes() {
+		if !liveSet[p] {
+			run.Events = append(run.Events, sim.Event{Proc: p, StateKey: cfg.State(p).Key(), Crashed: true, Silent: true})
+		}
+	}
+	for _, act := range acts {
+		req := sim.StepRequest{Proc: act.Proc, Crash: act.Crash}
+		if act.Crash && act.Omit {
+			req.OmitTo = make(map[sim.ProcessID]bool, cfg.N())
+			for _, q := range cfg.Processes() {
+				req.OmitTo[q] = true
+			}
+		}
+		switch act.Mode {
+		case DeliverOldest:
+			buf := cfg.Buffer(act.Proc)
+			if len(buf) == 0 {
+				return nil, fmt.Errorf("explore: replay divergence: empty buffer for oldest delivery at %d", act.Proc)
+			}
+			req.Deliver = []int64{buf[0].ID}
+		case DeliverAll:
+			req.Deliver = cfg.DeliverAll(act.Proc)
+		}
+		if e.opts.Oracle != nil {
+			req.FD = e.opts.Oracle.Query(act.Proc, cfg.Time(), cfg)
+		}
+		ev, err := cfg.Apply(req)
+		if err != nil {
+			return nil, fmt.Errorf("explore: replay failed: %w", err)
+		}
+		run.Events = append(run.Events, ev)
+	}
+	var blocked []sim.ProcessID
+	for _, p := range cfg.Processes() {
+		if _, decided := cfg.Decision(p); !decided && !cfg.Crashed(p) {
+			blocked = append(blocked, p)
+		}
+	}
+	run.Blocked = blocked
+	return run, nil
+}
+
+// Valence classifies the decision values reachable from the initial
+// configuration: the set of values v such that some reachable configuration
+// contains a process decided on v. A configuration with two or more
+// reachable values is bivalent in the FLP sense. The search stops early
+// once `stopAt` distinct values are found (0 = collect every value).
+func (e *Explorer) Valence(stopAt int) ([]sim.Value, Stats, error) {
+	start, err := e.initial()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	seenVals := map[sim.Value]bool{}
+	collect := func(cfg *sim.Configuration) {
+		for _, v := range cfg.DistinctDecisions() {
+			seenVals[v] = true
+		}
+	}
+	collect(start)
+	stats := Stats{}
+	visited := map[string]bool{nodeKey(start, 0): true}
+	type qent struct {
+		cfg     *sim.Configuration
+		crashes int
+	}
+	queue := []qent{{cfg: start, crashes: 0}}
+	for len(queue) > 0 {
+		if stopAt > 0 && len(seenVals) >= stopAt {
+			break
+		}
+		if stats.Visited >= e.opts.MaxConfigs {
+			stats.Truncated = true
+			break
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		stats.Visited++
+		for _, act := range e.actions(cur.cfg, cur.crashes) {
+			next, ok := e.apply(cur.cfg, act)
+			if !ok {
+				continue
+			}
+			crashes := cur.crashes
+			if act.Crash {
+				crashes++
+			}
+			key := nodeKey(next, crashes)
+			if visited[key] {
+				continue
+			}
+			visited[key] = true
+			collect(next)
+			queue = append(queue, qent{cfg: next, crashes: crashes})
+		}
+	}
+	vals := make([]sim.Value, 0, len(seenVals))
+	for v := range seenVals {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals, stats, nil
+}

@@ -1,0 +1,234 @@
+package fd
+
+import (
+	"fmt"
+
+	"kset/internal/sim"
+)
+
+// CheckSigmaIntersection verifies the Intersection property of Definition 4
+// over a recorded history: for every set of k+1 processes and every choice
+// of one observed quorum per member (the observable analogue of "for all
+// k+1 time instants"), some two chosen quorums intersect. It returns nil
+// when the property holds, or an error naming a violating selection.
+//
+// The search enumerates choices with pairwise-disjointness pruning, so its
+// cost is bounded by the number of *distinct* quorum values per process,
+// which is small for real detector implementations (alive-sets change at
+// most f+1 times).
+func CheckSigmaIntersection(h *History, k int) error {
+	procs := h.Processes()
+	if len(procs) < k+1 {
+		return nil // no (k+1)-subset of queried processes exists
+	}
+	quorums := make(map[sim.ProcessID][]TrustSet, len(procs))
+	for _, p := range procs {
+		qs := h.distinctQuorums(p)
+		if len(qs) == 0 {
+			return fmt.Errorf("fd: process %d has samples but no quorum outputs", p)
+		}
+		quorums[p] = qs
+	}
+	var subset []sim.ProcessID
+	var chosen []TrustSet
+	var violation []string
+
+	var chooseQuorums func(idx int) bool
+	chooseQuorums = func(idx int) bool {
+		if idx == len(subset) {
+			// All chosen quorums are pairwise disjoint: violation.
+			violation = violation[:0]
+			for i, q := range chosen {
+				violation = append(violation, fmt.Sprintf("p%d:%s", subset[i], q.Key()))
+			}
+			return true
+		}
+		p := subset[idx]
+		for _, q := range quorums[p] {
+			disjoint := true
+			for _, prev := range chosen {
+				if q.Intersects(prev) {
+					disjoint = false
+					break
+				}
+			}
+			if !disjoint {
+				continue
+			}
+			chosen = append(chosen, q)
+			if chooseQuorums(idx + 1) {
+				return true
+			}
+			chosen = chosen[:len(chosen)-1]
+		}
+		return false
+	}
+
+	var chooseSubset func(start int) bool
+	chooseSubset = func(start int) bool {
+		if len(subset) == k+1 {
+			return chooseQuorums(0)
+		}
+		for i := start; i < len(procs); i++ {
+			subset = append(subset, procs[i])
+			if chooseSubset(i + 1) {
+				return true
+			}
+			subset = subset[:len(subset)-1]
+		}
+		return false
+	}
+
+	if chooseSubset(0) {
+		return fmt.Errorf("fd: Sigma_%d intersection violated by pairwise-disjoint quorums %v", k, violation)
+	}
+	return nil
+}
+
+// CheckSigmaLiveness verifies the Liveness property of Definition 4 on the
+// recorded window: there is a time t such that for all recorded samples at
+// t' >= t of correct processes, the quorum contains no faulty process. On a
+// finite window this is checked by requiring the property from the last
+// crash time onward — the canonical choice of t.
+func CheckSigmaLiveness(h *History, pattern *Pattern) error {
+	t := pattern.MaxCrashTime() + 1
+	for _, p := range pattern.Correct() {
+		for _, q := range h.quorumsAfter(p, t) {
+			for _, id := range q.IDs {
+				if pattern.Faulty(id) {
+					return fmt.Errorf("fd: Sigma liveness violated: correct %d trusted faulty %d after time %d", p, id, t)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckOmegaValidity verifies the Validity property of Definition 5: every
+// recorded leader output is a set of exactly k process identifiers in 1..n.
+func CheckOmegaValidity(h *History, k int) error {
+	for _, p := range h.Processes() {
+		for _, s := range h.Samples(p) {
+			ld, ok := leadersOf(s.V)
+			if !ok {
+				continue
+			}
+			if len(ld.IDs) != k {
+				return fmt.Errorf("fd: Omega_%d validity violated: %d leaders at p%d t=%d", k, len(ld.IDs), p, s.T)
+			}
+			for _, id := range ld.IDs {
+				if id < 1 || int(id) > h.N() {
+					return fmt.Errorf("fd: Omega validity violated: leader id %d out of range at p%d", id, p)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckOmegaEventualLeadership verifies Eventual Leadership (Definition 5)
+// on the recorded window: there is a time tGST and a set LD intersecting the
+// correct processes such that every sample at or after tGST equals LD. A
+// finite window can only refute stabilization *within* the window, so the
+// check passes when some suffix (possibly empty) of every process's samples
+// is constant and equal across processes with the required intersection;
+// the returned error reports the latest conflicting samples otherwise.
+func CheckOmegaEventualLeadership(h *History, pattern *Pattern) error {
+	// Find the smallest candidate tGST: walk backward while all samples
+	// agree on one leader set.
+	var all []tagged
+	for _, p := range h.Processes() {
+		for _, s := range h.Samples(p) {
+			if _, ok := leadersOf(s.V); ok {
+				all = append(all, tagged{p: p, s: s})
+			}
+		}
+	}
+	if len(all) == 0 {
+		return nil // nothing recorded: stabilization after the window
+	}
+	// Sort by time descending using insertion from scan (times are already
+	// nondecreasing per process; do a simple global sort).
+	sortTagged(all)
+	lastKey := ""
+	var lastLD Leaders
+	stableFrom := -1
+	for i := len(all) - 1; i >= 0; i-- {
+		ld, _ := leadersOf(all[i].s.V)
+		if lastKey == "" {
+			lastKey = ld.Key()
+			lastLD = ld
+			stableFrom = all[i].s.T
+			continue
+		}
+		if ld.Key() != lastKey {
+			break
+		}
+		stableFrom = all[i].s.T
+	}
+	if lastKey == "" {
+		return nil
+	}
+	// The suffix [stableFrom, end] is constant; Definition 5 additionally
+	// needs LD to intersect the correct processes.
+	for _, id := range lastLD.IDs {
+		if !pattern.Faulty(id) {
+			return nil
+		}
+	}
+	return fmt.Errorf("fd: Omega eventual leadership violated: stable LD %s (from t=%d) contains only faulty processes", lastLD.Key(), stableFrom)
+}
+
+func sortTagged(all []tagged) {
+	// insertion sort by sample time ascending; windows are small.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].s.T < all[j-1].s.T; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+}
+
+// tagged is declared at package scope for sortTagged.
+type tagged struct {
+	p sim.ProcessID
+	s Sample
+}
+
+// CheckPartitionSigma verifies clause 1 of Definition 7 for a recorded
+// history: the quorum output at every process of partition D_i, while
+// alive, contains only members of D_i and is a valid Sigma history of the
+// restricted model <D_i> (intersection with k=1 inside the partition, and
+// liveness w.r.t. the pattern restricted to D_i).
+func CheckPartitionSigma(h *History, pattern *Pattern, partition [][]sim.ProcessID) error {
+	for gi, group := range partition {
+		member := make(map[sim.ProcessID]bool, len(group))
+		for _, p := range group {
+			member[p] = true
+		}
+		sub := NewHistory(h.N())
+		for _, p := range group {
+			for _, s := range h.Samples(p) {
+				if pattern.Crashed(p, s.T) {
+					continue // Definition 7 forces output Pi after the crash
+				}
+				q, ok := quorumOf(s.V)
+				if !ok {
+					continue
+				}
+				for _, id := range q.IDs {
+					if !member[id] {
+						return fmt.Errorf("fd: partition Sigma violated: p%d in D_%d trusted outsider %d at t=%d", p, gi+1, id, s.T)
+					}
+				}
+				sub.Add(p, s.T, q)
+			}
+		}
+		if err := CheckSigmaIntersection(sub, 1); err != nil {
+			return fmt.Errorf("fd: partition D_%d: %w", gi+1, err)
+		}
+		if err := CheckSigmaLiveness(sub, pattern); err != nil {
+			return fmt.Errorf("fd: partition D_%d: %w", gi+1, err)
+		}
+	}
+	return nil
+}

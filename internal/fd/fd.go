@@ -1,0 +1,248 @@
+// Package fd implements the failure-detector machinery of Sections II-C and
+// VII of the paper: failure patterns F(t), failure-detector histories
+// H(p, t), the generalized quorum detector Sigma_k (Definition 4), the
+// generalized leader oracle Omega_k (Definition 5), the partition detector
+// (Sigma'_k, Omega'_k) of Definition 7, and machine checkers that validate
+// recorded histories against those definitions (used to reproduce Lemma 9
+// and the pasting Lemmas 11 and 12).
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kset/internal/sim"
+)
+
+// TrustSet is a quorum output of Sigma_k: a set of trusted process ids.
+type TrustSet struct {
+	IDs []sim.ProcessID // sorted ascending
+}
+
+// NewTrustSet returns a TrustSet over the given ids, sorted and
+// deduplicated.
+func NewTrustSet(ids ...sim.ProcessID) TrustSet {
+	return TrustSet{IDs: normalizeIDs(ids)}
+}
+
+// Key implements sim.FDValue.
+func (t TrustSet) Key() string { return "Q" + encodeIDs(t.IDs) }
+
+// Contains reports whether p is trusted.
+func (t TrustSet) Contains(p sim.ProcessID) bool {
+	for _, q := range t.IDs {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Intersects reports whether two trust sets share a member.
+func (t TrustSet) Intersects(o TrustSet) bool {
+	i, j := 0, 0
+	for i < len(t.IDs) && j < len(o.IDs) {
+		switch {
+		case t.IDs[i] == o.IDs[j]:
+			return true
+		case t.IDs[i] < o.IDs[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Leaders is an output of Omega_k: a set of exactly k leader candidates.
+type Leaders struct {
+	IDs []sim.ProcessID // sorted ascending
+}
+
+// NewLeaders returns a Leaders value over the given ids, sorted and
+// deduplicated.
+func NewLeaders(ids ...sim.ProcessID) Leaders {
+	return Leaders{IDs: normalizeIDs(ids)}
+}
+
+// Key implements sim.FDValue.
+func (l Leaders) Key() string { return "LD" + encodeIDs(l.IDs) }
+
+// Contains reports whether p is a leader candidate.
+func (l Leaders) Contains(p sim.ProcessID) bool {
+	for _, q := range l.IDs {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Combined is the output of querying the pair (Sigma_k, Omega_k) in one
+// step, as algorithms in Section VII do.
+type Combined struct {
+	Quorum  TrustSet
+	Leaders Leaders
+}
+
+// Key implements sim.FDValue.
+func (c Combined) Key() string { return c.Quorum.Key() + c.Leaders.Key() }
+
+// Pattern is a failure pattern F(.): for each process, the global time from
+// which it takes no more steps. The zero time means initially dead.
+type Pattern struct {
+	n       int
+	crashAt map[sim.ProcessID]int
+}
+
+// NewPattern returns an n-process pattern with no failures.
+func NewPattern(n int) *Pattern {
+	return &Pattern{n: n, crashAt: make(map[sim.ProcessID]int)}
+}
+
+// N returns the system size.
+func (f *Pattern) N() int { return f.n }
+
+// WithCrash returns the pattern extended so that p crashes at time t (takes
+// no step at or after t). t = 0 is an initial crash.
+func (f *Pattern) WithCrash(p sim.ProcessID, t int) *Pattern {
+	cp := f.clone()
+	cp.crashAt[p] = t
+	return cp
+}
+
+// WithInitiallyDead returns the pattern extended with initial crashes of all
+// the given processes.
+func (f *Pattern) WithInitiallyDead(ps ...sim.ProcessID) *Pattern {
+	cp := f.clone()
+	for _, p := range ps {
+		cp.crashAt[p] = 0
+	}
+	return cp
+}
+
+func (f *Pattern) clone() *Pattern {
+	cp := NewPattern(f.n)
+	for p, t := range f.crashAt {
+		cp.crashAt[p] = t
+	}
+	return cp
+}
+
+// Crashed reports whether p is in F(t): p crashed and takes no step at or
+// after time t.
+func (f *Pattern) Crashed(p sim.ProcessID, t int) bool {
+	at, ok := f.crashAt[p]
+	return ok && at <= t
+}
+
+// Faulty reports whether p is in F = union of F(t).
+func (f *Pattern) Faulty(p sim.ProcessID) bool {
+	_, ok := f.crashAt[p]
+	return ok
+}
+
+// Correct returns the sorted ids of processes that never crash.
+func (f *Pattern) Correct() []sim.ProcessID {
+	var out []sim.ProcessID
+	for p := 1; p <= f.n; p++ {
+		if !f.Faulty(sim.ProcessID(p)) {
+			out = append(out, sim.ProcessID(p))
+		}
+	}
+	return out
+}
+
+// FaultySet returns the sorted ids of processes that crash.
+func (f *Pattern) FaultySet() []sim.ProcessID {
+	var out []sim.ProcessID
+	for p := 1; p <= f.n; p++ {
+		if f.Faulty(sim.ProcessID(p)) {
+			out = append(out, sim.ProcessID(p))
+		}
+	}
+	return out
+}
+
+// Alive returns the sorted ids of processes not in F(t).
+func (f *Pattern) Alive(t int) []sim.ProcessID {
+	var out []sim.ProcessID
+	for p := 1; p <= f.n; p++ {
+		if !f.Crashed(sim.ProcessID(p), t) {
+			out = append(out, sim.ProcessID(p))
+		}
+	}
+	return out
+}
+
+// MaxCrashTime returns the latest crash time in the pattern, or -1 when
+// failure-free.
+func (f *Pattern) MaxCrashTime() int {
+	maxT := -1
+	for _, t := range f.crashAt {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	return maxT
+}
+
+// String returns a deterministic rendering of the pattern.
+func (f *Pattern) String() string {
+	ps := make([]int, 0, len(f.crashAt))
+	for p := range f.crashAt {
+		ps = append(ps, int(p))
+	}
+	sort.Ints(ps)
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("%d@%d", p, f.crashAt[sim.ProcessID(p)])
+	}
+	return fmt.Sprintf("F{n=%d %s}", f.n, strings.Join(parts, " "))
+}
+
+// PatternFromRun extracts the failure pattern of a recorded run.
+func PatternFromRun(r *sim.Run) *Pattern {
+	f := NewPattern(r.N())
+	for _, p := range r.Final.Processes() {
+		if r.Final.Crashed(p) {
+			t := r.CrashTime(p)
+			if t < 0 {
+				t = 0
+			}
+			f.crashAt[p] = t
+		}
+	}
+	return f
+}
+
+func normalizeIDs(ids []sim.ProcessID) []sim.ProcessID {
+	seen := make(map[sim.ProcessID]bool, len(ids))
+	out := make([]sim.ProcessID, 0, len(ids))
+	for _, p := range ids {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func encodeIDs(ids []sim.ProcessID) string {
+	parts := make([]string, len(ids))
+	for i, p := range ids {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// AllProcesses returns 1..n.
+func AllProcesses(n int) []sim.ProcessID {
+	out := make([]sim.ProcessID, n)
+	for i := range out {
+		out[i] = sim.ProcessID(i + 1)
+	}
+	return out
+}

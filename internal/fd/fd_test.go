@@ -1,0 +1,348 @@
+package fd
+
+import (
+	"reflect"
+	"testing"
+
+	"kset/internal/sim"
+)
+
+func TestTrustSetBasics(t *testing.T) {
+	ts := NewTrustSet(3, 1, 2, 3)
+	if !reflect.DeepEqual(ts.IDs, []sim.ProcessID{1, 2, 3}) {
+		t.Fatalf("IDs = %v", ts.IDs)
+	}
+	if ts.Key() != "Q[1 2 3]" {
+		t.Fatalf("Key = %q", ts.Key())
+	}
+	if !ts.Contains(2) || ts.Contains(4) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestTrustSetIntersects(t *testing.T) {
+	cases := []struct {
+		a, b []sim.ProcessID
+		want bool
+	}{
+		{[]sim.ProcessID{1, 2}, []sim.ProcessID{2, 3}, true},
+		{[]sim.ProcessID{1, 2}, []sim.ProcessID{3, 4}, false},
+		{[]sim.ProcessID{}, []sim.ProcessID{1}, false},
+		{[]sim.ProcessID{5}, []sim.ProcessID{5}, true},
+		{[]sim.ProcessID{1, 3, 5}, []sim.ProcessID{2, 4, 5}, true},
+	}
+	for _, c := range cases {
+		got := NewTrustSet(c.a...).Intersects(NewTrustSet(c.b...))
+		if got != c.want {
+			t.Errorf("Intersects(%v,%v) = %t, want %t", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLeadersKey(t *testing.T) {
+	l := NewLeaders(2, 1)
+	if l.Key() != "LD[1 2]" {
+		t.Fatalf("Key = %q", l.Key())
+	}
+	if !l.Contains(1) || l.Contains(3) {
+		t.Fatal("Contains wrong")
+	}
+	c := Combined{Quorum: NewTrustSet(1), Leaders: l}
+	if c.Key() != "Q[1]LD[1 2]" {
+		t.Fatalf("Combined key = %q", c.Key())
+	}
+}
+
+func TestPatternBasics(t *testing.T) {
+	f := NewPattern(4).WithCrash(2, 5).WithInitiallyDead(3)
+	if f.Crashed(2, 4) {
+		t.Error("p2 crashed before its crash time")
+	}
+	if !f.Crashed(2, 5) || !f.Crashed(2, 100) {
+		t.Error("p2 should be in F(t) for t >= 5")
+	}
+	if !f.Crashed(3, 0) {
+		t.Error("initially dead p3 should be in F(0)")
+	}
+	if f.Faulty(1) || !f.Faulty(2) || !f.Faulty(3) {
+		t.Error("Faulty wrong")
+	}
+	if got := f.Correct(); !reflect.DeepEqual(got, []sim.ProcessID{1, 4}) {
+		t.Errorf("Correct = %v", got)
+	}
+	if got := f.FaultySet(); !reflect.DeepEqual(got, []sim.ProcessID{2, 3}) {
+		t.Errorf("FaultySet = %v", got)
+	}
+	if got := f.Alive(0); !reflect.DeepEqual(got, []sim.ProcessID{1, 2, 4}) {
+		t.Errorf("Alive(0) = %v", got)
+	}
+	if got := f.Alive(10); !reflect.DeepEqual(got, []sim.ProcessID{1, 4}) {
+		t.Errorf("Alive(10) = %v", got)
+	}
+	if f.MaxCrashTime() != 5 {
+		t.Errorf("MaxCrashTime = %d", f.MaxCrashTime())
+	}
+	if NewPattern(3).MaxCrashTime() != -1 {
+		t.Error("failure-free MaxCrashTime should be -1")
+	}
+}
+
+func TestPatternImmutability(t *testing.T) {
+	base := NewPattern(3)
+	_ = base.WithCrash(1, 2)
+	if base.Faulty(1) {
+		t.Fatal("WithCrash mutated the receiver")
+	}
+}
+
+func TestSigmaOracleOutputs(t *testing.T) {
+	f := NewPattern(4).WithCrash(4, 10)
+	o := SigmaOracle{K: 1, Pattern: f}
+	got := o.trust(1, 0)
+	if !reflect.DeepEqual(got.IDs, []sim.ProcessID{1, 2, 3, 4}) {
+		t.Errorf("trust at t=0 = %v", got.IDs)
+	}
+	got = o.trust(1, 10)
+	if !reflect.DeepEqual(got.IDs, []sim.ProcessID{1, 2, 3}) {
+		t.Errorf("trust at t=10 = %v", got.IDs)
+	}
+	// A crashed process queries the whole system (Definition 4 convention).
+	got = o.trust(4, 10)
+	if len(got.IDs) != 4 {
+		t.Errorf("crashed query = %v, want Pi", got.IDs)
+	}
+}
+
+func TestOmegaOracleStabilizes(t *testing.T) {
+	f := NewPattern(5).WithInitiallyDead(1)
+	o := OmegaOracle{K: 2, Pattern: f, GST: 7}
+	before := o.leaders(3)
+	if len(before.IDs) != 2 {
+		t.Fatalf("pre-GST leaders = %v", before.IDs)
+	}
+	at := o.leaders(7)
+	later := o.leaders(100)
+	if at.Key() != later.Key() {
+		t.Fatalf("leaders changed after GST: %s vs %s", at.Key(), later.Key())
+	}
+	// Must contain the smallest correct process (2).
+	if !at.Contains(2) {
+		t.Fatalf("stable LD %v misses smallest correct process", at.IDs)
+	}
+}
+
+func TestPartitionSigmaOracleConfinesQuorums(t *testing.T) {
+	f := NewPattern(5)
+	part := [][]sim.ProcessID{{1, 2}, {3}, {4, 5}}
+	o := NewPartitionSigmaOracle(part, f)
+	got := o.trust(1, 0)
+	if !reflect.DeepEqual(got.IDs, []sim.ProcessID{1, 2}) {
+		t.Errorf("trust(1) = %v", got.IDs)
+	}
+	got = o.trust(3, 0)
+	if !reflect.DeepEqual(got.IDs, []sim.ProcessID{3}) {
+		t.Errorf("trust(3) = %v", got.IDs)
+	}
+	// After a crash the output is Pi.
+	f2 := NewPattern(5).WithCrash(3, 4)
+	o2 := NewPartitionSigmaOracle(part, f2)
+	if got := o2.trust(3, 4); len(got.IDs) != 5 {
+		t.Errorf("post-crash trust = %v, want Pi", got.IDs)
+	}
+}
+
+func TestReplayOracleSequencesAndMerge(t *testing.T) {
+	a := NewReplayOracle(map[sim.ProcessID][]sim.FDValue{
+		1: {NewTrustSet(1), NewTrustSet(1, 2)},
+	})
+	b := NewReplayOracle(map[sim.ProcessID][]sim.FDValue{
+		2: {NewTrustSet(2)},
+	})
+	a.Merge(b)
+	if got := a.Query(1, 99, nil); got.Key() != "Q[1]" {
+		t.Errorf("first query = %v", got)
+	}
+	if got := a.Query(1, 5, nil); got.Key() != "Q[1 2]" {
+		t.Errorf("second query = %v", got)
+	}
+	// Exhausted: repeats last.
+	if got := a.Query(1, 6, nil); got.Key() != "Q[1 2]" {
+		t.Errorf("exhausted query = %v", got)
+	}
+	if got := a.Query(2, 0, nil); got.Key() != "Q[2]" {
+		t.Errorf("merged query = %v", got)
+	}
+	if got := a.Query(3, 0, nil); got != nil {
+		t.Errorf("unknown process query = %v, want nil", got)
+	}
+}
+
+func TestBallotlessHistoryChecks(t *testing.T) {
+	// Empty history: all checks pass vacuously.
+	h := NewHistory(3)
+	if err := CheckSigmaIntersection(h, 1); err != nil {
+		t.Errorf("empty intersection: %v", err)
+	}
+	if err := CheckSigmaLiveness(h, NewPattern(3)); err != nil {
+		t.Errorf("empty liveness: %v", err)
+	}
+	if err := CheckOmegaValidity(h, 2); err != nil {
+		t.Errorf("empty validity: %v", err)
+	}
+	if err := CheckOmegaEventualLeadership(h, NewPattern(3)); err != nil {
+		t.Errorf("empty leadership: %v", err)
+	}
+}
+
+func TestCheckSigmaIntersectionViolation(t *testing.T) {
+	// Three processes with pairwise-disjoint quorums violate Sigma_2 (k=2:
+	// every 3 processes must have two intersecting quorums).
+	h := NewHistory(3)
+	h.Add(1, 0, NewTrustSet(1))
+	h.Add(2, 0, NewTrustSet(2))
+	h.Add(3, 0, NewTrustSet(3))
+	if err := CheckSigmaIntersection(h, 2); err == nil {
+		t.Fatal("disjoint singletons accepted for Sigma_2")
+	}
+	// But they are fine for Sigma_3 in a 3-process system (no 4-subset).
+	if err := CheckSigmaIntersection(h, 3); err != nil {
+		t.Fatalf("Sigma_3 check failed: %v", err)
+	}
+}
+
+func TestCheckSigmaIntersectionPigeonhole(t *testing.T) {
+	// Lemma 9's argument: quorums confined to k partitions satisfy Sigma_k
+	// by pigeonhole. Partition {1,2},{3,4} with k=2, n=4.
+	h := NewHistory(4)
+	h.Add(1, 0, NewTrustSet(1, 2))
+	h.Add(2, 1, NewTrustSet(2))
+	h.Add(3, 2, NewTrustSet(3, 4))
+	h.Add(4, 3, NewTrustSet(4))
+	// Any 3 of the 4 processes include two from the same partition whose
+	// Sigma_1-valid quorums intersect... but {2}, {3,4}, {4}? p2 and p4:
+	// different partitions. Note {1,2} vs {2}: intersect; {3,4} vs {4}:
+	// intersect. Every 3-subset has two processes of the same partition,
+	// and within a partition all quorums pairwise intersect here.
+	if err := CheckSigmaIntersection(h, 2); err != nil {
+		t.Fatalf("pigeonhole case rejected: %v", err)
+	}
+}
+
+func TestCheckSigmaLiveness(t *testing.T) {
+	f := NewPattern(3).WithCrash(3, 5)
+	good := NewHistory(3)
+	good.Add(1, 4, NewTrustSet(1, 3)) // trusting faulty before last crash: fine
+	good.Add(1, 6, NewTrustSet(1, 2))
+	if err := CheckSigmaLiveness(good, f); err != nil {
+		t.Fatalf("good history rejected: %v", err)
+	}
+	bad := NewHistory(3)
+	bad.Add(2, 9, NewTrustSet(2, 3)) // still trusting faulty 3 after t=6
+	if err := CheckSigmaLiveness(bad, f); err == nil {
+		t.Fatal("liveness violation accepted")
+	}
+}
+
+func TestCheckOmegaValidity(t *testing.T) {
+	h := NewHistory(3)
+	h.Add(1, 0, NewLeaders(1, 2))
+	if err := CheckOmegaValidity(h, 2); err != nil {
+		t.Fatalf("valid leaders rejected: %v", err)
+	}
+	if err := CheckOmegaValidity(h, 1); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	h2 := NewHistory(3)
+	h2.Add(1, 0, NewLeaders(1, 9))
+	if err := CheckOmegaValidity(h2, 2); err == nil {
+		t.Fatal("out-of-range leader accepted")
+	}
+}
+
+func TestCheckOmegaEventualLeadership(t *testing.T) {
+	f := NewPattern(3).WithCrash(3, 2)
+	h := NewHistory(3)
+	h.Add(1, 0, NewLeaders(3))
+	h.Add(2, 1, NewLeaders(2))
+	h.Add(1, 5, NewLeaders(1))
+	h.Add(2, 6, NewLeaders(1))
+	if err := CheckOmegaEventualLeadership(h, f); err != nil {
+		t.Fatalf("stabilized history rejected: %v", err)
+	}
+	// Stable suffix on a faulty-only set violates the property.
+	bad := NewHistory(3)
+	bad.Add(1, 5, NewLeaders(3))
+	bad.Add(2, 6, NewLeaders(3))
+	if err := CheckOmegaEventualLeadership(bad, f); err == nil {
+		t.Fatal("faulty-only stable LD accepted")
+	}
+}
+
+func TestCheckPartitionSigma(t *testing.T) {
+	f := NewPattern(4)
+	part := [][]sim.ProcessID{{1, 2}, {3, 4}}
+	good := NewHistory(4)
+	good.Add(1, 0, NewTrustSet(1, 2))
+	good.Add(2, 1, NewTrustSet(1, 2))
+	good.Add(3, 2, NewTrustSet(3, 4))
+	good.Add(4, 3, NewTrustSet(4, 3))
+	if err := CheckPartitionSigma(good, f, part); err != nil {
+		t.Fatalf("good partition history rejected: %v", err)
+	}
+	bad := NewHistory(4)
+	bad.Add(1, 0, NewTrustSet(1, 3)) // trusts outsider
+	if err := CheckPartitionSigma(bad, f, part); err == nil {
+		t.Fatal("outsider quorum accepted")
+	}
+	// Disjoint quorums inside one partition violate Sigma_1 there.
+	bad2 := NewHistory(4)
+	bad2.Add(1, 0, NewTrustSet(1))
+	bad2.Add(2, 1, NewTrustSet(2))
+	if err := CheckPartitionSigma(bad2, f, part); err == nil {
+		t.Fatal("disjoint intra-partition quorums accepted")
+	}
+}
+
+// TestLemma9PartitionHistoriesAreSigmaKOmegaK is the machine check of Lemma
+// 9: histories of the partition detector (Sigma'_k, Omega'_k) satisfy the
+// Sigma_k intersection and liveness properties and the Omega_k properties.
+func TestLemma9PartitionHistoriesAreSigmaKOmegaK(t *testing.T) {
+	n, k := 7, 3
+	f := NewPattern(n).WithCrash(2, 9)
+	part := [][]sim.ProcessID{{1, 2}, {3, 4}, {5, 6, 7}} // k partitions
+	sigma := NewPartitionSigmaOracle(part, f)
+	omega := OmegaOracle{K: k, Pattern: f, GST: 12}
+	oracle := PartitionCombinedOracle{Sigma: sigma, Omega: omega}
+
+	h := NewHistory(n)
+	for t0 := 0; t0 < 30; t0++ {
+		for p := 1; p <= n; p++ {
+			pid := sim.ProcessID(p)
+			if f.Crashed(pid, t0) {
+				continue
+			}
+			h.Add(pid, t0, oracle.Query(pid, t0, nil))
+		}
+	}
+	if err := CheckSigmaIntersection(h, k); err != nil {
+		t.Errorf("Lemma 9 Sigma_k intersection: %v", err)
+	}
+	if err := CheckSigmaLiveness(h, f); err != nil {
+		t.Errorf("Lemma 9 Sigma_k liveness: %v", err)
+	}
+	if err := CheckOmegaValidity(h, k); err != nil {
+		t.Errorf("Lemma 9 Omega_k validity: %v", err)
+	}
+	if err := CheckOmegaEventualLeadership(h, f); err != nil {
+		t.Errorf("Lemma 9 Omega_k leadership: %v", err)
+	}
+	if err := CheckPartitionSigma(h, f, part); err != nil {
+		t.Errorf("Definition 7 clause 1: %v", err)
+	}
+}
+
+func TestPatternFromRunAndAllProcesses(t *testing.T) {
+	if got := AllProcesses(3); !reflect.DeepEqual(got, []sim.ProcessID{1, 2, 3}) {
+		t.Fatalf("AllProcesses = %v", got)
+	}
+}

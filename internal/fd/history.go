@@ -1,0 +1,144 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"kset/internal/sim"
+)
+
+// Sample is one recorded failure-detector query: process p queried at global
+// time T and observed V.
+type Sample struct {
+	T int
+	V sim.FDValue
+}
+
+// History is a recorded failure-detector history: the samples of H(p, t)
+// observed in a run, per process, in time order. It is the checkable,
+// finite-window analogue of the paper's history function H.
+type History struct {
+	n       int
+	samples map[sim.ProcessID][]Sample
+}
+
+// NewHistory returns an empty history for an n-process system.
+func NewHistory(n int) *History {
+	return &History{n: n, samples: make(map[sim.ProcessID][]Sample)}
+}
+
+// N returns the system size.
+func (h *History) N() int { return h.n }
+
+// Add records that p observed v at time t.
+func (h *History) Add(p sim.ProcessID, t int, v sim.FDValue) {
+	h.samples[p] = append(h.samples[p], Sample{T: t, V: v})
+}
+
+// Samples returns p's recorded samples in time order.
+func (h *History) Samples(p sim.ProcessID) []Sample {
+	return h.samples[p]
+}
+
+// Processes returns the ids with at least one sample, sorted.
+func (h *History) Processes() []sim.ProcessID {
+	out := make([]sim.ProcessID, 0, len(h.samples))
+	for p := range h.samples {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HistoryFromRun collects the failure-detector values observed in a recorded
+// run into a History.
+func HistoryFromRun(r *sim.Run) *History {
+	h := NewHistory(r.N())
+	for _, ev := range r.Events {
+		if ev.Silent || ev.FD == nil {
+			continue
+		}
+		h.Add(ev.Proc, ev.Time, ev.FD)
+	}
+	return h
+}
+
+// quorumOf extracts the Sigma part of a detector value, accepting both bare
+// TrustSets and Combined outputs.
+func quorumOf(v sim.FDValue) (TrustSet, bool) {
+	switch x := v.(type) {
+	case TrustSet:
+		return x, true
+	case Combined:
+		return x.Quorum, true
+	default:
+		return TrustSet{}, false
+	}
+}
+
+// leadersOf extracts the Omega part of a detector value.
+func leadersOf(v sim.FDValue) (Leaders, bool) {
+	switch x := v.(type) {
+	case Leaders:
+		return x, true
+	case Combined:
+		return x.Leaders, true
+	default:
+		return Leaders{}, false
+	}
+}
+
+// distinctQuorums returns the distinct quorum values p observed, in first
+// occurrence order.
+func (h *History) distinctQuorums(p sim.ProcessID) []TrustSet {
+	var out []TrustSet
+	seen := make(map[string]bool)
+	for _, s := range h.samples[p] {
+		q, ok := quorumOf(s.V)
+		if !ok {
+			continue
+		}
+		if !seen[q.Key()] {
+			seen[q.Key()] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// quorumsAfter returns the distinct quorum values p observed at times >= t.
+func (h *History) quorumsAfter(p sim.ProcessID, t int) []TrustSet {
+	var out []TrustSet
+	seen := make(map[string]bool)
+	for _, s := range h.samples[p] {
+		if s.T < t {
+			continue
+		}
+		q, ok := quorumOf(s.V)
+		if !ok {
+			continue
+		}
+		if !seen[q.Key()] {
+			seen[q.Key()] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// lastSampleTime returns the largest sample time in the history, or -1.
+func (h *History) lastSampleTime() int {
+	last := -1
+	for _, ss := range h.samples {
+		for _, s := range ss {
+			if s.T > last {
+				last = s.T
+			}
+		}
+	}
+	return last
+}
+
+func (h *History) String() string {
+	return fmt.Sprintf("History{n=%d procs=%d last=%d}", h.n, len(h.samples), h.lastSampleTime())
+}

@@ -1,0 +1,227 @@
+package fd
+
+import (
+	"kset/internal/sim"
+)
+
+// SigmaOracle realizes an admissible Sigma_k history for a known failure
+// pattern: the quorum output at an alive process at time t is the set of
+// processes not in F(t). Any two alive-sets contain every correct process,
+// so the intersection property of Definition 4 holds for every k (even
+// k = 1) as long as one process is correct, and liveness holds because the
+// output equals the correct set once the last crash has happened. Queries by
+// crashed processes return the whole system, matching Definition 4's
+// convention.
+type SigmaOracle struct {
+	K       int
+	Pattern *Pattern
+}
+
+// Query implements the sched.Oracle contract.
+func (o SigmaOracle) Query(p sim.ProcessID, t int, _ *sim.Configuration) sim.FDValue {
+	return o.trust(p, t)
+}
+
+func (o SigmaOracle) trust(p sim.ProcessID, t int) TrustSet {
+	if o.Pattern.Crashed(p, t) {
+		return NewTrustSet(AllProcesses(o.Pattern.N())...)
+	}
+	return NewTrustSet(o.Pattern.Alive(t)...)
+}
+
+// OmegaOracle realizes an admissible Omega_k history: before the
+// stabilization time GST the k-sized leader set rotates deterministically
+// over the processes; from GST on every query returns the fixed set LD
+// consisting of the smallest-id correct process padded with its successors,
+// which intersects the correct set as Definition 5 requires.
+type OmegaOracle struct {
+	K       int
+	Pattern *Pattern
+	GST     int
+}
+
+// Query implements the sched.Oracle contract.
+func (o OmegaOracle) Query(p sim.ProcessID, t int, _ *sim.Configuration) sim.FDValue {
+	return o.leaders(t)
+}
+
+func (o OmegaOracle) leaders(t int) Leaders {
+	n := o.Pattern.N()
+	if t < o.GST {
+		// Rotate: k consecutive ids starting at (t mod n) + 1.
+		ids := make([]sim.ProcessID, 0, o.K)
+		for i := 0; i < o.K; i++ {
+			ids = append(ids, sim.ProcessID((t+i)%n+1))
+		}
+		return NewLeaders(ids...)
+	}
+	return o.stable()
+}
+
+func (o OmegaOracle) stable() Leaders {
+	n := o.Pattern.N()
+	correct := o.Pattern.Correct()
+	ids := make([]sim.ProcessID, 0, o.K)
+	if len(correct) > 0 {
+		ids = append(ids, correct[0])
+	} else {
+		ids = append(ids, 1)
+	}
+	// Pad with successive ids (wrapping) until |LD| = k.
+	next := ids[0]
+	for len(ids) < o.K {
+		next = next%sim.ProcessID(n) + 1
+		dup := false
+		for _, q := range ids {
+			if q == next {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ids = append(ids, next)
+		}
+	}
+	return NewLeaders(ids...)
+}
+
+// CombinedOracle pairs a Sigma_k oracle with an Omega_k oracle into the
+// (Sigma_k, Omega_k) detector queried by Section VII algorithms.
+type CombinedOracle struct {
+	Sigma SigmaOracle
+	Omega OmegaOracle
+}
+
+// Query implements the sched.Oracle contract.
+func (o CombinedOracle) Query(p sim.ProcessID, t int, c *sim.Configuration) sim.FDValue {
+	return Combined{
+		Quorum:  o.Sigma.trust(p, t),
+		Leaders: o.Omega.leaders(t),
+	}
+}
+
+// PartitionSigmaOracle realizes the Sigma'_k part of Definition 7 for a
+// fixed partitioning {D_1, ..., D_k} of the system: the output at a process
+// p in D_i is a valid Sigma (= Sigma_1) history of the restricted model
+// <D_i> — here, the alive members of D_i — and after p crashes the output is
+// the whole system Pi, exactly as the definition stipulates.
+type PartitionSigmaOracle struct {
+	Partition [][]sim.ProcessID
+	Pattern   *Pattern
+
+	group map[sim.ProcessID]int
+}
+
+// NewPartitionSigmaOracle builds the oracle, indexing the partition.
+func NewPartitionSigmaOracle(partition [][]sim.ProcessID, pattern *Pattern) *PartitionSigmaOracle {
+	o := &PartitionSigmaOracle{Partition: partition, Pattern: pattern, group: map[sim.ProcessID]int{}}
+	for gi, g := range partition {
+		for _, p := range g {
+			o.group[p] = gi
+		}
+	}
+	return o
+}
+
+// Query implements the sched.Oracle contract.
+func (o *PartitionSigmaOracle) Query(p sim.ProcessID, t int, _ *sim.Configuration) sim.FDValue {
+	return o.trust(p, t)
+}
+
+func (o *PartitionSigmaOracle) trust(p sim.ProcessID, t int) TrustSet {
+	if o.Pattern.Crashed(p, t) {
+		return NewTrustSet(AllProcesses(o.Pattern.N())...)
+	}
+	gi, ok := o.group[p]
+	if !ok {
+		return NewTrustSet(o.Pattern.Alive(t)...)
+	}
+	var alive []sim.ProcessID
+	for _, q := range o.Partition[gi] {
+		if !o.Pattern.Crashed(q, t) {
+			alive = append(alive, q)
+		}
+	}
+	if len(alive) == 0 {
+		alive = append(alive, p)
+	}
+	return NewTrustSet(alive...)
+}
+
+// PartitionCombinedOracle is the full (Sigma'_k, Omega'_k) partition
+// detector of Definition 7: quorums confined to the querying process's
+// partition, leaders per Omega_k (Omega'_k = Omega_k in the paper).
+type PartitionCombinedOracle struct {
+	Sigma *PartitionSigmaOracle
+	Omega OmegaOracle
+}
+
+// Query implements the sched.Oracle contract.
+func (o PartitionCombinedOracle) Query(p sim.ProcessID, t int, _ *sim.Configuration) sim.FDValue {
+	return Combined{
+		Quorum:  o.Sigma.trust(p, t),
+		Leaders: o.Omega.leaders(t),
+	}
+}
+
+// ReplayOracle replays per-process sequences of failure-detector values: the
+// i-th query of process p returns the i-th recorded value, regardless of
+// global time. This is how Lemma 11 pastes histories: processes in D-bar
+// observe exactly the detector values of run alpha even though the pasted
+// run beta' schedules their steps at different global times. When a process
+// exhausts its sequence the last value is repeated (histories are constant
+// after the recorded window).
+type ReplayOracle struct {
+	seq  map[sim.ProcessID][]sim.FDValue
+	next map[sim.ProcessID]int
+}
+
+// NewReplayOracle builds a replay oracle from per-process value sequences.
+func NewReplayOracle(seq map[sim.ProcessID][]sim.FDValue) *ReplayOracle {
+	cp := make(map[sim.ProcessID][]sim.FDValue, len(seq))
+	for p, vs := range seq {
+		cp[p] = append([]sim.FDValue(nil), vs...)
+	}
+	return &ReplayOracle{seq: cp, next: make(map[sim.ProcessID]int)}
+}
+
+// ReplayFromRun builds a replay oracle from the detector values each process
+// observed in a recorded run, in step order.
+func ReplayFromRun(r *sim.Run) *ReplayOracle {
+	seq := make(map[sim.ProcessID][]sim.FDValue)
+	for _, ev := range r.Events {
+		if ev.Silent {
+			continue
+		}
+		if ev.FD != nil {
+			seq[ev.Proc] = append(seq[ev.Proc], ev.FD)
+		}
+	}
+	return NewReplayOracle(seq)
+}
+
+// Merge adds the sequences of another replay oracle for processes this one
+// has no sequence for. It is used to combine the solo-run histories of
+// disjoint partitions into one pasted history (Lemma 12).
+func (o *ReplayOracle) Merge(other *ReplayOracle) {
+	for p, vs := range other.seq {
+		if _, ok := o.seq[p]; !ok {
+			o.seq[p] = append([]sim.FDValue(nil), vs...)
+		}
+	}
+}
+
+// Query implements the sched.Oracle contract.
+func (o *ReplayOracle) Query(p sim.ProcessID, t int, _ *sim.Configuration) sim.FDValue {
+	vs := o.seq[p]
+	if len(vs) == 0 {
+		return nil
+	}
+	i := o.next[p]
+	if i >= len(vs) {
+		i = len(vs) - 1
+	} else {
+		o.next[p] = i + 1
+	}
+	return vs[i]
+}

@@ -1,0 +1,164 @@
+package fd
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"kset/internal/sim"
+)
+
+// idSet is a quick.Generator for small process-id sets.
+type idSet []sim.ProcessID
+
+// Generate implements quick.Generator.
+func (idSet) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := rng.Intn(8)
+	out := make(idSet, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, sim.ProcessID(1+rng.Intn(10)))
+	}
+	return reflect.ValueOf(out)
+}
+
+var _ quick.Generator = idSet{}
+
+// TestQuickIntersectsSymmetricAndCorrect: Intersects agrees with the brute
+// force and is symmetric.
+func TestQuickIntersectsSymmetricAndCorrect(t *testing.T) {
+	prop := func(a, b idSet) bool {
+		ta, tb := NewTrustSet(a...), NewTrustSet(b...)
+		brute := false
+		for _, x := range ta.IDs {
+			for _, y := range tb.IDs {
+				if x == y {
+					brute = true
+				}
+			}
+		}
+		return ta.Intersects(tb) == brute && tb.Intersects(ta) == brute
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickTrustSetNormalized: NewTrustSet sorts and deduplicates, and Key
+// is canonical (same set of ids, same key).
+func TestQuickTrustSetNormalized(t *testing.T) {
+	prop := func(a idSet) bool {
+		ts := NewTrustSet(a...)
+		for i := 1; i < len(ts.IDs); i++ {
+			if ts.IDs[i-1] >= ts.IDs[i] {
+				return false
+			}
+		}
+		// Shuffle-invariance of the key.
+		shuffled := append(idSet(nil), a...)
+		for i := range shuffled {
+			j := (i * 7) % len(shuffled)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		return NewTrustSet(shuffled...).Key() == ts.Key()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAliveSigmaSatisfiesIntersection: for any crash pattern with at
+// least one correct process, histories of the alive-set Sigma oracle always
+// satisfy the Sigma_1 (and hence every Sigma_k) intersection property.
+func TestQuickAliveSigmaSatisfiesIntersection(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		pattern := NewPattern(n)
+		// Crash up to n-1 processes at random times.
+		crashes := rng.Intn(n)
+		perm := rng.Perm(n)
+		for i := 0; i < crashes; i++ {
+			pattern = pattern.WithCrash(sim.ProcessID(perm[i]+1), rng.Intn(20))
+		}
+		oracle := SigmaOracle{K: 1, Pattern: pattern}
+		h := NewHistory(n)
+		for t := 0; t < 25; t++ {
+			for p := 1; p <= n; p++ {
+				pid := sim.ProcessID(p)
+				if pattern.Crashed(pid, t) {
+					continue
+				}
+				h.Add(pid, t, oracle.Query(pid, t, nil))
+			}
+		}
+		if err := CheckSigmaIntersection(h, 1); err != nil {
+			return false
+		}
+		return CheckSigmaLiveness(h, pattern) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPatternMonotone: Crashed(p, t) is monotone in t.
+func TestQuickPatternMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		pattern := NewPattern(n)
+		for p := 1; p <= n; p++ {
+			if rng.Intn(2) == 0 {
+				pattern = pattern.WithCrash(sim.ProcessID(p), rng.Intn(10))
+			}
+		}
+		for p := 1; p <= n; p++ {
+			pid := sim.ProcessID(p)
+			was := false
+			for tt := 0; tt < 15; tt++ {
+				now := pattern.Crashed(pid, tt)
+				if was && !now {
+					return false
+				}
+				was = now
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCheckSigmaIntersection(b *testing.B) {
+	n, k := 8, 3
+	pattern := NewPattern(n).WithCrash(2, 9)
+	part := [][]sim.ProcessID{{1, 2}, {3, 4, 5}, {6, 7, 8}}
+	oracle := NewPartitionSigmaOracle(part, pattern)
+	h := NewHistory(n)
+	for t := 0; t < 30; t++ {
+		for p := 1; p <= n; p++ {
+			pid := sim.ProcessID(p)
+			if pattern.Crashed(pid, t) {
+				continue
+			}
+			h.Add(pid, t, oracle.Query(pid, t, nil))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := CheckSigmaIntersection(h, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSigmaOracleQuery(b *testing.B) {
+	pattern := NewPattern(16).WithCrash(3, 5).WithCrash(9, 12)
+	oracle := SigmaOracle{K: 2, Pattern: pattern}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = oracle.Query(sim.ProcessID(i%16+1), i%40, nil)
+	}
+}

@@ -1,0 +1,99 @@
+package fd
+
+import (
+	"fmt"
+
+	"kset/internal/sim"
+)
+
+// This file implements the failure-detector transformation notion of
+// Section II-C: an algorithm A_{D -> D'} transforms detector D into D' when
+// processes can maintain output variables emulating admissible D' histories
+// from their D queries. Transformations are what the paper's comparison
+// relation ("weaker/stronger") is made of; two are built here:
+//
+//   - the identity-style transformation behind Lemma 9: every history of
+//     the partition detector (Sigma'_k, Omega'_k) is *already* an
+//     admissible (Sigma_k, Omega_k) history, so the transformation simply
+//     forwards the output (the lemma's content is the admissibility proof,
+//     which CheckSigma*/CheckOmega* verify on recorded histories);
+//   - the Gamma -> Omega_2 transformation used in the proof of condition
+//     (C) of Theorem 10: Gamma eventually stabilizes on a leader set
+//     intersecting D-bar in exactly two processes, so projecting the output
+//     onto D-bar (keeping the two smallest members, padding determinist-
+//     ically while fewer are visible) emulates Omega_2 for the subsystem.
+//
+// A Transform is a per-process stateless rewriting of each queried value;
+// stateful transformations would take the previous output, which none of
+// the ones reproduced here need.
+
+// Transform rewrites one detector value observed by process p at time t
+// into the emulated detector's value.
+type Transform func(p sim.ProcessID, t int, v sim.FDValue) sim.FDValue
+
+// Lemma9Transform returns the transformation A_{(Sigma'_k, Omega'_k) ->
+// (Sigma_k, Omega_k)}: the identity. Its correctness is exactly Lemma 9,
+// checked on histories by CheckSigmaIntersection, CheckSigmaLiveness,
+// CheckOmegaValidity and CheckOmegaEventualLeadership.
+func Lemma9Transform() Transform {
+	return func(_ sim.ProcessID, _ int, v sim.FDValue) sim.FDValue { return v }
+}
+
+// GammaToOmega2 returns the transformation used in Theorem 10's condition
+// (C): given Gamma outputs (leader sets eventually stabilizing on a set
+// that intersects dbar in exactly two processes), emulate Omega_2 for the
+// subsystem <dbar> by projecting each leader set onto dbar and padding to
+// exactly two ids deterministically from dbar.
+func GammaToOmega2(dbar []sim.ProcessID) (Transform, error) {
+	if len(dbar) < 2 {
+		return nil, fmt.Errorf("fd: Omega_2 emulation needs |D-bar| >= 2, got %d", len(dbar))
+	}
+	member := make(map[sim.ProcessID]bool, len(dbar))
+	for _, p := range dbar {
+		member[p] = true
+	}
+	pad := append([]sim.ProcessID(nil), dbar...)
+	return func(_ sim.ProcessID, _ int, v sim.FDValue) sim.FDValue {
+		ld, ok := leadersOf(v)
+		if !ok {
+			return nil
+		}
+		var kept []sim.ProcessID
+		for _, id := range ld.IDs {
+			if member[id] {
+				kept = append(kept, id)
+			}
+		}
+		for _, id := range pad {
+			if len(kept) >= 2 {
+				break
+			}
+			dup := false
+			for _, q := range kept {
+				if q == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				kept = append(kept, id)
+			}
+		}
+		return NewLeaders(kept[:2]...)
+	}, nil
+}
+
+// ApplyTransform rewrites every sample of a history through the transform,
+// producing the emulated history (the "output variables" of Section II-C
+// sampled at the same query times).
+func ApplyTransform(h *History, tr Transform) *History {
+	out := NewHistory(h.N())
+	for _, p := range h.Processes() {
+		for _, s := range h.Samples(p) {
+			if v := tr(p, s.T, s.V); v != nil {
+				out.Add(p, s.T, v)
+			}
+		}
+	}
+	return out
+}

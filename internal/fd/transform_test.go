@@ -1,0 +1,126 @@
+package fd
+
+import (
+	"testing"
+
+	"kset/internal/sim"
+)
+
+// TestLemma9TransformForwardsAdmissibleHistories is the constructive side
+// of Lemma 9: forwarding (Sigma'_k, Omega'_k) outputs verbatim yields an
+// admissible (Sigma_k, Omega_k) history.
+func TestLemma9TransformForwardsAdmissibleHistories(t *testing.T) {
+	n, k := 6, 3
+	pattern := NewPattern(n).WithCrash(4, 7)
+	partition := [][]sim.ProcessID{{1, 2}, {3, 4}, {5, 6}}
+	oracle := PartitionCombinedOracle{
+		Sigma: NewPartitionSigmaOracle(partition, pattern),
+		Omega: OmegaOracle{K: k, Pattern: pattern, GST: 12},
+	}
+	h := NewHistory(n)
+	for t0 := 0; t0 < 30; t0++ {
+		for p := 1; p <= n; p++ {
+			pid := sim.ProcessID(p)
+			if pattern.Crashed(pid, t0) {
+				continue
+			}
+			h.Add(pid, t0, oracle.Query(pid, t0, nil))
+		}
+	}
+	emulated := ApplyTransform(h, Lemma9Transform())
+	if err := CheckSigmaIntersection(emulated, k); err != nil {
+		t.Errorf("emulated Sigma_k intersection: %v", err)
+	}
+	if err := CheckSigmaLiveness(emulated, pattern); err != nil {
+		t.Errorf("emulated Sigma_k liveness: %v", err)
+	}
+	if err := CheckOmegaValidity(emulated, k); err != nil {
+		t.Errorf("emulated Omega_k validity: %v", err)
+	}
+	if err := CheckOmegaEventualLeadership(emulated, pattern); err != nil {
+		t.Errorf("emulated Omega_k leadership: %v", err)
+	}
+}
+
+func TestGammaToOmega2Projection(t *testing.T) {
+	dbar := []sim.ProcessID{1, 2, 3}
+	tr, err := GammaToOmega2(dbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gamma output intersecting dbar in two processes: projected verbatim.
+	out := tr(1, 0, NewLeaders(2, 3, 5))
+	ld, ok := out.(Leaders)
+	if !ok {
+		t.Fatalf("output %T, want Leaders", out)
+	}
+	if len(ld.IDs) != 2 || ld.IDs[0] != 2 || ld.IDs[1] != 3 {
+		t.Fatalf("projected = %v, want [2 3]", ld.IDs)
+	}
+	// Output with one member in dbar: padded deterministically.
+	out = tr(1, 1, NewLeaders(3, 5, 6))
+	ld = out.(Leaders)
+	if len(ld.IDs) != 2 {
+		t.Fatalf("padded = %v, want 2 ids", ld.IDs)
+	}
+	for _, id := range ld.IDs {
+		found := false
+		for _, q := range dbar {
+			if q == id {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("emulated leader %d outside D-bar", id)
+		}
+	}
+	// Non-leader values pass through as nil.
+	if got := tr(1, 2, NewTrustSet(1)); got != nil {
+		t.Fatalf("non-leader input produced %v", got)
+	}
+}
+
+func TestGammaToOmega2StabilizesWithGamma(t *testing.T) {
+	// A Gamma that stabilizes on {2, 3, 9} at t >= 5 must yield an Omega_2
+	// history for dbar = {1,2,3,4} that stabilizes on {2, 3}.
+	dbar := []sim.ProcessID{1, 2, 3, 4}
+	tr, err := GammaToOmega2(dbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHistory(9)
+	for t0 := 0; t0 < 10; t0++ {
+		var g Leaders
+		if t0 < 5 {
+			g = NewLeaders(sim.ProcessID(t0%9+1), 9, 8)
+		} else {
+			g = NewLeaders(2, 3, 9)
+		}
+		for _, p := range dbar {
+			h.Add(p, t0, g)
+		}
+	}
+	emulated := ApplyTransform(h, tr)
+	pattern := NewPattern(9)
+	if err := CheckOmegaValidity(emulated, 2); err != nil {
+		t.Errorf("validity: %v", err)
+	}
+	if err := CheckOmegaEventualLeadership(emulated, pattern); err != nil {
+		t.Errorf("leadership: %v", err)
+	}
+	// The stable suffix must be exactly {2,3}.
+	for _, p := range dbar {
+		ss := emulated.Samples(p)
+		last := ss[len(ss)-1]
+		ld, _ := leadersOf(last.V)
+		if ld.Key() != "LD[2 3]" {
+			t.Fatalf("stable emulated leaders = %s, want LD[2 3]", ld.Key())
+		}
+	}
+}
+
+func TestGammaToOmega2RejectsTinyDBar(t *testing.T) {
+	if _, err := GammaToOmega2([]sim.ProcessID{1}); err == nil {
+		t.Fatal("singleton D-bar accepted")
+	}
+}

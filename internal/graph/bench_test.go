@@ -1,0 +1,68 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(n, degree int) *Digraph {
+	rng := rand.New(rand.NewSource(11))
+	g := New()
+	for v := 0; v < n; v++ {
+		g.AddNode(v)
+	}
+	for v := 0; v < n; v++ {
+		for i := 0; i < degree; i++ {
+			u := rng.Intn(n)
+			if u != v {
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkSCCs256(b *testing.B) {
+	g := benchGraph(256, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.SCCs(); len(got) == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+func BenchmarkSCCs4096(b *testing.B) {
+	g := benchGraph(4096, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := g.SCCs(); len(got) == 0 {
+			b.Fatal("no components")
+		}
+	}
+}
+
+func BenchmarkSourceComponents1024(b *testing.B) {
+	g := benchGraph(1024, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.SourceComponents()
+	}
+}
+
+func BenchmarkSourceComponentsReaching(b *testing.B) {
+	g := benchGraph(512, 3)
+	nodes := g.Nodes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.SourceComponentsReaching(nodes[i%len(nodes)])
+	}
+}
+
+func BenchmarkWeaklyConnectedComponents(b *testing.B) {
+	g := benchGraph(1024, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.WeaklyConnectedComponents()
+	}
+}

@@ -1,0 +1,197 @@
+// Package graph implements the directed-graph machinery of Section VI of
+// the paper: strongly connected components, condensation DAGs, source
+// components (Lemmas 6 and 7), weakly connected components, and ancestor
+// closures. The stage-1 communication graph of the generalized FLP
+// k-set-agreement algorithm ("there is an edge from u to w iff w received a
+// message from u in the first stage") is analyzed with exactly these
+// operations.
+//
+// All operations are deterministic: nodes and results are reported in
+// ascending order regardless of insertion order.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Digraph is a finite directed simple graph over int node ids. The zero
+// value is an empty graph ready to use.
+type Digraph struct {
+	nodes map[int]bool
+	out   map[int]map[int]bool
+	in    map[int]map[int]bool
+}
+
+// New returns an empty digraph.
+func New() *Digraph {
+	return &Digraph{
+		nodes: make(map[int]bool),
+		out:   make(map[int]map[int]bool),
+		in:    make(map[int]map[int]bool),
+	}
+}
+
+func (g *Digraph) ensure() {
+	if g.nodes == nil {
+		g.nodes = make(map[int]bool)
+		g.out = make(map[int]map[int]bool)
+		g.in = make(map[int]map[int]bool)
+	}
+}
+
+// AddNode inserts node v (idempotent).
+func (g *Digraph) AddNode(v int) {
+	g.ensure()
+	g.nodes[v] = true
+}
+
+// AddEdge inserts the directed edge u -> w, adding the endpoints as needed.
+// Self-loops are allowed by the representation but rejected here because the
+// paper's graphs are simple; adding one is a programming error.
+func (g *Digraph) AddEdge(u, w int) error {
+	if u == w {
+		return fmt.Errorf("graph: self-loop %d -> %d rejected (simple graph)", u, w)
+	}
+	g.ensure()
+	g.nodes[u] = true
+	g.nodes[w] = true
+	if g.out[u] == nil {
+		g.out[u] = make(map[int]bool)
+	}
+	if g.in[w] == nil {
+		g.in[w] = make(map[int]bool)
+	}
+	g.out[u][w] = true
+	g.in[w][u] = true
+	return nil
+}
+
+// HasEdge reports whether the edge u -> w exists.
+func (g *Digraph) HasEdge(u, w int) bool { return g.out[u][w] }
+
+// HasNode reports whether v is a node.
+func (g *Digraph) HasNode(v int) bool { return g.nodes[v] }
+
+// Len returns the number of nodes.
+func (g *Digraph) Len() int { return len(g.nodes) }
+
+// EdgeCount returns the number of edges.
+func (g *Digraph) EdgeCount() int {
+	total := 0
+	for _, succ := range g.out {
+		total += len(succ)
+	}
+	return total
+}
+
+// Nodes returns the node ids in ascending order.
+func (g *Digraph) Nodes() []int {
+	out := make([]int, 0, len(g.nodes))
+	for v := range g.nodes {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Out returns u's out-neighbours in ascending order.
+func (g *Digraph) Out(u int) []int { return sortedKeys(g.out[u]) }
+
+// In returns w's in-neighbours in ascending order.
+func (g *Digraph) In(w int) []int { return sortedKeys(g.in[w]) }
+
+// InDegree returns the in-degree of w.
+func (g *Digraph) InDegree(w int) int { return len(g.in[w]) }
+
+// OutDegree returns the out-degree of u.
+func (g *Digraph) OutDegree(u int) int { return len(g.out[u]) }
+
+// MinInDegree returns the minimum in-degree over all nodes (0 for the empty
+// graph). This is the delta of Lemma 6.
+func (g *Digraph) MinInDegree() int {
+	first := true
+	minDeg := 0
+	for v := range g.nodes {
+		d := len(g.in[v])
+		if first || d < minDeg {
+			minDeg = d
+			first = false
+		}
+	}
+	return minDeg
+}
+
+// Subgraph returns the induced subgraph on the given node set. Nodes absent
+// from g are ignored.
+func (g *Digraph) Subgraph(nodes []int) *Digraph {
+	keep := make(map[int]bool, len(nodes))
+	for _, v := range nodes {
+		if g.nodes[v] {
+			keep[v] = true
+		}
+	}
+	sub := New()
+	for v := range keep {
+		sub.AddNode(v)
+		for w := range g.out[v] {
+			if keep[w] {
+				// Both endpoints kept and the edge existed in a simple
+				// graph, so AddEdge cannot fail.
+				_ = sub.AddEdge(v, w)
+			}
+		}
+	}
+	return sub
+}
+
+// Ancestors returns every node with a directed path to v, including v
+// itself, in ascending order.
+func (g *Digraph) Ancestors(v int) []int {
+	if !g.nodes[v] {
+		return nil
+	}
+	seen := map[int]bool{v: true}
+	stack := []int{v}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for u := range g.in[cur] {
+			if !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// Reachable returns every node reachable from v by a directed path,
+// including v itself, in ascending order.
+func (g *Digraph) Reachable(v int) []int {
+	if !g.nodes[v] {
+		return nil
+	}
+	seen := map[int]bool{v: true}
+	stack := []int{v}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for w := range g.out[cur] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+func sortedKeys(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,371 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func mustEdge(t *testing.T, g *Digraph, u, w int) {
+	t.Helper()
+	if err := g.AddEdge(u, w); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, w, err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New()
+	if g.Len() != 0 || g.EdgeCount() != 0 {
+		t.Fatal("empty graph has nodes or edges")
+	}
+	if got := g.SCCs(); len(got) != 0 {
+		t.Fatalf("SCCs of empty graph = %v", got)
+	}
+	if got := g.MinInDegree(); got != 0 {
+		t.Fatalf("MinInDegree of empty graph = %d", got)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var g Digraph
+	g.AddNode(1)
+	if err := g.AddEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+}
+
+func TestRejectSelfLoop(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(3, 3); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestBasicAccessors(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 2)
+	mustEdge(t, g, 1, 3)
+	if !g.HasEdge(1, 2) || g.HasEdge(2, 1) {
+		t.Fatal("HasEdge wrong")
+	}
+	if got := g.Out(1); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("Out(1) = %v", got)
+	}
+	if got := g.In(2); !reflect.DeepEqual(got, []int{1, 3}) {
+		t.Fatalf("In(2) = %v", got)
+	}
+	if g.InDegree(2) != 2 || g.OutDegree(1) != 2 {
+		t.Fatal("degree wrong")
+	}
+	if g.MinInDegree() != 0 { // node 1 has in-degree 0
+		t.Fatalf("MinInDegree = %d, want 0", g.MinInDegree())
+	}
+	if g.EdgeCount() != 3 {
+		t.Fatalf("EdgeCount = %d, want 3", g.EdgeCount())
+	}
+}
+
+func TestSCCsTwoCycles(t *testing.T) {
+	g := New()
+	// Cycle {1,2,3} -> cycle {4,5}.
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 1)
+	mustEdge(t, g, 4, 5)
+	mustEdge(t, g, 5, 4)
+	mustEdge(t, g, 3, 4)
+	want := [][]int{{1, 2, 3}, {4, 5}}
+	if got := g.SCCs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SCCs = %v, want %v", got, want)
+	}
+	srcs := g.SourceComponents()
+	if !reflect.DeepEqual(srcs, [][]int{{1, 2, 3}}) {
+		t.Fatalf("SourceComponents = %v", srcs)
+	}
+}
+
+func TestSCCsSingletons(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	want := [][]int{{1}, {2}, {3}}
+	if got := g.SCCs(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("SCCs = %v, want %v", got, want)
+	}
+}
+
+func TestSCCDeepChainNoOverflow(t *testing.T) {
+	// A 50k-node chain would overflow a recursive Tarjan.
+	g := New()
+	const n = 50000
+	for i := 0; i < n-1; i++ {
+		mustEdge(t, g, i, i+1)
+	}
+	if got := len(g.SCCs()); got != n {
+		t.Fatalf("SCC count = %d, want %d", got, n)
+	}
+}
+
+func TestCondensation(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 1)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 4)
+	mustEdge(t, g, 4, 3)
+	dag, comps, compOf := g.Condensation()
+	if len(comps) != 2 {
+		t.Fatalf("comps = %v", comps)
+	}
+	if compOf[1] != compOf[2] || compOf[3] != compOf[4] || compOf[1] == compOf[3] {
+		t.Fatalf("compOf = %v", compOf)
+	}
+	if !dag.HasEdge(compOf[1], compOf[3]) {
+		t.Fatal("condensation missing edge between components")
+	}
+	if dag.EdgeCount() != 1 {
+		t.Fatalf("condensation edges = %d, want 1", dag.EdgeCount())
+	}
+}
+
+func TestAncestorsAndReachable(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 4, 3)
+	mustEdge(t, g, 3, 5)
+	if got := g.Ancestors(3); !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("Ancestors(3) = %v", got)
+	}
+	if got := g.Reachable(2); !reflect.DeepEqual(got, []int{2, 3, 5}) {
+		t.Fatalf("Reachable(2) = %v", got)
+	}
+	if got := g.Ancestors(99); got != nil {
+		t.Fatalf("Ancestors of missing node = %v", got)
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 1)
+	sub := g.Subgraph([]int{1, 2, 99})
+	if sub.Len() != 2 {
+		t.Fatalf("subgraph nodes = %d, want 2", sub.Len())
+	}
+	if !sub.HasEdge(1, 2) || sub.HasEdge(2, 3) {
+		t.Fatal("subgraph edges wrong")
+	}
+}
+
+func TestWeaklyConnectedComponents(t *testing.T) {
+	g := New()
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 4)
+	g.AddNode(9)
+	want := [][]int{{1, 2}, {3, 4}, {9}}
+	if got := g.WeaklyConnectedComponents(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("WCC = %v, want %v", got, want)
+	}
+}
+
+func TestSourceComponentsReaching(t *testing.T) {
+	g := New()
+	// Two source cycles {1,2} and {5,6}; both reach 4; only {1,2} reaches 3.
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 1)
+	mustEdge(t, g, 5, 6)
+	mustEdge(t, g, 6, 5)
+	mustEdge(t, g, 2, 3)
+	mustEdge(t, g, 3, 4)
+	mustEdge(t, g, 6, 4)
+	if got := g.SourceComponentsReaching(3); !reflect.DeepEqual(got, [][]int{{1, 2}}) {
+		t.Fatalf("reaching 3 = %v", got)
+	}
+	if got := g.SourceComponentsReaching(4); !reflect.DeepEqual(got, [][]int{{1, 2}, {5, 6}}) {
+		t.Fatalf("reaching 4 = %v", got)
+	}
+	if got := g.SourceComponentsReaching(1); !reflect.DeepEqual(got, [][]int{{1, 2}}) {
+		t.Fatalf("reaching 1 = %v", got)
+	}
+}
+
+func TestIsClique(t *testing.T) {
+	g := New()
+	for _, u := range []int{1, 2, 3} {
+		for _, w := range []int{1, 2, 3} {
+			if u != w {
+				mustEdge(t, g, u, w)
+			}
+		}
+	}
+	mustEdge(t, g, 3, 4)
+	if !g.IsClique([]int{1, 2, 3}) {
+		t.Fatal("clique not recognized")
+	}
+	if g.IsClique([]int{1, 2, 3, 4}) {
+		t.Fatal("non-clique accepted")
+	}
+	if !g.IsClique([]int{2}) {
+		t.Fatal("singleton must be a clique")
+	}
+}
+
+// randomMinInDegreeGraph builds a random simple digraph on n nodes where
+// every node has in-degree at least delta (as induced by "waiting for delta
+// messages" in FLP stage 1).
+func randomMinInDegreeGraph(rng *rand.Rand, n, delta int) *Digraph {
+	g := New()
+	for v := 0; v < n; v++ {
+		g.AddNode(v)
+		perm := rng.Perm(n)
+		added := 0
+		for _, u := range perm {
+			if u == v {
+				continue
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				panic(err)
+			}
+			added++
+			if added >= delta {
+				break
+			}
+		}
+	}
+	// Sprinkle extra random edges.
+	extra := rng.Intn(n * 2)
+	for i := 0; i < extra; i++ {
+		u, w := rng.Intn(n), rng.Intn(n)
+		if u != w {
+			_ = g.AddEdge(u, w)
+		}
+	}
+	return g
+}
+
+// TestLemma6SourceComponentSize checks Lemma 6: every finite directed simple
+// graph with min in-degree delta >= 1 has a source component of size at
+// least delta+1 — and, as used in Section VI, at most floor(n/(delta+1))
+// source components exist.
+func TestLemma6SourceComponentSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(40)
+		delta := 1 + rng.Intn(n-1)
+		g := randomMinInDegreeGraph(rng, n, delta)
+		if got := g.MinInDegree(); got < delta {
+			t.Fatalf("generator broken: min in-degree %d < %d", got, delta)
+		}
+		srcs := g.SourceComponents()
+		if len(srcs) == 0 {
+			t.Fatalf("trial %d: no source components (n=%d delta=%d)", trial, n, delta)
+		}
+		foundBig := false
+		for _, c := range srcs {
+			// Every source component of a graph with min in-degree delta
+			// has size >= delta+1 (all in-neighbours of a member are members).
+			if len(c) < delta+1 {
+				t.Fatalf("trial %d: source component %v smaller than delta+1=%d", trial, c, delta+1)
+			}
+			foundBig = true
+		}
+		if !foundBig {
+			t.Fatalf("trial %d: Lemma 6 witness missing", trial)
+		}
+		if max := n / (delta + 1); len(srcs) > max {
+			t.Fatalf("trial %d: %d source components > floor(n/(delta+1)) = %d", trial, len(srcs), max)
+		}
+		// Section VI: when 2*delta >= n there can be only one source component.
+		if 2*delta >= n && len(srcs) != 1 {
+			t.Fatalf("trial %d: 2*delta >= n but %d source components", trial, len(srcs))
+		}
+	}
+}
+
+// TestLemma7EveryNodeReachedBySource checks Lemma 7's consequence: every
+// node has a directed incoming path from all processes of at least one
+// source component.
+func TestLemma7EveryNodeReachedBySource(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(30)
+		delta := 1 + rng.Intn(n-1)
+		g := randomMinInDegreeGraph(rng, n, delta)
+		for _, v := range g.Nodes() {
+			comps := g.SourceComponentsReaching(v)
+			if len(comps) == 0 {
+				t.Fatalf("trial %d: node %d not reached by any source component", trial, v)
+			}
+			for _, c := range comps {
+				if len(c) < delta+1 {
+					t.Fatalf("trial %d: reaching component %v smaller than %d", trial, c, delta+1)
+				}
+			}
+		}
+	}
+}
+
+// TestSourceComponentsReachingAgreesWithGlobal cross-checks the local
+// (ancestor-subgraph) computation against a brute-force global one.
+func TestSourceComponentsReachingAgreesWithGlobal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(20)
+		g := New()
+		for v := 0; v < n; v++ {
+			g.AddNode(v)
+		}
+		edges := rng.Intn(n * 3)
+		for i := 0; i < edges; i++ {
+			u, w := rng.Intn(n), rng.Intn(n)
+			if u != w {
+				_ = g.AddEdge(u, w)
+			}
+		}
+		global := g.SourceComponents()
+		for _, v := range g.Nodes() {
+			local := g.SourceComponentsReaching(v)
+			// Brute force: which global source components reach v?
+			var want [][]int
+			for _, c := range global {
+				reach := g.Reachable(c[0])
+				for _, r := range reach {
+					if r == v {
+						want = append(want, c)
+						break
+					}
+				}
+			}
+			if !reflect.DeepEqual(local, want) {
+				t.Fatalf("trial %d node %d: local %v != global %v", trial, v, local, want)
+			}
+		}
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	// Build the same graph twice with different insertion orders.
+	g1, g2 := New(), New()
+	edges := [][2]int{{1, 2}, {2, 3}, {3, 1}, {3, 4}, {5, 4}}
+	for _, e := range edges {
+		mustEdge(t, g1, e[0], e[1])
+	}
+	for i := len(edges) - 1; i >= 0; i-- {
+		mustEdge(t, g2, edges[i][0], edges[i][1])
+	}
+	if !reflect.DeepEqual(g1.SCCs(), g2.SCCs()) {
+		t.Fatal("SCCs depend on insertion order")
+	}
+	if !reflect.DeepEqual(g1.SourceComponents(), g2.SourceComponents()) {
+		t.Fatal("SourceComponents depend on insertion order")
+	}
+	if !reflect.DeepEqual(g1.Nodes(), g2.Nodes()) {
+		t.Fatal("Nodes depend on insertion order")
+	}
+}

@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// edgeList is a quick.Generator producing random simple digraphs as edge
+// lists over a small node range.
+type edgeList struct {
+	N     int
+	Edges [][2]int
+}
+
+// Generate implements quick.Generator.
+func (edgeList) Generate(rng *rand.Rand, size int) reflect.Value {
+	n := 2 + rng.Intn(14)
+	m := rng.Intn(3 * n)
+	edges := make([][2]int, 0, m)
+	for i := 0; i < m; i++ {
+		u, w := rng.Intn(n), rng.Intn(n)
+		if u != w {
+			edges = append(edges, [2]int{u, w})
+		}
+	}
+	return reflect.ValueOf(edgeList{N: n, Edges: edges})
+}
+
+// The compiler cannot check this for us: quick.Generator is consulted via
+// reflection at run time, and a wrong signature silently falls back to
+// random struct generation.
+var _ quick.Generator = edgeList{}
+
+func buildGraph(el edgeList) *Digraph {
+	g := New()
+	for v := 0; v < el.N; v++ {
+		g.AddNode(v)
+	}
+	for _, e := range el.Edges {
+		_ = g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// TestQuickSCCsPartitionNodes: strongly connected components always form a
+// partition of the node set.
+func TestQuickSCCsPartitionNodes(t *testing.T) {
+	prop := func(el edgeList) bool {
+		g := buildGraph(el)
+		seen := map[int]int{}
+		for _, comp := range g.SCCs() {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		if len(seen) != g.Len() {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCondensationIsAcyclic: the condensation never contains a cycle
+// (every SCC of the condensation is a singleton).
+func TestQuickCondensationIsAcyclic(t *testing.T) {
+	prop := func(el edgeList) bool {
+		g := buildGraph(el)
+		dag, comps, _ := g.Condensation()
+		if dag.Len() != len(comps) {
+			return false
+		}
+		for _, c := range dag.SCCs() {
+			if len(c) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSourceComponentsClosedUnderInNeighbours: every in-neighbour of a
+// source-component member is itself a member (the defining property used in
+// Lemma 6's proof).
+func TestQuickSourceComponentsClosedUnderInNeighbours(t *testing.T) {
+	prop := func(el edgeList) bool {
+		g := buildGraph(el)
+		for _, comp := range g.SourceComponents() {
+			member := map[int]bool{}
+			for _, v := range comp {
+				member[v] = true
+			}
+			for _, v := range comp {
+				for _, u := range g.In(v) {
+					if !member[u] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAncestorsContainInNeighboursTransitively: u in Ancestors(v) iff
+// v in Reachable(u).
+func TestQuickAncestorsReachableDuality(t *testing.T) {
+	prop := func(el edgeList) bool {
+		g := buildGraph(el)
+		nodes := g.Nodes()
+		if len(nodes) == 0 {
+			return true
+		}
+		v := nodes[len(nodes)/2]
+		anc := map[int]bool{}
+		for _, u := range g.Ancestors(v) {
+			anc[u] = true
+		}
+		for _, u := range nodes {
+			reach := false
+			for _, w := range g.Reachable(u) {
+				if w == v {
+					reach = true
+					break
+				}
+			}
+			if reach != anc[u] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWeaklyConnectedCoverSources: every weakly connected component
+// contains at least one source component (Lemma 7).
+func TestQuickWeaklyConnectedCoverSources(t *testing.T) {
+	prop := func(el edgeList) bool {
+		g := buildGraph(el)
+		srcs := g.SourceComponents()
+		for _, wcc := range g.WeaklyConnectedComponents() {
+			member := map[int]bool{}
+			for _, v := range wcc {
+				member[v] = true
+			}
+			found := false
+			for _, s := range srcs {
+				if member[s[0]] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package graph
+
+import "sort"
+
+// SCCs returns the strongly connected components of g using Tarjan's
+// algorithm (iterative, so deep graphs cannot overflow the stack). Each
+// component is sorted ascending and the component list is sorted by its
+// smallest member, making the output deterministic.
+func (g *Digraph) SCCs() [][]int {
+	nodes := g.Nodes()
+	index := make(map[int]int, len(nodes))
+	lowlink := make(map[int]int, len(nodes))
+	onStack := make(map[int]bool, len(nodes))
+	var stack []int
+	var comps [][]int
+	next := 0
+
+	type frame struct {
+		v    int
+		succ []int
+		i    int
+	}
+
+	for _, root := range nodes {
+		if _, visited := index[root]; visited {
+			continue
+		}
+		frames := []frame{{v: root, succ: g.Out(root)}}
+		index[root] = next
+		lowlink[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			advanced := false
+			for f.i < len(f.succ) {
+				w := f.succ[f.i]
+				f.i++
+				if _, visited := index[w]; !visited {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{v: w, succ: g.Out(w)})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v is fully explored.
+			if lowlink[f.v] == index[f.v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if lowlink[f.v] < lowlink[parent.v] {
+					lowlink[parent.v] = lowlink[f.v]
+				}
+			}
+		}
+	}
+
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// Condensation returns the DAG obtained by contracting every strongly
+// connected component to a single vertex, together with the components (in
+// the same deterministic order as SCCs) and the node-to-component index map.
+// Component i of the returned slice corresponds to node i of the DAG.
+func (g *Digraph) Condensation() (dag *Digraph, comps [][]int, compOf map[int]int) {
+	comps = g.SCCs()
+	compOf = make(map[int]int, len(g.nodes))
+	for ci, comp := range comps {
+		for _, v := range comp {
+			compOf[v] = ci
+		}
+	}
+	dag = New()
+	for ci := range comps {
+		dag.AddNode(ci)
+	}
+	for u := range g.out {
+		for w := range g.out[u] {
+			cu, cw := compOf[u], compOf[w]
+			if cu != cw {
+				// Distinct components, so AddEdge cannot fail.
+				_ = dag.AddEdge(cu, cw)
+			}
+		}
+	}
+	return dag, comps, compOf
+}
+
+// SourceComponents returns the source components of g: strongly connected
+// components whose vertex in the condensation DAG has in-degree 0 (Section
+// VI). Components are sorted by smallest member.
+func (g *Digraph) SourceComponents() [][]int {
+	dag, comps, _ := g.Condensation()
+	var out [][]int
+	for ci, comp := range comps {
+		if dag.InDegree(ci) == 0 {
+			out = append(out, comp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// SourceComponentsReaching returns the source components of g from which v
+// is reachable, sorted by smallest member. By Lemma 7 the result is nonempty
+// for every node of a graph with min in-degree >= 1 (and for any node, since
+// a node with in-degree 0 is itself a source component).
+func (g *Digraph) SourceComponentsReaching(v int) [][]int {
+	anc := g.Ancestors(v)
+	// Source components of the ancestor-induced subgraph are exactly the
+	// source components of g that reach v: every in-neighbour of an ancestor
+	// of v is itself an ancestor of v, so no edges into the subgraph are
+	// lost.
+	return g.Subgraph(anc).SourceComponents()
+}
+
+// WeaklyConnectedComponents returns the weakly connected components of g
+// (connected components when edge direction is ignored), each sorted
+// ascending, ordered by smallest member.
+func (g *Digraph) WeaklyConnectedComponents() [][]int {
+	seen := make(map[int]bool, len(g.nodes))
+	var comps [][]int
+	for _, root := range g.Nodes() {
+		if seen[root] {
+			continue
+		}
+		var comp []int
+		stack := []int{root}
+		seen[root] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, v)
+			for w := range g.out[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+			for u := range g.in[v] {
+				if !seen[u] {
+					seen[u] = true
+					stack = append(stack, u)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// IsClique reports whether the given nodes form a fully connected subgraph
+// (every ordered pair joined by an edge). The initial cliques of the FLP
+// protocol are source components that happen to be cliques.
+func (g *Digraph) IsClique(nodes []int) bool {
+	for _, u := range nodes {
+		for _, w := range nodes {
+			if u != w && !g.out[u][w] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,61 @@
+package ho
+
+import (
+	"testing"
+
+	"kset/internal/sim"
+)
+
+func BenchmarkFloodMinComplete(b *testing.B) {
+	n := 16
+	in := inputs(n)
+	assign := Complete(n)
+	for i := 0; i < b.N; i++ {
+		res, err := Execute(FloodMin{R: 3}, in, assign, 10)
+		if err != nil || !res.AllDecided(n) {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkFloodMinPartitioned(b *testing.B) {
+	n := 16
+	in := inputs(n)
+	groups := [][]sim.ProcessID{}
+	for g := 0; g < 4; g++ {
+		var grp []sim.ProcessID
+		for j := 1; j <= 4; j++ {
+			grp = append(grp, sim.ProcessID(g*4+j))
+		}
+		groups = append(groups, grp)
+	}
+	assign := Partitioned(n, groups, 3)
+	for i := 0; i < b.N; i++ {
+		res, err := Execute(FloodMin{R: 3}, in, assign, 10)
+		if err != nil || len(res.DistinctDecisions()) != 4 {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkOneThirdRuleComplete(b *testing.B) {
+	n := 16
+	in := inputs(n)
+	assign := Complete(n)
+	for i := 0; i < b.N; i++ {
+		res, err := Execute(OneThirdRule{}, in, assign, 10)
+		if err != nil || !res.AllDecided(n) {
+			b.Fatalf("res=%v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkKernelPredicate(b *testing.B) {
+	n := 32
+	assign := Complete(n)
+	for i := 0; i < b.N; i++ {
+		if !CheckNonemptyKernel(n, assign, 5) {
+			b.Fatal("kernel lost")
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package ho
+
+import (
+	"fmt"
+
+	"kset/internal/sim"
+)
+
+// MinPayload carries the sender's current estimate in FloodMin.
+type MinPayload struct {
+	From sim.ProcessID
+	Est  sim.Value
+}
+
+// Key implements sim.Payload.
+func (p MinPayload) Key() string { return fmt.Sprintf("MIN(%d,%d)", p.From, p.Est) }
+
+// FloodMin is the classic flooding algorithm in the Heard-Of model: each
+// round broadcast your estimate, adopt the minimum heard, decide after R
+// rounds. Under the complete assignment one round suffices for consensus;
+// under crash-faulty assignments R = f+1 rounds bound the decision spread
+// by the usual flooding argument; under the partitioned assignment every
+// group floods internally and decides its own minimum — the Theorem 1
+// shape transported to the round model.
+type FloodMin struct {
+	// R is the number of rounds before deciding.
+	R int
+}
+
+// Name implements Algorithm.
+func (a FloodMin) Name() string { return fmt.Sprintf("ho-floodmin(R=%d)", a.R) }
+
+// Init implements Algorithm.
+func (a FloodMin) Init(n int, id sim.ProcessID, input sim.Value) RoundState {
+	return floodMinState{id: id, est: input, round: 0, r: a.R}
+}
+
+type floodMinState struct {
+	id    sim.ProcessID
+	est   sim.Value
+	round int
+	r     int
+}
+
+// Message implements RoundState.
+func (s floodMinState) Message() sim.Payload { return MinPayload{From: s.id, Est: s.est} }
+
+// Transition implements RoundState.
+func (s floodMinState) Transition(heard map[sim.ProcessID]sim.Payload) RoundState {
+	next := s
+	for _, payload := range heard {
+		if mp, ok := payload.(MinPayload); ok && mp.Est < next.est {
+			next.est = mp.Est
+		}
+	}
+	next.round++
+	return next
+}
+
+// Decided implements RoundState.
+func (s floodMinState) Decided() (sim.Value, bool) {
+	if s.round >= s.r {
+		return s.est, true
+	}
+	return sim.NoValue, false
+}
+
+// Key implements RoundState.
+func (s floodMinState) Key() string {
+	return fmt.Sprintf("fm{%d,%d,%d/%d}", s.id, s.est, s.round, s.r)
+}

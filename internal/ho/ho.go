@@ -1,0 +1,231 @@
+// Package ho implements the Heard-Of round model of Charron-Bost and
+// Schiper, which the paper's Discussion names as a natural next target for
+// Theorem 1 ("we are confident it can also be used to establish
+// impossibility results in round models like [8]").
+//
+// Computation proceeds in communication-closed rounds: in round r every
+// process broadcasts a message computed from its state, receives exactly
+// the round-r messages of the processes in its heard-of set HO(p, r), and
+// transitions. Failures and asynchrony are folded into the heard-of
+// assignment; communication predicates classify assignments.
+//
+// The package provides the executor, predicate checkers, a k-set agreement
+// algorithm for the model, and — the point of the exercise — the partition
+// predicates under which Theorem 1's argument goes through verbatim: when a
+// communication predicate admits assignments whose heard-of sets are
+// confined to k partitions for long enough, the partitions decide
+// independently and k-set agreement requires consensus inside one of them.
+package ho
+
+import (
+	"fmt"
+	"sort"
+
+	"kset/internal/sim"
+)
+
+// Algorithm is a round-based state machine factory.
+type Algorithm interface {
+	Name() string
+	Init(n int, id sim.ProcessID, input sim.Value) RoundState
+}
+
+// RoundState is an immutable per-round process state. Message returns the
+// payload broadcast in the current round; Transition consumes the heard
+// messages of the round (keyed by sender) and returns the next round's
+// state.
+type RoundState interface {
+	Message() sim.Payload
+	Transition(heard map[sim.ProcessID]sim.Payload) RoundState
+	Decided() (sim.Value, bool)
+	Key() string
+}
+
+// Assignment fixes the heard-of sets: HO(p, r) is the set of processes
+// whose round-r messages p receives. The paper's crash and asynchrony
+// adversaries become choices of assignment.
+type Assignment func(p sim.ProcessID, r int) []sim.ProcessID
+
+// Result is the outcome of an execution.
+type Result struct {
+	Rounds    int
+	Decisions map[sim.ProcessID]sim.Value
+	// States holds the final round states (for inspection/tests).
+	States map[sim.ProcessID]RoundState
+}
+
+// DistinctDecisions returns the distinct decided values, ascending.
+func (r *Result) DistinctDecisions() []sim.Value {
+	seen := map[sim.Value]bool{}
+	for _, v := range r.Decisions {
+		seen[v] = true
+	}
+	out := make([]sim.Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AllDecided reports whether every process decided.
+func (r *Result) AllDecided(n int) bool { return len(r.Decisions) == n }
+
+// Execute runs the algorithm for at most maxRounds communication-closed
+// rounds under the given heard-of assignment, stopping early once every
+// process has decided.
+func Execute(alg Algorithm, inputs []sim.Value, ho Assignment, maxRounds int) (*Result, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("ho: no processes")
+	}
+	if maxRounds <= 0 {
+		maxRounds = 100
+	}
+	states := make([]RoundState, n)
+	for i := 0; i < n; i++ {
+		states[i] = alg.Init(n, sim.ProcessID(i+1), inputs[i])
+	}
+	res := &Result{Decisions: map[sim.ProcessID]sim.Value{}, States: map[sim.ProcessID]RoundState{}}
+
+	for r := 0; r < maxRounds; r++ {
+		// Collect the round's messages.
+		msgs := make([]sim.Payload, n)
+		for i, s := range states {
+			msgs[i] = s.Message()
+		}
+		// Deliver per heard-of set and transition.
+		next := make([]RoundState, n)
+		for i := range states {
+			p := sim.ProcessID(i + 1)
+			heard := map[sim.ProcessID]sim.Payload{}
+			for _, q := range ho(p, r) {
+				if q >= 1 && int(q) <= n {
+					heard[q] = msgs[q-1]
+				}
+			}
+			next[i] = states[i].Transition(heard)
+			if next[i] == nil {
+				return nil, fmt.Errorf("ho: process %d returned nil state in round %d", p, r)
+			}
+		}
+		states = next
+		res.Rounds = r + 1
+
+		allDecided := true
+		for i, s := range states {
+			p := sim.ProcessID(i + 1)
+			if v, ok := s.Decided(); ok {
+				if prev, had := res.Decisions[p]; had && prev != v {
+					return nil, fmt.Errorf("ho: process %d changed decision %d -> %d", p, prev, v)
+				}
+				res.Decisions[p] = v
+			} else {
+				allDecided = false
+			}
+		}
+		if allDecided {
+			break
+		}
+	}
+	for i, s := range states {
+		res.States[sim.ProcessID(i+1)] = s
+	}
+	return res, nil
+}
+
+// --- Assignments ---
+
+// Complete returns the failure-free synchronous assignment HO(p, r) = Pi.
+func Complete(n int) Assignment {
+	all := make([]sim.ProcessID, n)
+	for i := range all {
+		all[i] = sim.ProcessID(i + 1)
+	}
+	return func(sim.ProcessID, int) []sim.ProcessID { return all }
+}
+
+// Partitioned returns the Theorem 1 adversary in HO clothing: for the first
+// `rounds` rounds every process hears exactly its own group; afterwards the
+// assignment is complete. With rounds large enough for the algorithm to
+// decide, the groups decide independently.
+func Partitioned(n int, groups [][]sim.ProcessID, rounds int) Assignment {
+	group := map[sim.ProcessID][]sim.ProcessID{}
+	for _, g := range groups {
+		cp := append([]sim.ProcessID(nil), g...)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		for _, p := range g {
+			group[p] = cp
+		}
+	}
+	complete := Complete(n)
+	return func(p sim.ProcessID, r int) []sim.ProcessID {
+		if r < rounds {
+			if g, ok := group[p]; ok {
+				return g
+			}
+			return []sim.ProcessID{p}
+		}
+		return complete(p, r)
+	}
+}
+
+// CrashFaulty returns the assignment induced by crash failures: processes
+// in dead are heard by nobody from their crash round on (initial crashes:
+// round 0), everyone else is always heard.
+func CrashFaulty(n int, crashRound map[sim.ProcessID]int) Assignment {
+	return func(p sim.ProcessID, r int) []sim.ProcessID {
+		var out []sim.ProcessID
+		for q := 1; q <= n; q++ {
+			qid := sim.ProcessID(q)
+			if cr, ok := crashRound[qid]; ok && r >= cr {
+				continue
+			}
+			out = append(out, qid)
+		}
+		return out
+	}
+}
+
+// --- Communication predicates ---
+
+// CheckNonemptyKernel verifies, over the first `rounds` rounds, the global
+// kernel predicate: some process is heard by everyone in every round (the
+// classic no-split predicate sufficient for consensus safety in HO models).
+func CheckNonemptyKernel(n int, ho Assignment, rounds int) bool {
+	for r := 0; r < rounds; r++ {
+		kernel := map[sim.ProcessID]bool{}
+		for q := 1; q <= n; q++ {
+			kernel[sim.ProcessID(q)] = true
+		}
+		for p := 1; p <= n; p++ {
+			heard := map[sim.ProcessID]bool{}
+			for _, q := range ho(sim.ProcessID(p), r) {
+				heard[q] = true
+			}
+			for q := range kernel {
+				if !heard[q] {
+					delete(kernel, q)
+				}
+			}
+		}
+		if len(kernel) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckMinHeard verifies that every process hears at least m processes in
+// every one of the first `rounds` rounds (the HO analogue of "at most n-m
+// crashes").
+func CheckMinHeard(n int, ho Assignment, rounds, m int) bool {
+	for r := 0; r < rounds; r++ {
+		for p := 1; p <= n; p++ {
+			if len(ho(sim.ProcessID(p), r)) < m {
+				return false
+			}
+		}
+	}
+	return true
+}

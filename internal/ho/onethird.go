@@ -1,0 +1,86 @@
+package ho
+
+import (
+	"fmt"
+	"sort"
+
+	"kset/internal/sim"
+)
+
+// OneThirdRule is the classic predicate-conditioned consensus algorithm of
+// the Heard-Of model (Charron-Bost and Schiper): each round broadcast your
+// estimate; adopt the smallest most-frequent value among the messages
+// heard; decide a value v once more than 2n/3 of the heard values equal v.
+//
+// Its safety needs no synchrony at all, and that is exactly the contrast
+// the partition experiment draws: under the Theorem 1 adversary (heard-of
+// sets confined to groups smaller than 2n/3), OneThirdRule simply never
+// decides — the HO-model incarnation of "condition (A) fails" — while the
+// unconditional flooding algorithm decides unsafely, one value per group.
+// An algorithm escapes the paper's partitioning argument only by refusing
+// to decide inside partitions.
+type OneThirdRule struct{}
+
+// Name implements Algorithm.
+func (OneThirdRule) Name() string { return "ho-onethird" }
+
+// Init implements Algorithm.
+func (OneThirdRule) Init(n int, id sim.ProcessID, input sim.Value) RoundState {
+	return oneThirdState{n: n, id: id, est: input, decision: sim.NoValue}
+}
+
+type oneThirdState struct {
+	n        int
+	id       sim.ProcessID
+	est      sim.Value
+	decision sim.Value
+}
+
+// Message implements RoundState.
+func (s oneThirdState) Message() sim.Payload { return MinPayload{From: s.id, Est: s.est} }
+
+// Transition implements RoundState.
+func (s oneThirdState) Transition(heard map[sim.ProcessID]sim.Payload) RoundState {
+	next := s
+	counts := map[sim.Value]int{}
+	for _, payload := range heard {
+		if mp, ok := payload.(MinPayload); ok {
+			counts[mp.Est]++
+		}
+	}
+	if len(counts) > 0 {
+		// Adopt the smallest most frequent value among those heard.
+		vals := make([]sim.Value, 0, len(counts))
+		for v := range counts {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		best := vals[0]
+		for _, v := range vals {
+			if counts[v] > counts[best] {
+				best = v
+			}
+		}
+		next.est = best
+		// Decide once some value was heard from more than 2n/3 processes.
+		for _, v := range vals {
+			if 3*counts[v] > 2*next.n {
+				if next.decision == sim.NoValue {
+					next.decision = v
+				}
+				break
+			}
+		}
+	}
+	return next
+}
+
+// Decided implements RoundState.
+func (s oneThirdState) Decided() (sim.Value, bool) {
+	return s.decision, s.decision != sim.NoValue
+}
+
+// Key implements RoundState.
+func (s oneThirdState) Key() string {
+	return fmt.Sprintf("otr{%d,%d,%d}", s.id, s.est, s.decision)
+}

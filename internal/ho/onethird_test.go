@@ -1,0 +1,106 @@
+package ho
+
+import (
+	"testing"
+
+	"kset/internal/sim"
+)
+
+func TestOneThirdRuleCompleteConsensus(t *testing.T) {
+	n := 6
+	// Majority proposes 100: the complete round hears 6 values, none above
+	// the 2n/3 = 4 threshold with all-distinct inputs, so use a skewed
+	// vector: four processes propose 100.
+	in := []sim.Value{100, 100, 100, 100, 105, 106}
+	res, err := Execute(OneThirdRule{}, in, Complete(n), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided(n) {
+		t.Fatalf("only %d decided", len(res.Decisions))
+	}
+	got := res.DistinctDecisions()
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("decisions = %v, want [100]", got)
+	}
+}
+
+func TestOneThirdRuleConvergesFromDistinctInputs(t *testing.T) {
+	// With all-distinct inputs the first complete round makes everyone
+	// adopt the smallest value; the second crosses the threshold.
+	n := 5
+	res, err := Execute(OneThirdRule{}, inputs(n), Complete(n), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllDecided(n) {
+		t.Fatalf("only %d decided after %d rounds", len(res.Decisions), res.Rounds)
+	}
+	got := res.DistinctDecisions()
+	if len(got) != 1 || got[0] != 100 {
+		t.Fatalf("decisions = %v, want [100]", got)
+	}
+}
+
+// TestOneThirdRuleSafeUnderPartition is the E11 narrative's second half:
+// the predicate-conditioned algorithm never decides inside partitions
+// smaller than the 2n/3 threshold — safety is preserved by sacrificing
+// liveness, the HO incarnation of "condition (A) fails".
+func TestOneThirdRuleSafeUnderPartition(t *testing.T) {
+	n := 6
+	groups := [][]sim.ProcessID{{1, 2}, {3, 4}, {5, 6}}
+	res, err := Execute(OneThirdRule{}, inputs(n), Partitioned(n, groups, 50), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Decisions) != 0 {
+		t.Fatalf("decisions %v inside partitions below threshold", res.Decisions)
+	}
+}
+
+// TestOneThirdRuleLargePartitionDecides: a group larger than 2n/3 *can*
+// decide alone — consistent with the threshold semantics.
+func TestOneThirdRuleLargePartitionDecides(t *testing.T) {
+	n := 6
+	groups := [][]sim.ProcessID{{1, 2, 3, 4, 5}, {6}}
+	res, err := Execute(OneThirdRule{}, inputs(n), Partitioned(n, groups, 4), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The big group converges to 100 and crosses 2n/3 = 4 within the
+	// partition; p6 alone cannot.
+	if v, ok := res.Decisions[1]; !ok || v != 100 {
+		t.Fatalf("p1 decision = (%d,%t), want (100,true)", v, ok)
+	}
+}
+
+// TestOneThirdRuleAgreementUnderAdversarialHO: random-ish heard-of
+// assignments above the threshold never produce two decisions.
+func TestOneThirdRuleAgreementUnderMixedHO(t *testing.T) {
+	n := 6
+	// Alternate between complete rounds and rounds where everyone hears
+	// only processes 1..5 (still above 2n/3).
+	ho := func(p sim.ProcessID, r int) []sim.ProcessID {
+		if r%2 == 0 {
+			return []sim.ProcessID{1, 2, 3, 4, 5, 6}
+		}
+		return []sim.ProcessID{1, 2, 3, 4, 5}
+	}
+	res, err := Execute(OneThirdRule{}, inputs(n), ho, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.DistinctDecisions()); got > 1 {
+		t.Fatalf("distinct = %d, want <= 1", got)
+	}
+}
+
+func TestOneThirdRuleStateKey(t *testing.T) {
+	s := OneThirdRule{}.Init(3, 1, 9)
+	if s.Key() == "" {
+		t.Fatal("empty key")
+	}
+	if _, decided := s.Decided(); decided {
+		t.Fatal("decided at init")
+	}
+}

@@ -1,0 +1,28 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"kset/internal/algorithms"
+)
+
+func BenchmarkConcurrentMinWait(b *testing.B) {
+	in := distinctInputs(8)
+	for i := 0; i < b.N; i++ {
+		res, err := Run(algorithms.MinWait{F: 3}, in, Options{Timeout: 10 * time.Second})
+		if err != nil || res.TimedOut {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}
+
+func BenchmarkConcurrentFLPKSet(b *testing.B) {
+	in := distinctInputs(8)
+	for i := 0; i < b.N; i++ {
+		res, err := Run(algorithms.FLPKSet{F: 3}, in, Options{Timeout: 10 * time.Second})
+		if err != nil || res.TimedOut {
+			b.Fatalf("res=%+v err=%v", res, err)
+		}
+	}
+}

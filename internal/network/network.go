@@ -1,0 +1,283 @@
+// Package network is the concurrent counterpart of package sim: it executes
+// the same pure process state machines as real goroutines communicating
+// through an in-memory message bus with injectable delivery gates, delays,
+// and crash schedules.
+//
+// The deterministic kernel (package sim) is the ground truth for the
+// paper's constructions; this runtime exists to exercise the algorithms
+// under genuine concurrency — examples and the runtime-ablation experiment
+// (E10) run the same algorithm on both and compare the agreement invariants
+// that must hold regardless of scheduling.
+package network
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+// Options configures a concurrent execution.
+type Options struct {
+	// Gate filters deliveries exactly like sched.Gate; nil delivers all.
+	// The configuration passed to the gate is nil in this runtime; gates
+	// that need configuration state (e.g. decision-dependent partitions)
+	// should use the DecidedFn-aware helpers below.
+	Gate func(m sim.Message, decided func(sim.ProcessID) bool) bool
+	// Oracle supplies failure-detector values; the time argument is a
+	// logical step counter shared across processes.
+	Oracle sched.Oracle
+	// CrashAtStep maps a process to the logical step count at which it
+	// stops (its goroutine exits without flushing sends).
+	CrashAtStep map[sim.ProcessID]int
+	// InitialDead processes never start.
+	InitialDead []sim.ProcessID
+	// Timeout bounds the whole execution; zero means 5 seconds.
+	Timeout time.Duration
+	// StepDelay, when positive, is slept between process steps to provoke
+	// interleavings.
+	StepDelay time.Duration
+}
+
+// Result is the outcome of a concurrent execution.
+type Result struct {
+	// Decisions maps each process to its decision; missing means undecided.
+	Decisions map[sim.ProcessID]sim.Value
+	// Steps is the total number of process steps executed.
+	Steps int
+	// TimedOut reports that the timeout expired before all live processes
+	// decided.
+	TimedOut bool
+}
+
+// DistinctDecisions returns the distinct decided values, ascending.
+func (r *Result) DistinctDecisions() []sim.Value {
+	seen := map[sim.Value]bool{}
+	for _, v := range r.Decisions {
+		seen[v] = true
+	}
+	out := make([]sim.Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// bus is the shared in-memory network.
+type bus struct {
+	mu      sync.Mutex
+	queues  map[sim.ProcessID][]sim.Message
+	decided map[sim.ProcessID]sim.Value
+	steps   int
+	nextID  int64
+}
+
+func (b *bus) send(msgs []sim.Message) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, m := range msgs {
+		b.queues[m.To] = append(b.queues[m.To], m)
+	}
+}
+
+func (b *bus) assignIDs(from sim.ProcessID, at int, sends []sim.Send) []sim.Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]sim.Message, 0, len(sends))
+	for _, s := range sends {
+		b.nextID++
+		out = append(out, sim.Message{
+			ID: b.nextID, From: from, To: s.To, SentAt: at, Payload: s.Payload,
+		})
+	}
+	return out
+}
+
+// drain removes and returns the gated-deliverable pending messages for p.
+func (b *bus) drain(p sim.ProcessID, gate func(m sim.Message, decided func(sim.ProcessID) bool) bool) []sim.Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q := b.queues[p]
+	if len(q) == 0 {
+		return nil
+	}
+	isDecided := func(q sim.ProcessID) bool {
+		_, ok := b.decided[q]
+		return ok
+	}
+	var take, keep []sim.Message
+	for _, m := range q {
+		if gate == nil || gate(m, isDecided) {
+			take = append(take, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	b.queues[p] = keep
+	return take
+}
+
+func (b *bus) recordDecision(p sim.ProcessID, v sim.Value) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.decided[p]; !ok {
+		b.decided[p] = v
+	}
+}
+
+func (b *bus) tick() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.steps++
+	return b.steps
+}
+
+// Run executes the algorithm concurrently: one goroutine per live process,
+// stepping its pure state machine in a loop — each iteration drains the
+// process's deliverable messages, queries the oracle, applies Step, and
+// publishes the sends. The run ends when every live process has decided or
+// the timeout expires. All goroutines are joined before Run returns.
+func Run(alg sim.Algorithm, inputs []sim.Value, opts Options) (*Result, error) {
+	n := len(inputs)
+	if n == 0 {
+		return nil, fmt.Errorf("network: no processes")
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	dead := make(map[sim.ProcessID]bool, len(opts.InitialDead))
+	for _, p := range opts.InitialDead {
+		dead[p] = true
+	}
+
+	b := &bus{
+		queues:  make(map[sim.ProcessID][]sim.Message, n),
+		decided: make(map[sim.ProcessID]sim.Value, n),
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	// Processes scheduled to crash are not required to decide, so the run
+	// ends once every other live process has.
+	liveCount := 0
+	for p := 1; p <= n; p++ {
+		pid := sim.ProcessID(p)
+		if dead[pid] {
+			continue
+		}
+		if _, crashes := opts.CrashAtStep[pid]; crashes {
+			continue
+		}
+		liveCount++
+	}
+	allDecided := make(chan struct{})
+	var decidedCount sync.Map
+	var decidedTotal int
+	var decidedMu sync.Mutex
+	markDecided := func(p sim.ProcessID) {
+		if _, loaded := decidedCount.LoadOrStore(p, true); !loaded {
+			decidedMu.Lock()
+			decidedTotal++
+			done := decidedTotal >= liveCount
+			decidedMu.Unlock()
+			if done {
+				close(allDecided)
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for p := 1; p <= n; p++ {
+		pid := sim.ProcessID(p)
+		if dead[pid] {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state := alg.Init(n, pid, inputs[pid-1])
+			mySteps := 0
+			decidedAlready := false
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-allDecided:
+					return
+				default:
+				}
+				if limit, ok := opts.CrashAtStep[pid]; ok && mySteps >= limit {
+					return // crash: stop stepping, sends already out
+				}
+				t := b.tick()
+				in := sim.Input{Time: t, Delivered: b.drain(pid, opts.Gate)}
+				if opts.Oracle != nil {
+					in.FD = opts.Oracle.Query(pid, t, nil)
+				}
+				var sends []sim.Send
+				state, sends = state.Step(in)
+				if len(sends) > 0 {
+					b.send(b.assignIDs(pid, t, sends))
+				}
+				if v, ok := state.Decided(); ok {
+					b.recordDecision(pid, v)
+					if !decidedAlready {
+						decidedAlready = true
+						markDecided(pid)
+					}
+				}
+				mySteps++
+				if opts.StepDelay > 0 {
+					time.Sleep(opts.StepDelay)
+				} else if len(in.Delivered) == 0 {
+					// Idle: yield to avoid a busy spin while waiting.
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{Decisions: map[sim.ProcessID]sim.Value{}}
+	b.mu.Lock()
+	for p, v := range b.decided {
+		res.Decisions[p] = v
+	}
+	res.Steps = b.steps
+	b.mu.Unlock()
+	res.TimedOut = ctx.Err() != nil && len(res.Decisions) < liveCount
+	return res, nil
+}
+
+// GroupGate returns a gate admitting only intra-group messages until every
+// process in `await` has decided — the concurrent analogue of
+// sched.PartitionUntilDecidedGate.
+func GroupGate(groups [][]sim.ProcessID, await []sim.ProcessID) func(sim.Message, func(sim.ProcessID) bool) bool {
+	group := map[sim.ProcessID]int{}
+	for gi, g := range groups {
+		for _, p := range g {
+			group[p] = gi
+		}
+	}
+	watch := append([]sim.ProcessID(nil), await...)
+	return func(m sim.Message, decided func(sim.ProcessID) bool) bool {
+		gf, okf := group[m.From]
+		gt, okt := group[m.To]
+		if okf && okt && gf == gt {
+			return true
+		}
+		for _, p := range watch {
+			if !decided(p) {
+				return false
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,184 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"kset/internal/algorithms"
+	"kset/internal/fd"
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+func distinctInputs(n int) []sim.Value {
+	out := make([]sim.Value, n)
+	for i := range out {
+		out[i] = sim.Value(100 + i)
+	}
+	return out
+}
+
+func TestRunMinWaitFailureFree(t *testing.T) {
+	n, f := 5, 2
+	res, err := Run(algorithms.MinWait{F: f}, distinctInputs(n), Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if len(res.Decisions) != n {
+		t.Fatalf("decided %d of %d", len(res.Decisions), n)
+	}
+	if got := len(res.DistinctDecisions()); got > f+1 {
+		t.Fatalf("distinct = %d, want <= f+1 = %d", got, f+1)
+	}
+}
+
+func TestRunMinWaitInitialDead(t *testing.T) {
+	n, f := 5, 2
+	res, err := Run(algorithms.MinWait{F: f}, distinctInputs(n), Options{
+		InitialDead: []sim.ProcessID{2, 4},
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if len(res.Decisions) != 3 {
+		t.Fatalf("decided %d of 3 live", len(res.Decisions))
+	}
+	if _, ok := res.Decisions[2]; ok {
+		t.Fatal("dead process decided")
+	}
+}
+
+func TestRunFLPKSetAgreementBound(t *testing.T) {
+	n, f := 6, 3 // L = 3: at most floor(6/3) = 2 distinct decisions
+	res, err := Run(algorithms.FLPKSet{F: f}, distinctInputs(n), Options{Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if got := len(res.DistinctDecisions()); got > 2 {
+		t.Fatalf("distinct = %d, want <= 2", got)
+	}
+}
+
+func TestRunPartitionedGroups(t *testing.T) {
+	// Intra-group-only communication: each group of size n-f decides its
+	// own minimum concurrently — the concurrent version of the Section VI
+	// border run.
+	n, f := 6, 4
+	groups := [][]sim.ProcessID{{1, 2}, {3, 4}, {5, 6}}
+	// Cross-group messages are withheld until everyone has decided.
+	gate := GroupGate(groups, fd.AllProcesses(n))
+	res, err := Run(algorithms.MinWait{F: f}, distinctInputs(n), Options{
+		Gate:    gate,
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if got := len(res.DistinctDecisions()); got != 3 {
+		t.Fatalf("distinct = %d, want 3 (one per isolated pair)", got)
+	}
+}
+
+func TestRunSigmaOmegaConsensus(t *testing.T) {
+	n := 4
+	pattern := fd.NewPattern(n)
+	oracle := fd.CombinedOracle{
+		Sigma: fd.SigmaOracle{K: 1, Pattern: pattern},
+		Omega: fd.OmegaOracle{K: 1, Pattern: pattern, GST: 0},
+	}
+	res, err := Run(algorithms.SigmaOmega{}, distinctInputs(n), Options{
+		Oracle:  sched.Oracle(oracle),
+		Timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if got := len(res.DistinctDecisions()); got != 1 {
+		t.Fatalf("distinct = %d, want 1 (consensus)", got)
+	}
+}
+
+func TestRunCrashAtStep(t *testing.T) {
+	// Crash three of five processes after their first step; MinWait{F:3}
+	// survivors must still decide (they wait for only 2 values).
+	n := 5
+	res, err := Run(algorithms.MinWait{F: 3}, distinctInputs(n), Options{
+		CrashAtStep: map[sim.ProcessID]int{3: 1, 4: 1, 5: 1},
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crashed processes broadcast in their first step, so survivors
+	// have plenty of values. (Crashed processes may or may not have decided
+	// before crashing; uniform k-agreement still binds them.)
+	if _, ok := res.Decisions[1]; !ok {
+		t.Fatal("survivor 1 undecided")
+	}
+	if _, ok := res.Decisions[2]; !ok {
+		t.Fatal("survivor 2 undecided")
+	}
+	if got := len(res.DistinctDecisions()); got > 4 {
+		t.Fatalf("distinct = %d, want <= f+1 = 4", got)
+	}
+}
+
+// TestRuntimeAblationAgainstKernel cross-checks the two runtimes (E10): for
+// the same algorithm and failure setting, the k-agreement invariant holds
+// on both and the decided values come from the same proposal set.
+func TestRuntimeAblationAgainstKernel(t *testing.T) {
+	n, f := 6, 2
+	inputs := distinctInputs(n)
+
+	// Kernel run.
+	cp := sched.CrashPlan{InitialDead: []sim.ProcessID{6}}
+	krun, err := sim.Execute(algorithms.MinWait{F: f}, inputs, sched.NewFair(cp), sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent run.
+	res, err := Run(algorithms.MinWait{F: f}, inputs, Options{
+		InitialDead: []sim.ProcessID{6},
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("concurrent run timed out")
+	}
+	if kd, cd := len(krun.DistinctDecisions()), len(res.DistinctDecisions()); kd > f+1 || cd > f+1 {
+		t.Fatalf("agreement bound broken: kernel %d, concurrent %d", kd, cd)
+	}
+	proposed := map[sim.Value]bool{}
+	for _, v := range inputs {
+		proposed[v] = true
+	}
+	for _, v := range res.DistinctDecisions() {
+		if !proposed[v] {
+			t.Fatalf("concurrent runtime decided unproposed %d", v)
+		}
+	}
+}
+
+func TestRunRejectsEmptySystem(t *testing.T) {
+	if _, err := Run(algorithms.DecideOwn{}, nil, Options{}); err == nil {
+		t.Fatal("empty system accepted")
+	}
+}

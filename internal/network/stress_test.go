@@ -1,0 +1,111 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"kset/internal/algorithms"
+	"kset/internal/fd"
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+// TestStressManyProcesses runs the baseline protocol with 24 goroutine
+// processes and random interleavings; the agreement bound must hold.
+func TestStressManyProcesses(t *testing.T) {
+	n, f := 24, 7
+	res, err := Run(algorithms.MinWait{F: f}, distinctInputs(n), Options{
+		Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if len(res.Decisions) != n {
+		t.Fatalf("decided %d of %d", len(res.Decisions), n)
+	}
+	if got := len(res.DistinctDecisions()); got > f+1 {
+		t.Fatalf("distinct = %d > f+1 = %d", got, f+1)
+	}
+}
+
+// TestStressRepeatedRunsStableInvariants repeats a concurrent run many
+// times; scheduling varies, the invariants must not.
+func TestStressRepeatedRunsStableInvariants(t *testing.T) {
+	n, f := 8, 3
+	in := distinctInputs(n)
+	proposed := map[sim.Value]bool{}
+	for _, v := range in {
+		proposed[v] = true
+	}
+	for trial := 0; trial < 20; trial++ {
+		res, err := Run(algorithms.FLPKSet{F: f}, in, Options{
+			InitialDead: []sim.ProcessID{2, 7},
+			Timeout:     15 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TimedOut {
+			t.Fatalf("trial %d timed out", trial)
+		}
+		// L = 5, floor(8/5) = 1: consensus expected among survivors.
+		if got := len(res.DistinctDecisions()); got > 1 {
+			t.Fatalf("trial %d: distinct = %d", trial, got)
+		}
+		for _, v := range res.DistinctDecisions() {
+			if !proposed[v] {
+				t.Fatalf("trial %d: unproposed %d", trial, v)
+			}
+		}
+	}
+}
+
+// TestNetworkSigmaOmegaWithCrash runs the ballot protocol concurrently with
+// a crash-scheduled process; uniform agreement must bind any early
+// decision of the crashed process.
+func TestNetworkSigmaOmegaWithCrash(t *testing.T) {
+	n := 5
+	pattern := fd.NewPattern(n) // oracle view: failure-free (conservative quorums)
+	oracle := fd.CombinedOracle{
+		Sigma: fd.SigmaOracle{K: 1, Pattern: pattern},
+		Omega: fd.OmegaOracle{K: 1, Pattern: pattern, GST: 0},
+	}
+	res, err := Run(algorithms.SigmaOmega{}, distinctInputs(n), Options{
+		Oracle:  sched.Oracle(oracle),
+		Timeout: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if got := len(res.DistinctDecisions()); got != 1 {
+		t.Fatalf("distinct = %d, want 1", got)
+	}
+}
+
+// TestGroupGateReleasesAfterDecisions: cross-group traffic withheld until
+// the awaited set decided, then released — late messages arrive without
+// breaking write-once decisions.
+func TestGroupGateReleasesAfterDecisions(t *testing.T) {
+	n := 4
+	groups := [][]sim.ProcessID{{1, 2}, {3, 4}}
+	gate := GroupGate(groups, []sim.ProcessID{1, 2, 3, 4})
+	res, err := Run(algorithms.MinWait{F: 2}, distinctInputs(n), Options{
+		Gate:    gate,
+		Timeout: 15 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	if got := len(res.DistinctDecisions()); got != 2 {
+		t.Fatalf("distinct = %d, want 2 (one per pair)", got)
+	}
+}

@@ -1,0 +1,110 @@
+package sched
+
+import "kset/internal/sim"
+
+// Fair is the canonical MASYNC-admissible asynchronous scheduler: it steps
+// live processes round-robin, delivering every gated-deliverable pending
+// message in the step (so any message not withheld by the Gate is received
+// promptly), honours the crash plan, queries the oracle when one is set, and
+// stops when the Stop predicate holds.
+//
+// With a nil Gate, every sent message is delivered at its receiver's next
+// step, making the schedule as favourable as the asynchronous model permits.
+// With a partition gate it becomes the paper's partition adversary while
+// remaining admissible (withheld messages are delivered after the gate
+// opens, or remain pending past the finite prefix, which MASYNC allows as
+// long as delivery happens eventually).
+type Fair struct {
+	Crash  CrashPlan
+	Gate   Gate
+	Oracle Oracle
+	Stop   StopWhen
+
+	// Only, when nonempty, restricts stepping to the given processes while
+	// leaving everyone else alive (unlike CrashPlan.InitialDead). Pasted
+	// runs (Lemma 11) use it to execute one partition's phase at a time.
+	Only []sim.ProcessID
+
+	// DrainAfterStop keeps the scheduler delivering pending gated messages
+	// (without the Stop predicate applying) until buffers of live processes
+	// are empty. Used when a later analysis needs the "complete" run where
+	// everything sent has arrived.
+	DrainAfterStop bool
+
+	rr int
+}
+
+// Next implements sim.Scheduler.
+func (s *Fair) Next(c *sim.Configuration) (sim.StepRequest, bool) {
+	if req, ok := pendingSilentCrash(c, s.Crash); ok {
+		return req, true
+	}
+	stopped := s.Stop != nil && s.Stop(c)
+	if stopped && !s.DrainAfterStop {
+		return sim.StepRequest{}, false
+	}
+
+	live := liveProcesses(c, s.Crash)
+	if len(s.Only) > 0 {
+		allowed := idSet(s.Only)
+		var kept []sim.ProcessID
+		for _, p := range live {
+			if allowed[p] {
+				kept = append(kept, p)
+			}
+		}
+		live = kept
+	}
+	if len(live) == 0 {
+		return sim.StepRequest{}, false
+	}
+
+	if stopped {
+		// Drain mode: only schedule steps that deliver something.
+		for range live {
+			p := live[s.rr%len(live)]
+			s.rr++
+			ids := deliverable(c, p, s.Gate)
+			if len(ids) > 0 {
+				return s.request(c, p, ids), true
+			}
+		}
+		return sim.StepRequest{}, false
+	}
+
+	p := live[s.rr%len(live)]
+	s.rr++
+	return s.request(c, p, deliverable(c, p, s.Gate)), true
+}
+
+func (s *Fair) request(c *sim.Configuration, p sim.ProcessID, deliver []int64) sim.StepRequest {
+	req := sim.StepRequest{Proc: p, Deliver: deliver}
+	if s.Oracle != nil {
+		req.FD = s.Oracle.Query(p, c.Time(), c)
+	}
+	if s.Crash.ShouldCrash(p, c.Time()) {
+		req.Crash = true
+		req.OmitTo = s.Crash.omitSet(p)
+	}
+	return req
+}
+
+// NewFair returns a Fair scheduler with the given crash plan that stops once
+// all correct processes decided.
+func NewFair(cp CrashPlan) *Fair {
+	return &Fair{Crash: cp, Stop: AllCorrectDecided(cp)}
+}
+
+// Solo returns a scheduler for a "solo" run of the process set d: every
+// process outside d is initially dead, only messages inside d flow, and the
+// run stops once every process in d has decided. These are the runs alpha_i
+// of Lemma 12 and the (dec-D) runs of Theorem 1.
+func Solo(n int, d []sim.ProcessID, oracle Oracle) *Fair {
+	cp := CrashPlan{InitialDead: sim.Complement(n, d)}
+	return &Fair{
+		Crash:  cp,
+		Gate:   IntraGroupGate([][]sim.ProcessID{d}),
+		Oracle: oracle,
+		Stop:   SetDecided(d),
+	}
+}

@@ -1,0 +1,92 @@
+package sched
+
+import "kset/internal/sim"
+
+// IntraGroupGate returns a gate that only lets a message through when its
+// sender and receiver belong to the same group. Messages between groups (or
+// touching a process in no group) are withheld for the whole run. Use it
+// together with a stop predicate that ends the run once the interesting
+// processes decided; the withheld messages then count as "delivered after
+// the prefix", which MASYNC admits.
+func IntraGroupGate(groups [][]sim.ProcessID) Gate {
+	group := groupIndex(groups)
+	return func(m sim.Message, _ *sim.Configuration) bool {
+		gf, okf := group[m.From]
+		gt, okt := group[m.To]
+		return okf && okt && gf == gt
+	}
+}
+
+// PartitionUntilDecidedGate is the paper's central adversary (Theorem 2
+// condition (B), Lemmas 11 and 12): all communication between the groups is
+// delayed until every process in `await` has decided or crashed; afterwards
+// everything flows.
+func PartitionUntilDecidedGate(groups [][]sim.ProcessID, await []sim.ProcessID) Gate {
+	group := groupIndex(groups)
+	watch := append([]sim.ProcessID(nil), await...)
+	return func(m sim.Message, c *sim.Configuration) bool {
+		gf, okf := group[m.From]
+		gt, okt := group[m.To]
+		if okf && okt && gf == gt {
+			return true
+		}
+		return c.AllDecided(watch)
+	}
+}
+
+// SilenceGate withholds every message whose sender is in froms and receiver
+// is in tos, forever. It realizes (dec-D-bar): processes in D-bar receive no
+// messages from D until after every process in D-bar has decided — combine
+// with a stop predicate on D-bar's decisions.
+func SilenceGate(froms, tos []sim.ProcessID) Gate {
+	fromSet := idSet(froms)
+	toSet := idSet(tos)
+	return func(m sim.Message, _ *sim.Configuration) bool {
+		return !(fromSet[m.From] && toSet[m.To])
+	}
+}
+
+// AndGates returns a gate that passes a message only if every given gate
+// passes it. Nil gates are ignored.
+func AndGates(gates ...Gate) Gate {
+	kept := make([]Gate, 0, len(gates))
+	for _, g := range gates {
+		if g != nil {
+			kept = append(kept, g)
+		}
+	}
+	return func(m sim.Message, c *sim.Configuration) bool {
+		for _, g := range kept {
+			if !g(m, c) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// DelayUntilTimeGate withholds every message until the configuration's
+// global time reaches t.
+func DelayUntilTimeGate(t int) Gate {
+	return func(_ sim.Message, c *sim.Configuration) bool {
+		return c.Time() >= t
+	}
+}
+
+func groupIndex(groups [][]sim.ProcessID) map[sim.ProcessID]int {
+	group := make(map[sim.ProcessID]int)
+	for gi, g := range groups {
+		for _, p := range g {
+			group[p] = gi
+		}
+	}
+	return group
+}
+
+func idSet(ps []sim.ProcessID) map[sim.ProcessID]bool {
+	set := make(map[sim.ProcessID]bool, len(ps))
+	for _, p := range ps {
+		set[p] = true
+	}
+	return set
+}

@@ -1,0 +1,70 @@
+package sched
+
+import "kset/internal/sim"
+
+// Lockstep models the partially synchronous processes of Theorem 2: process
+// execution proceeds in rounds, and in every round each live process takes
+// exactly one atomic step (in id order). Communication remains asynchronous:
+// the Gate may withhold messages arbitrarily, which is precisely the
+// combination "processes synchronous, communication asynchronous" whose
+// impossibility border Theorem 2 establishes. A step both receives whatever
+// the gate admits and broadcasts, matching the theorem's "receiving and
+// sending are part of the same atomic step".
+type Lockstep struct {
+	Crash  CrashPlan
+	Gate   Gate
+	Oracle Oracle
+	Stop   StopWhen
+
+	// MaxRounds bounds the run; 0 means DefaultMaxRounds.
+	MaxRounds int
+
+	round   int
+	pending []sim.ProcessID
+}
+
+// DefaultMaxRounds is the round bound used when MaxRounds is zero.
+const DefaultMaxRounds = 10000
+
+// Next implements sim.Scheduler.
+func (s *Lockstep) Next(c *sim.Configuration) (sim.StepRequest, bool) {
+	maxRounds := s.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+	if req, ok := pendingSilentCrash(c, s.Crash); ok {
+		return req, true
+	}
+	for {
+		if len(s.pending) == 0 {
+			if s.Stop != nil && s.Stop(c) {
+				return sim.StepRequest{}, false
+			}
+			if s.round >= maxRounds {
+				return sim.StepRequest{}, false
+			}
+			s.pending = liveProcesses(c, s.Crash)
+			s.round++
+			if len(s.pending) == 0 {
+				return sim.StepRequest{}, false
+			}
+		}
+		p := s.pending[0]
+		s.pending = s.pending[1:]
+		if c.Crashed(p) {
+			continue
+		}
+		req := sim.StepRequest{Proc: p, Deliver: deliverable(c, p, s.Gate)}
+		if s.Oracle != nil {
+			req.FD = s.Oracle.Query(p, c.Time(), c)
+		}
+		if s.Crash.ShouldCrash(p, c.Time()) {
+			req.Crash = true
+			req.OmitTo = s.Crash.omitSet(p)
+		}
+		return req, true
+	}
+}
+
+// Round returns the number of completed rounds.
+func (s *Lockstep) Round() int { return s.round }

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"testing"
+
+	"kset/internal/algorithms"
+	"kset/internal/sim"
+)
+
+// These tests exercise Theorem 2's model explicitly: processes are
+// synchronous (lock-step rounds — every live process takes exactly one
+// atomic broadcast step per round) while communication stays asynchronous
+// (gates may withhold messages arbitrarily long). The theorem's point is
+// that process synchrony does not help: the partition adversary needs only
+// communication asynchrony.
+
+func lockstepInputs(n int) []sim.Value {
+	out := make([]sim.Value, n)
+	for i := range out {
+		out[i] = sim.Value(100 + i)
+	}
+	return out
+}
+
+// TestLockstepPartitionForcesDistinctDecisions: under lock-step process
+// scheduling with the Lemma 3 partition gate, the f-resilient algorithm's
+// groups decide independently — the (dec-D) runs of Theorem 2 exist even
+// with fully synchronous processes.
+func TestLockstepPartitionForcesDistinctDecisions(t *testing.T) {
+	n, f := 6, 4 // l = n-f = 2; groups of size 2
+	groups := [][]sim.ProcessID{{1, 2}, {3, 4}, {5, 6}}
+	cp := CrashPlan{}
+	ls := &Lockstep{
+		Crash: cp,
+		Gate:  IntraGroupGate(groups),
+		Stop:  AllCorrectDecided(cp),
+	}
+	run, err := sim.Execute(algorithms.MinWait{F: f}, lockstepInputs(n), ls, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	if got := len(run.DistinctDecisions()); got != 3 {
+		t.Fatalf("distinct = %d, want 3 (one per isolated group)", got)
+	}
+}
+
+// TestLockstepFairRunDecidesQuickly: without a gate, lock-step rounds give
+// the most synchronous schedule the model allows; the protocol converges to
+// a single minimum.
+func TestLockstepFairRunDecides(t *testing.T) {
+	cp := CrashPlan{}
+	ls := &Lockstep{Crash: cp, Stop: AllCorrectDecided(cp)}
+	run, err := sim.Execute(algorithms.MinWait{F: 2}, lockstepInputs(5), ls, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if got := len(run.DistinctDecisions()); got != 1 {
+		t.Fatalf("distinct = %d, want 1", got)
+	}
+}
+
+// TestLockstepLateCrashOmission: the "one crash during execution" of
+// Theorem 2, with send omissions in the final step, under lock-step
+// scheduling.
+func TestLockstepLateCrashOmission(t *testing.T) {
+	n := 4
+	cp := CrashPlan{
+		CrashAtTime: map[sim.ProcessID]int{1: 1},
+		OmitTo:      map[sim.ProcessID][]sim.ProcessID{1: {3, 4}},
+	}
+	ls := &Lockstep{Crash: cp, Stop: AllCorrectDecided(cp)}
+	run, err := sim.Execute(algorithms.MinWait{F: 1}, lockstepInputs(n), ls, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !run.Final.Crashed(1) {
+		t.Fatal("p1 did not crash")
+	}
+	// p1's first (and final) step broadcast its value only to {1, 2}: the
+	// survivors still decide (they wait for n-f = 3 of 4 values), but may
+	// disagree — which is fine for 2-set agreement, f=1 < k=2.
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	if got := len(run.DistinctDecisions()); got > 2 {
+		t.Fatalf("distinct = %d, want <= f+1 = 2", got)
+	}
+}
+
+// TestLockstepSilentInitialDead: initial crashes combine with lock-step
+// rounds.
+func TestLockstepSilentInitialDead(t *testing.T) {
+	cp := CrashPlan{InitialDead: []sim.ProcessID{2}}
+	ls := &Lockstep{Crash: cp, Stop: AllCorrectDecided(cp)}
+	run, err := sim.Execute(algorithms.MinWait{F: 1}, lockstepInputs(3), ls, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	for _, ev := range run.Events {
+		if ev.Proc == 2 && !ev.Silent {
+			t.Fatal("initially dead process stepped")
+		}
+	}
+}

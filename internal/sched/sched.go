@@ -1,0 +1,166 @@
+// Package sched provides the schedulers (adversaries) that drive package
+// sim: fair asynchronous scheduling for MASYNC-admissible runs, lock-step
+// scheduling for partially synchronous processes (Theorem 2's model),
+// initial-crash and crash-at-time failure injection, and message gates that
+// implement the partition-delaying adversaries at the heart of the paper's
+// proofs.
+//
+// A scheduler owns the failure pattern F(.) of the run it produces and the
+// asynchrony of communication: a Gate may withhold any message for as long
+// as it wants, which is exactly the freedom the paper's partition arguments
+// exploit ("delay all communication between the sets of processes
+// D_1, ..., D_{k-1}, D-bar until every correct process has decided").
+package sched
+
+import (
+	"sort"
+
+	"kset/internal/sim"
+)
+
+// Gate decides whether a pending message may be delivered now. A nil Gate
+// means every pending message is deliverable. Gates model communication
+// asynchrony: withholding a message is always admissible as long as the gate
+// eventually opens (delivery after all decisions is still "eventual").
+type Gate func(m sim.Message, c *sim.Configuration) bool
+
+// Oracle supplies failure-detector values per query, realizing a failure
+// detector history H(p, t). A nil oracle means the model has no failure
+// detector.
+type Oracle interface {
+	Query(p sim.ProcessID, t int, c *sim.Configuration) sim.FDValue
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(p sim.ProcessID, t int, c *sim.Configuration) sim.FDValue
+
+// Query implements Oracle.
+func (f OracleFunc) Query(p sim.ProcessID, t int, c *sim.Configuration) sim.FDValue {
+	return f(p, t, c)
+}
+
+// CrashPlan schedules failures. InitialDead processes never take a step
+// (initial crashes, f(t)=F(0)); CrashAtTime maps a process to the global
+// time at or after which its next step is its final one; OmitTo lists, per
+// crashing process, the receivers to which the final step's sends are
+// dropped (clause (2) of MASYNC).
+type CrashPlan struct {
+	InitialDead []sim.ProcessID
+	CrashAtTime map[sim.ProcessID]int
+	OmitTo      map[sim.ProcessID][]sim.ProcessID
+}
+
+// IsInitialDead reports whether p never takes a step under the plan.
+func (cp CrashPlan) IsInitialDead(p sim.ProcessID) bool {
+	for _, q := range cp.InitialDead {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// ShouldCrash reports whether p's step at global time t must be its final
+// step under the plan.
+func (cp CrashPlan) ShouldCrash(p sim.ProcessID, t int) bool {
+	at, ok := cp.CrashAtTime[p]
+	return ok && t >= at
+}
+
+// omitSet converts the OmitTo list for p into the set form StepRequest
+// expects.
+func (cp CrashPlan) omitSet(p sim.ProcessID) map[sim.ProcessID]bool {
+	list := cp.OmitTo[p]
+	if len(list) == 0 {
+		return nil
+	}
+	out := make(map[sim.ProcessID]bool, len(list))
+	for _, q := range list {
+		out[q] = true
+	}
+	return out
+}
+
+// FaultBudget returns the total number of processes the plan makes faulty.
+func (cp CrashPlan) FaultBudget() int {
+	seen := make(map[sim.ProcessID]bool)
+	for _, p := range cp.InitialDead {
+		seen[p] = true
+	}
+	for p := range cp.CrashAtTime {
+		seen[p] = true
+	}
+	return len(seen)
+}
+
+// StopWhen is a run-termination predicate for schedulers.
+type StopWhen func(c *sim.Configuration) bool
+
+// AllCorrectDecided returns a stop predicate that is true once every process
+// outside the plan's fault set has decided. This is the natural end of a
+// possibility-side run: Termination has been observed for every correct
+// process.
+func AllCorrectDecided(cp CrashPlan) StopWhen {
+	return func(c *sim.Configuration) bool {
+		for _, p := range c.Processes() {
+			if cp.IsInitialDead(p) || c.Crashed(p) {
+				continue
+			}
+			if _, ok := cp.CrashAtTime[p]; ok {
+				continue
+			}
+			if _, decided := c.Decision(p); !decided {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// SetDecided returns a stop predicate that is true once every process in ps
+// has decided or crashed.
+func SetDecided(ps []sim.ProcessID) StopWhen {
+	set := append([]sim.ProcessID(nil), ps...)
+	return func(c *sim.Configuration) bool {
+		return c.AllDecided(set)
+	}
+}
+
+// deliverable returns the ids of p's pending messages that pass the gate, in
+// buffer order.
+func deliverable(c *sim.Configuration, p sim.ProcessID, g Gate) []int64 {
+	buf := c.Buffer(p)
+	ids := make([]int64, 0, len(buf))
+	for _, m := range buf {
+		if g == nil || g(m, c) {
+			ids = append(ids, m.ID)
+		}
+	}
+	return ids
+}
+
+// pendingSilentCrash returns a SilentCrash request for the first
+// initially-dead process that is not yet marked crashed in the
+// configuration, so schedulers can realize F(0) before any real step.
+func pendingSilentCrash(c *sim.Configuration, cp CrashPlan) (sim.StepRequest, bool) {
+	for _, p := range cp.InitialDead {
+		if !c.Crashed(p) {
+			return sim.StepRequest{Proc: p, SilentCrash: true}, true
+		}
+	}
+	return sim.StepRequest{}, false
+}
+
+// liveProcesses returns the non-crashed, non-initial-dead processes in id
+// order.
+func liveProcesses(c *sim.Configuration, cp CrashPlan) []sim.ProcessID {
+	var out []sim.ProcessID
+	for _, p := range c.Processes() {
+		if c.Crashed(p) || cp.IsInitialDead(p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,310 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"kset/internal/sim"
+)
+
+// countAlg broadcasts once and counts received messages; decides its input
+// after hearing from `quorum` processes (itself included).
+type countAlg struct{ quorum int }
+
+func (a countAlg) Name() string { return fmt.Sprintf("count(%d)", a.quorum) }
+
+func (a countAlg) Init(n int, id sim.ProcessID, input sim.Value) sim.State {
+	return &countState{n: n, id: id, input: input, quorum: a.quorum, heard: map[sim.ProcessID]bool{id: true}}
+}
+
+type countState struct {
+	n, quorum int
+	id        sim.ProcessID
+	input     sim.Value
+	sent      bool
+	heard     map[sim.ProcessID]bool
+	decided   bool
+}
+
+type ping struct{ From sim.ProcessID }
+
+func (p ping) Key() string { return fmt.Sprintf("ping(%d)", p.From) }
+
+func (s *countState) Step(in sim.Input) (sim.State, []sim.Send) {
+	next := &countState{n: s.n, quorum: s.quorum, id: s.id, input: s.input, sent: s.sent, decided: s.decided}
+	next.heard = make(map[sim.ProcessID]bool, len(s.heard))
+	for p := range s.heard {
+		next.heard[p] = true
+	}
+	var sends []sim.Send
+	if !next.sent {
+		next.sent = true
+		sends = sim.Broadcast(next.n, ping{From: next.id})
+	}
+	for _, m := range in.Delivered {
+		if p, ok := m.Payload.(ping); ok {
+			next.heard[p.From] = true
+		}
+	}
+	if len(next.heard) >= next.quorum {
+		next.decided = true
+	}
+	return next, sends
+}
+
+func (s *countState) Decided() (sim.Value, bool) {
+	if s.decided {
+		return s.input, true
+	}
+	return sim.NoValue, false
+}
+
+func (s *countState) Key() string {
+	return fmt.Sprintf("cnt{%d,%t,%d,%t}", s.id, s.sent, len(s.heard), s.decided)
+}
+
+func TestFairDeliversPromptly(t *testing.T) {
+	// Quorum of all 3: needs full message exchange; the fair scheduler must
+	// finish it.
+	run, err := sim.Execute(countAlg{quorum: 3}, []sim.Value{1, 2, 3}, NewFair(CrashPlan{}), sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+}
+
+func TestFairInitialDeadNeverStep(t *testing.T) {
+	cp := CrashPlan{InitialDead: []sim.ProcessID{2}}
+	run, err := sim.Execute(countAlg{quorum: 2}, []sim.Value{1, 2, 3}, NewFair(cp), sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	for _, ev := range run.Events {
+		if ev.Proc == 2 && !ev.Silent {
+			t.Fatalf("initially dead process stepped at %d", ev.Time)
+		}
+	}
+	if !run.Final.Crashed(2) {
+		t.Fatal("initially dead process not marked crashed")
+	}
+	if run.CrashTime(2) != 0 {
+		t.Fatalf("CrashTime = %d, want 0", run.CrashTime(2))
+	}
+}
+
+func TestFairCrashAtTime(t *testing.T) {
+	cp := CrashPlan{
+		CrashAtTime: map[sim.ProcessID]int{1: 2},
+		OmitTo:      map[sim.ProcessID][]sim.ProcessID{1: {2}},
+	}
+	allDone := AllCorrectDecided(cp)
+	s := &Fair{Crash: cp, Stop: func(c *sim.Configuration) bool {
+		// Run until the survivors decided AND the scheduled crash happened.
+		return allDone(c) && c.Crashed(1)
+	}}
+	run, err := sim.Execute(countAlg{quorum: 2}, []sim.Value{1, 2, 3}, s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	ct := run.CrashTime(1)
+	if ct < 2 {
+		t.Fatalf("crash time %d before schedule", ct)
+	}
+	for _, ev := range run.Events {
+		if ev.Proc == 1 && ev.Time > ct {
+			t.Fatal("process stepped after crash")
+		}
+	}
+}
+
+func TestFairOnlyRestrictsStepping(t *testing.T) {
+	s := &Fair{Only: []sim.ProcessID{1, 3}, Stop: SetDecided([]sim.ProcessID{1, 3})}
+	run, err := sim.Execute(countAlg{quorum: 2}, []sim.Value{1, 2, 3}, s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	for _, ev := range run.Events {
+		if ev.Proc == 2 {
+			t.Fatal("process outside Only stepped")
+		}
+	}
+	// p2 is alive, just never scheduled.
+	if run.Final.Crashed(2) {
+		t.Fatal("Only marked p2 crashed")
+	}
+}
+
+func TestSoloSchedulerIsolation(t *testing.T) {
+	// Solo run of {1,2}: quorum 2 reachable inside the group.
+	run, err := sim.Execute(countAlg{quorum: 2}, []sim.Value{1, 2, 3, 4}, Solo(4, []sim.ProcessID{1, 2}, nil), sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !run.Final.AllDecided([]sim.ProcessID{1, 2}) {
+		t.Fatal("solo group undecided")
+	}
+	for _, ev := range run.Events {
+		if ev.Silent {
+			continue
+		}
+		for _, m := range ev.Delivered {
+			if m.From != 1 && m.From != 2 {
+				t.Fatalf("solo group received outside message from %d", m.From)
+			}
+		}
+	}
+}
+
+func TestIntraGroupGate(t *testing.T) {
+	g := IntraGroupGate([][]sim.ProcessID{{1, 2}, {3}})
+	cfg := sim.NewConfiguration(countAlg{quorum: 1}, []sim.Value{1, 2, 3})
+	if !g(sim.Message{From: 1, To: 2}, cfg) {
+		t.Error("intra-group message blocked")
+	}
+	if g(sim.Message{From: 1, To: 3}, cfg) {
+		t.Error("cross-group message passed")
+	}
+	if g(sim.Message{From: 4, To: 1}, cfg) {
+		t.Error("ungrouped sender passed")
+	}
+}
+
+func TestPartitionUntilDecidedGate(t *testing.T) {
+	groups := [][]sim.ProcessID{{1}, {2}}
+	gate := PartitionUntilDecidedGate(groups, []sim.ProcessID{1})
+	cfg := sim.NewConfiguration(countAlg{quorum: 1}, []sim.Value{1, 2})
+	if gate(sim.Message{From: 1, To: 2}, cfg) {
+		t.Error("cross message passed before decisions")
+	}
+	// Let p1 decide (quorum 1: decides on first step).
+	if _, err := cfg.Apply(sim.StepRequest{Proc: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !gate(sim.Message{From: 1, To: 2}, cfg) {
+		t.Error("cross message blocked after await set decided")
+	}
+}
+
+func TestSilenceGate(t *testing.T) {
+	gate := SilenceGate([]sim.ProcessID{1}, []sim.ProcessID{2})
+	if gate(sim.Message{From: 1, To: 2}, nil) {
+		t.Error("silenced message passed")
+	}
+	if !gate(sim.Message{From: 2, To: 1}, nil) {
+		t.Error("reverse direction blocked")
+	}
+	if !gate(sim.Message{From: 1, To: 3}, nil) {
+		t.Error("other receiver blocked")
+	}
+}
+
+func TestAndGates(t *testing.T) {
+	always := Gate(func(sim.Message, *sim.Configuration) bool { return true })
+	never := Gate(func(sim.Message, *sim.Configuration) bool { return false })
+	if AndGates(always, never)(sim.Message{}, nil) {
+		t.Error("AND with never passed")
+	}
+	if !AndGates(always, nil, always)(sim.Message{}, nil) {
+		t.Error("AND with nil gates blocked")
+	}
+}
+
+func TestDelayUntilTimeGate(t *testing.T) {
+	gate := DelayUntilTimeGate(2)
+	cfg := sim.NewConfiguration(countAlg{quorum: 3}, []sim.Value{1, 2, 3})
+	if gate(sim.Message{}, cfg) {
+		t.Error("message passed before time")
+	}
+	_, _ = cfg.Apply(sim.StepRequest{Proc: 1})
+	_, _ = cfg.Apply(sim.StepRequest{Proc: 2})
+	if !gate(sim.Message{}, cfg) {
+		t.Error("message blocked after time")
+	}
+}
+
+func TestLockstepRounds(t *testing.T) {
+	cp := CrashPlan{}
+	ls := &Lockstep{Crash: cp, Stop: AllCorrectDecided(cp)}
+	run, err := sim.Execute(countAlg{quorum: 3}, []sim.Value{1, 2, 3}, ls, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+	// Within each round, every live process steps exactly once: the first
+	// three events must be processes 1, 2, 3 in order.
+	for i, want := range []sim.ProcessID{1, 2, 3} {
+		if run.Events[i].Proc != want {
+			t.Fatalf("event %d proc = %d, want %d", i, run.Events[i].Proc, want)
+		}
+	}
+}
+
+func TestLockstepWithCrash(t *testing.T) {
+	cp := CrashPlan{CrashAtTime: map[sim.ProcessID]int{2: 3}}
+	ls := &Lockstep{Crash: cp, Stop: AllCorrectDecided(cp)}
+	run, err := sim.Execute(countAlg{quorum: 2}, []sim.Value{1, 2, 3}, ls, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !run.Final.Crashed(2) {
+		t.Fatal("p2 did not crash")
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+}
+
+func TestLockstepMaxRounds(t *testing.T) {
+	// Quorum 4 of 3 processes: never decides; MaxRounds must stop the run.
+	cp := CrashPlan{}
+	ls := &Lockstep{Crash: cp, Stop: AllCorrectDecided(cp), MaxRounds: 5}
+	run, err := sim.Execute(countAlg{quorum: 4}, []sim.Value{1, 2, 3}, ls, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Events) != 15 {
+		t.Fatalf("events = %d, want 5 rounds x 3 processes", len(run.Events))
+	}
+	if ls.Round() != 5 {
+		t.Fatalf("rounds = %d, want 5", ls.Round())
+	}
+}
+
+func TestCrashPlanHelpers(t *testing.T) {
+	cp := CrashPlan{
+		InitialDead: []sim.ProcessID{1},
+		CrashAtTime: map[sim.ProcessID]int{2: 5},
+	}
+	if !cp.IsInitialDead(1) || cp.IsInitialDead(2) {
+		t.Error("IsInitialDead wrong")
+	}
+	if cp.ShouldCrash(2, 4) || !cp.ShouldCrash(2, 5) {
+		t.Error("ShouldCrash wrong")
+	}
+	if got := cp.FaultBudget(); got != 2 {
+		t.Errorf("FaultBudget = %d, want 2", got)
+	}
+}
+
+func TestDrainAfterStop(t *testing.T) {
+	cp := CrashPlan{}
+	s := &Fair{
+		Crash:          cp,
+		Stop:           AllCorrectDecided(cp),
+		DrainAfterStop: true,
+	}
+	run, err := sim.Execute(countAlg{quorum: 1}, []sim.Value{1, 2}, s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	// After draining, no messages remain anywhere.
+	for _, p := range run.Final.Processes() {
+		if run.Final.BufferSize(p) != 0 {
+			t.Fatalf("pending messages for %d after drain", p)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Violation describes one admissibility violation found in a recorded run.
+type Violation struct {
+	Clause string
+	Detail string
+}
+
+func (v Violation) String() string { return v.Clause + ": " + v.Detail }
+
+// CheckAdmissible verifies the mechanically checkable MASYNC admissibility
+// conditions of Section II against a recorded finite run prefix:
+//
+//	(1) every correct process keeps taking steps — on a finite prefix this is
+//	    approximated by requiring that every correct process either decided
+//	    or appears in Blocked (i.e. the run did not silently stop scheduling
+//	    a live, undecided process without flagging it);
+//	(2) faulty processes execute finitely many steps and may omit sends only
+//	    in the very last step — guaranteed structurally by Configuration, so
+//	    the check here is that no event follows a process's crash event;
+//	(3) every message sent to a correct receiver is eventually received — on
+//	    a finite prefix this means: if all correct processes decided, pending
+//	    messages are allowed (delivery may happen after the prefix), but a
+//	    run claiming completeness via opts.RequireEmptyBuffers must have
+//	    delivered everything addressed to correct processes.
+//
+// It returns the list of violations found (empty means admissible so far).
+func CheckAdmissible(r *Run, opts AdmissibilityOptions) []Violation {
+	var out []Violation
+
+	crashedAt := make(map[ProcessID]int)
+	for _, ev := range r.Events {
+		if prev, ok := crashedAt[ev.Proc]; ok {
+			out = append(out, Violation{
+				Clause: "faulty-stops",
+				Detail: fmt.Sprintf("process %d stepped at time %d after crashing at time %d", ev.Proc, ev.Time, prev),
+			})
+		}
+		if ev.Crashed {
+			crashedAt[ev.Proc] = ev.Time
+		}
+	}
+
+	blocked := make(map[ProcessID]bool, len(r.Blocked))
+	for _, p := range r.Blocked {
+		blocked[p] = true
+	}
+	for _, p := range r.Final.Processes() {
+		if r.Final.Crashed(p) {
+			continue
+		}
+		if _, decided := r.Final.Decision(p); !decided && !blocked[p] {
+			out = append(out, Violation{
+				Clause: "correct-steps",
+				Detail: fmt.Sprintf("correct process %d undecided but not reported blocked", p),
+			})
+		}
+	}
+
+	if opts.RequireEmptyBuffers {
+		for _, p := range r.Final.Processes() {
+			if r.Final.Crashed(p) {
+				continue
+			}
+			if n := r.Final.BufferSize(p); n > 0 {
+				out = append(out, Violation{
+					Clause: "eventual-delivery",
+					Detail: fmt.Sprintf("%d messages still pending for correct process %d", n, p),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// AdmissibilityOptions tunes CheckAdmissible.
+type AdmissibilityOptions struct {
+	// RequireEmptyBuffers additionally demands that no message addressed to
+	// a correct process is left undelivered, for runs claiming to be
+	// "complete" (every sent message already received).
+	RequireEmptyBuffers bool
+}
+
+// IndistinguishableFor reports whether runs alpha and beta are
+// indistinguishable until decision for process p (Definition 2): p moves
+// through the same sequence of states in both runs until it decides. If p
+// never decides in one of the runs, the comparison covers the full recorded
+// prefix of that run, and the shorter sequence must be a prefix of the
+// longer (the paper's runs are infinite; on finite prefixes prefix-equality
+// is the checkable analogue for undecided processes).
+func IndistinguishableFor(alpha, beta *Run, p ProcessID) bool {
+	sa := alpha.StateSequence(p)
+	sb := beta.StateSequence(p)
+	da := decidedIn(alpha, p)
+	db := decidedIn(beta, p)
+	if da && db {
+		return equalStrings(sa, sb)
+	}
+	// At least one side undecided: compare the common prefix.
+	n := len(sa)
+	if len(sb) < n {
+		n = len(sb)
+	}
+	return equalStrings(sa[:n], sb[:n])
+}
+
+// IndistinguishableForAll reports whether alpha ~D beta: indistinguishable
+// until decision for every process in d.
+func IndistinguishableForAll(alpha, beta *Run, d []ProcessID) bool {
+	for _, p := range d {
+		if !IndistinguishableFor(alpha, beta, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// CompatibleFor reports whether the set of runs rs1 is compatible with rs2
+// for the processes in d (Definition 3): for every run alpha in rs1 there is
+// a run beta in rs2 with alpha ~D beta. It returns the first alpha without a
+// match, or nil when compatible.
+func CompatibleFor(rs1, rs2 []*Run, d []ProcessID) (bool, *Run) {
+	for _, alpha := range rs1 {
+		found := false
+		for _, beta := range rs2 {
+			if IndistinguishableForAll(alpha, beta, d) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, alpha
+		}
+	}
+	return true, nil
+}
+
+func decidedIn(r *Run, p ProcessID) bool {
+	_, ok := r.Final.Decision(p)
+	return ok
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortProcessIDs sorts a slice of process ids in place and returns it.
+func SortProcessIDs(ps []ProcessID) []ProcessID {
+	sort.Slice(ps, func(i, j int) bool { return ps[i] < ps[j] })
+	return ps
+}
+
+// Complement returns Pi \ d for a system of n processes, sorted.
+func Complement(n int, d []ProcessID) []ProcessID {
+	member := make(map[ProcessID]bool, len(d))
+	for _, p := range d {
+		member[p] = true
+	}
+	var out []ProcessID
+	for p := 1; p <= n; p++ {
+		if !member[ProcessID(p)] {
+			out = append(out, ProcessID(p))
+		}
+	}
+	return out
+}

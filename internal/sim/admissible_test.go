@@ -1,0 +1,157 @@
+package sim
+
+import "testing"
+
+func mustRun(t *testing.T, inputs []Value, steps int) *Run {
+	t.Helper()
+	run, err := Execute(echoAlg{}, inputs, &stepAll{maxSteps: steps}, Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	return run
+}
+
+func TestCheckAdmissibleCleanRun(t *testing.T) {
+	run := mustRun(t, []Value{1, 2}, 4)
+	if vs := CheckAdmissible(run, AdmissibilityOptions{}); len(vs) != 0 {
+		t.Fatalf("violations on clean run: %v", vs)
+	}
+}
+
+func TestCheckAdmissiblePendingBuffers(t *testing.T) {
+	// One step each: broadcasts are still pending.
+	run := mustRun(t, []Value{1, 2}, 2)
+	vs := CheckAdmissible(run, AdmissibilityOptions{RequireEmptyBuffers: true})
+	if len(vs) == 0 {
+		t.Fatal("expected eventual-delivery violations for pending buffers")
+	}
+	for _, v := range vs {
+		if v.Clause != "eventual-delivery" {
+			t.Fatalf("unexpected violation %v", v)
+		}
+	}
+}
+
+func TestCheckAdmissibleBlockedReporting(t *testing.T) {
+	// neverDecide leaves all processes undecided; a run that ends without
+	// reporting them blocked violates clause (1)'s finite-prefix analogue.
+	run, err := Execute(neverDecideAlg{}, []Value{1, 2}, &stepAll{maxSteps: 4}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Blocked) != 2 {
+		t.Fatalf("Blocked = %v, want both processes", run.Blocked)
+	}
+	if vs := CheckAdmissible(run, AdmissibilityOptions{}); len(vs) != 0 {
+		t.Fatalf("violations: %v", vs)
+	}
+	// Forge a run that hides the blocked processes.
+	run.Blocked = nil
+	vs := CheckAdmissible(run, AdmissibilityOptions{})
+	if len(vs) != 2 {
+		t.Fatalf("violations = %v, want 2 correct-steps violations", vs)
+	}
+}
+
+type neverDecideAlg struct{}
+
+func (neverDecideAlg) Name() string { return "never" }
+func (neverDecideAlg) Init(n int, id ProcessID, input Value) State {
+	return neverState{}
+}
+
+type neverState struct{ ticks int }
+
+func (s neverState) Step(in Input) (State, []Send) { return neverState{ticks: s.ticks + 1}, nil }
+func (s neverState) Decided() (Value, bool)        { return NoValue, false }
+func (s neverState) Key() string                   { return "never" }
+
+func TestIndistinguishableForSameSchedule(t *testing.T) {
+	a := mustRun(t, []Value{1, 2, 3}, 6)
+	b := mustRun(t, []Value{1, 2, 3}, 6)
+	for p := ProcessID(1); p <= 3; p++ {
+		if !IndistinguishableFor(a, b, p) {
+			t.Errorf("identical runs distinguishable for %d", p)
+		}
+	}
+	if !IndistinguishableForAll(a, b, []ProcessID{1, 2, 3}) {
+		t.Error("identical runs not ~D")
+	}
+}
+
+func TestIndistinguishableForDifferentInputs(t *testing.T) {
+	a := mustRun(t, []Value{1, 2}, 4)
+	b := mustRun(t, []Value{9, 2}, 4)
+	if IndistinguishableFor(a, b, 1) {
+		t.Error("runs with different inputs for p1 indistinguishable for p1")
+	}
+	// echoAlg decides before observing others, so p2 cannot distinguish.
+	if !IndistinguishableFor(a, b, 2) {
+		t.Error("p2 distinguished runs although its own input and observations agree")
+	}
+}
+
+func TestIndistinguishabilityTruncatesAtDecision(t *testing.T) {
+	// Same inputs, different run lengths: states after the decision step
+	// may differ (message counters), but Definition 2 only compares until
+	// decision.
+	a := mustRun(t, []Value{1, 2}, 2)
+	b := mustRun(t, []Value{1, 2}, 6)
+	for p := ProcessID(1); p <= 2; p++ {
+		if !IndistinguishableFor(a, b, p) {
+			t.Errorf("runs distinguishable for %d despite equal prefixes until decision", p)
+		}
+	}
+}
+
+func TestCompatibleFor(t *testing.T) {
+	a1 := mustRun(t, []Value{1, 2}, 4)
+	a2 := mustRun(t, []Value{3, 2}, 4)
+	b1 := mustRun(t, []Value{1, 2}, 6)
+	ok, _ := CompatibleFor([]*Run{a1}, []*Run{b1}, []ProcessID{1, 2})
+	if !ok {
+		t.Fatal("a1 should be compatible with {b1}")
+	}
+	ok, witness := CompatibleFor([]*Run{a1, a2}, []*Run{b1}, []ProcessID{1})
+	if ok {
+		t.Fatal("a2 should not match b1 for p1 (different input)")
+	}
+	if witness != a2 {
+		t.Fatalf("witness = %v, want a2", witness)
+	}
+}
+
+func TestRunFailurePatternHelpers(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	run := &Run{Algorithm: "echo", Inputs: []Value{1, 2}, Final: c}
+	ev, err := c.Apply(StepRequest{Proc: 1, Crash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Events = append(run.Events, ev)
+	ev, err = c.Apply(StepRequest{Proc: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Events = append(run.Events, ev)
+
+	if got := run.CrashTime(1); got != 0 {
+		t.Errorf("CrashTime(1) = %d, want 0", got)
+	}
+	if got := run.CrashTime(2); got != -1 {
+		t.Errorf("CrashTime(2) = %d, want -1", got)
+	}
+	if !run.InFailurePattern(1, 1) {
+		t.Error("p1 should be in F(1)")
+	}
+	if run.InFailurePattern(1, 0) {
+		t.Error("p1 stepped at time 0, so p1 not in F(0)")
+	}
+	if run.InFailurePattern(2, 5) {
+		t.Error("correct p2 must never be in F(t)")
+	}
+	faulty := run.Faulty()
+	if len(faulty) != 1 || faulty[0] != 1 {
+		t.Errorf("Faulty = %v, want [1]", faulty)
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import "testing"
+
+func BenchmarkApplyStep(b *testing.B) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2, 3, 4, 5, 6, 7, 8})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := ProcessID(i%8 + 1)
+		if c.Crashed(p) {
+			b.Fatal("crashed")
+		}
+		if _, err := c.Apply(StepRequest{Proc: p, Deliver: c.DeliverAll(p)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConfigurationKey(b *testing.B) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2, 3, 4, 5, 6, 7, 8})
+	for p := ProcessID(1); p <= 8; p++ {
+		if _, err := c.Apply(StepRequest{Proc: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if k := c.Key(); len(k) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}
+
+func BenchmarkConfigurationClone(b *testing.B) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2, 3, 4, 5, 6, 7, 8})
+	for p := ProcessID(1); p <= 8; p++ {
+		if _, err := c.Apply(StepRequest{Proc: p}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cp := c.Clone(); cp == nil {
+			b.Fatal("nil clone")
+		}
+	}
+}
+
+func BenchmarkExecuteEcho(b *testing.B) {
+	inputs := []Value{1, 2, 3, 4, 5, 6}
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(echoAlg{}, inputs, &stepAll{maxSteps: 60}, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIndistinguishability(b *testing.B) {
+	r1, err := Execute(echoAlg{}, []Value{1, 2, 3, 4}, &stepAll{maxSteps: 40}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r2, err := Execute(echoAlg{}, []Value{1, 2, 3, 4}, &stepAll{maxSteps: 40}, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps := []ProcessID{1, 2, 3, 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !IndistinguishableForAll(r1, r2, ps) {
+			b.Fatal("distinguishable")
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Configuration is a global system configuration per Section II: the vector
+// of local states plus the message buffer of every process, together with
+// the global time (number of steps taken so far) and the crash record.
+type Configuration struct {
+	n         int
+	states    []State     // index p-1 holds the state of process p
+	buffers   [][]Message // index p-1 holds messages sent to p, not yet received
+	crashed   []bool      // index p-1: p has taken its final step
+	decisions []Value     // index p-1: write-once output, NoValue while undecided
+	time      int
+	nextMsgID int64
+}
+
+// NewConfiguration builds the initial configuration for algorithm a with the
+// given proposal values (inputs[p-1] is x_p). All buffers start empty and no
+// process has crashed, as required of initial configurations.
+func NewConfiguration(a Algorithm, inputs []Value) *Configuration {
+	n := len(inputs)
+	c := &Configuration{
+		n:         n,
+		states:    make([]State, n),
+		buffers:   make([][]Message, n),
+		crashed:   make([]bool, n),
+		decisions: make([]Value, n),
+		nextMsgID: 1,
+	}
+	for i := 0; i < n; i++ {
+		c.states[i] = a.Init(n, ProcessID(i+1), inputs[i])
+		c.decisions[i] = NoValue
+		if v, ok := c.states[i].Decided(); ok {
+			c.decisions[i] = v
+		}
+	}
+	return c
+}
+
+// N returns the number of processes.
+func (c *Configuration) N() int { return c.n }
+
+// Time returns the global time, i.e. the number of steps taken so far.
+func (c *Configuration) Time() int { return c.time }
+
+// State returns the local state of process p.
+func (c *Configuration) State(p ProcessID) State { return c.states[p-1] }
+
+// Crashed reports whether process p has taken its final step.
+func (c *Configuration) Crashed(p ProcessID) bool { return c.crashed[p-1] }
+
+// Decision returns the write-once output of process p and whether it has
+// decided.
+func (c *Configuration) Decision(p ProcessID) (Value, bool) {
+	v := c.decisions[p-1]
+	return v, v != NoValue
+}
+
+// Buffer returns a copy of the pending messages addressed to p, in sending
+// order.
+func (c *Configuration) Buffer(p ProcessID) []Message {
+	buf := c.buffers[p-1]
+	out := make([]Message, len(buf))
+	copy(out, buf)
+	return out
+}
+
+// BufferSize returns the number of pending messages addressed to p without
+// copying.
+func (c *Configuration) BufferSize(p ProcessID) int { return len(c.buffers[p-1]) }
+
+// Processes returns the ids 1..n.
+func (c *Configuration) Processes() []ProcessID {
+	out := make([]ProcessID, c.n)
+	for i := range out {
+		out[i] = ProcessID(i + 1)
+	}
+	return out
+}
+
+// AllDecided reports whether every process in ps has decided or crashed.
+func (c *Configuration) AllDecided(ps []ProcessID) bool {
+	for _, p := range ps {
+		if c.decisions[p-1] == NoValue && !c.crashed[p-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// DistinctDecisions returns the set of distinct decision values across all
+// processes (correct or faulty — the k-agreement property of Section II-A
+// binds faulty processes' decisions too), in ascending order.
+func (c *Configuration) DistinctDecisions() []Value {
+	seen := make(map[Value]bool)
+	for _, v := range c.decisions {
+		if v != NoValue {
+			seen[v] = true
+		}
+	}
+	out := make([]Value, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the configuration. States and message
+// payloads are immutable by contract and therefore shared.
+func (c *Configuration) Clone() *Configuration {
+	cp := &Configuration{
+		n:         c.n,
+		states:    append([]State(nil), c.states...),
+		buffers:   make([][]Message, c.n),
+		crashed:   append([]bool(nil), c.crashed...),
+		decisions: append([]Value(nil), c.decisions...),
+		time:      c.time,
+		nextMsgID: c.nextMsgID,
+	}
+	for i, buf := range c.buffers {
+		cp.buffers[i] = append([]Message(nil), buf...)
+	}
+	return cp
+}
+
+// Key returns a deterministic encoding of the configuration: all local
+// states and all buffer contents. Two configurations with equal keys are
+// behaviourally identical for every deterministic algorithm; package explore
+// uses keys to detect revisited configurations. Time and message ids are
+// excluded on purpose — they do not influence future behaviour.
+func (c *Configuration) Key() string {
+	var b strings.Builder
+	for i, s := range c.states {
+		fmt.Fprintf(&b, "p%d[", i+1)
+		if c.crashed[i] {
+			b.WriteString("X;")
+		}
+		b.WriteString(s.Key())
+		b.WriteString("]{")
+		// Buffers are multisets from the process's point of view: the
+		// scheduler can deliver any subset in any order. Sort message keys so
+		// that configurations differing only in arrival order coincide.
+		keys := make([]string, len(c.buffers[i]))
+		for j, m := range c.buffers[i] {
+			keys[j] = m.Key()
+		}
+		sort.Strings(keys)
+		b.WriteString(strings.Join(keys, "|"))
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// StepRequest is the scheduler's choice for one atomic step: the process to
+// step, the ids of buffered messages to deliver (the subset L, possibly
+// empty), the failure-detector value to present (nil when the model has no
+// detector), and the crash directive. When Crash is true this is p's final
+// step and OmitTo lists the receivers to which the final step's messages are
+// dropped (MASYNC admissibility clause (2) allows omitting sends to a subset
+// of receivers in the very last step).
+type StepRequest struct {
+	Proc    ProcessID
+	Deliver []int64
+	FD      FDValue
+	Crash   bool
+	OmitTo  map[ProcessID]bool
+
+	// SilentCrash marks the process as crashed without executing a step:
+	// the process is in F(t) for the current time t onward and, if it never
+	// stepped before, it is initially dead (in F(0)). No transition runs, no
+	// messages are sent, and global time does not advance — silently
+	// crashing is not a step of the run.
+	SilentCrash bool
+}
+
+// DeliverAll returns the ids of every message pending for p, for building
+// step requests that flush the buffer.
+func (c *Configuration) DeliverAll(p ProcessID) []int64 {
+	buf := c.buffers[p-1]
+	ids := make([]int64, len(buf))
+	for i, m := range buf {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// Apply executes one atomic step in place and returns the step's event
+// record. It enforces the model's sanity rules: the process must exist and
+// not have crashed, delivered ids must be pending for the process, and
+// decisions are write-once.
+func (c *Configuration) Apply(req StepRequest) (Event, error) {
+	p := req.Proc
+	if p < 1 || int(p) > c.n {
+		return Event{}, fmt.Errorf("sim: step for unknown process %d", p)
+	}
+	i := int(p) - 1
+	if c.crashed[i] {
+		return Event{}, fmt.Errorf("sim: process %d stepped after crashing", p)
+	}
+
+	if req.SilentCrash {
+		c.crashed[i] = true
+		return Event{
+			Time:     c.time,
+			Proc:     p,
+			StateKey: c.states[i].Key(),
+			Crashed:  true,
+			Silent:   true,
+		}, nil
+	}
+
+	delivered, err := c.take(i, req.Deliver)
+	if err != nil {
+		return Event{}, err
+	}
+
+	in := Input{Time: c.time, Delivered: delivered, FD: req.FD}
+	next, sends := c.states[i].Step(in)
+	if next == nil {
+		return Event{}, fmt.Errorf("sim: process %d returned nil state", p)
+	}
+
+	prevDecision := c.decisions[i]
+	c.states[i] = next
+	if v, ok := next.Decided(); ok {
+		if v == NoValue {
+			return Event{}, fmt.Errorf("sim: process %d decided the reserved NoValue", p)
+		}
+		if prevDecision != NoValue && prevDecision != v {
+			return Event{}, fmt.Errorf("sim: process %d changed decision %d -> %d", p, prevDecision, v)
+		}
+		c.decisions[i] = v
+	} else if prevDecision != NoValue {
+		return Event{}, fmt.Errorf("sim: process %d retracted its decision", p)
+	}
+
+	sent := make([]Message, 0, len(sends))
+	for _, snd := range sends {
+		if snd.To < 1 || int(snd.To) > c.n {
+			return Event{}, fmt.Errorf("sim: process %d sent to unknown process %d", p, snd.To)
+		}
+		if snd.Payload == nil {
+			return Event{}, fmt.Errorf("sim: process %d sent nil payload", p)
+		}
+		if req.Crash && req.OmitTo[snd.To] {
+			continue
+		}
+		m := Message{
+			ID:      c.nextMsgID,
+			From:    p,
+			To:      snd.To,
+			SentAt:  c.time,
+			Payload: snd.Payload,
+		}
+		c.nextMsgID++
+		c.buffers[snd.To-1] = append(c.buffers[snd.To-1], m)
+		sent = append(sent, m)
+	}
+
+	if req.Crash {
+		c.crashed[i] = true
+	}
+
+	ev := Event{
+		Time:      c.time,
+		Proc:      p,
+		Delivered: delivered,
+		FD:        req.FD,
+		Sent:      sent,
+		StateKey:  next.Key(),
+		Crashed:   req.Crash,
+	}
+	if v, ok := next.Decided(); ok {
+		ev.Decision, ev.Decided = v, true
+	}
+	c.time++
+	return ev, nil
+}
+
+// take removes the messages with the given ids from buffer i and returns
+// them in buffer order.
+func (c *Configuration) take(i int, ids []int64) ([]Message, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	want := make(map[int64]bool, len(ids))
+	for _, id := range ids {
+		if want[id] {
+			return nil, fmt.Errorf("sim: duplicate delivery of message %d", id)
+		}
+		want[id] = true
+	}
+	buf := c.buffers[i]
+	taken := make([]Message, 0, len(ids))
+	restCap := len(buf) - len(ids)
+	if restCap < 0 {
+		restCap = 0
+	}
+	rest := make([]Message, 0, restCap)
+	for _, m := range buf {
+		if want[m.ID] {
+			taken = append(taken, m)
+			delete(want, m.ID)
+		} else {
+			rest = append(rest, m)
+		}
+	}
+	if len(want) > 0 {
+		missing := make([]int64, 0, len(want))
+		for id := range want {
+			missing = append(missing, id)
+		}
+		sort.Slice(missing, func(a, b int) bool { return missing[a] < missing[b] })
+		return nil, fmt.Errorf("sim: messages %v not pending for process %d", missing, i+1)
+	}
+	c.buffers[i] = rest
+	return taken, nil
+}

@@ -1,0 +1,25 @@
+// Package sim implements the deterministic message-passing computing model of
+// Section II of Biely, Robinson and Schmid, "Easy Impossibility Proofs for
+// k-Set Agreement in Message Passing Systems" (OPODIS 2011), which in turn
+// follows Dolev, Dwork and Stockmeyer (JACM 1987) and Fischer, Lynch and
+// Paterson (JACM 1985).
+//
+// A system consists of n processes with ids 1..n that communicate by
+// message passing. Each process is a deterministic state machine. The
+// communication subsystem is one buffer per process holding messages sent to
+// it but not yet received. A step is atomic: a scheduler (adversary) picks a
+// process p, a subset L of p's buffer, and, when failure detectors are
+// enabled, the history value H(p, t); p's transition function maps its state,
+// L and the detector value to a new state and a set of messages to send.
+// Global time is the step index, exactly as in the paper's Section II-C.
+//
+// Process state machines are pure: Step returns a fresh State and the sends,
+// never mutating the receiver. That purity is what makes configurations
+// snapshottable, runs replayable and pasteable (Lemmas 11 and 12), and the
+// bounded exploration of package explore exact.
+//
+// Runs are finite prefixes of the paper's infinite runs: schedulers execute
+// until every correct process has decided or a step horizon is reached.
+// Correct processes left undecided at the horizon are reported as blocked,
+// which is the empirical stand-in for a violated Termination property.
+package sim

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Event records one atomic step of a run: who stepped at what time, what was
+// delivered (the subset L), the failure-detector value presented, what was
+// sent, the successor state's key, and the decision/crash effects.
+type Event struct {
+	Time      int
+	Proc      ProcessID
+	Delivered []Message
+	FD        FDValue
+	Sent      []Message
+	StateKey  string
+	Decision  Value
+	Decided   bool
+	Crashed   bool
+
+	// Silent marks a crash-without-step event (initial death or a crash
+	// after the last normal step). Silent events are not steps of the run:
+	// they advance no time and are skipped by state/observation sequences
+	// and the failure-pattern helpers.
+	Silent bool
+}
+
+// Run is a recorded finite run prefix: the algorithm name, the proposal
+// vector, every step event in order, and the final configuration.
+type Run struct {
+	Algorithm string
+	Inputs    []Value
+	Events    []Event
+	Final     *Configuration
+
+	// Blocked lists the correct (never crashed) processes that had not
+	// decided when the run ended. A run that executed to its scheduler's
+	// natural completion with Blocked empty satisfies Termination for every
+	// correct process; a nonempty Blocked under a fair scheduler at the step
+	// horizon is the empirical witness of a Termination violation.
+	Blocked []ProcessID
+}
+
+// N returns the number of processes in the run.
+func (r *Run) N() int { return len(r.Inputs) }
+
+// Decisions returns the final decision vector: index p-1 holds process p's
+// output or NoValue.
+func (r *Run) Decisions() []Value {
+	out := make([]Value, r.N())
+	for i := range out {
+		v, _ := r.Final.Decision(ProcessID(i + 1))
+		out[i] = v
+	}
+	return out
+}
+
+// DistinctDecisions returns the distinct decision values in the run.
+func (r *Run) DistinctDecisions() []Value { return r.Final.DistinctDecisions() }
+
+// Faulty returns the set of processes that crashed during the run (the set F
+// of Section II-C).
+func (r *Run) Faulty() []ProcessID {
+	var out []ProcessID
+	for _, p := range r.Final.Processes() {
+		if r.Final.Crashed(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CrashTime returns the global time at which p crashed: the time of its
+// final step, or the time its silent crash was recorded (0 for initially
+// dead processes). It returns -1 if p never crashed.
+func (r *Run) CrashTime(p ProcessID) int {
+	for _, ev := range r.Events {
+		if ev.Proc == p && ev.Crashed {
+			return ev.Time
+		}
+	}
+	if r.Final.Crashed(p) {
+		return 0
+	}
+	return -1
+}
+
+// InFailurePattern reports whether p is in F(t) for this run: p crashed and
+// takes no step at or after time t. Silent crash records are not steps.
+func (r *Run) InFailurePattern(p ProcessID, t int) bool {
+	for _, ev := range r.Events {
+		if ev.Proc == p && !ev.Silent && ev.Time >= t {
+			return false
+		}
+	}
+	return r.Final.Crashed(p)
+}
+
+// StateSequence returns the sequence of state keys process p moved through,
+// truncated at (and including) p's deciding step. This is the object that
+// Definition 2's indistinguishability-until-decision compares.
+func (r *Run) StateSequence(p ProcessID) []string {
+	var out []string
+	for _, ev := range r.Events {
+		if ev.Proc != p || ev.Silent {
+			continue
+		}
+		out = append(out, ev.StateKey)
+		if ev.Decided {
+			break
+		}
+	}
+	return out
+}
+
+// ObservationSequence returns, for process p, the sequence of per-step
+// observations (delivered message keys and failure-detector keys) up to and
+// including p's deciding step. Two runs in which p makes equal observations
+// from equal initial state are indistinguishable for p because processes are
+// deterministic.
+func (r *Run) ObservationSequence(p ProcessID) []string {
+	var out []string
+	for _, ev := range r.Events {
+		if ev.Proc != p || ev.Silent {
+			continue
+		}
+		key := "L{"
+		for i, m := range ev.Delivered {
+			if i > 0 {
+				key += "|"
+			}
+			key += m.Key()
+		}
+		key += "}"
+		if ev.FD != nil {
+			key += "fd{" + ev.FD.Key() + "}"
+		}
+		out = append(out, key)
+		if ev.Decided {
+			break
+		}
+	}
+	return out
+}
+
+// Scheduler chooses the next atomic step given the current configuration.
+// Returning ok=false ends the run. Schedulers embody the adversary and the
+// admissibility conditions of the model in force.
+type Scheduler interface {
+	Next(c *Configuration) (StepRequest, bool)
+}
+
+// Options configures Execute.
+type Options struct {
+	// MaxSteps bounds the run length as a safety net against non-terminating
+	// schedules; 0 means DefaultMaxSteps.
+	MaxSteps int
+}
+
+// DefaultMaxSteps is the step horizon used when Options.MaxSteps is zero.
+const DefaultMaxSteps = 200000
+
+// ErrHorizon is returned (wrapped) by Execute when the scheduler was still
+// willing to schedule steps at the MaxSteps horizon. The partial run is
+// still returned alongside the error so callers can inspect it.
+var ErrHorizon = errors.New("sim: step horizon reached")
+
+// Execute drives algorithm a from the initial configuration for the given
+// inputs under scheduler sch, recording every event. It returns the recorded
+// run. The run ends when the scheduler declines to schedule (normal end) or
+// at the step horizon (ErrHorizon, with the partial run returned).
+func Execute(a Algorithm, inputs []Value, sch Scheduler, opts Options) (*Run, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("sim: no processes")
+	}
+	cfg := NewConfiguration(a, inputs)
+	return Continue(a.Name(), inputs, cfg, sch, opts)
+}
+
+// Continue drives an existing configuration forward under sch, recording
+// events. It is the building block for pasted runs (Lemma 11): a
+// configuration reached under one scheduler can be continued under another.
+func Continue(name string, inputs []Value, cfg *Configuration, sch Scheduler, opts Options) (*Run, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = DefaultMaxSteps
+	}
+	run := &Run{
+		Algorithm: name,
+		Inputs:    append([]Value(nil), inputs...),
+		Final:     cfg,
+	}
+	for steps := 0; ; steps++ {
+		req, ok := sch.Next(cfg)
+		if !ok {
+			break
+		}
+		if steps >= maxSteps {
+			run.Blocked = blocked(cfg)
+			return run, fmt.Errorf("%w after %d steps (algorithm %s)", ErrHorizon, maxSteps, name)
+		}
+		ev, err := cfg.Apply(req)
+		if err != nil {
+			return run, fmt.Errorf("sim: scheduler produced illegal step at time %d: %w", cfg.Time(), err)
+		}
+		run.Events = append(run.Events, ev)
+	}
+	run.Blocked = blocked(cfg)
+	return run, nil
+}
+
+func blocked(cfg *Configuration) []ProcessID {
+	var out []ProcessID
+	for _, p := range cfg.Processes() {
+		if _, decided := cfg.Decision(p); !decided && !cfg.Crashed(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ProcessID identifies a process. Processes are numbered 1..n as in the
+// paper; 0 is never a valid id.
+type ProcessID int
+
+// NoProcess is the zero ProcessID, used when no process is meant.
+const NoProcess ProcessID = 0
+
+// Value is a proposal or decision value drawn from the finite value universe
+// V of Section II-A. The paper assumes |V| > n so that runs exist in which
+// every process proposes a distinct value; using integers satisfies that for
+// any n.
+type Value int
+
+// NoValue represents the undecided output ("bottom"), which by Section II is
+// not an element of V. Algorithms must never propose or decide NoValue.
+const NoValue Value = -1 << 62
+
+// Payload is the algorithm-defined content of a message. Implementations
+// must be immutable values, and Key must be a deterministic encoding: two
+// payloads are the same message content if and only if their keys are equal.
+// Keys are what make runs comparable (Definition 2, indistinguishability)
+// and configurations hashable for bounded exploration.
+type Payload interface {
+	Key() string
+}
+
+// FDValue is a failure-detector output handed to a process at the beginning
+// of a step, per the paper's sixth model dimension (Section II). A nil
+// FDValue means the process has no failure detector (the unfavourable
+// choice U).
+type FDValue interface {
+	Key() string
+}
+
+// Message is a message in transit or delivered. From/To are process ids,
+// Payload the algorithm content. ID is unique within a run and SentAt is the
+// global time (step index) of the sending step; both are bookkeeping owned
+// by the configuration, not visible to algorithms except for ordering.
+type Message struct {
+	ID      int64
+	From    ProcessID
+	To      ProcessID
+	SentAt  int
+	Payload Payload
+}
+
+// Key returns a deterministic encoding of the message content as observed by
+// the receiving process (sender and payload; the bookkeeping fields are
+// excluded so that pasted runs with renumbered messages stay
+// indistinguishable).
+func (m Message) Key() string {
+	return fmt.Sprintf("%d>%d:%s", m.From, m.To, m.Payload.Key())
+}
+
+// Send describes one outgoing message produced by a step, before the
+// configuration assigns bookkeeping fields. A Send with To outside 1..n is
+// rejected by the step driver.
+type Send struct {
+	To      ProcessID
+	Payload Payload
+}
+
+// Broadcast returns sends of payload to every process in 1..n, including the
+// sender itself. The paper's Theorem 2 model allows broadcasting in an
+// atomic step; algorithms for weaker models can still use Broadcast because
+// the sends are placed in buffers individually and delivered independently.
+func Broadcast(n int, payload Payload) []Send {
+	sends := make([]Send, 0, n)
+	for p := 1; p <= n; p++ {
+		sends = append(sends, Send{To: ProcessID(p), Payload: payload})
+	}
+	return sends
+}
+
+// Input is everything a process observes in one atomic step: the global time
+// (which processes must not use for computation — it is carried for trace
+// purposes only), the delivered subset L of its buffer, and the failure
+// detector value if any.
+type Input struct {
+	Time      int
+	Delivered []Message
+	FD        FDValue
+}
+
+// State is an immutable snapshot of a process's local state.
+//
+// Step applies the transition relation and message sending function of
+// Section II: given the step input it returns the successor state and the
+// messages to send. Implementations must be pure — they must not mutate the
+// receiver or the input, and equal (state, input) pairs must produce equal
+// results. Decided returns the write-once output value y_p; once a state
+// reports decided, every successor must report the same value (the driver
+// enforces this).
+type State interface {
+	Step(in Input) (State, []Send)
+	Decided() (Value, bool)
+	Key() string
+}
+
+// Algorithm constructs initial process states. Init receives the system size
+// n (note: restricted algorithms per Definition 1 still receive the original
+// |Pi|), the process id, and the proposal value x_p.
+type Algorithm interface {
+	Name() string
+	Init(n int, id ProcessID, input Value) State
+}
+
+// Restrict returns the restricted algorithm A|D of Definition 1 for the
+// process set D: the message sending function is changed to drop all
+// messages addressed to processes outside D, and nothing else changes. In
+// particular Init still receives the full system size n.
+func Restrict(a Algorithm, d []ProcessID) Algorithm {
+	member := make(map[ProcessID]bool, len(d))
+	ids := make([]ProcessID, 0, len(d))
+	for _, p := range d {
+		if !member[p] {
+			member[p] = true
+			ids = append(ids, p)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return &restricted{inner: a, member: member, ids: ids}
+}
+
+type restricted struct {
+	inner  Algorithm
+	member map[ProcessID]bool
+	ids    []ProcessID
+}
+
+func (r *restricted) Name() string {
+	parts := make([]string, len(r.ids))
+	for i, p := range r.ids {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return r.inner.Name() + "|{" + strings.Join(parts, ",") + "}"
+}
+
+func (r *restricted) Init(n int, id ProcessID, input Value) State {
+	return &restrictedState{inner: r.inner.Init(n, id, input), member: r.member}
+}
+
+type restrictedState struct {
+	inner  State
+	member map[ProcessID]bool
+}
+
+func (s *restrictedState) Step(in Input) (State, []Send) {
+	next, sends := s.inner.Step(in)
+	kept := make([]Send, 0, len(sends))
+	for _, snd := range sends {
+		if s.member[snd.To] {
+			kept = append(kept, snd)
+		}
+	}
+	return &restrictedState{inner: next, member: s.member}, kept
+}
+
+func (s *restrictedState) Decided() (Value, bool) { return s.inner.Decided() }
+
+func (s *restrictedState) Key() string { return s.inner.Key() }
+
+// Unrestricted unwraps a state produced by a restricted algorithm, returning
+// the underlying state. It returns the state itself when it is not
+// restricted. Indistinguishability comparisons (Definition 2) use it so that
+// a run of A|D can be compared state-by-state against a run of A.
+func Unrestricted(s State) State {
+	if rs, ok := s.(*restrictedState); ok {
+		return rs.inner
+	}
+	return s
+}

@@ -1,0 +1,363 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testPayload is a minimal payload for kernel tests.
+type testPayload struct {
+	Tag  string
+	From ProcessID
+}
+
+func (p testPayload) Key() string { return fmt.Sprintf("%s(%d)", p.Tag, p.From) }
+
+// echoAlg decides its own input at its first step and broadcasts a HELLO.
+type echoAlg struct{}
+
+func (echoAlg) Name() string { return "echo" }
+
+func (echoAlg) Init(n int, id ProcessID, input Value) State {
+	return &echoState{n: n, id: id, input: input, decision: NoValue}
+}
+
+type echoState struct {
+	n        int
+	id       ProcessID
+	input    Value
+	sent     bool
+	got      int
+	decision Value
+}
+
+func (s *echoState) Step(in Input) (State, []Send) {
+	next := *s
+	var sends []Send
+	if !next.sent {
+		next.sent = true
+		sends = Broadcast(next.n, testPayload{Tag: "HELLO", From: next.id})
+	}
+	next.got += len(in.Delivered)
+	next.decision = next.input
+	return &next, sends
+}
+
+func (s *echoState) Decided() (Value, bool) { return s.decision, s.decision != NoValue }
+
+func (s *echoState) Key() string {
+	return fmt.Sprintf("echo{%d,%d,%t,%d,%d}", s.id, s.input, s.sent, s.got, s.decision)
+}
+
+// stepAll is a trivial scheduler stepping processes round-robin delivering
+// everything, for maxSteps steps.
+type stepAll struct {
+	steps, maxSteps int
+	rr              int
+}
+
+func (s *stepAll) Next(c *Configuration) (StepRequest, bool) {
+	if s.steps >= s.maxSteps {
+		return StepRequest{}, false
+	}
+	s.steps++
+	p := ProcessID(s.rr%c.N() + 1)
+	s.rr++
+	return StepRequest{Proc: p, Deliver: c.DeliverAll(p)}, true
+}
+
+func TestNewConfigurationInitialState(t *testing.T) {
+	inputs := []Value{10, 20, 30}
+	c := NewConfiguration(echoAlg{}, inputs)
+	if c.N() != 3 {
+		t.Fatalf("N = %d, want 3", c.N())
+	}
+	if c.Time() != 0 {
+		t.Fatalf("Time = %d, want 0", c.Time())
+	}
+	for p := ProcessID(1); p <= 3; p++ {
+		if c.Crashed(p) {
+			t.Errorf("process %d crashed in initial configuration", p)
+		}
+		if got := c.BufferSize(p); got != 0 {
+			t.Errorf("buffer of %d = %d, want empty", p, got)
+		}
+		if _, decided := c.Decision(p); decided {
+			t.Errorf("process %d decided in initial configuration", p)
+		}
+	}
+}
+
+func TestApplyDeliversAndSends(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	ev, err := c.Apply(StepRequest{Proc: 1})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if len(ev.Sent) != 2 {
+		t.Fatalf("sent %d messages, want 2 (broadcast)", len(ev.Sent))
+	}
+	if !ev.Decided || ev.Decision != 1 {
+		t.Fatalf("event decision = (%d,%t), want (1,true)", ev.Decision, ev.Decided)
+	}
+	if got := c.BufferSize(2); got != 1 {
+		t.Fatalf("buffer of 2 = %d, want 1", got)
+	}
+	// Deliver to 2.
+	ids := c.DeliverAll(2)
+	ev2, err := c.Apply(StepRequest{Proc: 2, Deliver: ids})
+	if err != nil {
+		t.Fatalf("Apply for 2: %v", err)
+	}
+	if len(ev2.Delivered) != 1 {
+		t.Fatalf("delivered %d, want 1", len(ev2.Delivered))
+	}
+	// p2's step consumed p1's message but broadcast its own HELLO, whose
+	// self-copy is now the only pending message.
+	buf := c.Buffer(2)
+	if len(buf) != 1 || buf[0].From != 2 {
+		t.Fatalf("buffer of 2 after delivery = %v, want only p2's self-message", buf)
+	}
+}
+
+func TestApplyRejectsUnknownProcess(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	if _, err := c.Apply(StepRequest{Proc: 5}); err == nil {
+		t.Fatal("step for unknown process succeeded")
+	}
+	if _, err := c.Apply(StepRequest{Proc: 0}); err == nil {
+		t.Fatal("step for process 0 succeeded")
+	}
+}
+
+func TestApplyRejectsStepAfterCrash(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	if _, err := c.Apply(StepRequest{Proc: 1, Crash: true}); err != nil {
+		t.Fatalf("crash step: %v", err)
+	}
+	if !c.Crashed(1) {
+		t.Fatal("process 1 not marked crashed")
+	}
+	if _, err := c.Apply(StepRequest{Proc: 1}); err == nil {
+		t.Fatal("step after crash succeeded")
+	}
+}
+
+func TestApplyRejectsUnknownDelivery(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	if _, err := c.Apply(StepRequest{Proc: 1, Deliver: []int64{42}}); err == nil {
+		t.Fatal("delivering a non-pending message succeeded")
+	}
+}
+
+func TestApplyRejectsDuplicateDelivery(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	if _, err := c.Apply(StepRequest{Proc: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ids := c.DeliverAll(2)
+	dup := append(ids, ids...)
+	if _, err := c.Apply(StepRequest{Proc: 2, Deliver: dup}); err == nil {
+		t.Fatal("duplicate delivery succeeded")
+	}
+}
+
+func TestCrashOmissions(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2, 3})
+	ev, err := c.Apply(StepRequest{
+		Proc:   1,
+		Crash:  true,
+		OmitTo: map[ProcessID]bool{2: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Broadcast to 3 processes, omission to 2 only.
+	if len(ev.Sent) != 2 {
+		t.Fatalf("sent %d, want 2 after omitting one receiver", len(ev.Sent))
+	}
+	if got := c.BufferSize(2); got != 0 {
+		t.Fatalf("omitted receiver got %d messages, want 0", got)
+	}
+	if got := c.BufferSize(3); got != 1 {
+		t.Fatalf("non-omitted receiver got %d messages, want 1", got)
+	}
+}
+
+func TestExecuteRecordsRun(t *testing.T) {
+	run, err := Execute(echoAlg{}, []Value{5, 6, 7}, &stepAll{maxSteps: 6}, Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Events) != 6 {
+		t.Fatalf("events = %d, want 6", len(run.Events))
+	}
+	decs := run.Decisions()
+	want := []Value{5, 6, 7}
+	for i, v := range want {
+		if decs[i] != v {
+			t.Errorf("decision[%d] = %d, want %d", i, decs[i], v)
+		}
+	}
+	if got := run.DistinctDecisions(); len(got) != 3 {
+		t.Errorf("distinct decisions = %v, want 3 values", got)
+	}
+	if len(run.Blocked) != 0 {
+		t.Errorf("blocked = %v, want none", run.Blocked)
+	}
+}
+
+func TestExecuteHorizon(t *testing.T) {
+	run, err := Execute(echoAlg{}, []Value{1, 2}, &stepAll{maxSteps: 1 << 30}, Options{MaxSteps: 10})
+	if !errors.Is(err, ErrHorizon) {
+		t.Fatalf("err = %v, want ErrHorizon", err)
+	}
+	if run == nil || len(run.Events) != 10 {
+		t.Fatalf("partial run not returned correctly: %+v", run)
+	}
+}
+
+func TestDecisionWriteOnce(t *testing.T) {
+	// flipAlg illegally changes its decision on the second step.
+	run, err := Execute(flipAlg{}, []Value{1}, &stepAll{maxSteps: 2}, Options{})
+	if err == nil {
+		t.Fatalf("decision flip not rejected; run: %+v", run)
+	}
+	if !strings.Contains(err.Error(), "changed decision") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+type flipAlg struct{}
+
+func (flipAlg) Name() string { return "flip" }
+func (flipAlg) Init(n int, id ProcessID, input Value) State {
+	return flipState{step: 0}
+}
+
+type flipState struct{ step int }
+
+func (s flipState) Step(in Input) (State, []Send) { return flipState{step: s.step + 1}, nil }
+func (s flipState) Decided() (Value, bool)        { return Value(s.step), true }
+func (s flipState) Key() string                   { return fmt.Sprintf("flip{%d}", s.step) }
+
+func TestRestrictDropsOutsideSends(t *testing.T) {
+	alg := Restrict(echoAlg{}, []ProcessID{1, 2})
+	c := NewConfiguration(alg, []Value{1, 2, 3})
+	ev, err := c.Apply(StepRequest{Proc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev.Sent) != 2 {
+		t.Fatalf("restricted send count = %d, want 2", len(ev.Sent))
+	}
+	for _, m := range ev.Sent {
+		if m.To == 3 {
+			t.Fatalf("restricted algorithm sent to process 3: %+v", m)
+		}
+	}
+	if got := c.BufferSize(3); got != 0 {
+		t.Fatalf("process 3 received %d messages from restricted algorithm", got)
+	}
+}
+
+func TestRestrictKeepsNameAndStateKeys(t *testing.T) {
+	alg := Restrict(echoAlg{}, []ProcessID{2, 1, 2})
+	if want := "echo|{1,2}"; alg.Name() != want {
+		t.Fatalf("Name = %q, want %q", alg.Name(), want)
+	}
+	s := alg.Init(3, 1, 9)
+	inner := echoAlg{}.Init(3, 1, 9)
+	if s.Key() != inner.Key() {
+		t.Fatalf("restricted state key %q differs from inner %q", s.Key(), inner.Key())
+	}
+	if Unrestricted(s).Key() != inner.Key() {
+		t.Fatal("Unrestricted did not unwrap")
+	}
+}
+
+func TestConfigurationCloneIsolation(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	if _, err := c.Apply(StepRequest{Proc: 1}); err != nil {
+		t.Fatal(err)
+	}
+	cp := c.Clone()
+	if cp.Key() != c.Key() {
+		t.Fatal("clone key differs")
+	}
+	if _, err := c.Apply(StepRequest{Proc: 2, Deliver: c.DeliverAll(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if cp.Key() == c.Key() {
+		t.Fatal("mutating original changed the clone")
+	}
+	if cp.BufferSize(2) != 1 {
+		t.Fatalf("clone buffer = %d, want 1", cp.BufferSize(2))
+	}
+}
+
+func TestConfigurationKeyIgnoresBufferOrder(t *testing.T) {
+	// Two configurations that received the same messages in different order
+	// must have the same key.
+	c1 := NewConfiguration(echoAlg{}, []Value{1, 2, 3})
+	c2 := NewConfiguration(echoAlg{}, []Value{1, 2, 3})
+	if _, err := c1.Apply(StepRequest{Proc: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Apply(StepRequest{Proc: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Apply(StepRequest{Proc: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Apply(StepRequest{Proc: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Key() != c2.Key() {
+		t.Fatalf("keys differ:\n%s\n%s", c1.Key(), c2.Key())
+	}
+}
+
+func TestDistinctDecisions(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{7, 7, 9})
+	for p := ProcessID(1); p <= 3; p++ {
+		if _, err := c.Apply(StepRequest{Proc: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.DistinctDecisions()
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Fatalf("DistinctDecisions = %v, want [7 9]", got)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	got := Complement(5, []ProcessID{2, 4})
+	want := []ProcessID{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Complement = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Complement = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBroadcastCoversAll(t *testing.T) {
+	sends := Broadcast(4, testPayload{Tag: "X", From: 1})
+	if len(sends) != 4 {
+		t.Fatalf("Broadcast produced %d sends, want 4", len(sends))
+	}
+	seen := map[ProcessID]bool{}
+	for _, s := range sends {
+		seen[s.To] = true
+	}
+	for p := ProcessID(1); p <= 4; p++ {
+		if !seen[p] {
+			t.Errorf("Broadcast missed process %d", p)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package sim
+
+import "encoding/json"
+
+// Summary is a serializable digest of a run for tooling: per-process
+// outcomes, the failure pattern, and the decision census. Message payloads
+// are represented by their deterministic keys.
+type Summary struct {
+	Algorithm string           `json:"algorithm"`
+	N         int              `json:"n"`
+	Steps     int              `json:"steps"`
+	Inputs    []Value          `json:"inputs"`
+	Processes []ProcessOutcome `json:"processes"`
+	Distinct  []Value          `json:"distinct_decisions"`
+	Blocked   []ProcessID      `json:"blocked,omitempty"`
+}
+
+// ProcessOutcome is one process's final status in a run.
+type ProcessOutcome struct {
+	ID        ProcessID `json:"id"`
+	Input     Value     `json:"input"`
+	Decided   bool      `json:"decided"`
+	Decision  Value     `json:"decision,omitempty"`
+	Crashed   bool      `json:"crashed"`
+	CrashTime int       `json:"crash_time,omitempty"`
+	StepCount int       `json:"step_count"`
+}
+
+// Summarize builds the digest of a recorded run.
+func (r *Run) Summarize() Summary {
+	s := Summary{
+		Algorithm: r.Algorithm,
+		N:         r.N(),
+		Steps:     len(r.Events),
+		Inputs:    append([]Value(nil), r.Inputs...),
+		Distinct:  r.DistinctDecisions(),
+		Blocked:   append([]ProcessID(nil), r.Blocked...),
+	}
+	stepCount := make(map[ProcessID]int)
+	for _, ev := range r.Events {
+		if !ev.Silent {
+			stepCount[ev.Proc]++
+		}
+	}
+	for _, p := range r.Final.Processes() {
+		out := ProcessOutcome{
+			ID:        p,
+			Input:     r.Inputs[p-1],
+			Crashed:   r.Final.Crashed(p),
+			StepCount: stepCount[p],
+		}
+		if v, ok := r.Final.Decision(p); ok {
+			out.Decided = true
+			out.Decision = v
+		}
+		if out.Crashed {
+			out.CrashTime = r.CrashTime(p)
+		}
+		s.Processes = append(s.Processes, out)
+	}
+	return s
+}
+
+// MarshalJSON renders the summary (not the full event log) of the run.
+func (r *Run) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Summarize())
+}

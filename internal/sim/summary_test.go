@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	run := mustRun(t, []Value{7, 8}, 4)
+	s := run.Summarize()
+	if s.Algorithm != "echo" || s.N != 2 || s.Steps != 4 {
+		t.Fatalf("summary header wrong: %+v", s)
+	}
+	if len(s.Processes) != 2 {
+		t.Fatalf("processes = %d", len(s.Processes))
+	}
+	for i, p := range s.Processes {
+		if !p.Decided {
+			t.Errorf("p%d undecided in summary", i+1)
+		}
+		if p.StepCount != 2 {
+			t.Errorf("p%d step count = %d, want 2", i+1, p.StepCount)
+		}
+	}
+	if len(s.Distinct) != 2 {
+		t.Fatalf("distinct = %v", s.Distinct)
+	}
+}
+
+func TestSummarizeCrash(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	run := &Run{Algorithm: "echo", Inputs: []Value{1, 2}, Final: c}
+	ev, err := c.Apply(StepRequest{Proc: 1, Crash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Events = append(run.Events, ev)
+	ev, err = c.Apply(StepRequest{Proc: 2, SilentCrash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Events = append(run.Events, ev)
+	s := run.Summarize()
+	if !s.Processes[0].Crashed || s.Processes[0].CrashTime != 0 {
+		t.Fatalf("p1 outcome: %+v", s.Processes[0])
+	}
+	if !s.Processes[1].Crashed || s.Processes[1].StepCount != 0 {
+		t.Fatalf("p2 outcome: %+v", s.Processes[1])
+	}
+}
+
+func TestRunMarshalJSON(t *testing.T) {
+	run := mustRun(t, []Value{7, 8}, 4)
+	raw, err := json.Marshal(run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{`"algorithm":"echo"`, `"distinct_decisions":[7,8]`, `"step_count":2`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("json missing %s:\n%s", want, out)
+		}
+	}
+	// Round-trips as a Summary.
+	var s Summary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 2 {
+		t.Fatalf("round-trip N = %d", s.N)
+	}
+}

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTrace renders the run as a human-readable event log: one line per
+// step with the acting process, delivered messages, detector value, sends,
+// and decision/crash effects. It is the debugging view used by the CLI
+// tools' -trace flags.
+func (r *Run) WriteTrace(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "run of %s, n=%d, inputs=%v\n", r.Algorithm, r.N(), r.Inputs); err != nil {
+		return err
+	}
+	for _, ev := range r.Events {
+		if err := writeEvent(w, ev); err != nil {
+			return err
+		}
+	}
+	decided := r.DistinctDecisions()
+	if _, err := fmt.Fprintf(w, "final: distinct decisions %v", decided); err != nil {
+		return err
+	}
+	if len(r.Blocked) > 0 {
+		if _, err := fmt.Fprintf(w, ", blocked %v", r.Blocked); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func writeEvent(w io.Writer, ev Event) error {
+	if ev.Silent {
+		_, err := fmt.Fprintf(w, "  t=%-4d p%d crashes silently (initially dead or post-step)\n", ev.Time, ev.Proc)
+		return err
+	}
+	var parts []string
+	if len(ev.Delivered) > 0 {
+		keys := make([]string, len(ev.Delivered))
+		for i, m := range ev.Delivered {
+			keys[i] = m.Key()
+		}
+		parts = append(parts, "recv{"+strings.Join(keys, " ")+"}")
+	}
+	if ev.FD != nil {
+		parts = append(parts, "fd="+ev.FD.Key())
+	}
+	if len(ev.Sent) > 0 {
+		keys := make([]string, len(ev.Sent))
+		for i, m := range ev.Sent {
+			keys[i] = m.Key()
+		}
+		parts = append(parts, "send{"+strings.Join(keys, " ")+"}")
+	}
+	if ev.Decided {
+		parts = append(parts, fmt.Sprintf("DECIDE %d", ev.Decision))
+	}
+	if ev.Crashed {
+		parts = append(parts, "CRASH")
+	}
+	_, err := fmt.Fprintf(w, "  t=%-4d p%d %s\n", ev.Time, ev.Proc, strings.Join(parts, " "))
+	return err
+}
+
+// TraceString renders WriteTrace to a string.
+func (r *Run) TraceString() string {
+	var b strings.Builder
+	// strings.Builder's Write never fails.
+	_ = r.WriteTrace(&b)
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteTraceContainsEvents(t *testing.T) {
+	run := mustRun(t, []Value{1, 2}, 4)
+	s := run.TraceString()
+	for _, want := range []string{
+		"run of echo, n=2",
+		"t=0",
+		"send{",
+		"DECIDE 1",
+		"final: distinct decisions [1 2]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("trace missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestWriteTraceSilentCrash(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	run := &Run{Algorithm: "echo", Inputs: []Value{1, 2}, Final: c}
+	ev, err := c.Apply(StepRequest{Proc: 2, SilentCrash: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Events = append(run.Events, ev)
+	s := run.TraceString()
+	if !strings.Contains(s, "crashes silently") {
+		t.Fatalf("trace missing silent crash:\n%s", s)
+	}
+}
+
+func TestWriteTraceBlocked(t *testing.T) {
+	run, err := Execute(neverDecideAlg{}, []Value{1}, &stepAll{maxSteps: 2}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := run.TraceString()
+	if !strings.Contains(s, "blocked [1]") {
+		t.Fatalf("trace missing blocked report:\n%s", s)
+	}
+}
+
+func TestWriteTraceCrashAndFD(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	run := &Run{Algorithm: "echo", Inputs: []Value{1, 2}, Final: c}
+	ev, err := c.Apply(StepRequest{Proc: 1, Crash: true, FD: testPayload{Tag: "FD", From: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Events = append(run.Events, ev)
+	s := run.TraceString()
+	if !strings.Contains(s, "CRASH") {
+		t.Fatalf("trace missing CRASH:\n%s", s)
+	}
+	if !strings.Contains(s, "fd=FD(0)") {
+		t.Fatalf("trace missing fd value:\n%s", s)
+	}
+}

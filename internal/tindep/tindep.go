@@ -1,0 +1,224 @@
+// Package tindep implements the T-independence notion of Section IV
+// (Definition 6): an algorithm A satisfies T-independence in a model M if
+// for every set S in the family T there is a run of A in which the
+// processes of S receive messages only from S until every member has
+// decided or crashed. Strong T-independence requires runs where this holds
+// only eventually.
+//
+// The package provides the families corresponding to the classic progress
+// conditions the paper lists — wait-freedom (2^Pi), obstruction-freedom
+// (singletons), f-resilience (all sets of size >= n-f), and asymmetric
+// progress (all sets containing a fixed process) — and empirical checkers
+// that construct the isolating runs with the partition adversary.
+package tindep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"kset/internal/sched"
+	"kset/internal/sim"
+)
+
+// Family is a family of process sets T, named after the progress condition
+// it encodes.
+type Family struct {
+	Name string
+	Sets [][]sim.ProcessID
+}
+
+// WaitFree returns the family 2^Pi \ {} for an n-process system: wait-free
+// algorithms satisfy strong 2^Pi-independence. The family has 2^n - 1 sets;
+// n is capped at 16 to keep enumeration sane.
+func WaitFree(n int) (Family, error) {
+	if n > 16 {
+		return Family{}, fmt.Errorf("tindep: wait-free family for n=%d is too large; cap is 16", n)
+	}
+	var sets [][]sim.ProcessID
+	for mask := 1; mask < 1<<n; mask++ {
+		var s []sim.ProcessID
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, sim.ProcessID(i+1))
+			}
+		}
+		sets = append(sets, s)
+	}
+	return Family{Name: "wait-free (2^Pi)", Sets: sets}, nil
+}
+
+// ObstructionFree returns the singleton family {{p_1}, ..., {p_n}}:
+// obstruction-freedom implies independence for it.
+func ObstructionFree(n int) Family {
+	sets := make([][]sim.ProcessID, n)
+	for i := 0; i < n; i++ {
+		sets[i] = []sim.ProcessID{sim.ProcessID(i + 1)}
+	}
+	return Family{Name: "obstruction-free (singletons)", Sets: sets}
+}
+
+// FResilient returns the family {S : |S| >= n-f}: an f-resilient algorithm
+// guarantees strong independence for it, and plain independence suffices
+// when only initial crashes are tolerated (Section IV).
+func FResilient(n, f int) (Family, error) {
+	if n > 16 {
+		return Family{}, fmt.Errorf("tindep: f-resilient family for n=%d is too large; cap is 16", n)
+	}
+	var sets [][]sim.ProcessID
+	for mask := 1; mask < 1<<n; mask++ {
+		var s []sim.ProcessID
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, sim.ProcessID(i+1))
+			}
+		}
+		if len(s) >= n-f {
+			sets = append(sets, s)
+		}
+	}
+	return Family{Name: fmt.Sprintf("%d-resilient (|S| >= n-%d)", f, f), Sets: sets}, nil
+}
+
+// Asymmetric returns the family {S : p in S}: wait-freedom of the single
+// process p guarantees strong independence for it (the paper's example of
+// an asymmetric progress condition).
+func Asymmetric(n int, p sim.ProcessID) (Family, error) {
+	if n > 16 {
+		return Family{}, fmt.Errorf("tindep: asymmetric family for n=%d is too large; cap is 16", n)
+	}
+	var sets [][]sim.ProcessID
+	for mask := 1; mask < 1<<n; mask++ {
+		if mask&(1<<(int(p)-1)) == 0 {
+			continue
+		}
+		var s []sim.ProcessID
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, sim.ProcessID(i+1))
+			}
+		}
+		sets = append(sets, s)
+	}
+	return Family{Name: fmt.Sprintf("asymmetric ({%d} subset S)", p), Sets: sets}, nil
+}
+
+// Partition returns the family consisting of the given explicit sets — the
+// form Theorem 2's Lemma 4 uses ({D_1, ..., D_{k-1}, D-bar}).
+func Partition(groups ...[]sim.ProcessID) Family {
+	cp := make([][]sim.ProcessID, len(groups))
+	names := make([]string, len(groups))
+	for i, g := range groups {
+		cp[i] = append([]sim.ProcessID(nil), g...)
+		parts := make([]string, len(g))
+		for j, p := range g {
+			parts[j] = fmt.Sprintf("%d", p)
+		}
+		names[i] = "{" + strings.Join(parts, ",") + "}"
+	}
+	return Family{Name: "partition " + strings.Join(names, " "), Sets: cp}
+}
+
+// SetResult is the outcome of checking one set of the family.
+type SetResult struct {
+	Set      []sim.ProcessID
+	Isolated bool // an isolating run in which every member decided exists
+	Blocked  []sim.ProcessID
+}
+
+// Report is the outcome of a family check.
+type Report struct {
+	Family Family
+	// Holds is true when every set of the family has an isolating run.
+	Holds   bool
+	Results []SetResult
+	// Failing lists the indexes of sets without isolating runs.
+	Failing []int
+}
+
+// Options configures Check.
+type Options struct {
+	// Oracle optionally supplies detector values during the isolating run
+	// of a set (given the set).
+	Oracle func(s []sim.ProcessID) sched.Oracle
+	// MaxSteps bounds each constructed run (0 = default).
+	MaxSteps int
+	// Strong checks the strong variant: the isolating run first lets the
+	// whole system communicate freely for WarmupSteps steps, then isolates
+	// S — the run only *eventually* confines S's deliveries to S.
+	Strong      bool
+	WarmupSteps int
+}
+
+// Check empirically verifies T-independence of the algorithm for the family
+// in the asynchronous model: for each set S it constructs the isolating run
+// (everyone outside S initially dead — the strongest form of "receives only
+// from S", trivially admissible under asynchrony) and reports whether every
+// member of S decides.
+func Check(alg sim.Algorithm, inputs []sim.Value, fam Family, opts Options) (*Report, error) {
+	n := len(inputs)
+	rep := &Report{Family: fam, Holds: true}
+	for i, s := range fam.Sets {
+		res, err := checkSet(alg, inputs, n, s, opts)
+		if err != nil {
+			return nil, fmt.Errorf("tindep: set %d %v: %w", i, s, err)
+		}
+		rep.Results = append(rep.Results, res)
+		if !res.Isolated {
+			rep.Holds = false
+			rep.Failing = append(rep.Failing, i)
+		}
+	}
+	return rep, nil
+}
+
+func checkSet(alg sim.Algorithm, inputs []sim.Value, n int, s []sim.ProcessID, opts Options) (SetResult, error) {
+	var oracle sched.Oracle
+	if opts.Oracle != nil {
+		oracle = opts.Oracle(s)
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 20000
+	}
+
+	var run *sim.Run
+	var err error
+	if !opts.Strong {
+		run, err = sim.Execute(alg, inputs, sched.Solo(n, s, oracle), sim.Options{MaxSteps: maxSteps})
+	} else {
+		// Strong variant: free communication for WarmupSteps, then isolate.
+		warmup := opts.WarmupSteps
+		if warmup <= 0 {
+			warmup = 2 * n
+		}
+		cp := sched.CrashPlan{}
+		gate := func(m sim.Message, c *sim.Configuration) bool {
+			if c.Time() < warmup {
+				return true
+			}
+			// After warmup: S receives only from S; everyone else is
+			// unrestricted (they keep running, S just no longer hears them).
+			inS := map[sim.ProcessID]bool{}
+			for _, p := range s {
+				inS[p] = true
+			}
+			return !inS[m.To] || inS[m.From]
+		}
+		sched1 := &sched.Fair{Crash: cp, Gate: gate, Oracle: oracle, Stop: sched.SetDecided(s)}
+		run, err = sim.Execute(alg, inputs, sched1, sim.Options{MaxSteps: maxSteps})
+	}
+	if err != nil && !errors.Is(err, sim.ErrHorizon) {
+		return SetResult{}, err
+	}
+	res := SetResult{Set: append([]sim.ProcessID(nil), s...)}
+	res.Isolated = err == nil && run.Final.AllDecided(s)
+	if !res.Isolated {
+		for _, p := range s {
+			if _, ok := run.Final.Decision(p); !ok && !run.Final.Crashed(p) {
+				res.Blocked = append(res.Blocked, p)
+			}
+		}
+	}
+	return res, nil
+}

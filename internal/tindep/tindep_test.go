@@ -1,0 +1,178 @@
+package tindep
+
+import (
+	"testing"
+
+	"kset/internal/algorithms"
+	"kset/internal/sim"
+)
+
+func distinctInputs(n int) []sim.Value {
+	out := make([]sim.Value, n)
+	for i := range out {
+		out[i] = sim.Value(100 + i)
+	}
+	return out
+}
+
+func TestFamilyConstructors(t *testing.T) {
+	wf, err := WaitFree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wf.Sets) != 7 {
+		t.Fatalf("wait-free family size = %d, want 7", len(wf.Sets))
+	}
+	of := ObstructionFree(4)
+	if len(of.Sets) != 4 {
+		t.Fatalf("obstruction-free size = %d", len(of.Sets))
+	}
+	fr, err := FResilient(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sets of size >= 3 among 4 processes: C(4,3)+C(4,4) = 5.
+	if len(fr.Sets) != 5 {
+		t.Fatalf("1-resilient family size = %d, want 5", len(fr.Sets))
+	}
+	as, err := Asymmetric(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsets of {1,2,3} containing 2: 4.
+	if len(as.Sets) != 4 {
+		t.Fatalf("asymmetric family size = %d, want 4", len(as.Sets))
+	}
+	for _, s := range as.Sets {
+		found := false
+		for _, p := range s {
+			if p == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("asymmetric set %v misses p2", s)
+		}
+	}
+	if _, err := WaitFree(20); err == nil {
+		t.Error("oversized wait-free family accepted")
+	}
+}
+
+// TestLemma4MinWaitPartitionIndependence reproduces Lemma 4: the
+// f-resilient algorithm is {D_1, ..., D_{k-1}, D-bar}-independent when each
+// group has >= n-f members.
+func TestLemma4MinWaitPartitionIndependence(t *testing.T) {
+	// n=7, f=4, l=3: D_1 = {1,2,3}, D-bar = {4,5,6,7}.
+	n, f := 7, 4
+	fam := Partition([]sim.ProcessID{1, 2, 3}, []sim.ProcessID{4, 5, 6, 7})
+	rep, err := Check(algorithms.MinWait{F: f}, distinctInputs(n), fam, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("partition independence fails: %+v", rep.Failing)
+	}
+}
+
+// TestFResilienceImpliesIndependence: MinWait{F:f} is f-resilient, so every
+// set of size >= n-f must be able to decide in isolation.
+func TestFResilienceImpliesIndependence(t *testing.T) {
+	n, f := 5, 2
+	fam, err := FResilient(n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(algorithms.MinWait{F: f}, distinctInputs(n), fam, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("f-resilient independence fails for sets %v", rep.Failing)
+	}
+}
+
+// TestSmallSetsBlock: sets smaller than n-f cannot decide in isolation for
+// MinWait — independence correctly fails for the full wait-free family.
+func TestSmallSetsBlock(t *testing.T) {
+	n, f := 4, 1
+	fam, err := WaitFree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(algorithms.MinWait{F: f}, distinctInputs(n), fam, Options{MaxSteps: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Fatal("MinWait cannot be wait-free")
+	}
+	// Every failing set must be smaller than n-f.
+	for _, i := range rep.Failing {
+		if len(fam.Sets[i]) >= n-f {
+			t.Errorf("large set %v failed isolation", fam.Sets[i])
+		}
+	}
+	// And every set of size >= n-f must pass.
+	for i, res := range rep.Results {
+		if len(fam.Sets[i]) >= n-f && !res.Isolated {
+			t.Errorf("set %v should decide in isolation", fam.Sets[i])
+		}
+	}
+}
+
+// TestObservation1Monotonicity: if independence holds for T, it holds for
+// any subfamily T' (Observation 1(b)) — checked empirically by subsetting.
+func TestObservation1Monotonicity(t *testing.T) {
+	n, f := 5, 2
+	fam, err := FResilient(n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(algorithms.MinWait{F: f}, distinctInputs(n), fam, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Skip("base family does not hold; monotonicity untestable")
+	}
+	sub := Family{Name: "subfamily", Sets: fam.Sets[:len(fam.Sets)/2]}
+	rep2, err := Check(algorithms.MinWait{F: f}, distinctInputs(n), sub, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Holds {
+		t.Fatal("Observation 1(b) violated: subfamily fails though family holds")
+	}
+}
+
+// TestStrongVariantWarmup: the strong check lets the system communicate
+// before isolating; an f-resilient algorithm still satisfies it (decisions
+// may even happen during warmup).
+func TestStrongVariantWarmup(t *testing.T) {
+	n, f := 5, 2
+	fam, err := FResilient(n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Check(algorithms.MinWait{F: f}, distinctInputs(n), fam, Options{Strong: true, WarmupSteps: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("strong independence fails for sets %v", rep.Failing)
+	}
+}
+
+// TestObstructionFreeDecideOwn: DecideOwn decides solo instantly, so it is
+// {singletons}-independent (the obstruction-free family).
+func TestObstructionFreeDecideOwn(t *testing.T) {
+	n := 4
+	rep, err := Check(algorithms.DecideOwn{}, distinctInputs(n), ObstructionFree(n), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Holds {
+		t.Fatalf("DecideOwn not singleton-independent: %v", rep.Failing)
+	}
+}
