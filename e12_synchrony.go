@@ -86,17 +86,23 @@ func ExperimentSynchronyLadder() (*Table, error) {
 		},
 	}
 
-	for _, sub := range subjects {
-		for _, r := range rungs {
-			run, err := runLadder(sub.alg, n, groups, r.lockstep, r.gated)
-			if err != nil {
-				return nil, fmt.Errorf("E12: %s on %s: %w", sub.alg.Name(), r.name, err)
-			}
-			d := len(run.DistinctDecisions())
-			b := len(run.Blocked)
-			t.AddRow(sub.alg.Name(), n, r.name, d, b, sub.claim(r, d, b))
+	// Each (protocol, rung) cell runs its own scheduler and gate, so the
+	// grid fans out over the SweepWorkers pool; per-cell slots keep the row
+	// order of the sequential nested loop.
+	rows, err := sweepRows(len(subjects)*len(rungs), func(i int) ([]string, error) {
+		sub, r := subjects[i/len(rungs)], rungs[i%len(rungs)]
+		run, err := runLadder(sub.alg, n, groups, r.lockstep, r.gated)
+		if err != nil {
+			return nil, fmt.Errorf("E12: %s on %s: %w", sub.alg.Name(), r.name, err)
 		}
+		d := len(run.DistinctDecisions())
+		b := len(run.Blocked)
+		return rowOf(sub.alg.Name(), n, r.name, d, b, sub.claim(r, d, b)), nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = rows
 	return t, nil
 }
 

@@ -40,57 +40,60 @@ func ExperimentTheorem2Border(p E1Params) (*Table, error) {
 			"solvable rows: a fair run decides with <= k distinct values",
 		},
 	}
+	// Every (n, f, k) cell is independent, so the sweep fans out over the
+	// SweepWorkers pool; per-cell result slots keep the row order identical
+	// to the sequential triple loop.
+	type cell struct{ n, f, k int }
+	var cells []cell
 	for n := p.MinN; n <= p.MaxN; n++ {
 		for f := 1; f < n; f++ {
 			for k := 1; k <= 3 && k < n; k++ {
-				l := n - f
-				switch {
-				case k*l+1 <= n:
-					// Impossible regime: apply the engine.
-					spec, err := core.Theorem2Partition(n, f, k)
-					if err != nil {
-						return nil, fmt.Errorf("E1: partition n=%d f=%d k=%d: %w", n, f, k, err)
-					}
-					rep, err := core.CheckImpossibility(core.Instance{
-						Alg:             algorithms.MinWait{F: f},
-						Inputs:          DistinctInputs(n),
-						Spec:            spec,
-						DBarCrashBudget: 1,
-						MaxConfigs:      p.MaxConfigs,
-					})
-					if err != nil {
-						return nil, fmt.Errorf("E1: engine n=%d f=%d k=%d: %w", n, f, k, err)
-					}
-					outcome := "NOT REFUTED"
-					detail := rep.Summary()
-					if rep.Refuted {
-						outcome = "refuted"
-						detail = fmt.Sprintf("%s violation, %d distinct decisions in pasted run",
-							rep.Violation, len(rep.DistinctDecided))
-					}
-					t.AddRow(n, f, k, "impossible", outcome, detail)
-				case f < k:
-					// Solvable regime: run the f-resilient algorithm fairly.
-					run, err := Simulate(algorithms.MinWait{F: f}, DistinctInputs(n), SimOptions{})
-					if err != nil {
-						return nil, fmt.Errorf("E1: fair run n=%d f=%d k=%d: %w", n, f, k, err)
-					}
-					d := len(run.DistinctDecisions())
-					outcome := "decided"
-					if d > k {
-						outcome = "AGREEMENT BROKEN"
-					}
-					t.AddRow(n, f, k, "solvable", outcome, fmt.Sprintf("%d distinct decisions (<= k)", d))
-				default:
-					// Between the borders: neither Theorem 2 nor plain
-					// f-resilience covers (k <= f but k > (n-1)/(n-f));
-					// Theorem 2's Corollary 5 still applies with all-f late
-					// crashes; recorded for the sweep's completeness.
-					t.AddRow(n, f, k, "gap", "-", "outside both constructions")
-				}
+				cells = append(cells, cell{n, f, k})
 			}
 		}
 	}
+	rows, err := sweepRows(len(cells), func(i int) ([]string, error) {
+		n, f, k := cells[i].n, cells[i].f, cells[i].k
+		l := n - f
+		switch {
+		case k*l+1 <= n:
+			// Impossible regime: apply the engine.
+			rep, err := VerifyTheorem2Row(n, f, k, p.MaxConfigs)
+			if err != nil {
+				return nil, fmt.Errorf("E1: engine n=%d f=%d k=%d: %w", n, f, k, err)
+			}
+			outcome := "NOT REFUTED"
+			detail := rep.Summary()
+			if rep.Refuted {
+				outcome = "refuted"
+				detail = fmt.Sprintf("%s violation, %d distinct decisions in pasted run",
+					rep.Violation, len(rep.DistinctDecided))
+			}
+			return rowOf(n, f, k, "impossible", outcome, detail), nil
+		case f < k:
+			// Solvable regime: run the f-resilient algorithm fairly.
+			run, err := Simulate(algorithms.MinWait{F: f}, DistinctInputs(n), SimOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("E1: fair run n=%d f=%d k=%d: %w", n, f, k, err)
+			}
+			d := len(run.DistinctDecisions())
+			outcome := "decided"
+			if d > k {
+				outcome = "AGREEMENT BROKEN"
+			}
+			return rowOf(n, f, k, "solvable", outcome, fmt.Sprintf("%d distinct decisions (<= k)", d)), nil
+		default:
+			// Between the borders: neither Theorem 2 nor plain
+			// f-resilience covers (k <= f but k > (n-1)/(n-f));
+			// Theorem 2's Corollary 5 still applies with all-f late
+			// crashes; recorded for the sweep's completeness.
+			return rowOf(n, f, k, "gap", "-", "outside both constructions"), nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 

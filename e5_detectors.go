@@ -47,58 +47,71 @@ func ExperimentFailureDetectorBorder(p E5Params) (*Table, error) {
 			"k = n-1 runs the Sigma_{n-1} singleton-quorum protocol (unconditionally safe; live in environments whose histories eventually provide the smallest correct process's singleton — see DESIGN.md, Substitutions)",
 		},
 	}
+	// Every (n, k) cell is independent — each builds its own failure
+	// pattern, oracles, and engine instance — so the sweep fans out over the
+	// SweepWorkers pool with per-cell result slots preserving row order.
+	type cell struct{ n, k int }
+	var cells []cell
 	for n := p.MinN; n <= p.MaxN; n++ {
 		for k := 1; k <= n-1; k++ {
-			switch {
-			case k == 1:
-				run, err := Simulate(algorithms.SigmaOmega{}, DistinctInputs(n), SimOptions{
-					Detector: DetectorSpec{Kind: "sigma-omega", K: 1},
-				})
-				if err != nil {
-					return nil, fmt.Errorf("E5: consensus n=%d: %w", n, err)
-				}
-				d := len(run.DistinctDecisions())
-				outcome := "decided (consensus)"
-				if d != 1 || len(run.Blocked) > 0 {
-					outcome = "FAILED"
-				}
-				t.AddRow(n, k, "solvable", outcome, "-", "-", fmt.Sprintf("%d distinct", d))
-			case k == n-1:
-				// Sigma_{n-1}-based protocol under an environment whose
-				// histories eventually provide the smallest correct
-				// process's singleton quorum (admissible; see the
-				// SingletonQuorum docs for the safety proof and the
-				// liveness condition).
-				pattern := fd.NewPattern(n).WithInitiallyDead(ProcessID(n))
-				oracle := sched.OracleFunc(func(p sim.ProcessID, tm int, c *sim.Configuration) sim.FDValue {
-					correct := pattern.Correct()
-					if tm >= 3 && len(correct) > 0 && p == correct[0] {
-						return fd.NewTrustSet(p)
-					}
-					return fd.NewTrustSet(pattern.Alive(tm)...)
-				})
-				cp := sched.CrashPlan{InitialDead: []sim.ProcessID{sim.ProcessID(n)}}
-				s := &sched.Fair{Crash: cp, Oracle: oracle, Stop: sched.AllCorrectDecided(cp)}
-				run, err := sim.Execute(algorithms.SingletonQuorum{}, DistinctInputs(n), s, sim.Options{})
-				if err != nil {
-					return nil, fmt.Errorf("E5: (n-1)-set n=%d: %w", n, err)
-				}
-				d := len(run.DistinctDecisions())
-				outcome := "decided"
-				if d > k || len(run.Blocked) > 0 {
-					outcome = "FAILED"
-				}
-				t.AddRow(n, k, "solvable", outcome, "-", "-",
-					fmt.Sprintf("%d distinct via Sigma_{n-1} singleton-quorum protocol (1 crash)", d))
-			default:
-				row, err := theorem10Row(n, k, p.MaxConfigs)
-				if err != nil {
-					return nil, fmt.Errorf("E5: theorem 10 n=%d k=%d: %w", n, k, err)
-				}
-				t.Rows = append(t.Rows, row)
-			}
+			cells = append(cells, cell{n, k})
 		}
 	}
+	rows, err := sweepRows(len(cells), func(i int) ([]string, error) {
+		n, k := cells[i].n, cells[i].k
+		switch {
+		case k == 1:
+			run, err := Simulate(algorithms.SigmaOmega{}, DistinctInputs(n), SimOptions{
+				Detector: DetectorSpec{Kind: "sigma-omega", K: 1},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E5: consensus n=%d: %w", n, err)
+			}
+			d := len(run.DistinctDecisions())
+			outcome := "decided (consensus)"
+			if d != 1 || len(run.Blocked) > 0 {
+				outcome = "FAILED"
+			}
+			return rowOf(n, k, "solvable", outcome, "-", "-", fmt.Sprintf("%d distinct", d)), nil
+		case k == n-1:
+			// Sigma_{n-1}-based protocol under an environment whose
+			// histories eventually provide the smallest correct
+			// process's singleton quorum (admissible; see the
+			// SingletonQuorum docs for the safety proof and the
+			// liveness condition).
+			pattern := fd.NewPattern(n).WithInitiallyDead(ProcessID(n))
+			oracle := sched.OracleFunc(func(p sim.ProcessID, tm int, c *sim.Configuration) sim.FDValue {
+				correct := pattern.Correct()
+				if tm >= 3 && len(correct) > 0 && p == correct[0] {
+					return fd.NewTrustSet(p)
+				}
+				return fd.NewTrustSet(pattern.Alive(tm)...)
+			})
+			cp := sched.CrashPlan{InitialDead: []sim.ProcessID{sim.ProcessID(n)}}
+			s := &sched.Fair{Crash: cp, Oracle: oracle, Stop: sched.AllCorrectDecided(cp)}
+			run, err := sim.Execute(algorithms.SingletonQuorum{}, DistinctInputs(n), s, sim.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("E5: (n-1)-set n=%d: %w", n, err)
+			}
+			d := len(run.DistinctDecisions())
+			outcome := "decided"
+			if d > k || len(run.Blocked) > 0 {
+				outcome = "FAILED"
+			}
+			return rowOf(n, k, "solvable", outcome, "-", "-",
+				fmt.Sprintf("%d distinct via Sigma_{n-1} singleton-quorum protocol (1 crash)", d)), nil
+		default:
+			row, err := theorem10Row(n, k, p.MaxConfigs)
+			if err != nil {
+				return nil, fmt.Errorf("E5: theorem 10 n=%d k=%d: %w", n, k, err)
+			}
+			return row, nil
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
 	return t, nil
 }
 

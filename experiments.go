@@ -79,8 +79,11 @@ type Experiment struct {
 	Run   func() (*Table, error)
 }
 
-// Experiments returns the full suite E1-E10 with default parameters, in
+// Experiments returns the full suite E1-E12 with default parameters, in
 // order. cmd/experiments prints them all; the root benchmarks time them.
+// Sweep-shaped experiments (E1, E5, E12) evaluate their independent cells on
+// a worker pool sized by SweepWorkers while emitting rows in deterministic
+// sequential order.
 func Experiments() []Experiment {
 	return []Experiment{
 		{"E1", "Theorem 2: impossibility border k <= (n-1)/(n-f)", func() (*Table, error) { return ExperimentTheorem2Border(DefaultE1Params()) }},

@@ -1,0 +1,3 @@
+module kset
+
+go 1.24

@@ -46,6 +46,11 @@ func (s decideOwnState) Decided() (sim.Value, bool) { return s.input, s.stepped 
 // Key implements sim.State.
 func (s decideOwnState) Key() string { return fmt.Sprintf("own{%d,%t}", s.input, s.stepped) }
 
+// Hash64 implements sim.Hasher64.
+func (s decideOwnState) Hash64() uint64 {
+	return sim.HashUint(sim.HashUint(sim.HashSeed(), uint64(s.input)), boolBit(s.stepped))
+}
+
 // QuorumMin is the natural — and flawed — attempt at k-set agreement from
 // Sigma_k alone: broadcast your value, remember everything received, and
 // decide the minimum value you hold as soon as every member of the quorum
@@ -137,6 +142,17 @@ func (s *quorumMinState) Key() string {
 		s.id, s.input, s.sent, s.decision, encodeVals(s.vals))
 }
 
+// Hash64 implements sim.Hasher64.
+func (s *quorumMinState) Hash64() uint64 {
+	h := sim.HashString(sim.HashSeed(), "qm")
+	h = sim.HashUint(h, uint64(s.id))
+	h = sim.HashUint(h, uint64(s.input))
+	h = sim.HashUint(h, boolBit(s.sent))
+	h = sim.HashUint(h, uint64(s.decision))
+	h = sim.HashUint(h, hashVals(s.vals))
+	return h
+}
+
 func quorumFromFD(v sim.FDValue) (fd.TrustSet, bool) {
 	switch x := v.(type) {
 	case fd.TrustSet:
@@ -206,4 +222,14 @@ func (s *firstHeardState) Decided() (sim.Value, bool) {
 // Key implements sim.State.
 func (s *firstHeardState) Key() string {
 	return fmt.Sprintf("fh{id=%d in=%d sent=%t dec=%d}", s.id, s.input, s.sent, s.decision)
+}
+
+// Hash64 implements sim.Hasher64.
+func (s *firstHeardState) Hash64() uint64 {
+	h := sim.HashString(sim.HashSeed(), "fh")
+	h = sim.HashUint(h, uint64(s.id))
+	h = sim.HashUint(h, uint64(s.input))
+	h = sim.HashUint(h, boolBit(s.sent))
+	h = sim.HashUint(h, uint64(s.decision))
+	return h
 }

@@ -18,6 +18,11 @@ type Stage1Payload struct {
 // Key implements sim.Payload.
 func (p Stage1Payload) Key() string { return fmt.Sprintf("S1(%d)", p.From) }
 
+// Hash64 implements sim.Hasher64.
+func (p Stage1Payload) Hash64() uint64 {
+	return sim.HashUint(sim.HashString(sim.HashSeed(), "S1"), uint64(p.From))
+}
+
 // Stage2Payload is the second-stage message: the sender's identity, its
 // proposal value, and the list of processes it heard from in stage 1.
 type Stage2Payload struct {
@@ -33,6 +38,24 @@ func (p Stage2Payload) Key() string {
 		parts[i] = fmt.Sprintf("%d", q)
 	}
 	return fmt.Sprintf("S2(%d,%d,[%s])", p.From, p.Value, strings.Join(parts, " "))
+}
+
+// Hash64 implements sim.Hasher64.
+func (p Stage2Payload) Hash64() uint64 {
+	h := sim.HashString(sim.HashSeed(), "S2")
+	h = sim.HashUint(h, uint64(p.From))
+	h = sim.HashUint(h, uint64(p.Value))
+	h = hashIDs(h, p.Heard)
+	return h
+}
+
+// hashIDs folds an ordered id slice (length included) into h.
+func hashIDs(h uint64, ids []sim.ProcessID) uint64 {
+	h = sim.HashUint(h, uint64(len(ids)))
+	for _, q := range ids {
+		h = sim.HashUint(h, uint64(q))
+	}
+	return h
 }
 
 // FLPKSet is the generalized Fischer-Lynch-Paterson initial-crash protocol
@@ -236,6 +259,30 @@ func (s *flpState) Key() string {
 	b.WriteString(encodeVals(s.vals))
 	b.WriteString("}")
 	return b.String()
+}
+
+// Hash64 implements sim.Hasher64: the same fields Key encodes, with the
+// maps folded as commutative sums so no sorting is needed.
+func (s *flpState) Hash64() uint64 {
+	h := sim.HashString(sim.HashSeed(), "flp")
+	h = sim.HashUint(h, uint64(s.id))
+	h = sim.HashUint(h, uint64(s.input))
+	h = sim.HashUint(h, uint64(s.stage))
+	h = sim.HashUint(h, boolBit(s.sentS1)|boolBit(s.sentS2)<<1)
+	h = sim.HashUint(h, uint64(s.decision))
+	var seen uint64
+	for p := range s.s1seen {
+		seen += sim.HashMix(uint64(p))
+	}
+	h = sim.HashUint(h, seen)
+	h = hashIDs(h, s.heard)
+	var lists uint64
+	for p, list := range s.lists {
+		lists += sim.HashMix(hashIDs(sim.HashUint(sim.HashSeed(), uint64(p)), list))
+	}
+	h = sim.HashUint(h, lists)
+	h = sim.HashUint(h, hashVals(s.vals))
+	return h
 }
 
 func encodeIDs(ids []sim.ProcessID) string {

@@ -18,6 +18,11 @@ type ValuePayload struct {
 // Key implements sim.Payload.
 func (p ValuePayload) Key() string { return fmt.Sprintf("VAL(%d,%d)", p.From, p.Value) }
 
+// Hash64 implements sim.Hasher64.
+func (p ValuePayload) Hash64() uint64 {
+	return sim.HashUint(sim.HashUint(sim.HashSeed(), uint64(p.From)), uint64(p.Value))
+}
+
 // MinWait is the classic f-resilient asynchronous k-set agreement protocol:
 // every process broadcasts its proposal, waits until it holds values from
 // n-f processes (its own included), and decides the minimum value it holds.
@@ -101,6 +106,34 @@ func (s *minWaitState) Key() string {
 	b.WriteString(encodeVals(s.vals))
 	b.WriteString("}")
 	return b.String()
+}
+
+// Hash64 implements sim.Hasher64: the same fields Key encodes, with the
+// value map folded as a commutative sum so no sorting is needed.
+func (s *minWaitState) Hash64() uint64 {
+	h := sim.HashString(sim.HashSeed(), "mw")
+	h = sim.HashUint(h, uint64(s.id))
+	h = sim.HashUint(h, uint64(s.input))
+	h = sim.HashUint(h, boolBit(s.sent))
+	h = sim.HashUint(h, uint64(s.decision))
+	h = sim.HashUint(h, hashVals(s.vals))
+	return h
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// hashVals folds a proposal map into one order-independent term.
+func hashVals(vals map[sim.ProcessID]sim.Value) uint64 {
+	var sum uint64
+	for p, v := range vals {
+		sum += sim.HashMix(sim.HashUint(sim.HashUint(sim.HashSeed(), uint64(p)), uint64(v)))
+	}
+	return sum
 }
 
 func encodeVals(vals map[sim.ProcessID]sim.Value) string {

@@ -1,0 +1,68 @@
+package explore
+
+// This file holds the arena-backed search bookkeeping shared by search,
+// Valence, and the critical-step analysis: visited detection is a
+// map[uint64]int32 from configuration fingerprints (plus crash budget) into
+// a flat []node arena, replacing the former map[string]node keyed by the
+// fully materialized O(n·|buffers|) configuration strings. Parent links are
+// int32 arena indices with the reaching action stored inline, so witness
+// replay walks indices instead of re-deriving string chains.
+
+// node records how a configuration was reached: the arena index of its
+// parent (-1 for the root) and the action that produced it.
+type node struct {
+	parent int32
+	act    action
+}
+
+// arena is the flat node store plus the fingerprint-keyed visited set of one
+// search.
+type arena struct {
+	nodes   []node
+	visited map[uint64]int32
+}
+
+func newArena() *arena {
+	return &arena{
+		nodes:   make([]node, 0, 1024),
+		visited: make(map[uint64]int32, 1024),
+	}
+}
+
+// root registers the initial configuration under key and returns its index.
+func (a *arena) root(key uint64) int32 {
+	a.nodes = append(a.nodes, node{parent: -1})
+	idx := int32(len(a.nodes) - 1)
+	a.visited[key] = idx
+	return idx
+}
+
+// insert records a configuration reached from parent by act. It returns the
+// new node's index and true, or (0, false) when key was already visited.
+func (a *arena) insert(key uint64, parent int32, act action) (int32, bool) {
+	if _, seen := a.visited[key]; seen {
+		return 0, false
+	}
+	a.nodes = append(a.nodes, node{parent: parent, act: act})
+	idx := int32(len(a.nodes) - 1)
+	a.visited[key] = idx
+	return idx, true
+}
+
+// path reconstructs the action sequence leading from the root to idx, in
+// execution order.
+func (a *arena) path(idx int32) []action {
+	var acts []action
+	for idx >= 0 {
+		n := a.nodes[idx]
+		if n.parent < 0 {
+			break
+		}
+		acts = append(acts, n.act)
+		idx = n.parent
+	}
+	for i, j := 0, len(acts)-1; i < j; i, j = i+1, j-1 {
+		acts[i], acts[j] = acts[j], acts[i]
+	}
+	return acts
+}

@@ -58,12 +58,16 @@ func (e *Explorer) AnalyzeCriticalSteps() (*CriticalAnalysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, act := range e.actions(start, 0) {
+	// actions returns the explorer's reusable buffer and valenceFrom
+	// enumerates actions itself below, so take a copy before recursing.
+	acts := append([]action(nil), e.actions(start, 0)...)
+	for _, act := range acts {
 		next, ok := e.apply(start, act)
 		if !ok {
 			continue
 		}
-		vals, stats, err := e.valenceFrom(next, boolToInt(act.Crash))
+		vals, stats, err := e.valenceFrom(next, boolToInt(act.Crash), 0)
+		e.release(next)
 		if err != nil {
 			return nil, fmt.Errorf("explore: successor valence: %w", err)
 		}
@@ -83,20 +87,27 @@ func (e *Explorer) AnalyzeCriticalSteps() (*CriticalAnalysis, error) {
 }
 
 // valenceFrom computes the reachable decision values from an arbitrary
-// configuration (with crashes already spent).
-func (e *Explorer) valenceFrom(start *sim.Configuration, crashesSpent int) ([]sim.Value, Stats, error) {
+// configuration (with crashes already spent), stopping early once stopAt
+// distinct values are found (0 = collect every value). It shares the
+// arena-backed, fingerprint-keyed breadth-first expansion of search; the
+// caller retains ownership of start, every other visited configuration is
+// recycled through the explorer's free list.
+func (e *Explorer) valenceFrom(start *sim.Configuration, crashesSpent, stopAt int) ([]sim.Value, Stats, error) {
 	seenVals := map[sim.Value]bool{}
-	for _, v := range start.DistinctDecisions() {
-		seenVals[v] = true
-	}
+	collectDecisions(seenVals, start)
 	stats := Stats{}
-	visited := map[string]bool{nodeKey(start, crashesSpent): true}
+	ar := newArena()
+	rootIdx := ar.root(cfgKey(start, crashesSpent))
 	type qent struct {
 		cfg     *sim.Configuration
-		crashes int
+		idx     int32
+		crashes int32
 	}
-	queue := []qent{{cfg: start, crashes: crashesSpent}}
+	queue := []qent{{cfg: start, idx: rootIdx, crashes: int32(crashesSpent)}}
 	for len(queue) > 0 {
+		if stopAt > 0 && len(seenVals) >= stopAt {
+			break
+		}
 		if stats.Visited >= e.opts.MaxConfigs {
 			stats.Truncated = true
 			break
@@ -104,7 +115,7 @@ func (e *Explorer) valenceFrom(start *sim.Configuration, crashesSpent int) ([]si
 		cur := queue[0]
 		queue = queue[1:]
 		stats.Visited++
-		for _, act := range e.actions(cur.cfg, cur.crashes) {
+		for _, act := range e.actions(cur.cfg, int(cur.crashes)) {
 			next, ok := e.apply(cur.cfg, act)
 			if !ok {
 				continue
@@ -113,15 +124,16 @@ func (e *Explorer) valenceFrom(start *sim.Configuration, crashesSpent int) ([]si
 			if act.Crash {
 				crashes++
 			}
-			key := nodeKey(next, crashes)
-			if visited[key] {
+			idx, fresh := ar.insert(cfgKey(next, int(crashes)), cur.idx, act)
+			if !fresh {
+				e.release(next)
 				continue
 			}
-			visited[key] = true
-			for _, v := range next.DistinctDecisions() {
-				seenVals[v] = true
-			}
-			queue = append(queue, qent{cfg: next, crashes: crashes})
+			collectDecisions(seenVals, next)
+			queue = append(queue, qent{cfg: next, idx: idx, crashes: crashes})
+		}
+		if cur.cfg != start {
+			e.release(cur.cfg)
 		}
 	}
 	vals := make([]sim.Value, 0, len(seenVals))

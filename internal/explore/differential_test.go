@@ -1,0 +1,191 @@
+package explore
+
+import (
+	"fmt"
+	"testing"
+
+	"kset/internal/algorithms"
+	"kset/internal/sim"
+)
+
+// legacyKey is the seed implementation's string node key: crash budget spent
+// plus the fully materialized configuration key.
+func legacyKey(cfg *sim.Configuration, crashes int) string {
+	return fmt.Sprintf("c%d|%s", crashes, cfg.Key())
+}
+
+// enumerate walks the full reachable space of e (which must be exhaustive
+// within maxConfigs), deduplicating either by the legacy string key or by
+// the fingerprint key, and returns the canonical (string) identity of every
+// distinct configuration visited. Equal result sets across the two modes
+// prove the fingerprint dedup neither merges distinct configurations
+// (collision) nor re-expands equal ones (incrementality bug).
+func enumerate(t *testing.T, e *Explorer, byFingerprint bool, maxConfigs int) map[string]bool {
+	t.Helper()
+	start, err := e.initial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type qent struct {
+		cfg     *sim.Configuration
+		crashes int
+	}
+	reached := map[string]bool{legacyKey(start, 0): true}
+	visitedStr := map[string]bool{legacyKey(start, 0): true}
+	visitedFP := map[uint64]bool{cfgKey(start, 0): true}
+	queue := []qent{{cfg: start}}
+	for len(queue) > 0 {
+		if len(reached) > maxConfigs {
+			t.Fatalf("state space exceeds %d configurations; shrink the instance", maxConfigs)
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		for _, act := range e.actions(cur.cfg, cur.crashes) {
+			next, ok := e.apply(cur.cfg, act)
+			if !ok {
+				continue
+			}
+			crashes := cur.crashes
+			if act.Crash {
+				crashes++
+			}
+			var seen bool
+			if byFingerprint {
+				seen = visitedFP[cfgKey(next, crashes)]
+				visitedFP[cfgKey(next, crashes)] = true
+			} else {
+				seen = visitedStr[legacyKey(next, crashes)]
+				visitedStr[legacyKey(next, crashes)] = true
+			}
+			if seen {
+				e.release(next)
+				continue
+			}
+			reached[legacyKey(next, crashes)] = true
+			queue = append(queue, qent{cfg: next, crashes: crashes})
+		}
+	}
+	return reached
+}
+
+// diffInstance is one small, exhaustively explorable system.
+type diffInstance struct {
+	name    string
+	alg     sim.Algorithm
+	inputs  []sim.Value
+	live    []sim.ProcessID
+	crashes int
+}
+
+func diffInstances() []diffInstance {
+	return []diffInstance{
+		{"minwait-n3", algorithms.MinWait{F: 1}, []sim.Value{0, 1, 2}, []sim.ProcessID{1, 2, 3}, 0},
+		{"minwait-n3-crash", algorithms.MinWait{F: 1}, []sim.Value{0, 1, 2}, []sim.ProcessID{1, 2, 3}, 1},
+		{"minwait-n4-sub3", algorithms.MinWait{F: 2}, []sim.Value{0, 1, 2, 3}, []sim.ProcessID{1, 2, 4}, 1},
+		{"flpkset-n3", algorithms.FLPKSet{F: 1}, []sim.Value{0, 1, 2}, []sim.ProcessID{1, 2, 3}, 0},
+		{"firstheard-n4", algorithms.FirstHeard{}, []sim.Value{0, 1, 2, 3}, []sim.ProcessID{1, 2, 3, 4}, 0},
+	}
+}
+
+func (d diffInstance) explorer() *Explorer {
+	return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+		Live:       d.live,
+		MaxCrashes: d.crashes,
+	})
+}
+
+// TestFingerprintDedupVisitsLegacySet asserts, per instance, that the
+// fingerprint-keyed BFS reaches exactly the configuration set of the legacy
+// string-keyed BFS.
+func TestFingerprintDedupVisitsLegacySet(t *testing.T) {
+	for _, d := range diffInstances() {
+		t.Run(d.name, func(t *testing.T) {
+			const maxConfigs = 400000
+			legacy := enumerate(t, d.explorer(), false, maxConfigs)
+			fp := enumerate(t, d.explorer(), true, maxConfigs)
+			if len(legacy) != len(fp) {
+				t.Fatalf("visited %d configurations with string dedup, %d with fingerprint dedup",
+					len(legacy), len(fp))
+			}
+			for key := range legacy {
+				if !fp[key] {
+					t.Fatalf("fingerprint search missed configuration %s", key)
+				}
+			}
+		})
+	}
+}
+
+// TestFingerprintSearchFindsLegacyWitnesses asserts that the production
+// searches find a witness exactly when the legacy string-keyed enumeration
+// contains one, and that found witnesses replay to genuine violations.
+func TestFingerprintSearchFindsLegacyWitnesses(t *testing.T) {
+	for _, d := range diffInstances() {
+		t.Run(d.name, func(t *testing.T) {
+			wantDisagreement := legacyGoalReachable(t, d, func(cfg *sim.Configuration) bool {
+				return cfg.Disagreement()
+			})
+
+			w, found, err := d.explorer().FindDisagreement()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.Stats.Truncated {
+				t.Fatalf("instance not exhaustive (visited %d)", w.Stats.Visited)
+			}
+			if found != wantDisagreement {
+				t.Fatalf("FindDisagreement found=%t, legacy exhaustive search says %t", found, wantDisagreement)
+			}
+			if found {
+				if len(w.Run.DistinctDecisions()) < 2 {
+					t.Fatalf("disagreement witness replays to %v", w.Run.DistinctDecisions())
+				}
+			}
+		})
+	}
+}
+
+// legacyGoalReachable reports whether some configuration reachable under
+// string-keyed dedup satisfies goal.
+func legacyGoalReachable(t *testing.T, d diffInstance, goal func(*sim.Configuration) bool) bool {
+	t.Helper()
+	e := d.explorer()
+	start, err := e.initial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goal(start) {
+		return true
+	}
+	type qent struct {
+		cfg     *sim.Configuration
+		crashes int
+	}
+	visited := map[string]bool{legacyKey(start, 0): true}
+	queue := []qent{{cfg: start}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, act := range e.actions(cur.cfg, cur.crashes) {
+			next, ok := e.apply(cur.cfg, act)
+			if !ok {
+				continue
+			}
+			crashes := cur.crashes
+			if act.Crash {
+				crashes++
+			}
+			key := legacyKey(next, crashes)
+			if visited[key] {
+				e.release(next)
+				continue
+			}
+			visited[key] = true
+			if goal(next) {
+				return true
+			}
+			queue = append(queue, qent{cfg: next, crashes: crashes})
+		}
+	}
+	return false
+}

@@ -17,6 +17,16 @@
 // Exploration is exact for protocols that send a bounded number of messages
 // (the protocols in this repository broadcast a constant number of times per
 // process), and budget-bounded otherwise.
+//
+// The search hot path is engineered around three ideas. Revisit detection
+// uses the simulator's incremental 64-bit configuration fingerprint
+// (sim.Configuration.Fingerprint) instead of materializing the O(n·|buffers|)
+// string Key per candidate; parent chains live in a flat node arena indexed
+// by int32 (see arena.go); and the per-action configuration copies are
+// recycled through a free list, so a steady-state search allocates almost
+// nothing per visited configuration. An Explorer is NOT safe for concurrent
+// use — run independent searches on independent Explorers (the experiment
+// sweeps in the root package do exactly that, one Explorer per sweep cell).
 package explore
 
 import (
@@ -94,11 +104,24 @@ type Options struct {
 const DefaultMaxConfigs = 250000
 
 // Explorer enumerates reachable configurations of an algorithm under
-// adversarial scheduling.
+// adversarial scheduling. It is not safe for concurrent use: searches share
+// the explorer's scratch buffers and configuration free list.
 type Explorer struct {
 	alg    sim.Algorithm
 	inputs []sim.Value
 	opts   Options
+
+	// pool recycles retired configurations as pooled-clone destinations.
+	pool []*sim.Configuration
+	// scratch is the reusable delivery-id buffer for step requests.
+	scratch []int64
+	// actbuf is the reusable action-enumeration buffer (see actions).
+	actbuf []action
+	// omitAll is the read-only full omission set shared by every
+	// crash-with-omissions step request.
+	omitAll map[sim.ProcessID]bool
+	// probe is the reusable scratch clone of quiescentBlocked.
+	probe *sim.Configuration
 }
 
 // New returns an explorer for the given algorithm and proposal vector.
@@ -114,7 +137,16 @@ func New(alg sim.Algorithm, inputs []sim.Value, opts Options) *Explorer {
 	live := append([]sim.ProcessID(nil), opts.Live...)
 	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
 	opts.Live = live
-	return &Explorer{alg: alg, inputs: append([]sim.Value(nil), inputs...), opts: opts}
+	omitAll := make(map[sim.ProcessID]bool, len(inputs))
+	for p := 1; p <= len(inputs); p++ {
+		omitAll[sim.ProcessID(p)] = true
+	}
+	return &Explorer{
+		alg:     alg,
+		inputs:  append([]sim.Value(nil), inputs...),
+		opts:    opts,
+		omitAll: omitAll,
+	}
 }
 
 // initial builds the starting configuration: everyone outside Live is
@@ -135,61 +167,77 @@ func (e *Explorer) initial() (*sim.Configuration, error) {
 	return cfg, nil
 }
 
-// node tracks how a configuration was reached for witness reconstruction.
-type node struct {
-	parent  string // parent node key ("" for root)
-	act     action
-	crashes int
+// cfgKey combines the configuration fingerprint with the crash budget
+// spent, since the same configuration with different remaining budgets has
+// different futures. It replaces the old string nodeKey on the search hot
+// path; the string Key() remains for explain/debug output.
+func cfgKey(cfg *sim.Configuration, crashes int) uint64 {
+	return sim.HashMix(cfg.Fingerprint() ^ (uint64(crashes) * 0x9e3779b97f4a7c15))
 }
 
-// key combines the configuration key with the crash budget spent, since the
-// same configuration with different remaining budgets has different futures.
-func nodeKey(cfg *sim.Configuration, crashes int) string {
-	return fmt.Sprintf("c%d|%s", crashes, cfg.Key())
+// fromPool pops a recycled configuration, or returns nil (CloneInto then
+// allocates fresh).
+func (e *Explorer) fromPool() *sim.Configuration {
+	if n := len(e.pool); n > 0 {
+		c := e.pool[n-1]
+		e.pool = e.pool[:n-1]
+		return c
+	}
+	return nil
 }
 
-// apply performs an action on a clone of cfg and returns the new
-// configuration, or ok=false if the action is inapplicable.
+// release returns a configuration to the free list. Callers must not touch
+// it afterwards: its allocations are reused by the next pooled clone.
+func (e *Explorer) release(c *sim.Configuration) {
+	e.pool = append(e.pool, c)
+}
+
+// apply performs an action on a pooled clone of cfg and returns the new
+// configuration, or ok=false if the action is inapplicable. The result is
+// owned by the caller; hand it back via release when it leaves the search.
 func (e *Explorer) apply(cfg *sim.Configuration, act action) (*sim.Configuration, bool) {
 	if cfg.Crashed(act.Proc) {
 		return nil, false
 	}
-	next := cfg.Clone()
+	next := cfg.CloneInto(e.fromPool())
 	req := sim.StepRequest{Proc: act.Proc, Crash: act.Crash}
 	if act.Crash && act.Omit {
-		req.OmitTo = make(map[sim.ProcessID]bool, next.N())
-		for _, q := range next.Processes() {
-			req.OmitTo[q] = true
-		}
+		req.OmitTo = e.omitAll
 	}
 	switch act.Mode {
 	case DeliverNone:
 	case DeliverOldest:
-		buf := next.Buffer(act.Proc)
-		if len(buf) == 0 {
+		id, ok := next.OldestMessageID(act.Proc)
+		if !ok {
+			e.release(next)
 			return nil, false // identical to DeliverNone; skip duplicate branch
 		}
-		req.Deliver = []int64{buf[0].ID}
+		e.scratch = append(e.scratch[:0], id)
+		req.Deliver = e.scratch
 	case DeliverAll:
-		ids := next.DeliverAll(act.Proc)
-		if len(ids) == 0 {
+		e.scratch = next.AppendDeliveryIDs(e.scratch[:0], act.Proc)
+		if len(e.scratch) == 0 {
+			e.release(next)
 			return nil, false // identical to DeliverNone
 		}
-		req.Deliver = ids
+		req.Deliver = e.scratch
 	}
 	if e.opts.Oracle != nil {
 		req.FD = e.opts.Oracle.Query(act.Proc, next.Time(), next)
 	}
-	if _, err := next.Apply(req); err != nil {
+	if err := next.ApplyQuiet(req); err != nil {
+		e.release(next)
 		return nil, false
 	}
 	return next, true
 }
 
 // actions enumerates the adversary's choices at cfg with the given crash
-// budget already spent.
+// budget already spent. The returned slice aliases the explorer's reusable
+// buffer and is invalidated by the next actions call; copy it when the
+// caller explores recursively while iterating (critical.go does).
 func (e *Explorer) actions(cfg *sim.Configuration, crashes int) []action {
-	var out []action
+	out := e.actbuf[:0]
 	for _, p := range e.opts.Live {
 		if cfg.Crashed(p) {
 			continue
@@ -207,6 +255,7 @@ func (e *Explorer) actions(cfg *sim.Configuration, crashes int) []action {
 			out = append(out, action{Proc: p, Mode: m})
 		}
 	}
+	e.actbuf = out
 	return out
 }
 

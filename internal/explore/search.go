@@ -2,7 +2,6 @@ package explore
 
 import (
 	"fmt"
-	"sort"
 
 	"kset/internal/sim"
 )
@@ -28,10 +27,10 @@ type Witness struct {
 // search was exhaustive.
 func (e *Explorer) FindDisagreement() (*Witness, bool, error) {
 	return e.search(func(cfg *sim.Configuration) (string, bool) {
-		if vs := cfg.DistinctDecisions(); len(vs) >= 2 {
-			return fmt.Sprintf("decisions %v reached", vs), true
+		if !cfg.Disagreement() {
+			return "", false
 		}
-		return "", false
+		return fmt.Sprintf("decisions %v reached", cfg.DistinctDecisions()), true
 	}, "disagreement")
 }
 
@@ -69,22 +68,25 @@ func (e *Explorer) quiescentBlocked(cfg *sim.Configuration) (sim.ProcessID, bool
 		return 0, false
 	}
 	// Quiescence: stepping any live process without deliveries must neither
-	// change its state key nor send anything. (With a detector the output
-	// could change behaviour; the oracle is part of the step here.)
+	// change its state nor send anything — equivalently, the step must leave
+	// the configuration fingerprint unchanged (the fingerprint covers local
+	// states, decisions, and buffered messages, and excludes time). (With a
+	// detector the output could change behaviour; the oracle is part of the
+	// step here.) Probing reuses one scratch clone across all live processes
+	// and all visited candidates instead of deep-cloning per probe.
 	for _, p := range e.opts.Live {
 		if cfg.Crashed(p) {
 			continue
 		}
-		probe := cfg.Clone()
+		e.probe = cfg.CloneInto(e.probe)
 		req := sim.StepRequest{Proc: p}
 		if e.opts.Oracle != nil {
-			req.FD = e.opts.Oracle.Query(p, probe.Time(), probe)
+			req.FD = e.opts.Oracle.Query(p, e.probe.Time(), e.probe)
 		}
-		ev, err := probe.Apply(req)
-		if err != nil {
+		if err := e.probe.ApplyQuiet(req); err != nil {
 			return 0, false
 		}
-		if len(ev.Sent) > 0 || ev.StateKey != cfg.State(p).Key() {
+		if e.probe.Fingerprint() != cfg.Fingerprint() {
 			return 0, false
 		}
 	}
@@ -92,7 +94,9 @@ func (e *Explorer) quiescentBlocked(cfg *sim.Configuration) (sim.ProcessID, bool
 }
 
 // search runs a BFS or DFS (per Options.Strategy) from the initial
-// configuration until goal holds.
+// configuration until goal holds. Visited detection keys the arena by
+// configuration fingerprint; retired configurations are recycled through the
+// explorer's free list.
 func (e *Explorer) search(goal func(*sim.Configuration) (string, bool), kind string) (*Witness, bool, error) {
 	start, err := e.initial()
 	if err != nil {
@@ -100,17 +104,17 @@ func (e *Explorer) search(goal func(*sim.Configuration) (string, bool), kind str
 	}
 	type qent struct {
 		cfg     *sim.Configuration
-		key     string
-		crashes int
+		idx     int32
+		crashes int32
 	}
-	startKey := nodeKey(start, 0)
-	parents := map[string]node{startKey: {parent: "", crashes: 0}}
-	queue := []qent{{cfg: start, key: startKey, crashes: 0}}
+	ar := newArena()
+	rootIdx := ar.root(cfgKey(start, 0))
+	queue := []qent{{cfg: start, idx: rootIdx}}
 	dfs := e.opts.Strategy == "dfs"
 	stats := Stats{}
 
 	if detail, ok := goal(start); ok {
-		run, err := e.replay(parents, startKey, start)
+		run, err := e.replay(ar, rootIdx)
 		if err != nil {
 			return nil, false, err
 		}
@@ -132,7 +136,7 @@ func (e *Explorer) search(goal func(*sim.Configuration) (string, bool), kind str
 		}
 		stats.Visited++
 
-		for _, act := range e.actions(cur.cfg, cur.crashes) {
+		for _, act := range e.actions(cur.cfg, int(cur.crashes)) {
 			next, ok := e.apply(cur.cfg, act)
 			if !ok {
 				continue
@@ -141,43 +145,29 @@ func (e *Explorer) search(goal func(*sim.Configuration) (string, bool), kind str
 			if act.Crash {
 				crashes++
 			}
-			key := nodeKey(next, crashes)
-			if _, seen := parents[key]; seen {
+			idx, fresh := ar.insert(cfgKey(next, int(crashes)), cur.idx, act)
+			if !fresh {
+				e.release(next)
 				continue
 			}
-			parents[key] = node{parent: cur.key, act: act, crashes: crashes}
 			if detail, ok := goal(next); ok {
-				run, err := e.replay(parents, key, next)
+				run, err := e.replay(ar, idx)
 				if err != nil {
 					return nil, false, err
 				}
 				return &Witness{Kind: kind, Run: run, Detail: detail, Stats: stats}, true, nil
 			}
-			queue = append(queue, qent{cfg: next, key: key, crashes: crashes})
+			queue = append(queue, qent{cfg: next, idx: idx, crashes: crashes})
 		}
+		e.release(cur.cfg)
 	}
 	return &Witness{Kind: kind, Stats: stats}, false, nil
 }
 
-// replay reconstructs the action path to key and re-executes it from the
-// initial configuration, producing a recorded run.
-func (e *Explorer) replay(parents map[string]node, key string, final *sim.Configuration) (*sim.Run, error) {
-	var acts []action
-	for key != "" {
-		n, ok := parents[key]
-		if !ok {
-			return nil, fmt.Errorf("explore: broken parent chain at %q", key)
-		}
-		if n.parent == "" {
-			break
-		}
-		acts = append(acts, n.act)
-		key = n.parent
-	}
-	// Reverse into execution order.
-	for i, j := 0, len(acts)-1; i < j; i, j = i+1, j-1 {
-		acts[i], acts[j] = acts[j], acts[i]
-	}
+// replay re-executes the arena path to idx from the initial configuration,
+// producing a recorded run.
+func (e *Explorer) replay(ar *arena, idx int32) (*sim.Run, error) {
+	acts := ar.path(idx)
 
 	cfg, err := e.initial()
 	if err != nil {
@@ -198,18 +188,15 @@ func (e *Explorer) replay(parents map[string]node, key string, final *sim.Config
 	for _, act := range acts {
 		req := sim.StepRequest{Proc: act.Proc, Crash: act.Crash}
 		if act.Crash && act.Omit {
-			req.OmitTo = make(map[sim.ProcessID]bool, cfg.N())
-			for _, q := range cfg.Processes() {
-				req.OmitTo[q] = true
-			}
+			req.OmitTo = e.omitAll
 		}
 		switch act.Mode {
 		case DeliverOldest:
-			buf := cfg.Buffer(act.Proc)
-			if len(buf) == 0 {
+			id, ok := cfg.OldestMessageID(act.Proc)
+			if !ok {
 				return nil, fmt.Errorf("explore: replay divergence: empty buffer for oldest delivery at %d", act.Proc)
 			}
-			req.Deliver = []int64{buf[0].ID}
+			req.Deliver = []int64{id}
 		case DeliverAll:
 			req.Deliver = cfg.DeliverAll(act.Proc)
 		}
@@ -242,53 +229,15 @@ func (e *Explorer) Valence(stopAt int) ([]sim.Value, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	seenVals := map[sim.Value]bool{}
-	collect := func(cfg *sim.Configuration) {
-		for _, v := range cfg.DistinctDecisions() {
-			seenVals[v] = true
+	// valenceFrom returns the values already sorted.
+	return e.valenceFrom(start, 0, stopAt)
+}
+
+// collectDecisions folds cfg's decided values into seen without allocating.
+func collectDecisions(seen map[sim.Value]bool, cfg *sim.Configuration) {
+	for p := 1; p <= cfg.N(); p++ {
+		if v, ok := cfg.Decision(sim.ProcessID(p)); ok {
+			seen[v] = true
 		}
 	}
-	collect(start)
-	stats := Stats{}
-	visited := map[string]bool{nodeKey(start, 0): true}
-	type qent struct {
-		cfg     *sim.Configuration
-		crashes int
-	}
-	queue := []qent{{cfg: start, crashes: 0}}
-	for len(queue) > 0 {
-		if stopAt > 0 && len(seenVals) >= stopAt {
-			break
-		}
-		if stats.Visited >= e.opts.MaxConfigs {
-			stats.Truncated = true
-			break
-		}
-		cur := queue[0]
-		queue = queue[1:]
-		stats.Visited++
-		for _, act := range e.actions(cur.cfg, cur.crashes) {
-			next, ok := e.apply(cur.cfg, act)
-			if !ok {
-				continue
-			}
-			crashes := cur.crashes
-			if act.Crash {
-				crashes++
-			}
-			key := nodeKey(next, crashes)
-			if visited[key] {
-				continue
-			}
-			visited[key] = true
-			collect(next)
-			queue = append(queue, qent{cfg: next, crashes: crashes})
-		}
-	}
-	vals := make([]sim.Value, 0, len(seenVals))
-	for v := range seenVals {
-		vals = append(vals, v)
-	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-	return vals, stats, nil
 }

@@ -182,6 +182,13 @@ func Run(alg sim.Algorithm, inputs []sim.Value, opts Options) (*Result, error) {
 	var decidedTotal int
 	var decidedMu sync.Mutex
 	markDecided := func(p sim.ProcessID) {
+		if _, crashes := opts.CrashAtStep[p]; crashes {
+			// Processes scheduled to crash are excluded from liveCount; a
+			// decision they happen to reach before crashing must not count
+			// toward run completion, or the run can end with a genuine
+			// survivor still undecided.
+			return
+		}
 		if _, loaded := decidedCount.LoadOrStore(p, true); !loaded {
 			decidedMu.Lock()
 			decidedTotal++
@@ -252,7 +259,16 @@ func Run(alg sim.Algorithm, inputs []sim.Value, opts Options) (*Result, error) {
 	}
 	res.Steps = b.steps
 	b.mu.Unlock()
-	res.TimedOut = ctx.Err() != nil && len(res.Decisions) < liveCount
+	// Completion counts only processes required to decide: decisions that
+	// crash-scheduled processes happened to reach before crashing are
+	// reported but must not mask an undecided survivor at the timeout.
+	decidedLive := 0
+	for p := range res.Decisions {
+		if _, crashes := opts.CrashAtStep[p]; !crashes && !dead[p] {
+			decidedLive++
+		}
+	}
+	res.TimedOut = ctx.Err() != nil && decidedLive < liveCount
 	return res, nil
 }
 

@@ -17,6 +17,11 @@ type Configuration struct {
 	decisions []Value     // index p-1: write-once output, NoValue while undecided
 	time      int
 	nextMsgID int64
+
+	// fp is the incremental fingerprint (see fingerprint.go); procFP caches
+	// the per-process components so state changes fold in as deltas.
+	fp     uint64
+	procFP []uint64
 }
 
 // NewConfiguration builds the initial configuration for algorithm a with the
@@ -39,6 +44,7 @@ func NewConfiguration(a Algorithm, inputs []Value) *Configuration {
 			c.decisions[i] = v
 		}
 	}
+	c.recomputeFingerprint()
 	return c
 }
 
@@ -122,11 +128,40 @@ func (c *Configuration) Clone() *Configuration {
 		decisions: append([]Value(nil), c.decisions...),
 		time:      c.time,
 		nextMsgID: c.nextMsgID,
+		fp:        c.fp,
+		procFP:    append([]uint64(nil), c.procFP...),
 	}
 	for i, buf := range c.buffers {
 		cp.buffers[i] = append([]Message(nil), buf...)
 	}
 	return cp
+}
+
+// CloneInto copies c into dst, reusing dst's allocations where capacities
+// allow, and returns dst. A nil dst behaves like Clone. It is the pooled
+// clone behind package explore's per-action copies: a configuration retired
+// from a search can be recycled as the destination of the next clone,
+// keeping the search's allocation rate flat in the number of visits.
+func (c *Configuration) CloneInto(dst *Configuration) *Configuration {
+	if dst == nil || dst == c {
+		return c.Clone()
+	}
+	dst.n = c.n
+	dst.time = c.time
+	dst.nextMsgID = c.nextMsgID
+	dst.fp = c.fp
+	dst.states = append(dst.states[:0], c.states...)
+	dst.crashed = append(dst.crashed[:0], c.crashed...)
+	dst.decisions = append(dst.decisions[:0], c.decisions...)
+	dst.procFP = append(dst.procFP[:0], c.procFP...)
+	if cap(dst.buffers) < c.n {
+		dst.buffers = make([][]Message, c.n)
+	}
+	dst.buffers = dst.buffers[:c.n]
+	for i, buf := range c.buffers {
+		dst.buffers[i] = append(dst.buffers[i][:0], buf...)
+	}
+	return dst
 }
 
 // Key returns a deterministic encoding of the configuration: all local
@@ -182,12 +217,45 @@ type StepRequest struct {
 // DeliverAll returns the ids of every message pending for p, for building
 // step requests that flush the buffer.
 func (c *Configuration) DeliverAll(p ProcessID) []int64 {
-	buf := c.buffers[p-1]
-	ids := make([]int64, len(buf))
-	for i, m := range buf {
-		ids[i] = m.ID
+	return c.AppendDeliveryIDs(nil, p)
+}
+
+// AppendDeliveryIDs appends the ids of every message pending for p to dst
+// (in buffer order) and returns the extended slice. Passing a reused scratch
+// slice avoids the per-call allocation of DeliverAll on hot paths.
+func (c *Configuration) AppendDeliveryIDs(dst []int64, p ProcessID) []int64 {
+	for i := range c.buffers[p-1] {
+		dst = append(dst, c.buffers[p-1][i].ID)
 	}
-	return ids
+	return dst
+}
+
+// OldestMessageID returns the id of the oldest pending message for p,
+// without copying the buffer; ok is false when the buffer is empty.
+func (c *Configuration) OldestMessageID(p ProcessID) (id int64, ok bool) {
+	buf := c.buffers[p-1]
+	if len(buf) == 0 {
+		return 0, false
+	}
+	return buf[0].ID, true
+}
+
+// Disagreement reports whether two processes have decided different values —
+// the disagreement-witness predicate, without materializing the distinct
+// decision set.
+func (c *Configuration) Disagreement() bool {
+	first := NoValue
+	for _, v := range c.decisions {
+		if v == NoValue {
+			continue
+		}
+		if first == NoValue {
+			first = v
+		} else if v != first {
+			return true
+		}
+	}
+	return false
 }
 
 // Apply executes one atomic step in place and returns the step's event
@@ -195,6 +263,19 @@ func (c *Configuration) DeliverAll(p ProcessID) []int64 {
 // not have crashed, delivered ids must be pending for the process, and
 // decisions are write-once.
 func (c *Configuration) Apply(req StepRequest) (Event, error) {
+	return c.apply(req, true)
+}
+
+// ApplyQuiet executes one atomic step exactly like Apply but skips
+// materializing the event record (state-key string, sent/delivered
+// bookkeeping). It is the step driver for exploration hot paths that only
+// need the successor configuration; recorded runs keep using Apply.
+func (c *Configuration) ApplyQuiet(req StepRequest) error {
+	_, err := c.apply(req, false)
+	return err
+}
+
+func (c *Configuration) apply(req StepRequest, record bool) (Event, error) {
 	p := req.Proc
 	if p < 1 || int(p) > c.n {
 		return Event{}, fmt.Errorf("sim: step for unknown process %d", p)
@@ -206,6 +287,10 @@ func (c *Configuration) Apply(req StepRequest) (Event, error) {
 
 	if req.SilentCrash {
 		c.crashed[i] = true
+		c.refreshProc(i)
+		if !record {
+			return Event{}, nil
+		}
 		return Event{
 			Time:     c.time,
 			Proc:     p,
@@ -240,7 +325,10 @@ func (c *Configuration) Apply(req StepRequest) (Event, error) {
 		return Event{}, fmt.Errorf("sim: process %d retracted its decision", p)
 	}
 
-	sent := make([]Message, 0, len(sends))
+	var sent []Message
+	if record {
+		sent = make([]Message, 0, len(sends))
+	}
 	for _, snd := range sends {
 		if snd.To < 1 || int(snd.To) > c.n {
 			return Event{}, fmt.Errorf("sim: process %d sent to unknown process %d", p, snd.To)
@@ -258,17 +346,26 @@ func (c *Configuration) Apply(req StepRequest) (Event, error) {
 			SentAt:  c.time,
 			Payload: snd.Payload,
 		}
+		m.fp = msgComponent(int(snd.To)-1, &m)
+		c.fp += m.fp
 		c.nextMsgID++
 		c.buffers[snd.To-1] = append(c.buffers[snd.To-1], m)
-		sent = append(sent, m)
+		if record {
+			sent = append(sent, m)
+		}
 	}
 
 	if req.Crash {
 		c.crashed[i] = true
 	}
+	c.refreshProc(i)
+	c.time++
 
+	if !record {
+		return Event{}, nil
+	}
 	ev := Event{
-		Time:      c.time,
+		Time:      c.time - 1,
 		Proc:      p,
 		Delivered: delivered,
 		FD:        req.FD,
@@ -279,15 +376,38 @@ func (c *Configuration) Apply(req StepRequest) (Event, error) {
 	if v, ok := next.Decided(); ok {
 		ev.Decision, ev.Decided = v, true
 	}
-	c.time++
 	return ev, nil
 }
 
 // take removes the messages with the given ids from buffer i and returns
-// them in buffer order.
+// them in buffer order. The returned slice never aliases the live buffer:
+// delivered messages escape into Events and step Inputs, while the buffer's
+// backing array is reused for future sends.
 func (c *Configuration) take(i int, ids []int64) ([]Message, error) {
 	if len(ids) == 0 {
 		return nil, nil
+	}
+	buf := c.buffers[i]
+	// Fast path: ids matches a buffer prefix in order — the shape produced
+	// by DeliverAll / AppendDeliveryIDs ("flush") and OldestMessageID
+	// ("oldest"), which are all the delivery patterns the explorer uses.
+	if len(ids) <= len(buf) {
+		match := true
+		for j, id := range ids {
+			if buf[j].ID != id {
+				match = false
+				break
+			}
+		}
+		if match {
+			taken := make([]Message, len(ids))
+			copy(taken, buf[:len(ids)])
+			for j := range taken {
+				c.fp -= taken[j].fp
+			}
+			c.buffers[i] = append(buf[:0], buf[len(ids):]...)
+			return taken, nil
+		}
 	}
 	want := make(map[int64]bool, len(ids))
 	for _, id := range ids {
@@ -296,7 +416,6 @@ func (c *Configuration) take(i int, ids []int64) ([]Message, error) {
 		}
 		want[id] = true
 	}
-	buf := c.buffers[i]
 	taken := make([]Message, 0, len(ids))
 	restCap := len(buf) - len(ids)
 	if restCap < 0 {
@@ -318,6 +437,9 @@ func (c *Configuration) take(i int, ids []int64) ([]Message, error) {
 		}
 		sort.Slice(missing, func(a, b int) bool { return missing[a] < missing[b] })
 		return nil, fmt.Errorf("sim: messages %v not pending for process %d", missing, i+1)
+	}
+	for j := range taken {
+		c.fp -= taken[j].fp
 	}
 	c.buffers[i] = rest
 	return taken, nil

@@ -1,0 +1,156 @@
+package sim
+
+// This file implements the incremental 64-bit configuration fingerprint used
+// by package explore for revisit detection. The fingerprint is a commutative
+// sum (mod 2^64) of independently hashed components — one per process slot
+// (state, crash flag, decision) and one per buffered message — so that
+// Apply, take, and SilentCrash can maintain it in O(changed) instead of
+// rebuilding Key()'s O(n·|buffers|) string on every visit:
+//
+//	fp = Σ_i procComponent(i) + Σ_i Σ_{m ∈ buffer(i)} msgComponent(i, m)
+//
+// Each component is an FNV-1a hash of the slot's deterministic encoding,
+// diffused through a splitmix64 finalizer and multiplied by an odd
+// per-process salt so that equal content at different slots contributes
+// different values. Summation (rather than XOR) makes buffers true
+// multisets: a message that is buffered twice shifts the fingerprint twice.
+//
+// The fingerprint covers exactly the information Key() encodes — local
+// states, crash flags, buffer contents as per-receiver multisets of
+// (sender, payload), plus the write-once decisions — and, like Key(),
+// excludes global time and message ids, which do not influence future
+// behaviour. Two configurations with equal Key() always have equal
+// fingerprints; distinct keys collide with probability ~2^-64 per pair.
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvString folds s into an FNV-1a hash state.
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// fnvUint folds an integer into an FNV-1a hash state byte by byte.
+func fnvUint(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator: a cheap
+// full-avalanche diffusion of the raw FNV state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hasher64 is an optional fast-hash interface for State and Payload
+// implementations. Hash64 must be equality-compatible with Key: two values
+// with equal keys must return equal hashes, and values with distinct keys
+// must return distinct hashes up to 64-bit collision probability. States and
+// payloads that implement it skip the Key() string materialization on the
+// fingerprint hot path; everything else falls back to hashing Key().
+type Hasher64 interface {
+	Hash64() uint64
+}
+
+// HashSeed returns the initial accumulator for building a Hash64 value.
+func HashSeed() uint64 { return fnvOffset64 }
+
+// HashUint folds an integer into a Hash64 accumulator.
+func HashUint(h, v uint64) uint64 { return fnvUint(h, v) }
+
+// HashString folds a string into a Hash64 accumulator.
+func HashString(h uint64, s string) uint64 { return fnvString(h, s) }
+
+// HashMix diffuses an accumulator or builds one commutative-sum term; use it
+// to hash map entries order-independently (sum the mixed terms).
+func HashMix(x uint64) uint64 { return splitmix64(x) }
+
+// stateHash returns the 64-bit hash of a state: the fast path for Hasher64
+// implementations, an FNV-1a over Key() otherwise.
+func stateHash(s State) uint64 {
+	if h, ok := s.(Hasher64); ok {
+		return h.Hash64()
+	}
+	return fnvString(fnvOffset64, s.Key())
+}
+
+// payloadHash is stateHash for message payloads.
+func payloadHash(p Payload) uint64 {
+	if h, ok := p.(Hasher64); ok {
+		return h.Hash64()
+	}
+	return fnvString(fnvOffset64, p.Key())
+}
+
+// procSalt returns the odd multiplier salting process slot i's state
+// component; bufSalt the one salting its buffered-message components.
+func procSalt(i int) uint64 { return splitmix64(uint64(i)*2+1) | 1 }
+func bufSalt(i int) uint64  { return splitmix64(uint64(i)*2+2) | 1 }
+
+// procComponent hashes process slot i's behaviourally relevant content:
+// crash flag, state key, and write-once decision.
+func (c *Configuration) procComponent(i int) uint64 {
+	h := uint64(fnvOffset64)
+	if c.crashed[i] {
+		h = fnvUint(h, 1)
+	}
+	h = fnvUint(h, stateHash(c.states[i]))
+	h = fnvUint(h, uint64(c.decisions[i]))
+	return splitmix64(h) * procSalt(i)
+}
+
+// msgComponent hashes one message buffered at receiver slot recv. The
+// receiver is encoded by the salt; the id and send time are excluded for the
+// same reason Message.Key excludes them.
+func msgComponent(recv int, m *Message) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvUint(h, uint64(m.From))
+	h = fnvUint(h, payloadHash(m.Payload))
+	return splitmix64(h) * bufSalt(recv)
+}
+
+// Fingerprint returns the incremental 64-bit fingerprint of the
+// configuration. It is maintained by NewConfiguration, Apply, and Clone;
+// reading it is free.
+func (c *Configuration) Fingerprint() uint64 { return c.fp }
+
+// recomputeFingerprint rebuilds the fingerprint and per-slot caches from
+// scratch. NewConfiguration uses it once; the fingerprint tests use it to
+// cross-check the incremental maintenance.
+func (c *Configuration) recomputeFingerprint() {
+	if cap(c.procFP) < c.n {
+		c.procFP = make([]uint64, c.n)
+	}
+	c.procFP = c.procFP[:c.n]
+	c.fp = 0
+	for i := 0; i < c.n; i++ {
+		c.procFP[i] = c.procComponent(i)
+		c.fp += c.procFP[i]
+		for j := range c.buffers[i] {
+			m := &c.buffers[i][j]
+			m.fp = msgComponent(i, m)
+			c.fp += m.fp
+		}
+	}
+}
+
+// refreshProc re-hashes process slot i after its state, crash flag, or
+// decision changed, and folds the delta into the fingerprint.
+func (c *Configuration) refreshProc(i int) {
+	h := c.procComponent(i)
+	c.fp += h - c.procFP[i]
+	c.procFP[i] = h
+}

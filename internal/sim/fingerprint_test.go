@@ -1,0 +1,184 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// checkFingerprint asserts that c's incrementally maintained fingerprint
+// equals a from-scratch recompute of the same content.
+func checkFingerprint(t *testing.T, c *Configuration, context string) {
+	t.Helper()
+	cp := c.Clone()
+	cp.recomputeFingerprint()
+	if cp.fp != c.Fingerprint() {
+		t.Fatalf("%s: incremental fingerprint %#x != recomputed %#x", context, c.Fingerprint(), cp.fp)
+	}
+}
+
+func TestFingerprintIncrementalMaintenance(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2, 3, 4})
+	checkFingerprint(t, c, "initial")
+
+	steps := []StepRequest{
+		{Proc: 1},                                     // broadcast, decide
+		{Proc: 2, Deliver: c.DeliverAll(2)},           // deliver p1's message, broadcast
+		{Proc: 3, Crash: true},                        // crash step with sends
+		{Proc: 4, SilentCrash: true},                  // silent crash, no step
+		{Proc: 1, Crash: true, OmitTo: omitAllSet(4)}, // final step, all sends dropped
+	}
+	for i, req := range steps {
+		if req.Proc == 2 {
+			req.Deliver = c.DeliverAll(2)
+		}
+		if _, err := c.Apply(req); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		checkFingerprint(t, c, fmt.Sprintf("after step %d", i))
+	}
+}
+
+func omitAllSet(n int) map[ProcessID]bool {
+	out := make(map[ProcessID]bool, n)
+	for p := 1; p <= n; p++ {
+		out[ProcessID(p)] = true
+	}
+	return out
+}
+
+func TestFingerprintFollowsKeyEquality(t *testing.T) {
+	// Same messages received in different order: equal keys must mean equal
+	// fingerprints (the buffer components sum commutatively).
+	c1 := NewConfiguration(echoAlg{}, []Value{1, 2, 3})
+	c2 := NewConfiguration(echoAlg{}, []Value{1, 2, 3})
+	for _, p := range []ProcessID{1, 2} {
+		if _, err := c1.Apply(StepRequest{Proc: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range []ProcessID{2, 1} {
+		if _, err := c2.Apply(StepRequest{Proc: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c1.Key() != c2.Key() {
+		t.Fatalf("test setup broken: keys differ")
+	}
+	if c1.Fingerprint() != c2.Fingerprint() {
+		t.Fatalf("equal keys but fingerprints %#x != %#x", c1.Fingerprint(), c2.Fingerprint())
+	}
+	// Advancing c2 must change both key and fingerprint.
+	if _, err := c2.Apply(StepRequest{Proc: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if c1.Key() == c2.Key() || c1.Fingerprint() == c2.Fingerprint() {
+		t.Fatalf("distinct configurations share key or fingerprint")
+	}
+}
+
+// dupAlg broadcasts the identical payload on every step and never changes
+// state, isolating the buffer-multiset component of the fingerprint.
+type dupAlg struct{}
+
+func (dupAlg) Name() string                                { return "dup" }
+func (dupAlg) Init(n int, id ProcessID, input Value) State { return dupState{n: n, id: id} }
+
+type dupState struct {
+	n  int
+	id ProcessID
+}
+
+func (s dupState) Step(in Input) (State, []Send) {
+	return s, Broadcast(s.n, testPayload{Tag: "DUP", From: s.id})
+}
+func (s dupState) Decided() (Value, bool) { return 0, false }
+func (s dupState) Key() string            { return fmt.Sprintf("dup{%d}", s.id) }
+
+func TestFingerprintBuffersAreMultisets(t *testing.T) {
+	// A buffer holding two copies of an identical message must not cancel to
+	// the empty buffer (the failure mode of XOR-combined multiset hashes).
+	fresh := NewConfiguration(dupAlg{}, []Value{1, 2})
+	once := NewConfiguration(dupAlg{}, []Value{1, 2})
+	twice := NewConfiguration(dupAlg{}, []Value{1, 2})
+	if _, err := once.Apply(StepRequest{Proc: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := twice.Apply(StepRequest{Proc: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if twice.Fingerprint() == fresh.Fingerprint() {
+		t.Fatal("duplicate buffered messages cancelled out of the fingerprint")
+	}
+	if twice.Fingerprint() == once.Fingerprint() {
+		t.Fatal("second copy of a buffered message did not change the fingerprint")
+	}
+	checkFingerprint(t, twice, "after duplicate broadcasts")
+}
+
+func TestFingerprintCollisionSweep(t *testing.T) {
+	// Enumerate a few hundred behaviourally distinct small configurations
+	// (distinct keys) and require pairwise distinct fingerprints. A 64-bit
+	// fingerprint colliding on a sweep this small would indicate a broken
+	// mixing function rather than bad luck.
+	byFP := make(map[uint64]string)
+	byKey := make(map[string]bool)
+	record := func(c *Configuration) {
+		key := c.Key()
+		if byKey[key] {
+			return
+		}
+		byKey[key] = true
+		if prev, dup := byFP[c.Fingerprint()]; dup {
+			t.Fatalf("fingerprint collision %#x:\n%s\n%s", c.Fingerprint(), prev, key)
+		}
+		byFP[c.Fingerprint()] = key
+	}
+	for a := 0; a < 6; a++ {
+		for b := 0; b < 6; b++ {
+			c := NewConfiguration(echoAlg{}, []Value{Value(a), Value(b), Value(a + b)})
+			record(c)
+			for _, p := range []ProcessID{1, 2, 3} {
+				if _, err := c.Apply(StepRequest{Proc: p, Deliver: c.DeliverAll(p)}); err != nil {
+					t.Fatal(err)
+				}
+				record(c.Clone())
+			}
+		}
+	}
+	if len(byKey) < 100 {
+		t.Fatalf("sweep too small: %d distinct configurations", len(byKey))
+	}
+}
+
+func TestCloneIntoReusesAllocations(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2, 3})
+	if _, err := c.Apply(StepRequest{Proc: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Seed the destination with unrelated content to prove it is fully
+	// overwritten.
+	dst := NewConfiguration(echoAlg{}, []Value{9, 8, 7})
+	if _, err := dst.Apply(StepRequest{Proc: 2}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.CloneInto(dst)
+	if got != dst {
+		t.Fatal("CloneInto did not return dst")
+	}
+	if dst.Key() != c.Key() || dst.Fingerprint() != c.Fingerprint() {
+		t.Fatalf("CloneInto result differs from source:\n%s\n%s", dst.Key(), c.Key())
+	}
+	// Mutating the destination must not touch the source.
+	if _, err := dst.Apply(StepRequest{Proc: 2, Deliver: dst.DeliverAll(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Key() == c.Key() {
+		t.Fatal("mutating CloneInto destination changed the source")
+	}
+	checkFingerprint(t, dst, "after mutation")
+	if c.CloneInto(nil).Key() != c.Key() {
+		t.Fatal("CloneInto(nil) did not clone")
+	}
+}

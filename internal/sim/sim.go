@@ -50,6 +50,11 @@ type Message struct {
 	To      ProcessID
 	SentAt  int
 	Payload Payload
+
+	// fp caches the message's fingerprint component (see fingerprint.go),
+	// assigned when the configuration buffers the message, so removal on
+	// delivery is a subtraction rather than a re-hash.
+	fp uint64
 }
 
 // Key returns a deterministic encoding of the message content as observed by
@@ -167,6 +172,10 @@ func (s *restrictedState) Step(in Input) (State, []Send) {
 func (s *restrictedState) Decided() (Value, bool) { return s.inner.Decided() }
 
 func (s *restrictedState) Key() string { return s.inner.Key() }
+
+// Hash64 delegates to the inner state (Key does too), keeping restricted
+// algorithms on the fingerprint fast path.
+func (s *restrictedState) Hash64() uint64 { return stateHash(s.inner) }
 
 // Unrestricted unwraps a state produced by a restricted algorithm, returning
 // the underlying state. It returns the state itself when it is not

@@ -1,0 +1,96 @@
+package kset
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestForEachCellCoversAllCells(t *testing.T) {
+	const cells = 57
+	hits := make([]int, cells)
+	if err := forEachCell(cells, func(i int) error {
+		hits[i]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("cell %d evaluated %d times", i, h)
+		}
+	}
+}
+
+func TestForEachCellReturnsLowestIndexedError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	err := forEachCell(40, func(i int) error {
+		switch i {
+		case 7:
+			return errLow
+		case 31:
+			return errHigh
+		}
+		return nil
+	})
+	if !errors.Is(err, errLow) {
+		t.Fatalf("err = %v, want the lowest-indexed error", err)
+	}
+}
+
+func TestSweepRowsPreservesOrder(t *testing.T) {
+	rows, err := sweepRows(20, func(i int) ([]string, error) {
+		return rowOf(i, fmt.Sprintf("cell-%d", i)), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		if row[0] != fmt.Sprintf("%d", i) || row[1] != fmt.Sprintf("cell-%d", i) {
+			t.Fatalf("row %d out of order: %v", i, row)
+		}
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts regenerates experiment tables
+// sequentially and with a saturated worker pool and requires identical rows
+// — the differential guarantee that parallelizing the sweeps changed no
+// result.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep comparison skipped in -short mode")
+	}
+	old := SweepWorkers
+	defer func() { SweepWorkers = old }()
+
+	runs := []struct {
+		name string
+		gen  func() (*Table, error)
+	}{
+		{"E1", func() (*Table, error) {
+			return ExperimentTheorem2Border(E1Params{MinN: 4, MaxN: 4, MaxConfigs: 60000})
+		}},
+		{"E5", func() (*Table, error) {
+			return ExperimentFailureDetectorBorder(E5Params{MinN: 5, MaxN: 5, MaxConfigs: 80000})
+		}},
+		{"E12", ExperimentSynchronyLadder},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			SweepWorkers = 1
+			seq, err := r.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			SweepWorkers = 8
+			par, err := r.gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq.Rows, par.Rows) {
+				t.Fatalf("parallel sweep rows differ from sequential:\n%s\n%s", seq, par)
+			}
+		})
+	}
+}
