@@ -1,0 +1,182 @@
+// Command benchgate enforces the CI benchmark-regression gate: it compares
+// a freshly generated `go test -bench` output file against the committed
+// baseline (bench_baseline.txt) and fails when a gated benchmark's median
+// ns/op regressed by more than the allowed percentage.
+//
+// Usage:
+//
+//	benchgate -baseline bench_baseline.txt -new /tmp/bench_new.txt \
+//	    -gate 'BenchmarkEngineTheorem2MinWait,BenchmarkE5FailureDetectorBorder' \
+//	    -max-regress 20
+//
+// Both files are plain `go test -bench` output, ideally with -count > 1:
+// benchgate takes the median across repetitions, which absorbs scheduler
+// noise far better than single runs. Benchmark names are compared after
+// stripping the trailing -GOMAXPROCS suffix, so baselines recorded on
+// machines with different core counts still line up. Non-gated benchmarks
+// present in both files are reported for context but never fail the gate;
+// refreshing the baseline is documented in README.md.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "bench_baseline.txt", "committed baseline benchmark output")
+	newPath := fs.String("new", "", "freshly generated benchmark output (required)")
+	gate := fs.String("gate", "BenchmarkEngineTheorem2MinWait,BenchmarkE5FailureDetectorBorder",
+		"comma-separated benchmark names that fail the gate on regression")
+	maxRegress := fs.Float64("max-regress", 20, "maximum allowed regression of median ns/op, in percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *newPath == "" {
+		fmt.Fprintln(stderr, "benchgate: -new is required")
+		return 2
+	}
+
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+	fresh, err := parseFile(*newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchgate: %v\n", err)
+		return 2
+	}
+
+	gated := map[string]bool{}
+	for _, name := range strings.Split(*gate, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			gated[name] = true
+		}
+	}
+
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := fresh[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		bm, nm := median(base[name]), median(fresh[name])
+		delta := 100 * (nm - bm) / bm
+		verdict := "ok"
+		if gated[name] && delta > *maxRegress {
+			verdict = fmt.Sprintf("FAIL (> +%.0f%%)", *maxRegress)
+			failed++
+		} else if !gated[name] {
+			verdict = "info"
+		}
+		fmt.Fprintf(stdout, "%-60s %14.0f %14.0f %+8.1f%%  %s\n", name, bm, nm, delta, verdict)
+	}
+
+	for name := range gated {
+		if _, ok := base[name]; !ok {
+			fmt.Fprintf(stderr, "benchgate: gated benchmark %s missing from baseline %s\n", name, *baselinePath)
+			failed++
+		} else if _, ok := fresh[name]; !ok {
+			fmt.Fprintf(stderr, "benchgate: gated benchmark %s missing from %s\n", name, *newPath)
+			failed++
+		}
+	}
+
+	if failed > 0 {
+		fmt.Fprintf(stderr, "benchgate: %d gate failure(s); see README.md for refreshing the baseline after intended changes\n", failed)
+		return 1
+	}
+	fmt.Fprintln(stdout, "benchgate: all gated benchmarks within budget")
+	return 0
+}
+
+// parseFile reads `go test -bench` output, returning ns/op samples per
+// benchmark name (suffix-stripped), in file order.
+func parseFile(path string) (map[string][]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, ns, ok := parseLine(sc.Text())
+		if ok {
+			out[name] = append(out[name], ns)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark result lines found", path)
+	}
+	return out, nil
+}
+
+// parseLine extracts (name, ns/op) from one benchmark result line, reporting
+// ok=false for any other line. The trailing -GOMAXPROCS suffix is stripped
+// from the name so runs from machines with different core counts compare.
+func parseLine(line string) (string, float64, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] != "ns/op" {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", 0, false
+		}
+		return stripProcsSuffix(fields[0]), ns, true
+	}
+	return "", 0, false
+}
+
+// stripProcsSuffix removes a trailing -<digits> (the GOMAXPROCS marker go
+// test appends to benchmark names).
+func stripProcsSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if suffix := name[i+1:]; suffix != "" {
+		if _, err := strconv.Atoi(suffix); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// median returns the median of samples (mean of the middle pair for even
+// counts). samples is non-empty by construction.
+func median(samples []float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

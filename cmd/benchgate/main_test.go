@@ -1,0 +1,122 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseOut = `goos: linux
+goarch: amd64
+pkg: kset
+BenchmarkEngineTheorem2MinWait-4    	    5000	    200000 ns/op	  100000 B/op	    1367 allocs/op
+BenchmarkEngineTheorem2MinWait-4    	    5000	    210000 ns/op
+BenchmarkEngineTheorem2MinWait-4    	    5000	    190000 ns/op
+BenchmarkE5FailureDetectorBorder-4  	     250	   4600000 ns/op
+BenchmarkE5FailureDetectorBorder-4  	     250	   4700000 ns/op
+BenchmarkUngated-4                  	    1000	   1000000 ns/op
+PASS
+`
+
+func writeFiles(t *testing.T, newOut string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(basePath, []byte(baseOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return basePath, newPath
+}
+
+func gateArgs(basePath, newPath string) []string {
+	return []string{"-baseline", basePath, "-new", newPath, "-max-regress", "20"}
+}
+
+func TestGatePassesWithinBudget(t *testing.T) {
+	// +15% on the engine benchmark, improvement on E5: within the 20% gate.
+	basePath, newPath := writeFiles(t, `
+BenchmarkEngineTheorem2MinWait-8    	    5000	    230000 ns/op
+BenchmarkE5FailureDetectorBorder-8  	     250	   4000000 ns/op
+BenchmarkUngated-8                  	     100	  99000000 ns/op
+`)
+	var out, errOut strings.Builder
+	if code := run(gateArgs(basePath, newPath), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "all gated benchmarks within budget") {
+		t.Fatalf("missing pass message:\n%s", out.String())
+	}
+	// The ungated benchmark regressed 99x but must only be informational.
+	if !strings.Contains(out.String(), "info") {
+		t.Fatalf("ungated benchmark not reported as info:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	// +50% median on the engine benchmark: must fail the 20% gate.
+	basePath, newPath := writeFiles(t, `
+BenchmarkEngineTheorem2MinWait-8    	    5000	    300000 ns/op
+BenchmarkE5FailureDetectorBorder-8  	     250	   4650000 ns/op
+`)
+	var out, errOut strings.Builder
+	if code := run(gateArgs(basePath, newPath), &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Fatalf("missing FAIL verdict:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnMissingBenchmark(t *testing.T) {
+	basePath, newPath := writeFiles(t, `
+BenchmarkEngineTheorem2MinWait-8    	    5000	    200000 ns/op
+`)
+	var out, errOut strings.Builder
+	if code := run(gateArgs(basePath, newPath), &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "missing") {
+		t.Fatalf("missing-benchmark failure not reported:\n%s", errOut.String())
+	}
+}
+
+func TestGateRejectsEmptyInput(t *testing.T) {
+	basePath, newPath := writeFiles(t, "no benchmarks here\n")
+	var out, errOut strings.Builder
+	if code := run(gateArgs(basePath, newPath), &out, &errOut); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}
+
+func TestParseLine(t *testing.T) {
+	name, ns, ok := parseLine("BenchmarkParallelSearch/workers=2-16         \t       3\t 110033691 ns/op")
+	if !ok || name != "BenchmarkParallelSearch/workers=2" || ns != 110033691 {
+		t.Fatalf("parsed %q %v %t", name, ns, ok)
+	}
+	if _, _, ok := parseLine("PASS"); ok {
+		t.Fatal("PASS parsed as benchmark")
+	}
+	if _, _, ok := parseLine("ok  \tkset\t1.2s"); ok {
+		t.Fatal("ok line parsed as benchmark")
+	}
+	// A sub-benchmark label ending in a number must keep the label intact
+	// while the GOMAXPROCS suffix is stripped.
+	name, _, ok = parseLine("BenchmarkFoo/shard=12-4 100 50 ns/op")
+	if !ok || name != "BenchmarkFoo/shard=12" {
+		t.Fatalf("parsed %q", name)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}

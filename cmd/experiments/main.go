@@ -1,16 +1,25 @@
 // Command experiments regenerates every experiment table of the
-// reproduction (E1-E10; see EXPERIMENTS.md for the index mapping each
+// reproduction (E1-E12; see EXPERIMENTS.md for the index mapping each
 // experiment to the paper's theorems and lemmas).
 //
 // Usage:
 //
-//	experiments           # run the full suite
-//	experiments E1 E5     # run selected experiments
+//	experiments                          # run the full suite
+//	experiments E1 E5                    # run selected experiments
+//	experiments -search-workers 1 E6     # force sequential frontier search
+//	experiments -write-golden testdata/golden E1 E2   # refresh golden tables
+//
+// -write-golden writes each selected experiment's rendered table to
+// <dir>/<ID>.txt (without the wall-clock footer, which is not
+// deterministic); the repository's golden_test.go diffs regenerated tables
+// against the committed files.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"kset"
@@ -21,8 +30,18 @@ func main() {
 }
 
 func run(args []string) int {
-	want := make(map[string]bool, len(args))
-	for _, a := range args {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	sweepWorkers := fs.Int("sweep-workers", 0, "worker pool for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
+	searchWorkers := fs.Int("search-workers", 0, "worker goroutines per frontier search (0 = GOMAXPROCS, 1 = sequential)")
+	writeGolden := fs.String("write-golden", "", "write each table to <dir>/<ID>.txt instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	kset.SweepWorkers = *sweepWorkers
+	kset.SearchWorkers = *searchWorkers
+
+	want := make(map[string]bool, fs.NArg())
+	for _, a := range fs.Args() {
 		want[a] = true
 	}
 	failed := 0
@@ -37,15 +56,23 @@ func run(args []string) int {
 			failed++
 			continue
 		}
+		if *writeGolden != "" {
+			if err := os.MkdirAll(*writeGolden, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				failed++
+				continue
+			}
+			path := filepath.Join(*writeGolden, e.ID+".txt")
+			if err := os.WriteFile(path, []byte(table.String()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				failed++
+				continue
+			}
+			fmt.Printf("wrote %s  (%s completed in %v)\n", path, e.ID, time.Since(start).Round(time.Millisecond))
+			continue
+		}
 		table.Fprint(os.Stdout)
 		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return min(failed, 1)
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

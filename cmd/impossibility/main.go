@@ -34,6 +34,8 @@ func run() int {
 		theorem10 = flag.Bool("theorem10", false, "use the Theorem 10 construction with partition failure detectors")
 		budget    = flag.Int("budget", 1, "crash budget inside <D-bar>")
 		maxCfg    = flag.Int("maxconfigs", 80000, "subsystem exploration budget")
+		strategy  = flag.String("strategy", "dfs", "subsystem search order: dfs (deep, default) or bfs (shortest witnesses)")
+		workers   = flag.Int("search-workers", 0, "worker goroutines per bfs frontier search (0 = GOMAXPROCS, 1 = sequential)")
 		verbose   = flag.Bool("v", false, "print the per-condition explanation")
 	)
 	flag.Parse()
@@ -87,6 +89,8 @@ func run() int {
 		Spec:            spec,
 		DBarCrashBudget: *budget,
 		MaxConfigs:      *maxCfg,
+		SearchStrategy:  *strategy,
+		SearchWorkers:   *workers,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "engine: %v\n", err)

@@ -70,6 +70,17 @@ type Instance struct {
 	// exploration. Zero means package defaults.
 	MaxSteps   int
 	MaxConfigs int
+
+	// SearchStrategy selects the subsystem exploration order: "dfs" (the
+	// default — it dives to complete executions, which finds witnesses in
+	// subsystems whose breadth drowns BFS) or "bfs" (shortest witnesses).
+	SearchStrategy string
+	// SearchWorkers caps the goroutines of the condition-(C) exploration
+	// (0 = GOMAXPROCS, 1 = sequential). Only breadth-first searches
+	// parallelize — DFS order is inherently serial — so this takes effect
+	// with SearchStrategy "bfs". A DBarOracle queried from a parallel
+	// search must be pure and safe for concurrent use.
+	SearchWorkers int
 }
 
 // Report is the outcome of the pipeline: which conditions were established,
@@ -179,14 +190,28 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 	// --- Condition (C): consensus failure of A|D-bar in <D-bar>. ---
 	dbar := inst.Spec.DBar()
 	restricted := sim.Restrict(inst.Alg, dbar)
-	// DFS dives to complete executions first, which finds disagreement and
-	// blocking witnesses in subsystems too large for breadth-first search.
+	// DFS (the default) dives to complete executions first, which finds
+	// disagreement and blocking witnesses in subsystems too large for
+	// breadth-first search; BFS instances fan the frontier out over
+	// SearchWorkers goroutines with sequential-identical results.
+	strategy := inst.SearchStrategy
+	switch strategy {
+	case "":
+		strategy = "dfs"
+	case "dfs", "bfs":
+	default:
+		// explore treats every string other than "dfs" as BFS, so a typo'd
+		// "dfs" would silently run a search order that drowns in breadth and
+		// reports "not refuted" where DFS refutes. Reject it here instead.
+		return nil, fmt.Errorf("core: unknown SearchStrategy %q (want \"dfs\" or \"bfs\")", inst.SearchStrategy)
+	}
 	ex := explore.New(restricted, inst.Inputs, explore.Options{
 		Live:       dbar,
 		MaxCrashes: inst.DBarCrashBudget,
 		MaxConfigs: inst.MaxConfigs,
 		Oracle:     inst.DBarOracle,
-		Strategy:   "dfs",
+		Strategy:   strategy,
+		Workers:    inst.SearchWorkers,
 	})
 	witness, found, err := ex.FindDisagreement()
 	if err != nil {

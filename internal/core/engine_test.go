@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"kset/internal/algorithms"
@@ -333,5 +334,58 @@ func TestReportSummaryReadable(t *testing.T) {
 	s := rep.Summary()
 	if s == "" {
 		t.Fatal("empty summary")
+	}
+}
+
+// TestTheorem2RefutesMinWaitParallelBFS runs the same refutation with the
+// breadth-first strategy on the parallel frontier search and asserts the
+// engine verdict is independent of both the strategy and the worker count.
+func TestTheorem2RefutesMinWaitParallelBFS(t *testing.T) {
+	n, f, k := 5, 3, 2
+	spec, err := Theorem2Partition(n, f, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *Report {
+		rep, err := CheckImpossibility(Instance{
+			Alg:             algorithms.MinWait{F: f},
+			Inputs:          distinctInputs(n),
+			Spec:            spec,
+			DBarCrashBudget: 1,
+			MaxConfigs:      60000,
+			SearchStrategy:  "bfs",
+			SearchWorkers:   workers,
+		})
+		if err != nil {
+			t.Fatalf("CheckImpossibility(workers=%d): %v", workers, err)
+		}
+		if !rep.Refuted {
+			t.Fatalf("workers=%d: not refuted: %s", workers, rep.Summary())
+		}
+		return rep
+	}
+	seq := run(1)
+	par := run(4)
+	if par.Violation != seq.Violation || par.CondCDetail != seq.CondCDetail {
+		t.Fatalf("parallel BFS engine diverged: %q/%q vs %q/%q",
+			par.Violation, par.CondCDetail, seq.Violation, seq.CondCDetail)
+	}
+}
+
+// TestUnknownSearchStrategyRejected guards against typo'd strategies
+// silently selecting BFS (which truncates where DFS refutes).
+func TestUnknownSearchStrategyRejected(t *testing.T) {
+	spec, err := Theorem2Partition(5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = CheckImpossibility(Instance{
+		Alg:            algorithms.MinWait{F: 3},
+		Inputs:         distinctInputs(5),
+		Spec:           spec,
+		SearchStrategy: "dsf",
+	})
+	if err == nil || !strings.Contains(err.Error(), "SearchStrategy") {
+		t.Fatalf("typo'd strategy not rejected: %v", err)
 	}
 }

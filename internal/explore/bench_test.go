@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"runtime"
 	"testing"
 
 	"kset/internal/algorithms"
@@ -55,6 +56,30 @@ func BenchmarkFindBlockingLateCrash(b *testing.B) {
 			b.Fatalf("found=%t err=%v", found, err)
 		}
 	}
+}
+
+// BenchmarkParallelSearch times the same exhaustive breadth-first search
+// (MinWait{F:1} on four processes with uniform proposals — no witness
+// exists, so every one of its ~7800 configurations is visited) at worker
+// counts 1, 2, and GOMAXPROCS, making the scaling curve of the
+// level-synchronous parallel frontier visible in the benchmark output and
+// the committed baseline. workers=1 is the sequential legacy engine, so the
+// 1-vs-2 delta also shows the parallel bookkeeping overhead.
+func BenchmarkParallelSearch(b *testing.B) {
+	inputs := []sim.Value{0, 0, 0, 0}
+	live := []sim.ProcessID{1, 2, 3, 4}
+	run := func(b *testing.B, workers int) {
+		for i := 0; i < b.N; i++ {
+			e := New(algorithms.MinWait{F: 1}, inputs, Options{Live: live, Workers: workers})
+			w, found, err := e.FindDisagreement()
+			if err != nil || found || w.Stats.Truncated {
+				b.Fatalf("found=%t truncated=%t err=%v", found, w.Stats.Truncated, err)
+			}
+		}
+	}
+	b.Run("workers=1", func(b *testing.B) { run(b, 1) })
+	b.Run("workers=2", func(b *testing.B) { run(b, 2) })
+	b.Run("workers=gomaxprocs", func(b *testing.B) { run(b, runtime.GOMAXPROCS(0)) })
 }
 
 func BenchmarkValence(b *testing.B) {

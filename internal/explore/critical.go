@@ -93,16 +93,17 @@ func (e *Explorer) AnalyzeCriticalSteps() (*CriticalAnalysis, error) {
 // caller retains ownership of start, every other visited configuration is
 // recycled through the explorer's free list.
 func (e *Explorer) valenceFrom(start *sim.Configuration, crashesSpent, stopAt int) ([]sim.Value, Stats, error) {
+	// Valence expansion is always breadth-first, so the parallel frontier
+	// applies whenever more than one worker is configured, independent of
+	// Options.Strategy (which only orders witness searches).
+	if e.searchWorkers() > 1 {
+		return e.valenceFromParallel(start, crashesSpent, stopAt)
+	}
 	seenVals := map[sim.Value]bool{}
 	collectDecisions(seenVals, start)
 	stats := Stats{}
 	ar := newArena()
 	rootIdx := ar.root(cfgKey(start, crashesSpent))
-	type qent struct {
-		cfg     *sim.Configuration
-		idx     int32
-		crashes int32
-	}
 	queue := []qent{{cfg: start, idx: rootIdx, crashes: int32(crashesSpent)}}
 	for len(queue) > 0 {
 		if stopAt > 0 && len(seenVals) >= stopAt {

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
 	"kset/internal/algorithms"
@@ -88,9 +89,16 @@ func diffInstances() []diffInstance {
 }
 
 func (d diffInstance) explorer() *Explorer {
+	return d.explorerWorkers(1)
+}
+
+// explorerWorkers builds the instance's explorer with an explicit search
+// worker count (1 = the sequential legacy engine).
+func (d diffInstance) explorerWorkers(workers int) *Explorer {
 	return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
 		Live:       d.live,
 		MaxCrashes: d.crashes,
+		Workers:    workers,
 	})
 }
 
@@ -142,6 +150,75 @@ func TestFingerprintSearchFindsLegacyWitnesses(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// runSignature reduces a witness run to a comparable encoding: the scheduled
+// step sequence plus the final configuration's canonical key.
+func runSignature(r *sim.Run) string {
+	var b strings.Builder
+	for _, ev := range r.Events {
+		fmt.Fprintf(&b, "(p%d c%t s%t d%d)", ev.Proc, ev.Crashed, ev.Silent, len(ev.Delivered))
+	}
+	b.WriteString("|")
+	b.WriteString(r.Final.Key())
+	return b.String()
+}
+
+// TestParallelSearchVisitsSequentialSet asserts, per instance and per goal,
+// that the level-synchronous parallel frontier search produces results
+// bit-identical to the sequential search — same found flag, witness detail,
+// scheduled witness run, and stats — and, on exhaustive searches, that it
+// visits exactly the sequential search's configuration set (equal arena
+// visited-key sets and node counts).
+func TestParallelSearchVisitsSequentialSet(t *testing.T) {
+	goals := []struct {
+		name string
+		goal goalFunc
+	}{
+		{"disagreement", disagreementGoal},
+		{"blocking", blockingGoal},
+	}
+	for _, d := range diffInstances() {
+		for _, g := range goals {
+			t.Run(d.name+"/"+g.name, func(t *testing.T) {
+				seqW, seqFound, seqAr, err := d.explorerWorkers(1).searchArena(g.goal, g.name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, workers := range []int{2, 4} {
+					parW, parFound, parAr, err := d.explorerWorkers(workers).searchArena(g.goal, g.name)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if parFound != seqFound {
+						t.Fatalf("workers=%d: found=%t, sequential found=%t", workers, parFound, seqFound)
+					}
+					if parW.Stats != seqW.Stats {
+						t.Fatalf("workers=%d: stats %+v, sequential %+v", workers, parW.Stats, seqW.Stats)
+					}
+					if seqFound {
+						if parW.Detail != seqW.Detail {
+							t.Fatalf("workers=%d: detail %q, sequential %q", workers, parW.Detail, seqW.Detail)
+						}
+						if got, want := runSignature(parW.Run), runSignature(seqW.Run); got != want {
+							t.Fatalf("workers=%d: witness run diverged:\n got %s\nwant %s", workers, got, want)
+						}
+						continue
+					}
+					// Exhaustive search: the visited sets must be identical.
+					if len(parAr.visited) != len(seqAr.visited) || len(parAr.nodes) != len(seqAr.nodes) {
+						t.Fatalf("workers=%d: visited %d nodes %d, sequential visited %d nodes %d",
+							workers, len(parAr.visited), len(parAr.nodes), len(seqAr.visited), len(seqAr.nodes))
+					}
+					for key := range seqAr.visited {
+						if _, ok := parAr.visited[key]; !ok {
+							t.Fatalf("workers=%d: parallel search missed visited key %#x", workers, key)
+						}
+					}
+				}
+			})
+		}
 	}
 }
 

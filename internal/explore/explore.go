@@ -18,19 +18,23 @@
 // (the protocols in this repository broadcast a constant number of times per
 // process), and budget-bounded otherwise.
 //
-// The search hot path is engineered around three ideas. Revisit detection
+// The search hot path is engineered around four ideas. Revisit detection
 // uses the simulator's incremental 64-bit configuration fingerprint
 // (sim.Configuration.Fingerprint) instead of materializing the O(n·|buffers|)
 // string Key per candidate; parent chains live in a flat node arena indexed
-// by int32 (see arena.go); and the per-action configuration copies are
-// recycled through a free list, so a steady-state search allocates almost
-// nothing per visited configuration. An Explorer is NOT safe for concurrent
-// use — run independent searches on independent Explorers (the experiment
-// sweeps in the root package do exactly that, one Explorer per sweep cell).
+// by int32 (see arena.go); the per-action configuration copies are recycled
+// through per-context free lists (sim.ClonePool), so a steady-state search
+// allocates almost nothing per visited configuration; and breadth-first
+// searches expand each frontier level across Options.Workers goroutines
+// (see parallel.go) with results bit-identical to the sequential order. An
+// Explorer is NOT safe for concurrent use — run independent searches on
+// independent Explorers (the experiment sweeps in the root package do
+// exactly that, one Explorer per sweep cell).
 package explore
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"kset/internal/sched"
@@ -98,6 +102,18 @@ type Options struct {
 	// larger subsystems where BFS drowns in breadth before any process can
 	// decide.
 	Strategy string
+	// Workers caps the number of goroutines expanding the BFS frontier.
+	// Zero means GOMAXPROCS; 1 runs the exact sequential legacy search. Any
+	// value above 1 enables the level-synchronous parallel frontier of
+	// parallel.go, whose results — visited set, arena layout, witness, and
+	// stats — are bit-identical to the sequential search's (see the
+	// differential tests). DFS searches are always sequential: depth-first
+	// order is inherently serial, and the engine relies on its action
+	// ordering to reach complete executions quickly. Oracles queried from a
+	// parallel search must be pure functions of (process, time,
+	// configuration) and safe for concurrent use; the fd package's
+	// pattern-based oracles are, the stateful ReplayOracle is not.
+	Workers int
 }
 
 // DefaultMaxConfigs bounds exploration when Options.MaxConfigs is zero.
@@ -105,21 +121,36 @@ const DefaultMaxConfigs = 250000
 
 // Explorer enumerates reachable configurations of an algorithm under
 // adversarial scheduling. It is not safe for concurrent use: searches share
-// the explorer's scratch buffers and configuration free list.
+// the explorer's scratch buffers and configuration free list. (The parallel
+// frontier search of parallel.go is internally concurrent but owns one
+// searchCtx per worker; the Explorer itself still serves one search at a
+// time.)
 type Explorer struct {
 	alg    sim.Algorithm
 	inputs []sim.Value
 	opts   Options
 
+	// omitAll is the read-only full omission set shared by every
+	// crash-with-omissions step request.
+	omitAll map[sim.ProcessID]bool
+	// sc is the explorer's own search context, used by sequential searches
+	// and by the critical-step driver.
+	sc searchCtx
+}
+
+// searchCtx bundles the mutable per-goroutine scratch state of a search:
+// the configuration free list, the delivery-id and action-enumeration
+// buffers, and the quiescence probe clone. The sequential search uses the
+// explorer's own context; the parallel frontier search gives every worker
+// its own, so the clone/release hot path never contends across workers.
+type searchCtx struct {
+	e *Explorer
 	// pool recycles retired configurations as pooled-clone destinations.
-	pool []*sim.Configuration
+	pool sim.ClonePool
 	// scratch is the reusable delivery-id buffer for step requests.
 	scratch []int64
 	// actbuf is the reusable action-enumeration buffer (see actions).
 	actbuf []action
-	// omitAll is the read-only full omission set shared by every
-	// crash-with-omissions step request.
-	omitAll map[sim.ProcessID]bool
 	// probe is the reusable scratch clone of quiescentBlocked.
 	probe *sim.Configuration
 }
@@ -141,12 +172,23 @@ func New(alg sim.Algorithm, inputs []sim.Value, opts Options) *Explorer {
 	for p := 1; p <= len(inputs); p++ {
 		omitAll[sim.ProcessID(p)] = true
 	}
-	return &Explorer{
+	e := &Explorer{
 		alg:     alg,
 		inputs:  append([]sim.Value(nil), inputs...),
 		opts:    opts,
 		omitAll: omitAll,
 	}
+	e.sc.e = e
+	return e
+}
+
+// searchWorkers resolves Options.Workers: 0 means GOMAXPROCS.
+func (e *Explorer) searchWorkers() int {
+	w := e.opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return w
 }
 
 // initial builds the starting configuration: everyone outside Live is
@@ -175,31 +217,22 @@ func cfgKey(cfg *sim.Configuration, crashes int) uint64 {
 	return sim.HashMix(cfg.Fingerprint() ^ (uint64(crashes) * 0x9e3779b97f4a7c15))
 }
 
-// fromPool pops a recycled configuration, or returns nil (CloneInto then
-// allocates fresh).
-func (e *Explorer) fromPool() *sim.Configuration {
-	if n := len(e.pool); n > 0 {
-		c := e.pool[n-1]
-		e.pool = e.pool[:n-1]
-		return c
-	}
-	return nil
-}
-
-// release returns a configuration to the free list. Callers must not touch
-// it afterwards: its allocations are reused by the next pooled clone.
-func (e *Explorer) release(c *sim.Configuration) {
-	e.pool = append(e.pool, c)
+// release returns a configuration to the context's free list. Callers must
+// not touch it afterwards: its allocations are reused by the next pooled
+// clone.
+func (sc *searchCtx) release(c *sim.Configuration) {
+	sc.pool.Put(c)
 }
 
 // apply performs an action on a pooled clone of cfg and returns the new
 // configuration, or ok=false if the action is inapplicable. The result is
 // owned by the caller; hand it back via release when it leaves the search.
-func (e *Explorer) apply(cfg *sim.Configuration, act action) (*sim.Configuration, bool) {
+func (sc *searchCtx) apply(cfg *sim.Configuration, act action) (*sim.Configuration, bool) {
+	e := sc.e
 	if cfg.Crashed(act.Proc) {
 		return nil, false
 	}
-	next := cfg.CloneInto(e.fromPool())
+	next := cfg.CloneInto(sc.pool.Get())
 	req := sim.StepRequest{Proc: act.Proc, Crash: act.Crash}
 	if act.Crash && act.Omit {
 		req.OmitTo = e.omitAll
@@ -209,35 +242,36 @@ func (e *Explorer) apply(cfg *sim.Configuration, act action) (*sim.Configuration
 	case DeliverOldest:
 		id, ok := next.OldestMessageID(act.Proc)
 		if !ok {
-			e.release(next)
+			sc.release(next)
 			return nil, false // identical to DeliverNone; skip duplicate branch
 		}
-		e.scratch = append(e.scratch[:0], id)
-		req.Deliver = e.scratch
+		sc.scratch = append(sc.scratch[:0], id)
+		req.Deliver = sc.scratch
 	case DeliverAll:
-		e.scratch = next.AppendDeliveryIDs(e.scratch[:0], act.Proc)
-		if len(e.scratch) == 0 {
-			e.release(next)
+		sc.scratch = next.AppendDeliveryIDs(sc.scratch[:0], act.Proc)
+		if len(sc.scratch) == 0 {
+			sc.release(next)
 			return nil, false // identical to DeliverNone
 		}
-		req.Deliver = e.scratch
+		req.Deliver = sc.scratch
 	}
 	if e.opts.Oracle != nil {
 		req.FD = e.opts.Oracle.Query(act.Proc, next.Time(), next)
 	}
 	if err := next.ApplyQuiet(req); err != nil {
-		e.release(next)
+		sc.release(next)
 		return nil, false
 	}
 	return next, true
 }
 
 // actions enumerates the adversary's choices at cfg with the given crash
-// budget already spent. The returned slice aliases the explorer's reusable
+// budget already spent. The returned slice aliases the context's reusable
 // buffer and is invalidated by the next actions call; copy it when the
 // caller explores recursively while iterating (critical.go does).
-func (e *Explorer) actions(cfg *sim.Configuration, crashes int) []action {
-	out := e.actbuf[:0]
+func (sc *searchCtx) actions(cfg *sim.Configuration, crashes int) []action {
+	e := sc.e
+	out := sc.actbuf[:0]
 	for _, p := range e.opts.Live {
 		if cfg.Crashed(p) {
 			continue
@@ -255,8 +289,21 @@ func (e *Explorer) actions(cfg *sim.Configuration, crashes int) []action {
 			out = append(out, action{Proc: p, Mode: m})
 		}
 	}
-	e.actbuf = out
+	sc.actbuf = out
 	return out
+}
+
+// Explorer-level delegates to the explorer's own search context, used by the
+// sequential search paths and the in-package tests.
+
+func (e *Explorer) release(c *sim.Configuration) { e.sc.release(c) }
+
+func (e *Explorer) apply(cfg *sim.Configuration, act action) (*sim.Configuration, bool) {
+	return e.sc.apply(cfg, act)
+}
+
+func (e *Explorer) actions(cfg *sim.Configuration, crashes int) []action {
+	return e.sc.actions(cfg, crashes)
 }
 
 // Stats reports exploration effort.

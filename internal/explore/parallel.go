@@ -1,0 +1,340 @@
+package explore
+
+// This file implements the level-synchronous parallel frontier search: the
+// parallel twin of the sequential BFS in search.go and critical.go, active
+// when Options.Workers resolves to more than one.
+//
+// Each BFS level is processed in two phases.
+//
+//  1. Expansion (parallel). Workers claim frontier positions from an atomic
+//     counter and expand them with their own searchCtx — private clone free
+//     list, delivery scratch, action buffer, quiescence probe — so the hot
+//     clone/step/hash cycle runs without shared mutable state. Candidates
+//     whose fingerprint key was sealed in an earlier level are dropped
+//     against the arena's visited map, which is immutable while workers run
+//     and therefore read lock-free. Surviving candidates enter a 64-way
+//     sharded claim table keyed by fingerprint: per-shard mutexes arbitrate
+//     concurrent claims, and a claim is replaced when a candidate with a
+//     smaller deterministic order (parent position, action index) arrives,
+//     so each key's surviving candidate is the one the sequential search
+//     would have kept — independent of goroutine interleaving. Losers are
+//     recycled into the claiming worker's free list immediately.
+//
+//  2. Merge (sequential). The claim-table winners are drained, sorted by
+//     their deterministic order, and appended to the flat node arena in
+//     exactly the order the sequential search would have inserted them —
+//     sealing their keys into the visited map, assigning identical int32
+//     arena indices, and emitting the next frontier in identical order. Goal
+//     hits short-circuit the merge at the first winner in order, and
+//     Stats.Visited is reconstructed from the winner's parent position, so
+//     witness, replayed run, stats, and truncation behaviour are all
+//     bit-identical to the sequential search's. The differential tests
+//     assert exactly this.
+//
+// The only intentional divergence is wasted speculative work: the parallel
+// search expands a whole level before applying the goal/budget/stop gates
+// that the sequential search applies per dequeued parent, so a level's tail
+// may be explored and discarded. Results are unaffected.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"kset/internal/sim"
+)
+
+// ordShift packs a candidate's deterministic order as
+// parentPosition<<ordShift | actionIndex. A parent's action enumeration is
+// far smaller than 2^20 entries, and level positions stay far below 2^44.
+const ordShift = 20
+
+// candidate is one successor configuration produced during level expansion,
+// carrying everything the merge phase needs to finish the sequential
+// search's bookkeeping for it.
+type candidate struct {
+	cfg     *sim.Configuration
+	key     uint64
+	ord     uint64
+	parent  int32
+	crashes int32
+	act     action
+	goalOK  bool
+	detail  string
+}
+
+// claimShards is the number of claim-table shards. Fingerprint keys are
+// splitmix64-diffused, so the low bits index uniformly.
+const claimShards = 64
+
+// claimShard holds the pending within-level claims whose keys fall into the
+// shard, guarded by the shard mutex.
+type claimShard struct {
+	mu sync.Mutex
+	m  map[uint64]candidate
+}
+
+// claimTable is the sharded within-level claim table. Claims are written
+// concurrently during expansion and drained sequentially during the merge.
+type claimTable struct {
+	shards [claimShards]claimShard
+}
+
+func newClaimTable() *claimTable {
+	ct := &claimTable{}
+	for i := range ct.shards {
+		ct.shards[i].m = make(map[uint64]candidate, 64)
+	}
+	return ct
+}
+
+// claim records cand as the pending winner for its key unless a
+// smaller-order candidate already holds the slot. It returns the
+// configuration the caller should recycle: cand's own on loss, the evicted
+// claimant's on replacement, nil when cand took an empty slot. Candidates
+// for one key are behaviourally identical configurations (equal fingerprint
+// keys), so replacement only re-parents the node — goal results carry over.
+func (ct *claimTable) claim(cand candidate) *sim.Configuration {
+	s := &ct.shards[cand.key%claimShards]
+	s.mu.Lock()
+	prev, ok := s.m[cand.key]
+	if !ok || cand.ord < prev.ord {
+		s.m[cand.key] = cand
+		s.mu.Unlock()
+		if !ok {
+			return nil
+		}
+		return prev.cfg
+	}
+	s.mu.Unlock()
+	return cand.cfg
+}
+
+// take drains every pending claim into buf (reused across levels) sorted by
+// deterministic order — the exact insertion order of the sequential search.
+func (ct *claimTable) take(buf []candidate) []candidate {
+	buf = buf[:0]
+	for i := range ct.shards {
+		for _, c := range ct.shards[i].m {
+			buf = append(buf, c)
+		}
+		clear(ct.shards[i].m)
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i].ord < buf[j].ord })
+	return buf
+}
+
+// workerCtxs returns n search contexts for one parallel search. The first is
+// the explorer's own, so its free list keeps warming across consecutive
+// searches on the same Explorer, exactly as in the sequential path.
+func (e *Explorer) workerCtxs(n int) []*searchCtx {
+	ws := make([]*searchCtx, n)
+	ws[0] = &e.sc
+	for i := 1; i < n; i++ {
+		ws[i] = &searchCtx{e: e}
+	}
+	return ws
+}
+
+// expandLevel expands frontier[:limit] across the worker contexts, leaving
+// the level's deterministic winners in the claim table. goal, when non-nil,
+// is evaluated on every candidate that survives the sealed-visited check, in
+// parallel, so the merge only inspects the precomputed flag.
+func (e *Explorer) expandLevel(ws []*searchCtx, frontier []qent, limit int, ar *arena, ct *claimTable, goal goalFunc) {
+	workers := len(ws)
+	if workers > limit {
+		workers = limit
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sc *searchCtx) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= limit {
+					return
+				}
+				parent := frontier[i]
+				for ai, act := range sc.actions(parent.cfg, int(parent.crashes)) {
+					cfg, ok := sc.apply(parent.cfg, act)
+					if !ok {
+						continue
+					}
+					crashes := parent.crashes
+					if act.Crash {
+						crashes++
+					}
+					cand := candidate{
+						cfg:     cfg,
+						key:     cfgKey(cfg, int(crashes)),
+						ord:     uint64(i)<<ordShift | uint64(ai),
+						parent:  parent.idx,
+						crashes: crashes,
+						act:     act,
+					}
+					if _, sealed := ar.visited[cand.key]; sealed {
+						sc.release(cfg)
+						continue
+					}
+					if goal != nil {
+						cand.detail, cand.goalOK = goal(sc, cfg)
+					}
+					if dup := ct.claim(cand); dup != nil {
+						sc.release(dup)
+					}
+				}
+			}
+		}(ws[w])
+	}
+	wg.Wait()
+}
+
+// releaseLevel recycles the expanded parents across the worker free lists,
+// skipping keep (the caller-owned start configuration of a valence search).
+func releaseLevel(ws []*searchCtx, frontier []qent, limit int, keep *sim.Configuration) {
+	for i := 0; i < limit; i++ {
+		if frontier[i].cfg != keep {
+			ws[i%len(ws)].release(frontier[i].cfg)
+		}
+	}
+}
+
+// searchParallel is the parallel frontier twin of the sequential BFS branch
+// of searchArena, with identical results: visited set, arena layout,
+// witness, stats, and truncation all match the sequential search exactly.
+func (e *Explorer) searchParallel(goal goalFunc, kind string) (*Witness, bool, *arena, error) {
+	start, err := e.initial()
+	if err != nil {
+		return nil, false, nil, err
+	}
+	ar := newArena()
+	rootIdx := ar.root(cfgKey(start, 0))
+	stats := Stats{}
+
+	if detail, ok := goal(&e.sc, start); ok {
+		run, err := e.replay(ar, rootIdx)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		return &Witness{Kind: kind, Run: run, Detail: detail, Stats: stats}, true, ar, nil
+	}
+
+	ws := e.workerCtxs(e.searchWorkers())
+	ct := newClaimTable()
+	frontier := []qent{{cfg: start, idx: rootIdx}}
+	var winners []candidate
+	for len(frontier) > 0 {
+		if stats.Visited >= e.opts.MaxConfigs {
+			stats.Truncated = true
+			return &Witness{Kind: kind, Stats: stats}, false, ar, nil
+		}
+		limit := len(frontier)
+		if remaining := e.opts.MaxConfigs - stats.Visited; limit > remaining {
+			limit = remaining
+		}
+		e.expandLevel(ws, frontier, limit, ar, ct, goal)
+		winners = ct.take(winners)
+
+		nextFrontier := make([]qent, 0, len(winners))
+		for _, w := range winners {
+			idx, fresh := ar.insert(w.key, w.parent, w.act)
+			if !fresh {
+				// Unreachable: sealed keys were dropped during expansion and
+				// within-level duplicates were resolved by the claim table.
+				ws[0].release(w.cfg)
+				continue
+			}
+			if w.goalOK {
+				// The sequential search finds this witness while expanding
+				// the winner's parent, having dequeued every parent up to
+				// and including it.
+				stats.Visited += int(w.ord>>ordShift) + 1
+				run, err := e.replay(ar, idx)
+				if err != nil {
+					return nil, false, nil, err
+				}
+				return &Witness{Kind: kind, Run: run, Detail: w.detail, Stats: stats}, true, ar, nil
+			}
+			nextFrontier = append(nextFrontier, qent{cfg: w.cfg, idx: idx, crashes: w.crashes})
+		}
+		stats.Visited += limit
+		releaseLevel(ws, frontier, limit, nil)
+		if limit < len(frontier) {
+			// The budget ran out mid-level: the sequential search truncates
+			// with these parents still queued.
+			stats.Truncated = true
+			return &Witness{Kind: kind, Stats: stats}, false, ar, nil
+		}
+		frontier = nextFrontier
+	}
+	return &Witness{Kind: kind, Stats: stats}, false, ar, nil
+}
+
+// valenceFromParallel is the parallel frontier twin of the sequential
+// valenceFrom, emulating its per-parent stop and budget gates during the
+// merge so that the returned values and stats match the sequential
+// computation exactly — including early stops, where the level's remaining
+// speculative work is discarded just like the sequential search abandons its
+// queue.
+func (e *Explorer) valenceFromParallel(start *sim.Configuration, crashesSpent, stopAt int) ([]sim.Value, Stats, error) {
+	seenVals := map[sim.Value]bool{}
+	collectDecisions(seenVals, start)
+	stats := Stats{}
+	ar := newArena()
+	rootIdx := ar.root(cfgKey(start, crashesSpent))
+	ws := e.workerCtxs(e.searchWorkers())
+	ct := newClaimTable()
+	frontier := []qent{{cfg: start, idx: rootIdx, crashes: int32(crashesSpent)}}
+	var winners []candidate
+	stopped := false
+	for len(frontier) > 0 && !stopped {
+		e.expandLevel(ws, frontier, len(frontier), ar, ct, nil)
+		winners = ct.take(winners)
+
+		// Serial-gate emulation: dequeue the level's parents in order,
+		// re-checking the stop and budget gates before each, and fold in the
+		// decisions of each parent's fresh children as they are sealed.
+		pos := -1 // highest parent position dequeued so far
+		dequeueThrough := func(target int) bool {
+			for pos < target {
+				if stopAt > 0 && len(seenVals) >= stopAt {
+					return false
+				}
+				if stats.Visited >= e.opts.MaxConfigs {
+					stats.Truncated = true
+					return false
+				}
+				pos++
+				stats.Visited++
+			}
+			return true
+		}
+		nextFrontier := make([]qent, 0, len(winners))
+		for _, w := range winners {
+			if !dequeueThrough(int(w.ord >> ordShift)) {
+				stopped = true
+				break
+			}
+			idx, fresh := ar.insert(w.key, w.parent, w.act)
+			if !fresh {
+				ws[0].release(w.cfg) // unreachable, as in searchParallel
+				continue
+			}
+			collectDecisions(seenVals, w.cfg)
+			nextFrontier = append(nextFrontier, qent{cfg: w.cfg, idx: idx, crashes: w.crashes})
+		}
+		if !stopped && !dequeueThrough(len(frontier)-1) {
+			stopped = true
+		}
+		releaseLevel(ws, frontier, len(frontier), start)
+		frontier = nextFrontier
+	}
+	vals := make([]sim.Value, 0, len(seenVals))
+	for v := range seenVals {
+		vals = append(vals, v)
+	}
+	sortValues(vals)
+	return vals, stats, nil
+}

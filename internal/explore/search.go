@@ -26,12 +26,15 @@ type Witness struct {
 // Stats of the returned witness (also set on failure) report whether the
 // search was exhaustive.
 func (e *Explorer) FindDisagreement() (*Witness, bool, error) {
-	return e.search(func(cfg *sim.Configuration) (string, bool) {
-		if !cfg.Disagreement() {
-			return "", false
-		}
-		return fmt.Sprintf("decisions %v reached", cfg.DistinctDecisions()), true
-	}, "disagreement")
+	return e.search(disagreementGoal, "disagreement")
+}
+
+// disagreementGoal is the disagreement-witness predicate of FindDisagreement.
+func disagreementGoal(_ *searchCtx, cfg *sim.Configuration) (string, bool) {
+	if !cfg.Disagreement() {
+		return "", false
+	}
+	return fmt.Sprintf("decisions %v reached", cfg.DistinctDecisions()), true
 }
 
 // FindBlocking searches for a reachable quiescent configuration in which
@@ -39,19 +42,31 @@ func (e *Explorer) FindDisagreement() (*Witness, bool, error) {
 // are empty and stepping any live process (with nothing to deliver) changes
 // nothing, so no continuation can ever decide — a Termination violation.
 func (e *Explorer) FindBlocking() (*Witness, bool, error) {
-	return e.search(func(cfg *sim.Configuration) (string, bool) {
-		p, ok := e.quiescentBlocked(cfg)
-		if !ok {
-			return "", false
-		}
-		return fmt.Sprintf("process %d can never decide (quiescent configuration)", p), true
-	}, "blocking")
+	return e.search(blockingGoal, "blocking")
 }
+
+// blockingGoal is the blocking-witness predicate of FindBlocking.
+func blockingGoal(sc *searchCtx, cfg *sim.Configuration) (string, bool) {
+	p, ok := sc.quiescentBlocked(cfg)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("process %d can never decide (quiescent configuration)", p), true
+}
+
+// goalFunc is a witness predicate evaluated on candidate configurations. It
+// receives the evaluating goroutine's search context so predicates needing
+// scratch state (quiescentBlocked's probe clone) stay allocation-free and
+// contention-free under the parallel frontier search. Goals must be pure
+// functions of the configuration's content: two configurations with equal
+// keys must produce equal results.
+type goalFunc func(sc *searchCtx, cfg *sim.Configuration) (string, bool)
 
 // quiescentBlocked reports whether cfg is quiescent (no pending messages at
 // live processes, and every live process's empty-delivery step is a no-op
 // producing no sends) while some live process is undecided.
-func (e *Explorer) quiescentBlocked(cfg *sim.Configuration) (sim.ProcessID, bool) {
+func (sc *searchCtx) quiescentBlocked(cfg *sim.Configuration) (sim.ProcessID, bool) {
+	e := sc.e
 	var undecided sim.ProcessID
 	for _, p := range e.opts.Live {
 		if cfg.Crashed(p) {
@@ -78,53 +93,70 @@ func (e *Explorer) quiescentBlocked(cfg *sim.Configuration) (sim.ProcessID, bool
 		if cfg.Crashed(p) {
 			continue
 		}
-		e.probe = cfg.CloneInto(e.probe)
+		sc.probe = cfg.CloneInto(sc.probe)
 		req := sim.StepRequest{Proc: p}
 		if e.opts.Oracle != nil {
-			req.FD = e.opts.Oracle.Query(p, e.probe.Time(), e.probe)
+			req.FD = e.opts.Oracle.Query(p, sc.probe.Time(), sc.probe)
 		}
-		if err := e.probe.ApplyQuiet(req); err != nil {
+		if err := sc.probe.ApplyQuiet(req); err != nil {
 			return 0, false
 		}
-		if e.probe.Fingerprint() != cfg.Fingerprint() {
+		if sc.probe.Fingerprint() != cfg.Fingerprint() {
 			return 0, false
 		}
 	}
 	return undecided, true
 }
 
+// qent is one frontier entry of a search: a live configuration, its arena
+// index, and the crash budget already spent reaching it.
+type qent struct {
+	cfg     *sim.Configuration
+	idx     int32
+	crashes int32
+}
+
 // search runs a BFS or DFS (per Options.Strategy) from the initial
 // configuration until goal holds. Visited detection keys the arena by
 // configuration fingerprint; retired configurations are recycled through the
-// explorer's free list.
-func (e *Explorer) search(goal func(*sim.Configuration) (string, bool), kind string) (*Witness, bool, error) {
+// search context's free list. BFS searches with more than one worker run on
+// the level-synchronous parallel frontier of parallel.go, which produces
+// results identical to the sequential search.
+func (e *Explorer) search(goal goalFunc, kind string) (*Witness, bool, error) {
+	w, found, _, err := e.searchArena(goal, kind)
+	return w, found, err
+}
+
+// searchArena is search exposing the final arena, which the differential
+// tests inspect to prove visited-set equality between the sequential and
+// parallel engines.
+func (e *Explorer) searchArena(goal goalFunc, kind string) (*Witness, bool, *arena, error) {
+	dfs := e.opts.Strategy == "dfs"
+	if !dfs && e.searchWorkers() > 1 {
+		return e.searchParallel(goal, kind)
+	}
+
 	start, err := e.initial()
 	if err != nil {
-		return nil, false, err
-	}
-	type qent struct {
-		cfg     *sim.Configuration
-		idx     int32
-		crashes int32
+		return nil, false, nil, err
 	}
 	ar := newArena()
 	rootIdx := ar.root(cfgKey(start, 0))
 	queue := []qent{{cfg: start, idx: rootIdx}}
-	dfs := e.opts.Strategy == "dfs"
 	stats := Stats{}
 
-	if detail, ok := goal(start); ok {
+	if detail, ok := goal(&e.sc, start); ok {
 		run, err := e.replay(ar, rootIdx)
 		if err != nil {
-			return nil, false, err
+			return nil, false, nil, err
 		}
-		return &Witness{Kind: kind, Run: run, Detail: detail, Stats: stats}, true, nil
+		return &Witness{Kind: kind, Run: run, Detail: detail, Stats: stats}, true, ar, nil
 	}
 
 	for len(queue) > 0 {
 		if stats.Visited >= e.opts.MaxConfigs {
 			stats.Truncated = true
-			return &Witness{Kind: kind, Stats: stats}, false, nil
+			return &Witness{Kind: kind, Stats: stats}, false, ar, nil
 		}
 		var cur qent
 		if dfs {
@@ -150,18 +182,18 @@ func (e *Explorer) search(goal func(*sim.Configuration) (string, bool), kind str
 				e.release(next)
 				continue
 			}
-			if detail, ok := goal(next); ok {
+			if detail, ok := goal(&e.sc, next); ok {
 				run, err := e.replay(ar, idx)
 				if err != nil {
-					return nil, false, err
+					return nil, false, nil, err
 				}
-				return &Witness{Kind: kind, Run: run, Detail: detail, Stats: stats}, true, nil
+				return &Witness{Kind: kind, Run: run, Detail: detail, Stats: stats}, true, ar, nil
 			}
 			queue = append(queue, qent{cfg: next, idx: idx, crashes: crashes})
 		}
 		e.release(cur.cfg)
 	}
-	return &Witness{Kind: kind, Stats: stats}, false, nil
+	return &Witness{Kind: kind, Stats: stats}, false, ar, nil
 }
 
 // replay re-executes the arena path to idx from the initial configuration,

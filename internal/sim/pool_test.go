@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+// TestClonePoolRecycles checks the free-list contract: Get returns pooled
+// configurations LIFO, nil on empty, and Put(nil) is a no-op.
+func TestClonePoolRecycles(t *testing.T) {
+	var p ClonePool
+	if c := p.Get(); c != nil {
+		t.Fatalf("empty pool returned %v", c)
+	}
+	a := NewConfiguration(echoAlg{}, []Value{1, 2})
+	b := NewConfiguration(echoAlg{}, []Value{3, 4})
+	p.Put(a)
+	p.Put(b)
+	p.Put(nil)
+	if p.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (nil Put must be ignored)", p.Len())
+	}
+	if got := p.Get(); got != b {
+		t.Fatal("pool is not LIFO")
+	}
+	if got := p.Get(); got != a {
+		t.Fatal("second Get did not return the first Put")
+	}
+	if p.Len() != 0 || p.Get() != nil {
+		t.Fatal("pool not drained")
+	}
+}
+
+// TestClonePoolCloneIntoRoundTrip checks the intended usage: a retired
+// configuration recycled through a pool is a correct CloneInto destination.
+func TestClonePoolCloneIntoRoundTrip(t *testing.T) {
+	var p ClonePool
+	src := NewConfiguration(echoAlg{}, []Value{7, 8, 9})
+	p.Put(NewConfiguration(echoAlg{}, []Value{0, 0, 0}))
+	dst := src.CloneInto(p.Get())
+	if dst.Key() != src.Key() || dst.Fingerprint() != src.Fingerprint() {
+		t.Fatal("pooled clone does not match source")
+	}
+}

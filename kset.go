@@ -209,6 +209,17 @@ func Simulate(alg Algorithm, inputs []Value, opts SimOptions) (*Run, error) {
 	return sim.Execute(alg, inputs, s, sim.Options{MaxSteps: opts.MaxSteps})
 }
 
+// SearchWorkers caps the number of goroutines expanding the frontier of
+// each condition-(C) state-space search (FindConsensusFailure, the E6
+// valence analyses, and any engine instance configured for breadth-first
+// search). Zero, the default, means GOMAXPROCS; 1 forces the exact
+// sequential legacy search. Whatever the worker count, parallel searches
+// return bit-identical results to the sequential ones — same visited set,
+// same witness, same stats — so the knob is purely a performance control.
+// It composes with SweepWorkers: sweeps parallelize across independent
+// experiment cells, SearchWorkers parallelizes inside one search.
+var SearchWorkers = 0
+
 // FindConsensusFailure searches the subsystem of live processes for a
 // disagreement or blocking witness of the algorithm under adversarial
 // scheduling with the given crash budget — the condition (C) helper exposed
@@ -218,6 +229,7 @@ func FindConsensusFailure(alg Algorithm, inputs []Value, live []ProcessID, crash
 		Live:       live,
 		MaxCrashes: crashBudget,
 		MaxConfigs: maxConfigs,
+		Workers:    SearchWorkers,
 	})
 	w, found, err := ex.FindDisagreement()
 	if err != nil || found {

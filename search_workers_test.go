@@ -1,0 +1,52 @@
+package kset
+
+import "testing"
+
+// TestSearchWorkersFacadeParity proves the SearchWorkers knob is purely a
+// performance control on the public facade: the condition-(C) search finds
+// the identical witness with identical stats at any worker count.
+func TestSearchWorkersFacadeParity(t *testing.T) {
+	defer func(w int) { SearchWorkers = w }(SearchWorkers)
+
+	SearchWorkers = 1
+	seqW, seqFound, err := FindConsensusFailure(NewMinWait(1), DistinctInputs(3), []ProcessID{1, 2, 3}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SearchWorkers = 4
+	parW, parFound, err := FindConsensusFailure(NewMinWait(1), DistinctInputs(3), []ProcessID{1, 2, 3}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parFound != seqFound {
+		t.Fatalf("parallel found=%t, sequential found=%t", parFound, seqFound)
+	}
+	if !seqFound {
+		t.Fatal("MinWait{F:1} disagreement not found in 3-process system")
+	}
+	if parW.Kind != seqW.Kind || parW.Detail != seqW.Detail || parW.Stats != seqW.Stats {
+		t.Fatalf("parallel witness diverged: %s %q %+v vs %s %q %+v",
+			parW.Kind, parW.Detail, parW.Stats, seqW.Kind, seqW.Detail, seqW.Stats)
+	}
+}
+
+// TestSearchWorkersBivalenceTable proves the E6 valence table — whose
+// searches run on the parallel frontier when SearchWorkers > 1 — renders
+// identically at any worker count.
+func TestSearchWorkersBivalenceTable(t *testing.T) {
+	defer func(w int) { SearchWorkers = w }(SearchWorkers)
+
+	SearchWorkers = 1
+	seq, err := ExperimentBivalence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SearchWorkers = 4
+	par, err := ExperimentBivalence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.String() != seq.String() {
+		t.Fatalf("E6 table changed under SearchWorkers=4:\n%s\nvs sequential:\n%s", par.String(), seq.String())
+	}
+}
