@@ -170,6 +170,30 @@ func BenchmarkEngineTheorem10QuorumMin(b *testing.B) {
 	}
 }
 
+// BenchmarkSymmetryConsensusFailure times the facade-level condition-(C)
+// search (FindConsensusFailure: exhaustive disagreement + blocking search)
+// on the uniform-input Theorem 2 instance with SearchSymmetry off and on —
+// the EngineTheorem2MinWait-class workload where orbit reduction pays off.
+func BenchmarkSymmetryConsensusFailure(b *testing.B) {
+	inputs := []Value{0, 0, 0, 0}
+	live := []ProcessID{1, 2, 3, 4}
+	run := func(b *testing.B, symmetry bool) {
+		defer func(old bool) { SearchSymmetry = old }(SearchSymmetry)
+		SearchSymmetry = symmetry
+		for i := 0; i < b.N; i++ {
+			_, found, err := FindConsensusFailure(NewMinWait(1), inputs, live, 1, 200000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if found {
+				b.Fatal("uniform inputs cannot produce a consensus failure for MinWait{F:1}")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkSimulateFLPKSet times a plain possibility-side run (the protocol
 // a downstream user would call).
 func BenchmarkSimulateFLPKSet(b *testing.B) {

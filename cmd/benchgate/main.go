@@ -13,9 +13,16 @@
 // benchgate takes the median across repetitions, which absorbs scheduler
 // noise far better than single runs. Benchmark names are compared after
 // stripping the trailing -GOMAXPROCS suffix, so baselines recorded on
-// machines with different core counts still line up. Non-gated benchmarks
-// present in both files are reported for context but never fail the gate;
-// refreshing the baseline is documented in README.md.
+// machines with different core counts still line up. Benchmarks reporting a
+// custom nodes/op metric (the search benchmarks report their visited-node
+// count) get the node-count delta printed alongside ns/op — node counts are
+// deterministic, so that column separates real search-size regressions from
+// scheduler noise. Non-gated benchmarks present in both files are reported
+// for context but never fail the gate; a gated benchmark absent from the
+// baseline (i.e. newly added) is reported as a warning and skipped, so
+// landing a new gated benchmark and its baseline refresh in one change
+// works; a gated benchmark that disappears from the fresh output fails.
+// Refreshing the baseline is documented in README.md.
 package main
 
 import (
@@ -38,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	baselinePath := fs.String("baseline", "bench_baseline.txt", "committed baseline benchmark output")
 	newPath := fs.String("new", "", "freshly generated benchmark output (required)")
-	gate := fs.String("gate", "BenchmarkEngineTheorem2MinWait,BenchmarkE5FailureDetectorBorder",
+	gate := fs.String("gate", "BenchmarkEngineTheorem2MinWait,BenchmarkE5FailureDetectorBorder,BenchmarkE1Theorem2Border,BenchmarkSymmetrySearch/on",
 		"comma-separated benchmark names that fail the gate on regression")
 	maxRegress := fs.Float64("max-regress", 20, "maximum allowed regression of median ns/op, in percent")
 	if err := fs.Parse(args); err != nil {
@@ -77,7 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	failed := 0
 	for _, name := range names {
-		bm, nm := median(base[name]), median(fresh[name])
+		bm, nm := medianNs(base[name]), medianNs(fresh[name])
 		delta := 100 * (nm - bm) / bm
 		verdict := "ok"
 		if gated[name] && delta > *maxRegress {
@@ -86,16 +93,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else if !gated[name] {
 			verdict = "info"
 		}
-		fmt.Fprintf(stdout, "%-60s %14.0f %14.0f %+8.1f%%  %s\n", name, bm, nm, delta, verdict)
+		line := fmt.Sprintf("%-60s %14.0f %14.0f %+8.1f%%  %s", name, bm, nm, delta, verdict)
+		if bn, nn, ok := medianNodes(base[name], fresh[name]); ok {
+			line += fmt.Sprintf("  [nodes %.0f -> %.0f, %+.1f%%]", bn, nn, 100*(nn-bn)/bn)
+		}
+		fmt.Fprintln(stdout, line)
 	}
 
 	for name := range gated {
-		if _, ok := base[name]; !ok {
-			fmt.Fprintf(stderr, "benchgate: gated benchmark %s missing from baseline %s\n", name, *baselinePath)
-			failed++
-		} else if _, ok := fresh[name]; !ok {
+		_, inBase := base[name]
+		_, inFresh := fresh[name]
+		switch {
+		case !inFresh:
+			// Missing from the fresh run — whether or not the baseline has
+			// it, the gate cannot observe this benchmark (removed, or a
+			// typo'd -gate name), which must fail rather than silently
+			// disable the gate.
 			fmt.Fprintf(stderr, "benchgate: gated benchmark %s missing from %s\n", name, *newPath)
 			failed++
+		case !inBase:
+			fmt.Fprintf(stderr, "benchgate: warning: gated benchmark %s missing from baseline %s (newly added? refresh the baseline)\n", name, *baselinePath)
 		}
 	}
 
@@ -107,21 +124,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// parseFile reads `go test -bench` output, returning ns/op samples per
-// benchmark name (suffix-stripped), in file order.
-func parseFile(path string) (map[string][]float64, error) {
+// sample is one benchmark result line: the ns/op value plus the optional
+// nodes/op metric search benchmarks report.
+type sample struct {
+	ns       float64
+	nodes    float64
+	hasNodes bool
+}
+
+// parseFile reads `go test -bench` output, returning samples per benchmark
+// name (suffix-stripped), in file order.
+func parseFile(path string) (map[string][]sample, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	out := map[string][]float64{}
+	out := map[string][]sample{}
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
-		name, ns, ok := parseLine(sc.Text())
+		name, s, ok := parseLine(sc.Text())
 		if ok {
-			out[name] = append(out[name], ns)
+			out[name] = append(out[name], s)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -133,25 +158,33 @@ func parseFile(path string) (map[string][]float64, error) {
 	return out, nil
 }
 
-// parseLine extracts (name, ns/op) from one benchmark result line, reporting
-// ok=false for any other line. The trailing -GOMAXPROCS suffix is stripped
-// from the name so runs from machines with different core counts compare.
-func parseLine(line string) (string, float64, bool) {
+// parseLine extracts (name, sample) from one benchmark result line,
+// reporting ok=false for any other line. The trailing -GOMAXPROCS suffix is
+// stripped from the name so runs from machines with different core counts
+// compare.
+func parseLine(line string) (string, sample, bool) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return "", 0, false
+		return "", sample{}, false
 	}
+	var s sample
+	haveNs := false
 	for i := 2; i+1 < len(fields); i++ {
-		if fields[i+1] != "ns/op" {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
 			continue
 		}
-		ns, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return "", 0, false
+		switch fields[i+1] {
+		case "ns/op":
+			s.ns, haveNs = v, true
+		case "nodes/op":
+			s.nodes, s.hasNodes = v, true
 		}
-		return stripProcsSuffix(fields[0]), ns, true
 	}
-	return "", 0, false
+	if !haveNs {
+		return "", sample{}, false
+	}
+	return stripProcsSuffix(fields[0]), s, true
 }
 
 // stripProcsSuffix removes a trailing -<digits> (the GOMAXPROCS marker go
@@ -169,10 +202,44 @@ func stripProcsSuffix(name string) string {
 	return name
 }
 
-// median returns the median of samples (mean of the middle pair for even
-// counts). samples is non-empty by construction.
-func median(samples []float64) float64 {
-	s := append([]float64(nil), samples...)
+// medianNs returns the median ns/op of samples (mean of the middle pair for
+// even counts). samples is non-empty by construction.
+func medianNs(samples []sample) float64 {
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		vals[i] = s.ns
+	}
+	return median(vals)
+}
+
+// medianNodes returns the median nodes/op of both sample sets, reporting
+// ok=false unless every sample on both sides carries the metric.
+func medianNodes(base, fresh []sample) (float64, float64, bool) {
+	collect := func(samples []sample) ([]float64, bool) {
+		vals := make([]float64, len(samples))
+		for i, s := range samples {
+			if !s.hasNodes {
+				return nil, false
+			}
+			vals[i] = s.nodes
+		}
+		return vals, len(vals) > 0
+	}
+	bv, ok := collect(base)
+	if !ok {
+		return 0, 0, false
+	}
+	nv, ok := collect(fresh)
+	if !ok {
+		return 0, 0, false
+	}
+	return median(bv), median(nv), true
+}
+
+// median returns the median of vals (mean of the middle pair for even
+// counts). vals is non-empty by construction.
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
 	sort.Float64s(s)
 	n := len(s)
 	if n%2 == 1 {

@@ -33,8 +33,12 @@ func writeFiles(t *testing.T, newOut string) (string, string) {
 	return basePath, newPath
 }
 
+// gateArgs pins the gate to the two fixture benchmarks: the default gate
+// also names benchmarks the fixtures don't contain, which would fail the
+// gated-missing-from-fresh check regardless of the behaviour under test.
 func gateArgs(basePath, newPath string) []string {
-	return []string{"-baseline", basePath, "-new", newPath, "-max-regress", "20"}
+	return []string{"-baseline", basePath, "-new", newPath, "-max-regress", "20",
+		"-gate", "BenchmarkEngineTheorem2MinWait,BenchmarkE5FailureDetectorBorder"}
 }
 
 func TestGatePassesWithinBudget(t *testing.T) {
@@ -94,9 +98,9 @@ func TestGateRejectsEmptyInput(t *testing.T) {
 }
 
 func TestParseLine(t *testing.T) {
-	name, ns, ok := parseLine("BenchmarkParallelSearch/workers=2-16         \t       3\t 110033691 ns/op")
-	if !ok || name != "BenchmarkParallelSearch/workers=2" || ns != 110033691 {
-		t.Fatalf("parsed %q %v %t", name, ns, ok)
+	name, s, ok := parseLine("BenchmarkParallelSearch/workers=2-16         \t       3\t 110033691 ns/op")
+	if !ok || name != "BenchmarkParallelSearch/workers=2" || s.ns != 110033691 {
+		t.Fatalf("parsed %q %v %t", name, s, ok)
 	}
 	if _, _, ok := parseLine("PASS"); ok {
 		t.Fatal("PASS parsed as benchmark")
@@ -109,6 +113,68 @@ func TestParseLine(t *testing.T) {
 	name, _, ok = parseLine("BenchmarkFoo/shard=12-4 100 50 ns/op")
 	if !ok || name != "BenchmarkFoo/shard=12" {
 		t.Fatalf("parsed %q", name)
+	}
+	// The custom nodes/op metric of the search benchmarks is captured.
+	name, s, ok = parseLine("BenchmarkSymmetrySearch/on-4 \t 5\t 25856058 ns/op\t      1266 nodes/op")
+	if !ok || name != "BenchmarkSymmetrySearch/on" || s.ns != 25856058 || !s.hasNodes || s.nodes != 1266 {
+		t.Fatalf("parsed %q %v %t", name, s, ok)
+	}
+}
+
+func TestNodeDeltaReported(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	base := "BenchmarkSymmetrySearch/on-4 \t 5\t 25000000 ns/op\t 1266 nodes/op\n"
+	fresh := "BenchmarkSymmetrySearch/on-8 \t 5\t 24000000 ns/op\t 1270 nodes/op\n"
+	if err := os.WriteFile(basePath, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(fresh), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", basePath, "-new", newPath, "-gate", "BenchmarkSymmetrySearch/on"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[nodes 1266 -> 1270, +0.3%]") {
+		t.Fatalf("node delta not reported:\n%s", out.String())
+	}
+}
+
+func TestNewGatedBenchmarkOnlyWarns(t *testing.T) {
+	// A gated benchmark absent from the baseline (newly added) must warn,
+	// not fail, so the benchmark and its baseline land in one change.
+	basePath, newPath := writeFiles(t, `
+BenchmarkEngineTheorem2MinWait-8    	    5000	    205000 ns/op
+BenchmarkE5FailureDetectorBorder-8  	     250	   4650000 ns/op
+BenchmarkBrandNew-8                 	     100	   1000000 ns/op
+`)
+	var out, errOut strings.Builder
+	args := append(gateArgs(basePath, newPath), "-gate",
+		"BenchmarkEngineTheorem2MinWait,BenchmarkE5FailureDetectorBorder,BenchmarkBrandNew")
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "warning: gated benchmark BenchmarkBrandNew missing from baseline") {
+		t.Fatalf("missing warning:\n%s", errOut.String())
+	}
+}
+
+func TestGateFailsWhenGatedNameAbsentEverywhere(t *testing.T) {
+	// A gated name present in neither file (typo'd -gate, or the benchmark
+	// was removed) must fail, not silently disable the gate.
+	basePath, newPath := writeFiles(t, `
+BenchmarkEngineTheorem2MinWait-8    	    5000	    205000 ns/op
+BenchmarkE5FailureDetectorBorder-8  	     250	   4650000 ns/op
+`)
+	var out, errOut strings.Builder
+	args := append(gateArgs(basePath, newPath), "-gate", "BenchmarkTypoDoesNotExist")
+	if code := run(args, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "BenchmarkTypoDoesNotExist missing from") {
+		t.Fatalf("missing failure report:\n%s", errOut.String())
 	}
 }
 

@@ -33,12 +33,14 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	sweepWorkers := fs.Int("sweep-workers", 0, "worker pool for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
 	searchWorkers := fs.Int("search-workers", 0, "worker goroutines per frontier search (0 = GOMAXPROCS, 1 = sequential)")
+	symmetry := fs.Bool("symmetry", false, "orbit-canonical revisit detection in state-space searches (collapses process-renamed configurations; see README, Symmetry reduction)")
 	writeGolden := fs.String("write-golden", "", "write each table to <dir>/<ID>.txt instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	kset.SweepWorkers = *sweepWorkers
 	kset.SearchWorkers = *searchWorkers
+	kset.SearchSymmetry = *symmetry
 
 	want := make(map[string]bool, fs.NArg())
 	for _, a := range fs.Args() {

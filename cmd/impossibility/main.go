@@ -36,6 +36,7 @@ func run() int {
 		maxCfg    = flag.Int("maxconfigs", 80000, "subsystem exploration budget")
 		strategy  = flag.String("strategy", "dfs", "subsystem search order: dfs (deep, default) or bfs (shortest witnesses)")
 		workers   = flag.Int("search-workers", 0, "worker goroutines per bfs frontier search (0 = GOMAXPROCS, 1 = sequential)")
+		symmetry  = flag.Bool("symmetry", false, "orbit-canonical revisit detection in the <D-bar> search (no-op for the distinct proposals Theorem 1 requires; pays off for repeated-input vetting)")
 		verbose   = flag.Bool("v", false, "print the per-condition explanation")
 	)
 	flag.Parse()
@@ -91,6 +92,7 @@ func run() int {
 		MaxConfigs:      *maxCfg,
 		SearchStrategy:  *strategy,
 		SearchWorkers:   *workers,
+		Symmetry:        *symmetry,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "engine: %v\n", err)

@@ -110,5 +110,6 @@ func VerifyTheorem2Row(n, f, k, maxConfigs int) (*core.Report, error) {
 		Spec:            spec,
 		DBarCrashBudget: 1,
 		MaxConfigs:      maxConfigs,
+		Symmetry:        SearchSymmetry,
 	})
 }

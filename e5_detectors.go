@@ -186,6 +186,7 @@ func Theorem10Construction(n, k, maxConfigs int) (*core.Report, *core.MergedGrou
 		DBarCrashBudget: 1, // Theorem 10 allows up to |D-bar|-1; one suffices
 		DBarOracle:      dbarOracle,
 		MaxConfigs:      maxConfigs,
+		Symmetry:        SearchSymmetry,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -51,6 +51,9 @@ func (s decideOwnState) Hash64() uint64 {
 	return sim.HashUint(sim.HashUint(sim.HashSeed(), uint64(s.input)), boolBit(s.stepped))
 }
 
+// SymHash64 implements sim.SymHasher64 (the state embeds no process ids).
+func (s decideOwnState) SymHash64(func(sim.ProcessID) uint64) uint64 { return s.Hash64() }
+
 // QuorumMin is the natural — and flawed — attempt at k-set agreement from
 // Sigma_k alone: broadcast your value, remember everything received, and
 // decide the minimum value you hold as soon as every member of the quorum
@@ -153,6 +156,19 @@ func (s *quorumMinState) Hash64() uint64 {
 	return h
 }
 
+// SymHash64 implements sim.SymHasher64. Symmetry searches over QuorumMin
+// additionally require an oracle that is itself symmetric under the same
+// renamings (see explore.Options.Symmetry).
+func (s *quorumMinState) SymHash64(relabel func(sim.ProcessID) uint64) uint64 {
+	h := sim.HashString(sim.HashSeed(), "qm")
+	h = sim.HashUint(h, relabel(s.id))
+	h = sim.HashUint(h, uint64(s.input))
+	h = sim.HashUint(h, boolBit(s.sent))
+	h = sim.HashUint(h, uint64(s.decision))
+	h = sim.HashUint(h, symHashVals(s.vals, relabel))
+	return h
+}
+
 func quorumFromFD(v sim.FDValue) (fd.TrustSet, bool) {
 	switch x := v.(type) {
 	case fd.TrustSet:
@@ -228,6 +244,16 @@ func (s *firstHeardState) Key() string {
 func (s *firstHeardState) Hash64() uint64 {
 	h := sim.HashString(sim.HashSeed(), "fh")
 	h = sim.HashUint(h, uint64(s.id))
+	h = sim.HashUint(h, uint64(s.input))
+	h = sim.HashUint(h, boolBit(s.sent))
+	h = sim.HashUint(h, uint64(s.decision))
+	return h
+}
+
+// SymHash64 implements sim.SymHasher64.
+func (s *firstHeardState) SymHash64(relabel func(sim.ProcessID) uint64) uint64 {
+	h := sim.HashString(sim.HashSeed(), "fh")
+	h = sim.HashUint(h, relabel(s.id))
 	h = sim.HashUint(h, uint64(s.input))
 	h = sim.HashUint(h, boolBit(s.sent))
 	h = sim.HashUint(h, uint64(s.decision))

@@ -19,6 +19,17 @@ type Stage1Payload struct {
 func (p Stage1Payload) Key() string { return fmt.Sprintf("S1(%d)", p.From) }
 
 // Hash64 implements sim.Hasher64.
+//
+// Neither the FLPKSet payloads nor flpState implement sim.SymHasher64 on
+// purpose: FLPKSet's decide step selects the proposal of the *minimum-id*
+// member of the minimum source component, and that minimum can fall into
+// different input classes under an input-preserving renaming (e.g. inputs
+// [0,1,0]: component {1,2} decides process 1's value 0, its renaming {3,2}
+// decides process 2's value 1). The protocol is therefore not
+// value-equivariant under stabilizer renamings, and collapsing its orbits
+// would lose reachable decision values. Without SymHash64 the symmetry
+// layer falls back to concrete hashes for states and payloads alike, which
+// keeps Options.Symmetry sound (and collapse-free) for FLPKSet.
 func (p Stage1Payload) Hash64() uint64 {
 	return sim.HashUint(sim.HashString(sim.HashSeed(), "S1"), uint64(p.From))
 }
@@ -40,7 +51,7 @@ func (p Stage2Payload) Key() string {
 	return fmt.Sprintf("S2(%d,%d,[%s])", p.From, p.Value, strings.Join(parts, " "))
 }
 
-// Hash64 implements sim.Hasher64.
+// Hash64 implements sim.Hasher64 (no SymHash64 — see Stage1Payload.Hash64).
 func (p Stage2Payload) Hash64() uint64 {
 	h := sim.HashString(sim.HashSeed(), "S2")
 	h = sim.HashUint(h, uint64(p.From))

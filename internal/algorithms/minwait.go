@@ -23,6 +23,12 @@ func (p ValuePayload) Hash64() uint64 {
 	return sim.HashUint(sim.HashUint(sim.HashSeed(), uint64(p.From)), uint64(p.Value))
 }
 
+// SymHash64 implements sim.SymHasher64: Hash64 with the sender id folded
+// through the relabeling.
+func (p ValuePayload) SymHash64(relabel func(sim.ProcessID) uint64) uint64 {
+	return sim.HashUint(sim.HashUint(sim.HashSeed(), relabel(p.From)), uint64(p.Value))
+}
+
 // MinWait is the classic f-resilient asynchronous k-set agreement protocol:
 // every process broadcasts its proposal, waits until it holds values from
 // n-f processes (its own included), and decides the minimum value it holds.
@@ -120,6 +126,19 @@ func (s *minWaitState) Hash64() uint64 {
 	return h
 }
 
+// SymHash64 implements sim.SymHasher64: the same fields as Hash64 with
+// every embedded process id folded through the relabeling, so renaming
+// interchangeable processes leaves the hash unchanged.
+func (s *minWaitState) SymHash64(relabel func(sim.ProcessID) uint64) uint64 {
+	h := sim.HashString(sim.HashSeed(), "mw")
+	h = sim.HashUint(h, relabel(s.id))
+	h = sim.HashUint(h, uint64(s.input))
+	h = sim.HashUint(h, boolBit(s.sent))
+	h = sim.HashUint(h, uint64(s.decision))
+	h = sim.HashUint(h, symHashVals(s.vals, relabel))
+	return h
+}
+
 func boolBit(b bool) uint64 {
 	if b {
 		return 1
@@ -132,6 +151,15 @@ func hashVals(vals map[sim.ProcessID]sim.Value) uint64 {
 	var sum uint64
 	for p, v := range vals {
 		sum += sim.HashMix(sim.HashUint(sim.HashUint(sim.HashSeed(), uint64(p)), uint64(v)))
+	}
+	return sum
+}
+
+// symHashVals is hashVals with the map keys folded through the relabeling.
+func symHashVals(vals map[sim.ProcessID]sim.Value, relabel func(sim.ProcessID) uint64) uint64 {
+	var sum uint64
+	for p, v := range vals {
+		sum += sim.HashMix(sim.HashUint(sim.HashUint(sim.HashSeed(), relabel(p)), uint64(v)))
 	}
 	return sum
 }

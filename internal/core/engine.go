@@ -81,6 +81,16 @@ type Instance struct {
 	// with SearchStrategy "bfs". A DBarOracle queried from a parallel
 	// search must be pure and safe for concurrent use.
 	SearchWorkers int
+
+	// Symmetry enables orbit-canonical revisit detection in the
+	// condition-(C) exploration: configurations that are renamings of each
+	// other under process permutations preserving the proposal assignment
+	// and the D-bar membership are explored once (explore.Options.Symmetry).
+	// Note that Theorem 1 instances propose distinct values, so the
+	// stabilizer is trivial and the knob changes nothing there; it pays off
+	// for uniform- or block-input vetting searches. A DBarOracle must be
+	// symmetric under the same renamings.
+	Symmetry bool
 }
 
 // Report is the outcome of the pipeline: which conditions were established,
@@ -212,6 +222,7 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 		Oracle:     inst.DBarOracle,
 		Strategy:   strategy,
 		Workers:    inst.SearchWorkers,
+		Symmetry:   inst.Symmetry,
 	})
 	witness, found, err := ex.FindDisagreement()
 	if err != nil {

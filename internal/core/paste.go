@@ -54,7 +54,7 @@ func buildPastedRun(inst Instance, soloRuns []*sim.Run, witness *explore.Witness
 	}
 
 	var blocked []sim.ProcessID
-	for _, p := range cfg.Processes() {
+	for _, p := range cfg.ProcessIDs() {
 		if _, decided := cfg.Decision(p); !decided && !cfg.Crashed(p) {
 			blocked = append(blocked, p)
 		}
@@ -88,7 +88,7 @@ func replayWitnessPhase(combined *sim.Run, cfg *sim.Configuration, dbar []sim.Pr
 			// omit-all, which is identical whether the witness omitted its
 			// sends (MASYNC clause (2)) or simply had nothing to send.
 			req.OmitTo = make(map[sim.ProcessID]bool, cfg.N())
-			for _, q := range cfg.Processes() {
+			for _, q := range cfg.ProcessIDs() {
 				req.OmitTo[q] = true
 			}
 		}
@@ -117,7 +117,9 @@ func matchDeliveries(cfg *sim.Configuration, p sim.ProcessID, want []sim.Message
 	if len(want) == 0 {
 		return nil, nil
 	}
-	buf := cfg.Buffer(p)
+	// Matching only reads the pending messages, so the non-copying view
+	// suffices; the collected ids are consumed before cfg is stepped.
+	buf := cfg.BufferView(p)
 	used := make(map[int64]bool, len(want))
 	out := make([]int64, 0, len(want))
 	for _, w := range want {

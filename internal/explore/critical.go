@@ -103,7 +103,7 @@ func (e *Explorer) valenceFrom(start *sim.Configuration, crashesSpent, stopAt in
 	collectDecisions(seenVals, start)
 	stats := Stats{}
 	ar := newArena()
-	rootIdx := ar.root(cfgKey(start, crashesSpent))
+	rootIdx := ar.root(e.key(start, crashesSpent))
 	queue := []qent{{cfg: start, idx: rootIdx, crashes: int32(crashesSpent)}}
 	for len(queue) > 0 {
 		if stopAt > 0 && len(seenVals) >= stopAt {
@@ -125,7 +125,7 @@ func (e *Explorer) valenceFrom(start *sim.Configuration, crashesSpent, stopAt in
 			if act.Crash {
 				crashes++
 			}
-			idx, fresh := ar.insert(cfgKey(next, int(crashes)), cur.idx, act)
+			idx, fresh := ar.insert(e.key(next, int(crashes)), cur.idx, act)
 			if !fresh {
 				e.release(next)
 				continue

@@ -102,6 +102,23 @@ type Options struct {
 	// larger subsystems where BFS drowns in breadth before any process can
 	// decide.
 	Strategy string
+	// Symmetry enables orbit-canonical revisit detection: configurations
+	// that are renamings of each other under process permutations fixing the
+	// proposal assignment and the live set are explored once (see
+	// sim.Symmetry and sim.Configuration.Canonical64). The search then
+	// visits at most as many configurations as the plain search — up to
+	// |stabilizer|-fold fewer on instances with repeated inputs — while
+	// witnesses remain concrete, replayable runs. Sound when the algorithm
+	// is value-equivariant under those renamings and when the Oracle, if
+	// any, is symmetric under them too. Algorithms opt into collapsing by
+	// implementing sim.SymHasher64 on their states and payloads, and must
+	// only do so when equivariant: MinWait, QuorumMin, FirstHeard, and
+	// DecideOwn qualify (their id-dependent choices never cross input
+	// classes); FLPKSet deliberately does not — its decide step picks a
+	// minimum concrete id whose class a renaming can change (see
+	// algorithms.Stage1Payload.Hash64) — so it falls back to concrete
+	// hashes and the flag is a sound no-op for it. Default off.
+	Symmetry bool
 	// Workers caps the number of goroutines expanding the BFS frontier.
 	// Zero means GOMAXPROCS; 1 runs the exact sequential legacy search. Any
 	// value above 1 enables the level-synchronous parallel frontier of
@@ -133,6 +150,9 @@ type Explorer struct {
 	// omitAll is the read-only full omission set shared by every
 	// crash-with-omissions step request.
 	omitAll map[sim.ProcessID]bool
+	// sym is the input-stabilizer used for orbit-canonical revisit keys when
+	// Options.Symmetry is set; nil otherwise.
+	sym *sim.Symmetry
 	// sc is the explorer's own search context, used by sequential searches
 	// and by the critical-step driver.
 	sc searchCtx
@@ -178,6 +198,9 @@ func New(alg sim.Algorithm, inputs []sim.Value, opts Options) *Explorer {
 		opts:    opts,
 		omitAll: omitAll,
 	}
+	if opts.Symmetry {
+		e.sym = sim.NewSymmetry(e.inputs, opts.Live)
+	}
 	e.sc.e = e
 	return e
 }
@@ -199,12 +222,15 @@ func (e *Explorer) initial() (*sim.Configuration, error) {
 	for _, p := range e.opts.Live {
 		liveSet[p] = true
 	}
-	for _, p := range cfg.Processes() {
+	for _, p := range cfg.ProcessIDs() {
 		if !liveSet[p] {
 			if _, err := cfg.Apply(sim.StepRequest{Proc: p, SilentCrash: true}); err != nil {
 				return nil, fmt.Errorf("explore: initial silent crash of %d: %w", p, err)
 			}
 		}
+	}
+	if e.sym != nil {
+		cfg.AttachSymmetry(e.sym)
 	}
 	return cfg, nil
 }
@@ -215,6 +241,17 @@ func (e *Explorer) initial() (*sim.Configuration, error) {
 // path; the string Key() remains for explain/debug output.
 func cfgKey(cfg *sim.Configuration, crashes int) uint64 {
 	return sim.HashMix(cfg.Fingerprint() ^ (uint64(crashes) * 0x9e3779b97f4a7c15))
+}
+
+// key is the visited/claim key of every search on this explorer: the plain
+// fingerprint key, or the orbit-canonical one under Options.Symmetry (the
+// crash budget spent is folded in either way — renamings preserve it, so
+// it is orbit-invariant).
+func (e *Explorer) key(cfg *sim.Configuration, crashes int) uint64 {
+	if e.sym != nil {
+		return sim.HashMix(cfg.Canonical64() ^ (uint64(crashes) * 0x9e3779b97f4a7c15))
+	}
+	return cfgKey(cfg, crashes)
 }
 
 // release returns a configuration to the context's free list. Callers must

@@ -168,7 +168,7 @@ func (e *Explorer) expandLevel(ws []*searchCtx, frontier []qent, limit int, ar *
 					}
 					cand := candidate{
 						cfg:     cfg,
-						key:     cfgKey(cfg, int(crashes)),
+						key:     sc.e.key(cfg, int(crashes)),
 						ord:     uint64(i)<<ordShift | uint64(ai),
 						parent:  parent.idx,
 						crashes: crashes,
@@ -210,7 +210,7 @@ func (e *Explorer) searchParallel(goal goalFunc, kind string) (*Witness, bool, *
 		return nil, false, nil, err
 	}
 	ar := newArena()
-	rootIdx := ar.root(cfgKey(start, 0))
+	rootIdx := ar.root(e.key(start, 0))
 	stats := Stats{}
 
 	if detail, ok := goal(&e.sc, start); ok {
@@ -283,7 +283,7 @@ func (e *Explorer) valenceFromParallel(start *sim.Configuration, crashesSpent, s
 	collectDecisions(seenVals, start)
 	stats := Stats{}
 	ar := newArena()
-	rootIdx := ar.root(cfgKey(start, crashesSpent))
+	rootIdx := ar.root(e.key(start, crashesSpent))
 	ws := e.workerCtxs(e.searchWorkers())
 	ct := newClaimTable()
 	frontier := []qent{{cfg: start, idx: rootIdx, crashes: int32(crashesSpent)}}

@@ -94,6 +94,10 @@ func (sc *searchCtx) quiescentBlocked(cfg *sim.Configuration) (sim.ProcessID, bo
 			continue
 		}
 		sc.probe = cfg.CloneInto(sc.probe)
+		// The probe is stepped but never keyed: only concrete fingerprints
+		// are compared below, so skip the canonical maintenance a symmetric
+		// search's clone would otherwise pay on every probe step.
+		sc.probe.DetachSymmetry()
 		req := sim.StepRequest{Proc: p}
 		if e.opts.Oracle != nil {
 			req.FD = e.opts.Oracle.Query(p, sc.probe.Time(), sc.probe)
@@ -141,7 +145,7 @@ func (e *Explorer) searchArena(goal goalFunc, kind string) (*Witness, bool, *are
 		return nil, false, nil, err
 	}
 	ar := newArena()
-	rootIdx := ar.root(cfgKey(start, 0))
+	rootIdx := ar.root(e.key(start, 0))
 	queue := []qent{{cfg: start, idx: rootIdx}}
 	stats := Stats{}
 
@@ -177,7 +181,7 @@ func (e *Explorer) searchArena(goal goalFunc, kind string) (*Witness, bool, *are
 			if act.Crash {
 				crashes++
 			}
-			idx, fresh := ar.insert(cfgKey(next, int(crashes)), cur.idx, act)
+			idx, fresh := ar.insert(e.key(next, int(crashes)), cur.idx, act)
 			if !fresh {
 				e.release(next)
 				continue
@@ -212,7 +216,7 @@ func (e *Explorer) replay(ar *arena, idx int32) (*sim.Run, error) {
 	for _, p := range e.opts.Live {
 		liveSet[p] = true
 	}
-	for _, p := range cfg.Processes() {
+	for _, p := range cfg.ProcessIDs() {
 		if !liveSet[p] {
 			run.Events = append(run.Events, sim.Event{Proc: p, StateKey: cfg.State(p).Key(), Crashed: true, Silent: true})
 		}
@@ -242,7 +246,7 @@ func (e *Explorer) replay(ar *arena, idx int32) (*sim.Run, error) {
 		run.Events = append(run.Events, ev)
 	}
 	var blocked []sim.ProcessID
-	for _, p := range cfg.Processes() {
+	for _, p := range cfg.ProcessIDs() {
 		if _, decided := cfg.Decision(p); !decided && !cfg.Crashed(p) {
 			blocked = append(blocked, p)
 		}

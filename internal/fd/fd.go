@@ -205,7 +205,7 @@ func (f *Pattern) String() string {
 // PatternFromRun extracts the failure pattern of a recorded run.
 func PatternFromRun(r *sim.Run) *Pattern {
 	f := NewPattern(r.N())
-	for _, p := range r.Final.Processes() {
+	for _, p := range r.Final.ProcessIDs() {
 		if r.Final.Crashed(p) {
 			t := r.CrashTime(p)
 			if t < 0 {

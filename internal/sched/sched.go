@@ -102,7 +102,7 @@ type StopWhen func(c *sim.Configuration) bool
 // process.
 func AllCorrectDecided(cp CrashPlan) StopWhen {
 	return func(c *sim.Configuration) bool {
-		for _, p := range c.Processes() {
+		for _, p := range c.ProcessIDs() {
 			if cp.IsInitialDead(p) || c.Crashed(p) {
 				continue
 			}
@@ -127,9 +127,10 @@ func SetDecided(ps []sim.ProcessID) StopWhen {
 }
 
 // deliverable returns the ids of p's pending messages that pass the gate, in
-// buffer order.
+// buffer order. The non-copying BufferView suffices: gates only read the
+// message, and the ids escape before the configuration is stepped.
 func deliverable(c *sim.Configuration, p sim.ProcessID, g Gate) []int64 {
-	buf := c.Buffer(p)
+	buf := c.BufferView(p)
 	ids := make([]int64, 0, len(buf))
 	for _, m := range buf {
 		if g == nil || g(m, c) {
@@ -155,7 +156,7 @@ func pendingSilentCrash(c *sim.Configuration, cp CrashPlan) (sim.StepRequest, bo
 // order.
 func liveProcesses(c *sim.Configuration, cp CrashPlan) []sim.ProcessID {
 	var out []sim.ProcessID
-	for _, p := range c.Processes() {
+	for _, p := range c.ProcessIDs() {
 		if c.Crashed(p) || cp.IsInitialDead(p) {
 			continue
 		}

@@ -50,7 +50,7 @@ func CheckAdmissible(r *Run, opts AdmissibilityOptions) []Violation {
 	for _, p := range r.Blocked {
 		blocked[p] = true
 	}
-	for _, p := range r.Final.Processes() {
+	for _, p := range r.Final.ProcessIDs() {
 		if r.Final.Crashed(p) {
 			continue
 		}
@@ -63,7 +63,7 @@ func CheckAdmissible(r *Run, opts AdmissibilityOptions) []Violation {
 	}
 
 	if opts.RequireEmptyBuffers {
-		for _, p := range r.Final.Processes() {
+		for _, p := range r.Final.ProcessIDs() {
 			if r.Final.Crashed(p) {
 				continue
 			}

@@ -4,7 +4,36 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
+
+// sharedIDs holds the immutable ascending id slice backing Processes():
+// readers slice a read-only array; growth swaps in a longer copy.
+var sharedIDs atomic.Pointer[[]ProcessID]
+
+// sharedProcessIDs returns the shared read-only slice [1..n].
+func sharedProcessIDs(n int) []ProcessID {
+	if p := sharedIDs.Load(); p != nil && len(*p) >= n {
+		return (*p)[:n:n]
+	}
+	size := n
+	if size < 64 {
+		size = 64
+	}
+	ids := make([]ProcessID, size)
+	for i := range ids {
+		ids[i] = ProcessID(i + 1)
+	}
+	for {
+		cur := sharedIDs.Load()
+		if cur != nil && len(*cur) >= n {
+			return (*cur)[:n:n]
+		}
+		if sharedIDs.CompareAndSwap(cur, &ids) {
+			return ids[:n:n]
+		}
+	}
+}
 
 // Configuration is a global system configuration per Section II: the vector
 // of local states plus the message buffer of every process, together with
@@ -22,6 +51,14 @@ type Configuration struct {
 	// the per-process components so state changes fold in as deltas.
 	fp     uint64
 	procFP []uint64
+
+	// sym, when non-nil, enables maintenance of the orbit-canonical
+	// fingerprint symfp (see symmetry.go); symBase/symMsg cache the
+	// per-process base components and buffered-message term sums.
+	sym     *Symmetry
+	symfp   uint64
+	symBase []uint64
+	symMsg  []uint64
 }
 
 // NewConfiguration builds the initial configuration for algorithm a with the
@@ -68,7 +105,7 @@ func (c *Configuration) Decision(p ProcessID) (Value, bool) {
 }
 
 // Buffer returns a copy of the pending messages addressed to p, in sending
-// order.
+// order. Hot paths that only read the buffer should use BufferView.
 func (c *Configuration) Buffer(p ProcessID) []Message {
 	buf := c.buffers[p-1]
 	out := make([]Message, len(buf))
@@ -76,18 +113,29 @@ func (c *Configuration) Buffer(p ProcessID) []Message {
 	return out
 }
 
+// BufferView returns the live slice of pending messages addressed to p, in
+// sending order, without copying. The view is read-only and is invalidated
+// by the next Apply/ApplyQuiet/CloneInto on c; callers that need the
+// messages to outlive the configuration must use Buffer.
+func (c *Configuration) BufferView(p ProcessID) []Message { return c.buffers[p-1] }
+
 // BufferSize returns the number of pending messages addressed to p without
 // copying.
 func (c *Configuration) BufferSize(p ProcessID) int { return len(c.buffers[p-1]) }
 
-// Processes returns the ids 1..n.
+// Processes returns the ids 1..n as a fresh slice the caller may modify.
+// Loops that only iterate should use ProcessIDs, which allocates nothing.
 func (c *Configuration) Processes() []ProcessID {
 	out := make([]ProcessID, c.n)
-	for i := range out {
-		out[i] = ProcessID(i + 1)
-	}
+	copy(out, sharedProcessIDs(c.n))
 	return out
 }
+
+// ProcessIDs returns the ids 1..n as a shared, read-only slice: process ids
+// are the same for every configuration of a given size, so repeated calls
+// in scheduler and analysis loops allocate nothing. Callers must not modify
+// the returned slice (its capacity is clipped, so appending is safe).
+func (c *Configuration) ProcessIDs() []ProcessID { return sharedProcessIDs(c.n) }
 
 // AllDecided reports whether every process in ps has decided or crashed.
 func (c *Configuration) AllDecided(ps []ProcessID) bool {
@@ -130,6 +178,10 @@ func (c *Configuration) Clone() *Configuration {
 		nextMsgID: c.nextMsgID,
 		fp:        c.fp,
 		procFP:    append([]uint64(nil), c.procFP...),
+		sym:       c.sym,
+		symfp:     c.symfp,
+		symBase:   append([]uint64(nil), c.symBase...),
+		symMsg:    append([]uint64(nil), c.symMsg...),
 	}
 	for i, buf := range c.buffers {
 		cp.buffers[i] = append([]Message(nil), buf...)
@@ -150,10 +202,14 @@ func (c *Configuration) CloneInto(dst *Configuration) *Configuration {
 	dst.time = c.time
 	dst.nextMsgID = c.nextMsgID
 	dst.fp = c.fp
+	dst.sym = c.sym
+	dst.symfp = c.symfp
 	dst.states = append(dst.states[:0], c.states...)
 	dst.crashed = append(dst.crashed[:0], c.crashed...)
 	dst.decisions = append(dst.decisions[:0], c.decisions...)
 	dst.procFP = append(dst.procFP[:0], c.procFP...)
+	dst.symBase = append(dst.symBase[:0], c.symBase...)
+	dst.symMsg = append(dst.symMsg[:0], c.symMsg...)
 	if cap(dst.buffers) < c.n {
 		dst.buffers = make([][]Message, c.n)
 	}
@@ -348,6 +404,10 @@ func (c *Configuration) apply(req StepRequest, record bool) (Event, error) {
 		}
 		m.fp = msgComponent(int(snd.To)-1, &m)
 		c.fp += m.fp
+		if c.sym != nil {
+			m.sfp = symMsgTerm(c.sym, &m)
+			c.symAddMsg(int(snd.To)-1, m.sfp)
+		}
 		c.nextMsgID++
 		c.buffers[snd.To-1] = append(c.buffers[snd.To-1], m)
 		if record {
@@ -404,6 +464,9 @@ func (c *Configuration) take(i int, ids []int64) ([]Message, error) {
 			copy(taken, buf[:len(ids)])
 			for j := range taken {
 				c.fp -= taken[j].fp
+				if c.sym != nil {
+					c.symAddMsg(i, -taken[j].sfp)
+				}
 			}
 			c.buffers[i] = append(buf[:0], buf[len(ids):]...)
 			return taken, nil
@@ -440,6 +503,9 @@ func (c *Configuration) take(i int, ids []int64) ([]Message, error) {
 	}
 	for j := range taken {
 		c.fp -= taken[j].fp
+		if c.sym != nil {
+			c.symAddMsg(i, -taken[j].sfp)
+		}
 	}
 	c.buffers[i] = rest
 	return taken, nil

@@ -148,9 +148,13 @@ func (c *Configuration) recomputeFingerprint() {
 }
 
 // refreshProc re-hashes process slot i after its state, crash flag, or
-// decision changed, and folds the delta into the fingerprint.
+// decision changed, and folds the delta into the fingerprint (and into the
+// orbit-canonical fingerprint when a Symmetry is attached).
 func (c *Configuration) refreshProc(i int) {
 	h := c.procComponent(i)
 	c.fp += h - c.procFP[i]
 	c.procFP[i] = h
+	if c.sym != nil {
+		c.symRefreshBase(i)
+	}
 }

@@ -63,7 +63,7 @@ func (r *Run) DistinctDecisions() []Value { return r.Final.DistinctDecisions() }
 // of Section II-C).
 func (r *Run) Faulty() []ProcessID {
 	var out []ProcessID
-	for _, p := range r.Final.Processes() {
+	for _, p := range r.Final.ProcessIDs() {
 		if r.Final.Crashed(p) {
 			out = append(out, p)
 		}
@@ -212,7 +212,7 @@ func Continue(name string, inputs []Value, cfg *Configuration, sch Scheduler, op
 
 func blocked(cfg *Configuration) []ProcessID {
 	var out []ProcessID
-	for _, p := range cfg.Processes() {
+	for _, p := range cfg.ProcessIDs() {
 		if _, decided := cfg.Decision(p); !decided && !cfg.Crashed(p) {
 			out = append(out, p)
 		}

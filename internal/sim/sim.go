@@ -53,8 +53,10 @@ type Message struct {
 
 	// fp caches the message's fingerprint component (see fingerprint.go),
 	// assigned when the configuration buffers the message, so removal on
-	// delivery is a subtraction rather than a re-hash.
-	fp uint64
+	// delivery is a subtraction rather than a re-hash. sfp caches the
+	// orbit-canonical term (see symmetry.go) when a Symmetry is attached.
+	fp  uint64
+	sfp uint64
 }
 
 // Key returns a deterministic encoding of the message content as observed by
@@ -176,6 +178,16 @@ func (s *restrictedState) Key() string { return s.inner.Key() }
 // Hash64 delegates to the inner state (Key does too), keeping restricted
 // algorithms on the fingerprint fast path.
 func (s *restrictedState) Hash64() uint64 { return stateHash(s.inner) }
+
+// SymHash64 delegates to the inner state: the restriction's member set is
+// part of the search's fixed initial conditions (it equals the live set any
+// admissible renaming preserves), so it contributes nothing per-state.
+func (s *restrictedState) SymHash64(relabel func(ProcessID) uint64) uint64 {
+	if h, ok := s.inner.(SymHasher64); ok {
+		return h.SymHash64(relabel)
+	}
+	return stateHash(s.inner)
+}
 
 // Unrestricted unwraps a state produced by a restricted algorithm, returning
 // the underlying state. It returns the state itself when it is not

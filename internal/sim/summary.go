@@ -42,7 +42,7 @@ func (r *Run) Summarize() Summary {
 			stepCount[ev.Proc]++
 		}
 	}
-	for _, p := range r.Final.Processes() {
+	for _, p := range r.Final.ProcessIDs() {
 		out := ProcessOutcome{
 			ID:        p,
 			Input:     r.Inputs[p-1],

@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// symAlg is a minimal value-equivariant broadcast algorithm for symmetry
+// tests: every process broadcasts its input once, collects values keyed by
+// sender, and decides the minimum after hearing from quorum processes. Its
+// state embeds process ids exactly the way the real protocols do (own id
+// plus an id-keyed value map), so the SymHash64 relabeling is load-bearing.
+type symAlg struct{ quorum int }
+
+func (a symAlg) Name() string { return fmt.Sprintf("symalg(q=%d)", a.quorum) }
+
+func (a symAlg) Init(n int, id ProcessID, input Value) State {
+	return &symState{n: n, quorum: a.quorum, id: id, input: input,
+		vals: map[ProcessID]Value{id: input}, decision: NoValue}
+}
+
+type symState struct {
+	n, quorum int
+	id        ProcessID
+	input     Value
+	sent      bool
+	vals      map[ProcessID]Value
+	decision  Value
+}
+
+type symPayload struct {
+	From  ProcessID
+	Value Value
+}
+
+func (p symPayload) Key() string { return fmt.Sprintf("SYM(%d,%d)", p.From, p.Value) }
+
+func (p symPayload) Hash64() uint64 {
+	return HashUint(HashUint(HashSeed(), uint64(p.From)), uint64(p.Value))
+}
+
+func (p symPayload) SymHash64(relabel func(ProcessID) uint64) uint64 {
+	return HashUint(HashUint(HashSeed(), relabel(p.From)), uint64(p.Value))
+}
+
+func (s *symState) Step(in Input) (State, []Send) {
+	next := *s
+	next.vals = make(map[ProcessID]Value, len(s.vals)+len(in.Delivered))
+	for p, v := range s.vals {
+		next.vals[p] = v
+	}
+	var sends []Send
+	if !next.sent {
+		next.sent = true
+		sends = Broadcast(next.n, symPayload{From: next.id, Value: next.input})
+	}
+	for _, m := range in.Delivered {
+		if sp, ok := m.Payload.(symPayload); ok {
+			next.vals[sp.From] = sp.Value
+		}
+	}
+	if next.decision == NoValue && len(next.vals) >= next.quorum {
+		minV := next.input
+		for _, v := range next.vals {
+			if v < minV {
+				minV = v
+			}
+		}
+		next.decision = minV
+	}
+	return &next, sends
+}
+
+func (s *symState) Decided() (Value, bool) { return s.decision, s.decision != NoValue }
+
+func (s *symState) Key() string {
+	// Encode the vals contents, not just the count: Hasher64 requires equal
+	// keys to imply equal hashes, and the collision cross-checks key on this.
+	ids := make([]int, 0, len(s.vals))
+	for p := range s.vals {
+		ids = append(ids, int(p))
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	fmt.Fprintf(&b, "sym{id=%d in=%d sent=%t dec=%d vals=[", s.id, s.input, s.sent, s.decision)
+	for i, p := range ids {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", p, s.vals[ProcessID(p)])
+	}
+	b.WriteString("]}")
+	return b.String()
+}
+
+func (s *symState) Hash64() uint64 {
+	h := HashUint(HashSeed(), uint64(s.id))
+	h = HashUint(h, uint64(s.input))
+	if s.sent {
+		h = HashUint(h, 1)
+	}
+	h = HashUint(h, uint64(s.decision))
+	var sum uint64
+	for p, v := range s.vals {
+		sum += HashMix(HashUint(HashUint(HashSeed(), uint64(p)), uint64(v)))
+	}
+	return HashUint(h, sum)
+}
+
+func (s *symState) SymHash64(relabel func(ProcessID) uint64) uint64 {
+	h := HashUint(HashSeed(), relabel(s.id))
+	h = HashUint(h, uint64(s.input))
+	if s.sent {
+		h = HashUint(h, 1)
+	}
+	h = HashUint(h, uint64(s.decision))
+	var sum uint64
+	for p, v := range s.vals {
+		sum += HashMix(HashUint(HashUint(HashSeed(), relabel(p)), uint64(v)))
+	}
+	return HashUint(h, sum)
+}
+
+// checkSymmetry asserts that c's incrementally maintained canonical
+// fingerprint equals a from-scratch recompute.
+func checkSymmetry(t *testing.T, c *Configuration, context string) {
+	t.Helper()
+	cp := c.Clone()
+	cp.recomputeSymmetry()
+	if cp.symfp != c.Canonical64() {
+		t.Fatalf("%s: incremental canonical %#x != recomputed %#x", context, c.Canonical64(), cp.symfp)
+	}
+}
+
+func allProcs(n int) []ProcessID {
+	out := make([]ProcessID, n)
+	for i := range out {
+		out[i] = ProcessID(i + 1)
+	}
+	return out
+}
+
+func TestSymmetryIncrementalMaintenance(t *testing.T) {
+	inputs := []Value{7, 7, 7, 7}
+	c := NewConfiguration(symAlg{quorum: 3}, inputs)
+	c.AttachSymmetry(NewSymmetry(inputs, allProcs(4)))
+	checkSymmetry(t, c, "initial")
+
+	steps := []StepRequest{
+		{Proc: 1},                    // broadcast
+		{Proc: 2},                    // broadcast
+		{Proc: 3, Crash: true},       // crash step with sends
+		{Proc: 4, SilentCrash: true}, // silent crash
+	}
+	for i, req := range steps {
+		if _, err := c.Apply(req); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		checkSymmetry(t, c, fmt.Sprintf("after step %d", i))
+	}
+	// Deliveries through both take() paths: prefix flush and out-of-order.
+	if _, err := c.Apply(StepRequest{Proc: 1, Deliver: c.DeliverAll(1)}); err != nil {
+		t.Fatal(err)
+	}
+	checkSymmetry(t, c, "after flush delivery")
+	if buf := c.BufferView(2); len(buf) >= 2 {
+		if _, err := c.Apply(StepRequest{Proc: 2, Deliver: []int64{buf[len(buf)-1].ID}}); err != nil {
+			t.Fatal(err)
+		}
+		checkSymmetry(t, c, "after out-of-order delivery")
+	}
+}
+
+// abstract actions for schedule renaming: mode 0 = deliver none, 1 = oldest,
+// 2 = all; crash marks the process's final step.
+type symAction struct {
+	proc  ProcessID
+	mode  int
+	crash bool
+}
+
+// applySym executes one abstract action on c, resolving delivery ids against
+// c's current buffers.
+func applySym(t *testing.T, c *Configuration, a symAction) {
+	t.Helper()
+	req := StepRequest{Proc: a.proc, Crash: a.crash}
+	switch a.mode {
+	case 1:
+		if id, ok := c.OldestMessageID(a.proc); ok {
+			req.Deliver = []int64{id}
+		}
+	case 2:
+		req.Deliver = c.DeliverAll(a.proc)
+	}
+	if _, err := c.Apply(req); err != nil {
+		t.Fatalf("apply %+v: %v", a, err)
+	}
+}
+
+// TestCanonicalInvariantUnderStabilizerPermutation is the tentpole property
+// test: for random schedules S and random input-stabilizer permutations π,
+// the configuration reached by S and the one reached by the renamed
+// schedule π(S) — which is exactly the π-renaming of the former, since
+// symAlg is equivariant — have equal canonical fingerprints, while their
+// concrete fingerprints differ whenever the renaming is non-trivial.
+func TestCanonicalInvariantUnderStabilizerPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260728))
+	vectors := [][]Value{
+		{5, 5, 5, 5},    // uniform: stabilizer S4
+		{5, 5, 9, 9},    // two blocks: stabilizer S2 x S2
+		{5, 5, 5, 9, 9}, // 3+2 blocks
+	}
+	collapsed := 0
+	for _, inputs := range vectors {
+		n := len(inputs)
+		live := allProcs(n)
+		sym := NewSymmetry(inputs, live)
+		for trial := 0; trial < 60; trial++ {
+			pi := stabilizerPermutation(rng, inputs)
+			var schedule []symAction
+			for len(schedule) < 8 {
+				schedule = append(schedule, symAction{
+					proc:  ProcessID(rng.Intn(n) + 1),
+					mode:  rng.Intn(3),
+					crash: rng.Intn(5) == 0, // crash steps must be orbit-invariant too
+				})
+			}
+			c1 := NewConfiguration(symAlg{quorum: n - 1}, inputs)
+			c1.AttachSymmetry(sym)
+			c2 := NewConfiguration(symAlg{quorum: n - 1}, inputs)
+			c2.AttachSymmetry(sym)
+			crashed := map[ProcessID]bool{}
+			for _, a := range schedule {
+				if crashed[a.proc] {
+					continue
+				}
+				applySym(t, c1, a)
+				applySym(t, c2, symAction{proc: pi[a.proc], mode: a.mode, crash: a.crash})
+				if a.crash {
+					crashed[a.proc] = true
+				}
+			}
+			checkSymmetry(t, c1, "schedule")
+			checkSymmetry(t, c2, "renamed schedule")
+			if c1.Canonical64() != c2.Canonical64() {
+				t.Fatalf("inputs %v, π=%v: canonical %#x != renamed canonical %#x",
+					inputs, pi, c1.Canonical64(), c2.Canonical64())
+			}
+			if c1.Fingerprint() != c2.Fingerprint() {
+				collapsed++ // concretely distinct configurations merged by the orbit key
+			}
+		}
+	}
+	if collapsed == 0 {
+		t.Fatal("no trial produced concretely distinct orbit-equivalent configurations; the property test is vacuous")
+	}
+}
+
+// stabilizerPermutation draws a random permutation of 1..n that permutes
+// processes only within equal-input classes.
+func stabilizerPermutation(rng *rand.Rand, inputs []Value) map[ProcessID]ProcessID {
+	byInput := map[Value][]ProcessID{}
+	for i, v := range inputs {
+		byInput[v] = append(byInput[v], ProcessID(i+1))
+	}
+	pi := make(map[ProcessID]ProcessID, len(inputs))
+	for _, class := range byInput {
+		shuffled := append([]ProcessID(nil), class...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for i, p := range class {
+			pi[p] = shuffled[i]
+		}
+	}
+	return pi
+}
+
+// TestCanonicalDistinguishesClasses asserts that renamings OUTSIDE the
+// stabilizer are not identified: stepping a process of one input class
+// yields a different canonical fingerprint than stepping a process of
+// another class.
+func TestCanonicalDistinguishesClasses(t *testing.T) {
+	inputs := []Value{5, 5, 9}
+	sym := NewSymmetry(inputs, allProcs(3))
+	if sym.Classes() != 2 {
+		t.Fatalf("expected 2 classes, got %d", sym.Classes())
+	}
+	mk := func(step ProcessID) *Configuration {
+		c := NewConfiguration(symAlg{quorum: 3}, inputs)
+		c.AttachSymmetry(sym)
+		applySym(t, c, symAction{proc: step, mode: 0})
+		return c
+	}
+	sameClass1, sameClass2, otherClass := mk(1), mk(2), mk(3)
+	if sameClass1.Canonical64() != sameClass2.Canonical64() {
+		t.Fatalf("same-class steps not identified: %#x != %#x", sameClass1.Canonical64(), sameClass2.Canonical64())
+	}
+	if sameClass1.Canonical64() == otherClass.Canonical64() {
+		t.Fatal("cross-class steps identified: stepping p1 and p3 must differ")
+	}
+}
+
+// TestSymmetryTrivialStabilizerMatchesConcrete asserts that with pairwise
+// distinct inputs (trivial stabilizer) the canonical fingerprint
+// distinguishes exactly the configurations the concrete fingerprint does,
+// on a behaviourally diverse corpus.
+func TestSymmetryTrivialStabilizerMatchesConcrete(t *testing.T) {
+	inputs := []Value{1, 2, 3}
+	sym := NewSymmetry(inputs, allProcs(3))
+	if sym.Classes() != 3 {
+		t.Fatalf("expected trivial stabilizer, got %d classes", sym.Classes())
+	}
+	byKey := map[string]uint64{}
+	canonOf := map[uint64]string{}
+	record := func(c *Configuration) {
+		key := c.Key()
+		if prev, seen := byKey[key]; seen {
+			if prev != c.Canonical64() {
+				t.Fatalf("equal keys, different canonicals for %s", key)
+			}
+			return
+		}
+		byKey[key] = c.Canonical64()
+		if prev, dup := canonOf[c.Canonical64()]; dup {
+			t.Fatalf("trivial-stabilizer canonical collision:\n%s\n%s", prev, key)
+		}
+		canonOf[c.Canonical64()] = key
+	}
+	var walk func(c *Configuration, depth int)
+	walk = func(c *Configuration, depth int) {
+		record(c)
+		if depth == 0 {
+			return
+		}
+		for p := ProcessID(1); p <= 3; p++ {
+			if c.Crashed(p) {
+				continue
+			}
+			for mode := 0; mode < 3; mode++ {
+				cp := c.Clone()
+				applySym(t, cp, symAction{proc: p, mode: mode})
+				walk(cp, depth-1)
+			}
+		}
+	}
+	c := NewConfiguration(symAlg{quorum: 2}, inputs)
+	c.AttachSymmetry(sym)
+	walk(c, 3)
+	if len(byKey) < 50 {
+		t.Fatalf("corpus too small: %d distinct configurations", len(byKey))
+	}
+}
+
+func TestSharedProcessIDs(t *testing.T) {
+	small := sharedProcessIDs(3)
+	big := sharedProcessIDs(200)
+	again := sharedProcessIDs(3)
+	for i, p := range big {
+		if p != ProcessID(i+1) {
+			t.Fatalf("big[%d] = %d", i, p)
+		}
+	}
+	if len(small) != 3 || len(again) != 3 {
+		t.Fatalf("lengths %d, %d", len(small), len(again))
+	}
+	c := NewConfiguration(symAlg{quorum: 2}, []Value{1, 2, 3})
+	ps := c.Processes()
+	if len(ps) != 3 || ps[0] != 1 || ps[2] != 3 {
+		t.Fatalf("Processes() = %v", ps)
+	}
+}

@@ -220,6 +220,23 @@ func Simulate(alg Algorithm, inputs []Value, opts SimOptions) (*Run, error) {
 // experiment cells, SearchWorkers parallelizes inside one search.
 var SearchWorkers = 0
 
+// SearchSymmetry enables orbit-canonical revisit detection in every
+// condition-(C) state-space search the facade spawns (FindConsensusFailure
+// and the E6 valence analyses): configurations that are process-renamings
+// of each other — under permutations preserving the proposal assignment and
+// the live set — are explored once, which shrinks the visited space by up
+// to the stabilizer's size on instances with repeated proposals while
+// keeping every reported witness a concrete, replayable run. Proposals that
+// are pairwise distinct (the Theorem 1 requirement) leave nothing to
+// collapse, so the engine experiments are unaffected; uniform- and
+// block-input searches speed up substantially. Default off. A performance
+// control for the equivariant algorithms (MinWait, QuorumMin, FirstHeard,
+// DecideOwn) and a sound no-op for the rest — notably FLPKSet, whose
+// minimum-id decide rule is not renaming-equivariant and which therefore
+// stays on concrete hashes (see explore.Options.Symmetry for the soundness
+// discussion).
+var SearchSymmetry = false
+
 // FindConsensusFailure searches the subsystem of live processes for a
 // disagreement or blocking witness of the algorithm under adversarial
 // scheduling with the given crash budget — the condition (C) helper exposed
@@ -230,6 +247,7 @@ func FindConsensusFailure(alg Algorithm, inputs []Value, live []ProcessID, crash
 		MaxCrashes: crashBudget,
 		MaxConfigs: maxConfigs,
 		Workers:    SearchWorkers,
+		Symmetry:   SearchSymmetry,
 	})
 	w, found, err := ex.FindDisagreement()
 	if err != nil || found {

@@ -1,0 +1,71 @@
+package kset
+
+import "testing"
+
+// TestSearchSymmetryFacadeParity proves the SearchSymmetry knob is purely a
+// performance control on the public facade: the condition-(C) search
+// reaches the same verdict with and without orbit reduction, visiting at
+// most as many configurations, and on the uniform-input instance strictly
+// (at least 2x) fewer.
+func TestSearchSymmetryFacadeParity(t *testing.T) {
+	defer func(s bool) { SearchSymmetry = s }(SearchSymmetry)
+
+	cases := []struct {
+		name   string
+		inputs []Value
+	}{
+		{"distinct", DistinctInputs(4)},
+		{"uniform", []Value{0, 0, 0, 0}},
+	}
+	live := []ProcessID{1, 2, 3, 4}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			SearchSymmetry = false
+			plainW, plainFound, err := FindConsensusFailure(NewMinWait(1), c.inputs, live, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			SearchSymmetry = true
+			symW, symFound, err := FindConsensusFailure(NewMinWait(1), c.inputs, live, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if symFound != plainFound {
+				t.Fatalf("verdict diverged: symmetry found=%t, plain found=%t", symFound, plainFound)
+			}
+			if symW.Stats.Visited > plainW.Stats.Visited {
+				t.Fatalf("symmetry visited %d > plain %d", symW.Stats.Visited, plainW.Stats.Visited)
+			}
+			if c.name == "uniform" && 2*symW.Stats.Visited > plainW.Stats.Visited {
+				t.Fatalf("expected >= 2x reduction on uniform inputs: symmetry %d, plain %d",
+					symW.Stats.Visited, plainW.Stats.Visited)
+			}
+			if symFound && len(symW.Run.DistinctDecisions()) < 2 && len(symW.Run.Blocked) == 0 {
+				t.Fatalf("witness does not revalidate: decisions %v, blocked %v",
+					symW.Run.DistinctDecisions(), symW.Run.Blocked)
+			}
+		})
+	}
+}
+
+// TestSearchSymmetryBivalenceTable proves the E6 valence table — whose
+// searches use orbit-canonical keys when SearchSymmetry is set — renders
+// identically with the knob on and off (decision values are
+// orbit-invariant).
+func TestSearchSymmetryBivalenceTable(t *testing.T) {
+	defer func(s bool) { SearchSymmetry = s }(SearchSymmetry)
+
+	SearchSymmetry = false
+	plain, err := ExperimentBivalence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	SearchSymmetry = true
+	sym, err := ExperimentBivalence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.String() != plain.String() {
+		t.Fatalf("E6 table changed under SearchSymmetry:\n%s\nvs plain:\n%s", sym.String(), plain.String())
+	}
+}
