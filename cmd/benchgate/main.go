@@ -45,7 +45,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	baselinePath := fs.String("baseline", "bench_baseline.txt", "committed baseline benchmark output")
 	newPath := fs.String("new", "", "freshly generated benchmark output (required)")
-	gate := fs.String("gate", "BenchmarkEngineTheorem2MinWait,BenchmarkE5FailureDetectorBorder,BenchmarkE1Theorem2Border,BenchmarkSymmetrySearch/on",
+	gate := fs.String("gate", "BenchmarkEngineTheorem2MinWait,BenchmarkE5FailureDetectorBorder,BenchmarkE1Theorem2Border,BenchmarkSymmetrySearch/on,BenchmarkPORSearch/on",
 		"comma-separated benchmark names that fail the gate on regression")
 	maxRegress := fs.Float64("max-regress", 20, "maximum allowed regression of median ns/op, in percent")
 	if err := fs.Parse(args); err != nil {

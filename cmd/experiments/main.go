@@ -7,6 +7,7 @@
 //	experiments                          # run the full suite
 //	experiments E1 E5                    # run selected experiments
 //	experiments -search-workers 1 E6     # force sequential frontier search
+//	experiments -symmetry -por E6        # both search-space reductions (README, Reductions)
 //	experiments -write-golden testdata/golden E1 E2   # refresh golden tables
 //
 // -write-golden writes each selected experiment's rendered table to
@@ -33,7 +34,8 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	sweepWorkers := fs.Int("sweep-workers", 0, "worker pool for independent sweep cells (0 = GOMAXPROCS, 1 = sequential)")
 	searchWorkers := fs.Int("search-workers", 0, "worker goroutines per frontier search (0 = GOMAXPROCS, 1 = sequential)")
-	symmetry := fs.Bool("symmetry", false, "orbit-canonical revisit detection in state-space searches (collapses process-renamed configurations; see README, Symmetry reduction)")
+	symmetry := fs.Bool("symmetry", false, "orbit-canonical revisit detection in state-space searches (collapses process-renamed configurations; see README, Reductions)")
+	por := fs.Bool("por", false, "partial-order reduction in state-space searches (prunes interleavings of commuting steps once sending is over; composes with -symmetry; see README, Reductions)")
 	writeGolden := fs.String("write-golden", "", "write each table to <dir>/<ID>.txt instead of stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -41,6 +43,7 @@ func run(args []string) int {
 	kset.SweepWorkers = *sweepWorkers
 	kset.SearchWorkers = *searchWorkers
 	kset.SearchSymmetry = *symmetry
+	kset.SearchPOR = *por
 
 	want := make(map[string]bool, fs.NArg())
 	for _, a := range fs.Args() {

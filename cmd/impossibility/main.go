@@ -37,9 +37,15 @@ func run() int {
 		strategy  = flag.String("strategy", "dfs", "subsystem search order: dfs (deep, default) or bfs (shortest witnesses)")
 		workers   = flag.Int("search-workers", 0, "worker goroutines per bfs frontier search (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry  = flag.Bool("symmetry", false, "orbit-canonical revisit detection in the <D-bar> search (no-op for the distinct proposals Theorem 1 requires; pays off for repeated-input vetting)")
+		por       = flag.Bool("por", false, "partial-order reduction in the <D-bar> search (prunes interleavings of commuting steps once every live process has finished sending; composes with -symmetry)")
 		verbose   = flag.Bool("v", false, "print the per-condition explanation")
 	)
 	flag.Parse()
+
+	// The Theorem 10 path goes through the facade's global knobs rather than
+	// an explicit Instance, so mirror the flags there too.
+	kset.SearchSymmetry = *symmetry
+	kset.SearchPOR = *por
 
 	if *theorem10 {
 		rep, merged, err := kset.Theorem10Construction(*n, *k, *maxCfg)
@@ -93,6 +99,7 @@ func run() int {
 		SearchStrategy:  *strategy,
 		SearchWorkers:   *workers,
 		Symmetry:        *symmetry,
+		POR:             *por,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "engine: %v\n", err)

@@ -111,5 +111,6 @@ func VerifyTheorem2Row(n, f, k, maxConfigs int) (*core.Report, error) {
 		DBarCrashBudget: 1,
 		MaxConfigs:      maxConfigs,
 		Symmetry:        SearchSymmetry,
+		POR:             SearchPOR,
 	})
 }

@@ -187,6 +187,7 @@ func Theorem10Construction(n, k, maxConfigs int) (*core.Report, *core.MergedGrou
 		DBarOracle:      dbarOracle,
 		MaxConfigs:      maxConfigs,
 		Symmetry:        SearchSymmetry,
+		POR:             SearchPOR, // sound no-op here: the Gamma oracle disables pruning
 	})
 	if err != nil {
 		return nil, nil, err

@@ -9,17 +9,15 @@ import (
 )
 
 // goldenExperiments lists the experiments gated by committed golden tables:
-// every fully deterministic one. E11 (Heard-Of round model) and E12
-// (synchrony ladder) are deterministic per the sweep's per-cell result
-// slots, so they are gated too. Only E5 stays out: the detector-border
-// sweep explores ~80000 configurations per impossible (n, k) cell, which
-// would multiply the gate's runtime severalfold for rows whose content the
-// cheaper E1/E7 gates already pin down — its determinism is still exercised
-// (cheaply) by the benchmark and by TestHeavyExperiments. Regenerate the
-// files with:
+// every fully deterministic one, E1-E12 complete. E5 — long excluded
+// because its detector-border sweep once explored ~80000 configurations per
+// impossible (n, k) cell — joined the gate when the engine speedups of the
+// fingerprint/parallel/symmetry PRs brought the full default grid (n = 5-6)
+// near 100ms, cheaper than several rows the gate already ran; no grid
+// reduction was needed. Regenerate the files with:
 //
-//	go run ./cmd/experiments -write-golden testdata/golden E1 E2 E3 E4 E6 E7 E8 E9 E10 E11 E12
-var goldenExperiments = []string{"E1", "E2", "E3", "E4", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+//	go run ./cmd/experiments -write-golden testdata/golden E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12
+var goldenExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 
 // TestGoldenTables regenerates each gated experiment table and diffs it
 // against the committed golden file. The tables are deterministic at any

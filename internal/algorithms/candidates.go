@@ -46,6 +46,9 @@ func (s decideOwnState) Decided() (sim.Value, bool) { return s.input, s.stepped 
 // Key implements sim.State.
 func (s decideOwnState) Key() string { return fmt.Sprintf("own{%d,%t}", s.input, s.stepped) }
 
+// SendsDone implements sim.SendQuiescent: DecideOwn never sends.
+func (s decideOwnState) SendsDone() bool { return true }
+
 // Hash64 implements sim.Hasher64.
 func (s decideOwnState) Hash64() uint64 {
 	return sim.HashUint(sim.HashUint(sim.HashSeed(), uint64(s.input)), boolBit(s.stepped))
@@ -138,6 +141,10 @@ func (s *quorumMinState) Step(in sim.Input) (sim.State, []sim.Send) {
 func (s *quorumMinState) Decided() (sim.Value, bool) {
 	return s.decision, s.decision != sim.NoValue
 }
+
+// SendsDone implements sim.SendQuiescent: QuorumMin broadcasts exactly once,
+// on its first step.
+func (s *quorumMinState) SendsDone() bool { return s.sent }
 
 // Key implements sim.State.
 func (s *quorumMinState) Key() string {
@@ -234,6 +241,10 @@ func (s *firstHeardState) Step(in sim.Input) (sim.State, []sim.Send) {
 func (s *firstHeardState) Decided() (sim.Value, bool) {
 	return s.decision, s.decision != sim.NoValue
 }
+
+// SendsDone implements sim.SendQuiescent: FirstHeard broadcasts exactly
+// once, on its first step.
+func (s *firstHeardState) SendsDone() bool { return s.sent }
 
 // Key implements sim.State.
 func (s *firstHeardState) Key() string {

@@ -257,6 +257,14 @@ func (s *flpState) Decided() (sim.Value, bool) {
 	return s.decision, s.decision != sim.NoValue
 }
 
+// SendsDone implements sim.SendQuiescent: FLPKSet sends exactly two
+// broadcasts — stage 1 on the first step and stage 2 on the step that
+// freezes the in-neighbourhood — and both flags are monotone, so once both
+// are set no successor state ever sends again. (This is independent of the
+// deliberate SymHash64 opt-out above: send quiescence is a property of the
+// concrete state, not of renaming equivariance.)
+func (s *flpState) SendsDone() bool { return s.sentS1 && s.sentS2 }
+
 // Key implements sim.State.
 func (s *flpState) Key() string {
 	var b strings.Builder

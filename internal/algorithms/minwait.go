@@ -105,6 +105,11 @@ func (s *minWaitState) Decided() (sim.Value, bool) {
 	return s.decision, s.decision != sim.NoValue
 }
 
+// SendsDone implements sim.SendQuiescent: MinWait broadcasts exactly once,
+// on its first step, so after the sent flag is set no successor state ever
+// sends again (Step only emits when !sent, and sent is never cleared).
+func (s *minWaitState) SendsDone() bool { return s.sent }
+
 // Key implements sim.State.
 func (s *minWaitState) Key() string {
 	var b strings.Builder

@@ -91,6 +91,18 @@ type Instance struct {
 	// for uniform- or block-input vetting searches. A DBarOracle must be
 	// symmetric under the same renamings.
 	Symmetry bool
+
+	// POR enables commutativity-based partial-order reduction in the
+	// condition-(C) exploration (explore.Options.POR): once every live
+	// process of <D-bar> has provably finished sending, redundant
+	// interleavings of commuting steps are pruned while disagreement,
+	// blocking, and valence verdicts — and the crash budget's reach — are
+	// preserved exactly. A full, sound no-op when a DBarOracle is set
+	// (detector values may observe the reordered time and crash flags); for
+	// algorithms without sim.SendQuiescent the pruning stands down while
+	// the sound inert-crashed-slot key collapsing remains. Composes with
+	// Symmetry.
+	POR bool
 }
 
 // Report is the outcome of the pipeline: which conditions were established,
@@ -223,6 +235,7 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 		Strategy:   strategy,
 		Workers:    inst.SearchWorkers,
 		Symmetry:   inst.Symmetry,
+		POR:        inst.POR,
 	})
 	witness, found, err := ex.FindDisagreement()
 	if err != nil {

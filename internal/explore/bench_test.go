@@ -112,6 +112,38 @@ func BenchmarkSymmetrySearch(b *testing.B) {
 	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkPORSearch times the same exhaustive uniform-input Theorem 2
+// search as BenchmarkSymmetrySearch (MinWait{F:1}, four processes, one late
+// crash — no disagreement exists, so the whole space is visited) with
+// partial-order reduction off and on, symmetry off in both so the POR axis
+// is measured alone (the composed POR+symmetry figure is pinned by
+// TestPORStrictReductionUniformTheorem2). The "on" variant is gated in CI
+// (cmd/benchgate); both report their visited-node count as nodes/op, and
+// benchgate prints the node delta alongside ns/op.
+func BenchmarkPORSearch(b *testing.B) {
+	inputs := []sim.Value{0, 0, 0, 0}
+	live := []sim.ProcessID{1, 2, 3, 4}
+	run := func(b *testing.B, por bool) {
+		visited := 0
+		for i := 0; i < b.N; i++ {
+			e := New(algorithms.MinWait{F: 1}, inputs, Options{
+				Live:       live,
+				MaxCrashes: 1,
+				Workers:    1,
+				POR:        por,
+			})
+			w, found, err := e.FindDisagreement()
+			if err != nil || found || w.Stats.Truncated {
+				b.Fatalf("found=%t truncated=%t err=%v", found, w.Stats.Truncated, err)
+			}
+			visited = w.Stats.Visited
+		}
+		b.ReportMetric(float64(visited), "nodes/op")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 func BenchmarkValence(b *testing.B) {
 	inputs := []sim.Value{0, 1, 1}
 	for i := 0; i < b.N; i++ {

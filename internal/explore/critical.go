@@ -58,9 +58,12 @@ func (e *Explorer) AnalyzeCriticalSteps() (*CriticalAnalysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	// actions returns the explorer's reusable buffer and valenceFrom
-	// enumerates actions itself below, so take a copy before recursing.
-	acts := append([]action(nil), e.actions(start, 0)...)
+	// actionsFull returns the explorer's reusable buffer and valenceFrom
+	// enumerates actions itself below, so take a copy before recursing. The
+	// unreduced enumeration is deliberate: the analysis reports a StepValence
+	// per available first action, and that list must not shrink under
+	// Options.POR (the successor valence computations still prune).
+	acts := append([]action(nil), e.sc.actionsFull(start, 0)...)
 	for _, act := range acts {
 		next, ok := e.apply(start, act)
 		if !ok {

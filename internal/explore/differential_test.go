@@ -7,6 +7,7 @@ import (
 
 	"kset/internal/algorithms"
 	"kset/internal/sim"
+	"kset/internal/testutil"
 )
 
 // legacyKey is the seed implementation's string node key: crash budget spent
@@ -145,9 +146,7 @@ func TestFingerprintSearchFindsLegacyWitnesses(t *testing.T) {
 				t.Fatalf("FindDisagreement found=%t, legacy exhaustive search says %t", found, wantDisagreement)
 			}
 			if found {
-				if len(w.Run.DistinctDecisions()) < 2 {
-					t.Fatalf("disagreement witness replays to %v", w.Run.DistinctDecisions())
-				}
+				testutil.RevalidateWitness(t, w.Kind, w.Run)
 			}
 		})
 	}

@@ -30,6 +30,12 @@
 // Explorer is NOT safe for concurrent use — run independent searches on
 // independent Explorers (the experiment sweeps in the root package do
 // exactly that, one Explorer per sweep cell).
+//
+// Two opt-in reductions shrink the explored space without changing any
+// verdict: Options.Symmetry collapses configurations that are process
+// renamings of each other (orbit-canonical revisit keys, see sim.Symmetry),
+// and Options.POR prunes redundant interleavings of commuting actions
+// (ample-set partial-order reduction, see por.go). They compose.
 package explore
 
 import (
@@ -119,6 +125,26 @@ type Options struct {
 	// algorithms.Stage1Payload.Hash64) — so it falls back to concrete
 	// hashes and the flag is a sound no-op for it. Default off.
 	Symmetry bool
+	// POR enables commutativity-based partial-order reduction (see por.go):
+	// once every live process's state proves — through the opt-in
+	// sim.SendQuiescent interface — that it will never send again, actions of
+	// distinct processes have disjoint effect footprints and commute, and
+	// each expansion keeps only the actions of the smallest live process with
+	// a non-empty buffer; everything else — crashes against the remaining
+	// budget and pending decision steps included — is deferred by
+	// commutation, never lost. Reduced searches additionally key revisits by
+	// the crash-normalized fingerprint (a crashed process's absorbed state
+	// and undelivered messages are behaviourally inert). Disagreement,
+	// blocking, and valence verdicts are exactly those of the unreduced
+	// search, witnesses remain concrete replayable runs, and the reduction
+	// composes multiplicatively with Symmetry; it is a full, sound no-op for
+	// searches with an Oracle (detector values may depend on global time and
+	// other processes' crashes, which commutation would reorder). For
+	// algorithms that do not implement sim.SendQuiescent the pruning stands
+	// down, while the crashed-slot key quotient — sound for any algorithm,
+	// it relies only on the simulator's crash semantics — stays active, so
+	// visited counts may still shrink. Default off.
+	POR bool
 	// Workers caps the number of goroutines expanding the BFS frontier.
 	// Zero means GOMAXPROCS; 1 runs the exact sequential legacy search. Any
 	// value above 1 enables the level-synchronous parallel frontier of
@@ -153,6 +179,12 @@ type Explorer struct {
 	// sym is the input-stabilizer used for orbit-canonical revisit keys when
 	// Options.Symmetry is set; nil otherwise.
 	sym *sim.Symmetry
+	// por reports that partial-order reduction is active: Options.POR was set
+	// and the search is oracle-free (an oracle may observe global time and
+	// other processes' crash flags — and in principle any crashed-slot
+	// content — so both the commutation pruning and the crashed-slot key
+	// normalization stand down when one is configured).
+	por bool
 	// sc is the explorer's own search context, used by sequential searches
 	// and by the critical-step driver.
 	sc searchCtx
@@ -201,8 +233,24 @@ func New(alg sim.Algorithm, inputs []sim.Value, opts Options) *Explorer {
 	if opts.Symmetry {
 		e.sym = sim.NewSymmetry(e.inputs, opts.Live)
 	}
+	// POR additionally requires DeliverAll among the enumerated modes: the
+	// soundness argument's second case covers paths that never step the
+	// leader by prepending a full flush of its buffer, and the
+	// oldest-on-singleton duplicate prune identifies DeliverOldest with
+	// DeliverAll — neither holds for a custom Modes list without DeliverAll,
+	// so the reduction (pruning and key quotient alike) stands down there.
+	e.por = opts.POR && opts.Oracle == nil && hasMode(opts.Modes, DeliverAll)
 	e.sc.e = e
 	return e
+}
+
+func hasMode(modes []DeliveryMode, m DeliveryMode) bool {
+	for _, x := range modes {
+		if x == m {
+			return true
+		}
+	}
+	return false
 }
 
 // searchWorkers resolves Options.Workers: 0 means GOMAXPROCS.
@@ -246,10 +294,21 @@ func cfgKey(cfg *sim.Configuration, crashes int) uint64 {
 // key is the visited/claim key of every search on this explorer: the plain
 // fingerprint key, or the orbit-canonical one under Options.Symmetry (the
 // crash budget spent is folded in either way — renamings preserve it, so
-// it is orbit-invariant).
+// it is orbit-invariant). Reduced searches use the crash-normalized
+// variants (sim.Configuration.LiveFingerprint / LiveCanonical64), which
+// additionally collapse configurations differing only in behaviourally
+// inert crashed-slot content — a crashed process's absorbed state and
+// undelivered messages can never influence a future step or verdict, so
+// the quotient is sound independently of the commutation pruning.
 func (e *Explorer) key(cfg *sim.Configuration, crashes int) uint64 {
-	if e.sym != nil {
-		return sim.HashMix(cfg.Canonical64() ^ (uint64(crashes) * 0x9e3779b97f4a7c15))
+	salt := uint64(crashes) * 0x9e3779b97f4a7c15
+	switch {
+	case e.sym != nil && e.por:
+		return sim.HashMix(cfg.LiveCanonical64() ^ salt)
+	case e.sym != nil:
+		return sim.HashMix(cfg.Canonical64() ^ salt)
+	case e.por:
+		return sim.HashMix(cfg.LiveFingerprint() ^ salt)
 	}
 	return cfgKey(cfg, crashes)
 }
@@ -303,26 +362,52 @@ func (sc *searchCtx) apply(cfg *sim.Configuration, act action) (*sim.Configurati
 }
 
 // actions enumerates the adversary's choices at cfg with the given crash
-// budget already spent. The returned slice aliases the context's reusable
-// buffer and is invalidated by the next actions call; copy it when the
-// caller explores recursively while iterating (critical.go does).
+// budget already spent, filtered through the partial-order-reduction plan
+// when Options.POR is active (see por.go; the plan is a pure function of
+// the configuration, so every search path — serial, parallel, valence —
+// enumerates identical slices). The returned slice aliases the context's
+// reusable buffer and is invalidated by the next actions call; copy it when
+// the caller explores recursively while iterating (critical.go does).
 func (sc *searchCtx) actions(cfg *sim.Configuration, crashes int) []action {
+	return sc.enumerate(cfg, crashes, sc.e.porPlan(cfg))
+}
+
+// actionsFull enumerates every adversary choice, bypassing the reduction:
+// the critical-step analysis reports per-action data for each first step
+// and must list them all regardless of Options.POR.
+func (sc *searchCtx) actionsFull(cfg *sim.Configuration, crashes int) []action {
+	return sc.enumerate(cfg, crashes, porPlan{})
+}
+
+func (sc *searchCtx) enumerate(cfg *sim.Configuration, crashes int, plan porPlan) []action {
 	e := sc.e
 	out := sc.actbuf[:0]
 	for _, p := range e.opts.Live {
 		if cfg.Crashed(p) {
 			continue
 		}
+		bufsize := cfg.BufferSize(p)
 		// Crash variants first, plain steps last: DFS pops from the end of
 		// the slice, so it drives ordinary full-delivery steps toward
 		// decisions before spending the crash budget.
 		if crashes < e.opts.MaxCrashes {
 			for _, m := range e.opts.Modes {
+				if plan.prunes(p, m, bufsize) {
+					continue
+				}
 				out = append(out, action{Proc: p, Mode: m, Crash: true})
-				out = append(out, action{Proc: p, Mode: m, Crash: true, Omit: true})
+				if !plan.frozen {
+					// In the send-quiescent cone the final step sends
+					// nothing, so omitting its sends is the identity and the
+					// omit variant duplicates the plain crash byte-for-byte.
+					out = append(out, action{Proc: p, Mode: m, Crash: true, Omit: true})
+				}
 			}
 		}
 		for _, m := range e.opts.Modes {
+			if plan.prunes(p, m, bufsize) {
+				continue
+			}
 			out = append(out, action{Proc: p, Mode: m})
 		}
 	}

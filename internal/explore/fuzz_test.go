@@ -1,0 +1,141 @@
+package explore
+
+// FuzzExploreParity is the fuzzing arm of the reduction differential
+// matrices: the fuzzer picks a small random instance — algorithm, system
+// size, proposal vector, crash budget — and the target asserts that every
+// reduction mode (symmetry, POR, both) reaches exactly the verdicts of the
+// plain exhaustive search, with revalidating witnesses, equal valence sets,
+// and no more visited configurations. The handwritten suites pin the known
+// interesting shapes; the fuzzer hunts for input vectors nobody thought of.
+// CI runs the target briefly (see the fuzz-smoke step); the seed corpus
+// runs as ordinary tests on every `go test`.
+
+import (
+	"testing"
+
+	"kset/internal/algorithms"
+	"kset/internal/sim"
+	"kset/internal/testutil"
+)
+
+// fuzzInstance decodes the fuzzer's raw picks into an exhaustively
+// explorable instance: 2-3 live processes, proposals from a 4-value
+// universe, at most one crash.
+func fuzzInstance(algPick, nPick, crashPick byte, inputBits uint16) diffInstance {
+	n := 2 + int(nPick%2)
+	inputs := make([]sim.Value, n)
+	for i := range inputs {
+		inputs[i] = sim.Value(int(inputBits>>(2*i)) & 3)
+	}
+	live := make([]sim.ProcessID, n)
+	for i := range live {
+		live[i] = sim.ProcessID(i + 1)
+	}
+	var alg sim.Algorithm
+	var name string
+	switch algPick % 4 {
+	case 0:
+		alg, name = algorithms.MinWait{F: 1}, "minwait"
+	case 1:
+		alg, name = algorithms.FLPKSet{F: 1}, "flpkset"
+	case 2:
+		alg, name = algorithms.FirstHeard{}, "firstheard"
+	case 3:
+		alg, name = algorithms.DecideOwn{}, "decideown"
+	}
+	return diffInstance{name, alg, inputs, live, int(crashPick % 2)}
+}
+
+func FuzzExploreParity(f *testing.F) {
+	// One seed per algorithm, covering uniform and mixed inputs, with and
+	// without a crash budget.
+	f.Add(byte(0), byte(1), byte(1), uint16(0b100100)) // minwait n=3 mixed, crash
+	f.Add(byte(0), byte(1), byte(0), uint16(0))        // minwait n=3 uniform
+	f.Add(byte(1), byte(0), byte(1), uint16(0b0100))   // flpkset n=2 mixed, crash
+	f.Add(byte(2), byte(1), byte(0), uint16(0b110000)) // firstheard n=3
+	f.Add(byte(3), byte(1), byte(1), uint16(0b010101)) // decideown n=3 uniform, crash
+	f.Fuzz(func(t *testing.T, algPick, nPick, crashPick byte, inputBits uint16) {
+		d := fuzzInstance(algPick, nPick, crashPick, inputBits)
+		build := func(symmetry, por bool) *Explorer {
+			return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+				Live:       d.live,
+				MaxCrashes: d.crashes,
+				// Keep each exec well under the fuzzer's per-input hang
+				// limit: instances whose plain search exceeds this budget
+				// (FLPKSet at n=3 with a crash runs past 40000 nodes) are
+				// skipped here and pinned by the deterministic por_test
+				// suite instead.
+				MaxConfigs: 12000,
+				Workers:    1,
+				Symmetry:   symmetry,
+				POR:        por,
+			})
+		}
+		modes := []struct {
+			name          string
+			symmetry, por bool
+		}{
+			{"sym", true, false},
+			{"por", false, true},
+			{"por+sym", true, true},
+		}
+
+		goals := []struct {
+			name string
+			goal goalFunc
+		}{
+			{"disagreement", disagreementGoal},
+			{"blocking", blockingGoal},
+		}
+		for _, g := range goals {
+			plainW, plainFound, _, err := build(false, false).searchArena(g.goal, g.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plainW.Stats.Truncated {
+				return // not exhaustively explorable; parity is not defined
+			}
+			for _, m := range modes {
+				w, found, _, err := build(m.symmetry, m.por).searchArena(g.goal, g.name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w.Stats.Truncated {
+					t.Fatalf("%s/%s: reduced search truncated where plain was exhaustive", m.name, g.name)
+				}
+				if found != plainFound {
+					t.Fatalf("%s/%s verdict diverged on %s %v crashes=%d: reduced found=%t, plain found=%t",
+						m.name, g.name, d.name, d.inputs, d.crashes, found, plainFound)
+				}
+				if w.Stats.Visited > plainW.Stats.Visited {
+					t.Fatalf("%s/%s: reduced visited %d > plain %d", m.name, g.name, w.Stats.Visited, plainW.Stats.Visited)
+				}
+				if found {
+					testutil.RevalidateWitness(t, w.Kind, w.Run)
+				}
+			}
+		}
+
+		plainVals, plainStats, err := build(false, false).Valence(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plainStats.Truncated {
+			return
+		}
+		for _, m := range modes {
+			vals, _, err := build(m.symmetry, m.por).Valence(0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(vals) != len(plainVals) {
+				t.Fatalf("%s valence diverged on %s %v: reduced %v, plain %v", m.name, d.name, d.inputs, vals, plainVals)
+			}
+			for i := range vals {
+				if vals[i] != plainVals[i] {
+					t.Fatalf("%s valence diverged on %s %v: reduced %v, plain %v", m.name, d.name, d.inputs, vals, plainVals)
+				}
+			}
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"kset/internal/algorithms"
 	"kset/internal/sim"
+	"kset/internal/testutil"
 )
 
 // explorerSym builds the instance's explorer with symmetry reduction and an
@@ -74,33 +75,10 @@ func TestSymmetryVerdictParity(t *testing.T) {
 					t.Fatalf("symmetry visited %d > plain %d", symW.Stats.Visited, plainW.Stats.Visited)
 				}
 				if symFound {
-					revalidateWitness(t, symW)
+					testutil.RevalidateWitness(t, symW.Kind, symW.Run)
 				}
 			})
 		}
-	}
-}
-
-// revalidateWitness asserts that a witness's replayed run concretely
-// exhibits the claimed violation: replay already re-executed the schedule
-// step by step (any divergence would have errored), so the final
-// configuration's decisions/blocked set are real.
-func revalidateWitness(t *testing.T, w *Witness) {
-	t.Helper()
-	if w.Run == nil || w.Run.Final == nil {
-		t.Fatal("witness has no replayed run")
-	}
-	switch w.Kind {
-	case "disagreement":
-		if len(w.Run.DistinctDecisions()) < 2 {
-			t.Fatalf("disagreement witness replays to decisions %v", w.Run.DistinctDecisions())
-		}
-	case "blocking":
-		if len(w.Run.Blocked) == 0 {
-			t.Fatal("blocking witness replays with no blocked process")
-		}
-	default:
-		t.Fatalf("unknown witness kind %q", w.Kind)
 	}
 }
 

@@ -147,6 +147,41 @@ func (c *Configuration) recomputeFingerprint() {
 	}
 }
 
+// LiveFingerprint returns the fingerprint of the configuration's
+// behaviourally live content: crashed processes contribute only their crash
+// flag and write-once decision — their local state and their undelivered
+// buffered messages are excluded. A crashed process never steps again, so
+// nothing else in its slot can influence any future step, send, delivery
+// resolution, or verdict predicate; two configurations with equal
+// LiveFingerprint have identical futures even when their crashed slots
+// differ. Package explore's partial-order-reduced searches key their
+// visited sets by it, collapsing the crash-timing junk states the plain
+// fingerprint keeps apart (same crash, same decision, different absorbed
+// values or different undelivered leftovers). Computed on demand in
+// O(n + crashed buffers) from the cached per-slot components.
+func (c *Configuration) LiveFingerprint() uint64 {
+	fp := c.fp
+	for i := 0; i < c.n; i++ {
+		if !c.crashed[i] {
+			continue
+		}
+		fp += crashedSlotComponent(i, c.decisions[i]) - c.procFP[i]
+		for j := range c.buffers[i] {
+			fp -= c.buffers[i][j].fp
+		}
+	}
+	return fp
+}
+
+// crashedSlotComponent is the normalized component of a crashed process
+// slot: crash flag and decision only (compare procComponent).
+func crashedSlotComponent(i int, decision Value) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvUint(h, 1)
+	h = fnvUint(h, uint64(decision))
+	return splitmix64(h) * procSalt(i)
+}
+
 // refreshProc re-hashes process slot i after its state, crash flag, or
 // decision changed, and folds the delta into the fingerprint (and into the
 // orbit-canonical fingerprint when a Symmetry is attached).

@@ -112,6 +112,32 @@ type State interface {
 	Key() string
 }
 
+// SendQuiescent is an optional interface for State implementations that can
+// prove their process is done sending. SendsDone must return true only when
+// this state's Step — and the Step of every state reachable from it, under
+// ANY admissible input (any delivered subset, any detector value) — returns
+// no sends; the property must therefore be monotone: every successor of a
+// SendsDone state must report SendsDone as well. Package explore's
+// partial-order reduction uses it to detect send-quiescent regions of the
+// state space, where steps of distinct processes have disjoint effect
+// footprints and commute exactly. States without the interface (or whose
+// sending phase is still open) conservatively report false, which keeps the
+// reduction sound by disabling it.
+type SendQuiescent interface {
+	SendsDone() bool
+}
+
+// StateSendsDone reports whether s guarantees, through the SendQuiescent
+// interface, that its process never sends again. It is the conservative
+// accessor used by package explore: states that do not implement the
+// interface report false.
+func StateSendsDone(s State) bool {
+	if q, ok := s.(SendQuiescent); ok {
+		return q.SendsDone()
+	}
+	return false
+}
+
 // Algorithm constructs initial process states. Init receives the system size
 // n (note: restricted algorithms per Definition 1 still receive the original
 // |Pi|), the process id, and the proposal value x_p.
@@ -178,6 +204,10 @@ func (s *restrictedState) Key() string { return s.inner.Key() }
 // Hash64 delegates to the inner state (Key does too), keeping restricted
 // algorithms on the fingerprint fast path.
 func (s *restrictedState) Hash64() uint64 { return stateHash(s.inner) }
+
+// SendsDone delegates to the inner state: restriction only drops sends, so
+// an inner state that is done sending stays done under the restriction.
+func (s *restrictedState) SendsDone() bool { return StateSendsDone(s.inner) }
 
 // SymHash64 delegates to the inner state: the restriction's member set is
 // part of the search's fixed initial conditions (it equals the live set any

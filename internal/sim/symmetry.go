@@ -196,6 +196,29 @@ func (c *Configuration) DetachSymmetry() { c.sym = nil }
 // before AttachSymmetry.
 func (c *Configuration) Canonical64() uint64 { return c.symfp }
 
+// LiveCanonical64 is LiveFingerprint for the orbit-canonical fingerprint:
+// the canonical sum with every crashed slot's signature replaced by a
+// normalized one covering only the class label, the crash flag, and the
+// write-once decision — the crashed state hash and the crashed slot's
+// buffered-message terms are dropped as behaviourally inert. Like
+// Canonical64 it is meaningless before AttachSymmetry. The normalization is
+// sound independently of SymHasher64 opt-ins: it never merges by renaming,
+// only by inertness, and the live slots keep their Canonical64 hashing.
+func (c *Configuration) LiveCanonical64() uint64 {
+	s := c.symfp
+	for i := 0; i < c.n; i++ {
+		if !c.crashed[i] {
+			continue
+		}
+		h := uint64(fnvOffset64)
+		h = fnvUint(h, c.sym.labels[i])
+		h = fnvUint(h, 1)
+		h = fnvUint(h, uint64(c.decisions[i]))
+		s += splitmix64(splitmix64(h)) - c.symSig(i)
+	}
+	return s
+}
+
 // recomputeSymmetry rebuilds the canonical fingerprint and its per-slot
 // caches from scratch: AttachSymmetry uses it once, the symmetry tests use
 // it to cross-check the incremental maintenance.

@@ -1,0 +1,40 @@
+// Package testutil holds test helpers shared by the root package's and
+// internal/explore's suites. It depends only on the simulation kernel so
+// that explore's own in-package tests can import it (a dependency on
+// explore would cycle); keeping the helpers in one package — rather than
+// copying them per suite — is what lets the differential matrices of the
+// fingerprint, symmetry, and partial-order-reduction layers assert witness
+// validity identically.
+package testutil
+
+import (
+	"testing"
+
+	"kset/internal/sim"
+)
+
+// RevalidateWitness asserts that an explore witness's replayed run
+// concretely exhibits the violation its kind claims: replay already
+// re-executed the schedule step by step (any divergence would have
+// errored), so the final configuration's decisions/blocked set are real.
+// Pass the witness's Kind and Run. It fails the test when the run is
+// missing, when a "disagreement" witness replays to fewer than two distinct
+// decisions, or when a "blocking" witness replays with no blocked process.
+func RevalidateWitness(t testing.TB, kind string, run *sim.Run) {
+	t.Helper()
+	if run == nil || run.Final == nil {
+		t.Fatal("witness has no replayed run")
+	}
+	switch kind {
+	case "disagreement":
+		if len(run.DistinctDecisions()) < 2 {
+			t.Fatalf("disagreement witness replays to decisions %v", run.DistinctDecisions())
+		}
+	case "blocking":
+		if len(run.Blocked) == 0 {
+			t.Fatal("blocking witness replays with no blocked process")
+		}
+	default:
+		t.Fatalf("unknown witness kind %q", kind)
+	}
+}

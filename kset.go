@@ -237,6 +237,26 @@ var SearchWorkers = 0
 // discussion).
 var SearchSymmetry = false
 
+// SearchPOR enables commutativity-based partial-order reduction in every
+// condition-(C) state-space search the facade spawns (FindConsensusFailure
+// and the E6 valence analyses): once every live process's state proves —
+// through the opt-in sim.SendQuiescent interface — that its sending phase
+// is over, steps of distinct processes touch disjoint state and commute, so
+// each expansion keeps only one delivering process instead of all
+// interleavings — crashes against the remaining budget and pending
+// decision steps are deferred by commutation, never lost — and revisit
+// detection collapses behaviourally inert crashed-slot content
+// (sim.Configuration.LiveFingerprint). Verdicts, witnesses' replayability,
+// and the valence tables are exactly those of the unreduced search; only
+// the visited-node count
+// shrinks. The reduction composes multiplicatively with SearchSymmetry —
+// the two cut orthogonal axes of redundancy — and is a full, sound no-op
+// for oracle-backed searches (E5's detector sweeps); for algorithms
+// without sim.SendQuiescent only the inert-crashed-slot collapsing
+// remains active, which is sound for any algorithm. Default off. See
+// explore.Options.POR for the soundness argument.
+var SearchPOR = false
+
 // FindConsensusFailure searches the subsystem of live processes for a
 // disagreement or blocking witness of the algorithm under adversarial
 // scheduling with the given crash budget — the condition (C) helper exposed
@@ -248,6 +268,7 @@ func FindConsensusFailure(alg Algorithm, inputs []Value, live []ProcessID, crash
 		MaxConfigs: maxConfigs,
 		Workers:    SearchWorkers,
 		Symmetry:   SearchSymmetry,
+		POR:        SearchPOR,
 	})
 	w, found, err := ex.FindDisagreement()
 	if err != nil || found {
