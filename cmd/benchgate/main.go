@@ -13,16 +13,27 @@
 // benchgate takes the median across repetitions, which absorbs scheduler
 // noise far better than single runs. Benchmark names are compared after
 // stripping the trailing -GOMAXPROCS suffix, so baselines recorded on
-// machines with different core counts still line up. Benchmarks reporting a
-// custom nodes/op metric (the search benchmarks report their visited-node
-// count) get the node-count delta printed alongside ns/op — node counts are
-// deterministic, so that column separates real search-size regressions from
-// scheduler noise. Non-gated benchmarks present in both files are reported
-// for context but never fail the gate; a gated benchmark absent from the
-// baseline (i.e. newly added) is reported as a warning and skipped, so
-// landing a new gated benchmark and its baseline refresh in one change
-// works; a gated benchmark that disappears from the fresh output fails.
-// Refreshing the baseline is documented in README.md.
+// machines with different core counts still line up.
+//
+// Three metrics are gated. Median ns/op regressions beyond -max-regress
+// percent fail. When both files carry the -benchmem columns, median B/op
+// and allocs/op regressions beyond -max-regress-mem percent fail too —
+// allocation counts are nearly deterministic, so the memory gate catches
+// footprint regressions (a per-state allocation sneaking back into the
+// search hot loop) that wall-clock noise would hide. A gated benchmark
+// whose baseline carries memory columns but whose fresh output does not
+// fails the gate outright: that shape means the CI command dropped
+// -benchmem, which would otherwise silently disable the memory gate.
+// Benchmarks reporting a custom nodes/op metric (the search benchmarks
+// report their visited-node count) get the node-count delta printed
+// alongside — node counts are deterministic, so that column separates real
+// search-size regressions from scheduler noise. Non-gated benchmarks
+// present in both files are reported for context but never fail the gate;
+// a gated benchmark absent from the baseline (i.e. newly added) is
+// reported as a warning and skipped, so landing a new gated benchmark and
+// its baseline refresh in one change works; a gated benchmark that
+// disappears from the fresh output fails. Refreshing the baseline is
+// documented in README.md.
 package main
 
 import (
@@ -30,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -45,9 +57,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	baselinePath := fs.String("baseline", "bench_baseline.txt", "committed baseline benchmark output")
 	newPath := fs.String("new", "", "freshly generated benchmark output (required)")
-	gate := fs.String("gate", "BenchmarkEngineTheorem2MinWait,BenchmarkE5FailureDetectorBorder,BenchmarkE1Theorem2Border,BenchmarkSymmetrySearch/on,BenchmarkPORSearch/on",
+	gate := fs.String("gate", "BenchmarkEngineTheorem2MinWait,BenchmarkE5FailureDetectorBorder,BenchmarkE1Theorem2Border,BenchmarkSymmetrySearch/on,BenchmarkPORSearch/on,BenchmarkFrontierOnlySearch/inmem,BenchmarkFrontierOnlySearch/frontier",
 		"comma-separated benchmark names that fail the gate on regression")
 	maxRegress := fs.Float64("max-regress", 20, "maximum allowed regression of median ns/op, in percent")
+	maxRegressMem := fs.Float64("max-regress-mem", 20, "maximum allowed regression of median B/op and allocs/op, in percent")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -94,6 +107,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			verdict = "info"
 		}
 		line := fmt.Sprintf("%-60s %14.0f %14.0f %+8.1f%%  %s", name, bm, nm, delta, verdict)
+		for _, mem := range []struct {
+			label string
+			sel   func(sample) (float64, bool)
+		}{
+			{"B/op", func(s sample) (float64, bool) { return s.bytes, s.hasBytes }},
+			{"allocs/op", func(s sample) (float64, bool) { return s.allocs, s.hasAllocs }},
+		} {
+			bv, bok := medianMetric(base[name], mem.sel)
+			nv, nok := medianMetric(fresh[name], mem.sel)
+			switch {
+			case bok && nok:
+				// A zero baseline (an allocation-free hot loop — the very
+				// case the gate protects) regresses on ANY nonzero fresh
+				// value; a ratio would divide by zero and silently pass.
+				memDelta := 0.0
+				if bv > 0 {
+					memDelta = 100 * (nv - bv) / bv
+				} else if nv > 0 {
+					memDelta = math.Inf(1)
+				}
+				memVerdict := ""
+				if gated[name] && memDelta > *maxRegressMem {
+					memVerdict = fmt.Sprintf(" FAIL (> +%.0f%%)", *maxRegressMem)
+					failed++
+				}
+				line += fmt.Sprintf("  [%s %.0f -> %.0f, %+.1f%%%s]", mem.label, bv, nv, memDelta, memVerdict)
+			case bok && !nok && gated[name]:
+				// The baseline gates this metric but the fresh run dropped it:
+				// the CI command lost -benchmem. Failing beats a silently
+				// disabled memory gate.
+				fmt.Fprintf(stderr, "benchgate: gated benchmark %s reports no %s in %s (baseline has it; run with -benchmem)\n",
+					name, mem.label, *newPath)
+				failed++
+			}
+		}
 		if bn, nn, ok := medianNodes(base[name], fresh[name]); ok {
 			line += fmt.Sprintf("  [nodes %.0f -> %.0f, %+.1f%%]", bn, nn, 100*(nn-bn)/bn)
 		}
@@ -125,11 +173,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // sample is one benchmark result line: the ns/op value plus the optional
-// nodes/op metric search benchmarks report.
+// -benchmem columns and the nodes/op metric search benchmarks report.
 type sample struct {
-	ns       float64
-	nodes    float64
-	hasNodes bool
+	ns        float64
+	bytes     float64
+	allocs    float64
+	nodes     float64
+	hasBytes  bool
+	hasAllocs bool
+	hasNodes  bool
 }
 
 // parseFile reads `go test -bench` output, returning samples per benchmark
@@ -177,6 +229,10 @@ func parseLine(line string) (string, sample, bool) {
 		switch fields[i+1] {
 		case "ns/op":
 			s.ns, haveNs = v, true
+		case "B/op":
+			s.bytes, s.hasBytes = v, true
+		case "allocs/op":
+			s.allocs, s.hasAllocs = v, true
 		case "nodes/op":
 			s.nodes, s.hasNodes = v, true
 		}
@@ -210,6 +266,24 @@ func medianNs(samples []sample) float64 {
 		vals[i] = s.ns
 	}
 	return median(vals)
+}
+
+// medianMetric returns the median of an optional per-sample metric,
+// reporting ok=false unless every sample carries it (a mixed file would
+// yield a median over a different population than ns/op).
+func medianMetric(samples []sample, sel func(sample) (float64, bool)) (float64, bool) {
+	vals := make([]float64, len(samples))
+	for i, s := range samples {
+		v, ok := sel(s)
+		if !ok {
+			return 0, false
+		}
+		vals[i] = v
+	}
+	if len(vals) == 0 {
+		return 0, false
+	}
+	return median(vals), true
 }
 
 // medianNodes returns the median nodes/op of both sample sets, reporting

@@ -186,3 +186,137 @@ func TestMedian(t *testing.T) {
 		t.Fatalf("even median = %v", m)
 	}
 }
+
+// memBase is a fully -benchmem baseline for the memory-gate tests.
+const memBase = `goos: linux
+pkg: kset/internal/explore
+BenchmarkFrontierOnlySearch/inmem-4      	      50	  20000000 ns/op	  5000000 B/op	   40000 allocs/op	 42683 nodes/op
+BenchmarkFrontierOnlySearch/inmem-4      	      50	  21000000 ns/op	  5100000 B/op	   40100 allocs/op	 42683 nodes/op
+BenchmarkFrontierOnlySearch/frontier-4   	      50	  22000000 ns/op	  1000000 B/op	   30000 allocs/op	 42683 nodes/op
+BenchmarkFrontierOnlySearch/frontier-4   	      50	  22500000 ns/op	  1010000 B/op	   30050 allocs/op	 42683 nodes/op
+PASS
+`
+
+func memGateArgs(basePath, newPath string) []string {
+	return []string{"-baseline", basePath, "-new", newPath, "-max-regress", "20", "-max-regress-mem", "20",
+		"-gate", "BenchmarkFrontierOnlySearch/inmem,BenchmarkFrontierOnlySearch/frontier"}
+}
+
+func writeMemFiles(t *testing.T, newOut string) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(basePath, []byte(memBase), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(newOut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return basePath, newPath
+}
+
+func TestMemoryGatePassesWithinBudget(t *testing.T) {
+	// +10% B/op and +5% allocs/op: inside the 20% memory gate.
+	basePath, newPath := writeMemFiles(t, `
+BenchmarkFrontierOnlySearch/inmem-8      	      50	  20500000 ns/op	  5500000 B/op	   42000 allocs/op	 42683 nodes/op
+BenchmarkFrontierOnlySearch/frontier-8   	      50	  22000000 ns/op	  1100000 B/op	   31000 allocs/op	 42683 nodes/op
+`)
+	var out, errOut strings.Builder
+	if code := run(memGateArgs(basePath, newPath), &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s\nstdout:\n%s", code, errOut.String(), out.String())
+	}
+	if !strings.Contains(out.String(), "B/op") || !strings.Contains(out.String(), "allocs/op") {
+		t.Fatalf("memory columns not reported:\n%s", out.String())
+	}
+}
+
+func TestMemoryGateFailsOnBytesRegression(t *testing.T) {
+	// ns/op flat, B/op +50% on a gated benchmark: the memory gate must fail.
+	basePath, newPath := writeMemFiles(t, `
+BenchmarkFrontierOnlySearch/inmem-8      	      50	  20500000 ns/op	  7500000 B/op	   40000 allocs/op	 42683 nodes/op
+BenchmarkFrontierOnlySearch/frontier-8   	      50	  22000000 ns/op	  1000000 B/op	   30000 allocs/op	 42683 nodes/op
+`)
+	var out, errOut strings.Builder
+	if code := run(memGateArgs(basePath, newPath), &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "B/op 5050000 -> 7500000") {
+		t.Fatalf("B/op regression not reported:\n%s", out.String())
+	}
+}
+
+func TestMemoryGateFailsOnAllocsRegression(t *testing.T) {
+	basePath, newPath := writeMemFiles(t, `
+BenchmarkFrontierOnlySearch/inmem-8      	      50	  20500000 ns/op	  5000000 B/op	   80000 allocs/op	 42683 nodes/op
+BenchmarkFrontierOnlySearch/frontier-8   	      50	  22000000 ns/op	  1000000 B/op	   30000 allocs/op	 42683 nodes/op
+`)
+	var out, errOut strings.Builder
+	if code := run(memGateArgs(basePath, newPath), &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s", code, out.String())
+	}
+}
+
+func TestMemoryGateFailsWhenFreshDropsBenchmem(t *testing.T) {
+	// The fresh output lost the -benchmem columns on gated benchmarks: that
+	// must fail rather than silently disable the memory gate.
+	basePath, newPath := writeMemFiles(t, `
+BenchmarkFrontierOnlySearch/inmem-8      	      50	  20500000 ns/op	 42683 nodes/op
+BenchmarkFrontierOnlySearch/frontier-8   	      50	  22000000 ns/op	 42683 nodes/op
+`)
+	var out, errOut strings.Builder
+	if code := run(memGateArgs(basePath, newPath), &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stderr:\n%s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "run with -benchmem") {
+		t.Fatalf("missing -benchmem hint:\n%s", errOut.String())
+	}
+}
+
+func TestMemoryGateSkipsUngatedAndLegacyBaselines(t *testing.T) {
+	// A legacy baseline without memory columns gates ns/op only — landing
+	// the -benchmem transition must not fail on old baselines.
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(basePath, []byte(`
+BenchmarkFrontierOnlySearch/inmem-4      	      50	  20000000 ns/op
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(`
+BenchmarkFrontierOnlySearch/inmem-8      	      50	  20500000 ns/op	  9900000 B/op	   90000 allocs/op
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	args := []string{"-baseline", basePath, "-new", newPath, "-max-regress", "20",
+		"-gate", "BenchmarkFrontierOnlySearch/inmem"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errOut.String())
+	}
+}
+
+func TestMemoryGateFailsFromZeroBaseline(t *testing.T) {
+	// An allocation-free baseline regressing to any nonzero count must fail;
+	// a naive ratio would divide by zero and silently pass.
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.txt")
+	newPath := filepath.Join(dir, "new.txt")
+	if err := os.WriteFile(basePath, []byte(`
+BenchmarkFrontierOnlySearch/inmem-4      	   50000	      2000 ns/op	       0 B/op	       0 allocs/op
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newPath, []byte(`
+BenchmarkFrontierOnlySearch/inmem-8      	   50000	      2000 ns/op	     128 B/op	       2 allocs/op
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut strings.Builder
+	args := []string{"-baseline", basePath, "-new", newPath, "-max-regress", "20",
+		"-gate", "BenchmarkFrontierOnlySearch/inmem"}
+	if code := run(args, &out, &errOut); code != 1 {
+		t.Fatalf("exit %d, want 1; stdout:\n%s", code, out.String())
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"kset"
+	"kset/internal/explore"
 )
 
 func main() {
@@ -36,14 +37,26 @@ func run(args []string) int {
 	searchWorkers := fs.Int("search-workers", 0, "worker goroutines per frontier search (0 = GOMAXPROCS, 1 = sequential)")
 	symmetry := fs.Bool("symmetry", false, "orbit-canonical revisit detection in state-space searches (collapses process-renamed configurations; see README, Reductions)")
 	por := fs.Bool("por", false, "partial-order reduction in state-space searches (prunes interleavings of commuting steps once sending is over; composes with -symmetry; see README, Reductions)")
+	store := fs.String("store", "", "search memory regime: inmem (default), frontier (visited keys + two BFS levels only), or spill (frontier + sealed levels on disk); see README, Memory & checkpoints")
+	checkpoint := fs.String("checkpoint", "", "directory for pausing truncated bounded searches and resuming them on the next run (requires -store frontier or spill)")
 	writeGolden := fs.String("write-golden", "", "write each table to <dir>/<ID>.txt instead of stdout")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, err := explore.ParseStore(*store); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *checkpoint != "" && (*store == "" || *store == "inmem") {
+		fmt.Fprintln(os.Stderr, "experiments: -checkpoint requires -store frontier or -store spill")
 		return 2
 	}
 	kset.SweepWorkers = *sweepWorkers
 	kset.SearchWorkers = *searchWorkers
 	kset.SearchSymmetry = *symmetry
 	kset.SearchPOR = *por
+	kset.SearchStore = *store
+	kset.SearchCheckpoint = *checkpoint
 
 	want := make(map[string]bool, fs.NArg())
 	for _, a := range fs.Args() {

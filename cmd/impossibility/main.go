@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"kset"
+	"kset/internal/explore"
 )
 
 func main() {
@@ -38,14 +39,27 @@ func run() int {
 		workers   = flag.Int("search-workers", 0, "worker goroutines per bfs frontier search (0 = GOMAXPROCS, 1 = sequential)")
 		symmetry  = flag.Bool("symmetry", false, "orbit-canonical revisit detection in the <D-bar> search (no-op for the distinct proposals Theorem 1 requires; pays off for repeated-input vetting)")
 		por       = flag.Bool("por", false, "partial-order reduction in the <D-bar> search (prunes interleavings of commuting steps once every live process has finished sending; composes with -symmetry)")
+		store     = flag.String("store", "", "search memory regime: inmem (default), frontier (visited keys + two BFS levels only), or spill (frontier + sealed levels on disk)")
+		ckpt      = flag.String("checkpoint", "", "directory for pausing truncated bounded <D-bar> searches and resuming them on the next run (requires -store frontier or spill and -strategy bfs)")
 		verbose   = flag.Bool("v", false, "print the per-condition explanation")
 	)
 	flag.Parse()
+
+	if _, err := explore.ParseStore(*store); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *ckpt != "" && (*store == "" || *store == "inmem") {
+		fmt.Fprintln(os.Stderr, "impossibility: -checkpoint requires -store frontier or -store spill")
+		return 2
+	}
 
 	// The Theorem 10 path goes through the facade's global knobs rather than
 	// an explicit Instance, so mirror the flags there too.
 	kset.SearchSymmetry = *symmetry
 	kset.SearchPOR = *por
+	kset.SearchStore = *store
+	kset.SearchCheckpoint = *ckpt
 
 	if *theorem10 {
 		rep, merged, err := kset.Theorem10Construction(*n, *k, *maxCfg)
@@ -100,6 +114,8 @@ func run() int {
 		SearchWorkers:   *workers,
 		Symmetry:        *symmetry,
 		POR:             *por,
+		SearchStore:     *store,
+		Checkpoint:      *ckpt,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "engine: %v\n", err)

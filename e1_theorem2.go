@@ -112,5 +112,7 @@ func VerifyTheorem2Row(n, f, k, maxConfigs int) (*core.Report, error) {
 		MaxConfigs:      maxConfigs,
 		Symmetry:        SearchSymmetry,
 		POR:             SearchPOR,
+		SearchStore:     SearchStore,
+		Checkpoint:      SearchCheckpoint,
 	})
 }

@@ -188,6 +188,8 @@ func Theorem10Construction(n, k, maxConfigs int) (*core.Report, *core.MergedGrou
 		MaxConfigs:      maxConfigs,
 		Symmetry:        SearchSymmetry,
 		POR:             SearchPOR, // sound no-op here: the Gamma oracle disables pruning
+		SearchStore:     SearchStore,
+		Checkpoint:      SearchCheckpoint,
 	})
 	if err != nil {
 		return nil, nil, err

@@ -92,6 +92,23 @@ type Instance struct {
 	// symmetric under the same renamings.
 	Symmetry bool
 
+	// SearchStore selects the memory regime of the condition-(C)
+	// exploration: "" or "inmem" for the default arena-backed engine,
+	// "frontier" to retain only the compact fingerprint visited set plus the
+	// current and next BFS levels (witnesses reconstruct by bounded
+	// re-search), "spill" to additionally stream sealed levels to disk. The
+	// bounded stores apply to breadth-first searches in full and to DFS as a
+	// cons-list-path engine; results are bit-identical to the in-memory
+	// engine in every mode (see explore.Options.Store).
+	SearchStore string
+
+	// Checkpoint, when non-empty, names a directory in which truncated
+	// bounded breadth-first condition-(C) searches persist their paused
+	// state and from which a later run of the same instance resumes;
+	// requires a bounded SearchStore and SearchStrategy "bfs" (see
+	// explore.Options.Checkpoint).
+	Checkpoint string
+
 	// POR enables commutativity-based partial-order reduction in the
 	// condition-(C) exploration (explore.Options.POR): once every live
 	// process of <D-bar> has provably finished sending, redundant
@@ -227,6 +244,10 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 		// reports "not refuted" where DFS refutes. Reject it here instead.
 		return nil, fmt.Errorf("core: unknown SearchStrategy %q (want \"dfs\" or \"bfs\")", inst.SearchStrategy)
 	}
+	store, err := explore.ParseStore(inst.SearchStore)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	ex := explore.New(restricted, inst.Inputs, explore.Options{
 		Live:       dbar,
 		MaxCrashes: inst.DBarCrashBudget,
@@ -236,6 +257,8 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 		Workers:    inst.SearchWorkers,
 		Symmetry:   inst.Symmetry,
 		POR:        inst.POR,
+		Store:      store,
+		Checkpoint: inst.Checkpoint,
 	})
 	witness, found, err := ex.FindDisagreement()
 	if err != nil {

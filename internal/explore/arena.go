@@ -1,12 +1,13 @@
 package explore
 
-// This file holds the arena-backed search bookkeeping shared by search,
-// Valence, and the critical-step analysis: visited detection is a
-// map[uint64]int32 from configuration fingerprints (plus crash budget) into
-// a flat []node arena, replacing the former map[string]node keyed by the
-// fully materialized O(n·|buffers|) configuration strings. Parent links are
-// int32 arena indices with the reaching action stored inline, so witness
-// replay walks indices instead of re-deriving string chains.
+// This file holds the arena-backed search bookkeeping of the in-memory
+// store (Options.Store == StoreInMemory), shared by the witness searches of
+// search.go and parallel.go: visited detection inserts configuration
+// fingerprints (plus crash budget) into the compact visitedSet of
+// visited.go, and parent links live in a flat []node arena indexed by int32
+// with the reaching action stored inline, so witness replay walks indices
+// instead of re-deriving string chains. The bounded stores of bounded.go
+// keep the visitedSet but drop the node arena entirely.
 
 // node records how a configuration was reached: the arena index of its
 // parent (-1 for the root) and the action that produced it.
@@ -19,34 +20,31 @@ type node struct {
 // search.
 type arena struct {
 	nodes   []node
-	visited map[uint64]int32
+	visited *visitedSet
 }
 
 func newArena() *arena {
 	return &arena{
 		nodes:   make([]node, 0, 1024),
-		visited: make(map[uint64]int32, 1024),
+		visited: newVisitedSet(),
 	}
 }
 
 // root registers the initial configuration under key and returns its index.
 func (a *arena) root(key uint64) int32 {
 	a.nodes = append(a.nodes, node{parent: -1})
-	idx := int32(len(a.nodes) - 1)
-	a.visited[key] = idx
-	return idx
+	a.visited.Insert(key)
+	return int32(len(a.nodes) - 1)
 }
 
 // insert records a configuration reached from parent by act. It returns the
 // new node's index and true, or (0, false) when key was already visited.
 func (a *arena) insert(key uint64, parent int32, act action) (int32, bool) {
-	if _, seen := a.visited[key]; seen {
+	if !a.visited.Insert(key) {
 		return 0, false
 	}
 	a.nodes = append(a.nodes, node{parent: parent, act: act})
-	idx := int32(len(a.nodes) - 1)
-	a.visited[key] = idx
-	return idx, true
+	return int32(len(a.nodes) - 1), true
 }
 
 // path reconstructs the action sequence leading from the root to idx, in

@@ -144,6 +144,41 @@ func BenchmarkPORSearch(b *testing.B) {
 	b.Run("on", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkFrontierOnlySearch times the same exhaustive uniform-input
+// Theorem 2 search (MinWait{F:1}, four interchangeable processes, one late
+// crash — no witness exists, so all ~42683 configurations are visited)
+// under the in-memory arena store and the frontier-only bounded store.
+// Both variants are gated in CI (cmd/benchgate) with the -benchmem B/op and
+// allocs/op columns: the pair pins the bounded engine's time overhead
+// against the arena engine AND the per-state allocation profile of each —
+// the bounded store's reason to exist is the B/op column. Both report
+// nodes/op (identical by the bit-identity guarantee; benchgate shows the
+// delta, which must be zero).
+func BenchmarkFrontierOnlySearch(b *testing.B) {
+	inputs := []sim.Value{0, 0, 0, 0}
+	live := []sim.ProcessID{1, 2, 3, 4}
+	run := func(b *testing.B, store Store) {
+		b.ReportAllocs()
+		visited := 0
+		for i := 0; i < b.N; i++ {
+			e := New(algorithms.MinWait{F: 1}, inputs, Options{
+				Live:       live,
+				MaxCrashes: 1,
+				Workers:    1,
+				Store:      store,
+			})
+			w, found, err := e.FindDisagreement()
+			if err != nil || found || w.Stats.Truncated {
+				b.Fatalf("found=%t truncated=%t err=%v", found, w.Stats.Truncated, err)
+			}
+			visited = w.Stats.Visited
+		}
+		b.ReportMetric(float64(visited), "nodes/op")
+	}
+	b.Run("inmem", func(b *testing.B) { run(b, StoreInMemory) })
+	b.Run("frontier", func(b *testing.B) { run(b, StoreFrontierOnly) })
+}
+
 func BenchmarkValence(b *testing.B) {
 	inputs := []sim.Value{0, 1, 1}
 	for i := 0; i < b.N; i++ {

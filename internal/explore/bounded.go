@@ -1,0 +1,783 @@
+package explore
+
+// This file implements the memory-bounded search engines selected by
+// Options.Store. The in-memory engines of search.go and parallel.go retain
+// one arena node (parent index + action) per visited configuration so a
+// witness replays by walking parent chains; on exhaustive verification
+// workloads — the searches that visit millions of configurations precisely
+// because no witness exists — that arena, not the frontier, dominates the
+// footprint.
+//
+// The bounded breadth-first engine keeps, per visited configuration, only
+// its revisit key in the compact visitedSet of visited.go (~16 B/state) plus
+// the live configurations of the current and next BFS levels. What it drops
+// is the per-node parentage, which is only ever needed when a witness is
+// found — and parentage is redundant: the traversal is fully deterministic,
+// so each level is a pure function of the previous one. The engine therefore
+// records, per level, the sequence of generation records (parent position in
+// the previous level, action) into a pluggable sink:
+//
+//   - StoreFrontierOnly discards them as levels seal. If a goal
+//     configuration is found at depth d, the witness path is reconstructed
+//     by a bounded re-search: the same deterministic traversal is re-run
+//     with a recording sink and stops at the identical hit, after which the
+//     path is read off the records. The re-search doubles the time to the
+//     witness — never the memory — and verification runs that find nothing
+//     (the memory-critical case) never pay it.
+//
+//   - StoreSpill streams sealed levels to a temporary disk file instead,
+//     8 bytes per record. Witness reconstruction walks the file backwards by
+//     random access and checkpoints are written by streaming re-read, both
+//     without re-searching.
+//
+// Truncation at MaxConfigs becomes a pause instead of a dead end: with
+// Options.Checkpoint set, the paused state (the level logs — everything
+// else regenerates from them) is persisted and a later search of the same
+// instance resumes exactly where this one stopped; see checkpoint.go.
+//
+// Both bounded engines — the serial loop below and the chunked parallel
+// frontier built on expandLevel of parallel.go — visit configurations in
+// exactly the sequential in-memory order, so verdicts, stats, truncation
+// behaviour, and reconstructed witnesses are bit-identical to the arena
+// engines at every worker count. The depth-first twin at the bottom of the
+// file keeps witnesses as immutable cons-list paths hanging off the stack
+// (dead branches are garbage-collected), which bounds DFS memory by the
+// visited-key set plus the live stack.
+
+import (
+	"fmt"
+	"os"
+
+	"kset/internal/sim"
+)
+
+// Store selects the memory regime of a search; see Options.Store.
+type Store int
+
+// Store modes.
+const (
+	// StoreInMemory retains the full node arena (default).
+	StoreInMemory Store = iota
+	// StoreFrontierOnly retains only the compact visited-key set and the
+	// current/next BFS levels; witnesses reconstruct by bounded re-search.
+	StoreFrontierOnly
+	// StoreSpill is StoreFrontierOnly plus sealed level logs streamed to a
+	// temporary disk file, enabling re-search-free witness reconstruction
+	// and cheap checkpoints.
+	StoreSpill
+)
+
+func (s Store) String() string {
+	switch s {
+	case StoreInMemory:
+		return "inmem"
+	case StoreFrontierOnly:
+		return "frontier"
+	case StoreSpill:
+		return "spill"
+	default:
+		return fmt.Sprintf("store(%d)", int(s))
+	}
+}
+
+// ParseStore parses the CLI spelling of a store mode: "inmem" (or empty),
+// "frontier", or "spill".
+func ParseStore(s string) (Store, error) {
+	switch s {
+	case "", "inmem":
+		return StoreInMemory, nil
+	case "frontier":
+		return StoreFrontierOnly, nil
+	case "spill":
+		return StoreSpill, nil
+	default:
+		return 0, fmt.Errorf("explore: unknown store %q (want inmem, frontier, or spill)", s)
+	}
+}
+
+// levelRec is one generation record of a bounded search: frontier entry
+// number pos of level l+1 was produced by applying act to entry parent of
+// level l. Level logs are sequences of these, in frontier order.
+type levelRec struct {
+	parent int32
+	act    action
+}
+
+// recBits packs a record into the fixed 8-byte on-disk encoding shared by
+// the spill file and the checkpoint format: parent in the low 32 bits, then
+// process id (16), delivery mode (8), and the crash/omit flags (8).
+func recBits(r levelRec) uint64 {
+	var flags uint64
+	if r.act.Crash {
+		flags |= 1
+	}
+	if r.act.Omit {
+		flags |= 2
+	}
+	return uint64(uint32(r.parent)) |
+		uint64(uint16(r.act.Proc))<<32 |
+		uint64(uint8(r.act.Mode))<<48 |
+		flags<<56
+}
+
+// recFromBits is the inverse of recBits.
+func recFromBits(b uint64) levelRec {
+	return levelRec{
+		parent: int32(uint32(b)),
+		act: action{
+			Proc:  sim.ProcessID(uint16(b >> 32)),
+			Mode:  DeliveryMode(uint8(b >> 48)),
+			Crash: b>>56&1 != 0,
+			Omit:  b>>56&2 != 0,
+		},
+	}
+}
+
+// levelSink receives the generation records of a bounded search, one begun
+// level at a time. Level l's records generate frontier level l+1.
+type levelSink interface {
+	// beginLevel opens the next level's record sequence.
+	beginLevel() error
+	// append adds a record to the most recently begun level.
+	append(rec levelRec) error
+	// levels returns the number of levels begun.
+	levels() int
+	// levelLen returns the number of records appended to level l.
+	levelLen(l int) int
+	// record returns the pos'th record of level l. Only retained sinks
+	// support it.
+	record(l, pos int) (levelRec, error)
+	// retained reports whether records can be read back — the condition for
+	// re-search-free witness reconstruction and for checkpointing.
+	retained() bool
+	// discard releases the sink's resources (no-op where there are none).
+	discard()
+}
+
+// discardSink counts records without keeping them: the StoreFrontierOnly
+// sink when no checkpoint directory is configured.
+type discardSink struct {
+	lens []int
+}
+
+func (d *discardSink) beginLevel() error { d.lens = append(d.lens, 0); return nil }
+func (d *discardSink) append(levelRec) error {
+	d.lens[len(d.lens)-1]++
+	return nil
+}
+func (d *discardSink) levels() int        { return len(d.lens) }
+func (d *discardSink) levelLen(l int) int { return d.lens[l] }
+func (d *discardSink) record(l, pos int) (levelRec, error) {
+	return levelRec{}, fmt.Errorf("explore: level records were discarded (frontier-only store)")
+}
+func (d *discardSink) retained() bool { return false }
+func (d *discardSink) discard()       {}
+
+// memSink retains records in memory, 8 bytes each in packed form: the
+// recording sink of witness re-searches, of checkpoint-enabled
+// frontier-only searches, and of restored checkpoints.
+type memSink struct {
+	recs [][]uint64
+}
+
+func (m *memSink) beginLevel() error { m.recs = append(m.recs, nil); return nil }
+func (m *memSink) append(rec levelRec) error {
+	m.recs[len(m.recs)-1] = append(m.recs[len(m.recs)-1], recBits(rec))
+	return nil
+}
+func (m *memSink) levels() int        { return len(m.recs) }
+func (m *memSink) levelLen(l int) int { return len(m.recs[l]) }
+func (m *memSink) record(l, pos int) (levelRec, error) {
+	return recFromBits(m.recs[l][pos]), nil
+}
+func (m *memSink) retained() bool { return true }
+func (m *memSink) discard()       {}
+
+// diskSink streams records to a temporary file: the StoreSpill sink. Writes
+// go through an in-memory tail buffer flushed at level boundaries; record()
+// reads are served from the tail when possible and by ReadAt otherwise, so
+// backward witness walks touch the disk only for long-sealed levels.
+type diskSink struct {
+	f    *os.File
+	offs []int64 // byte offset of each level's first record
+	lens []int
+	size int64  // bytes flushed to the file
+	tail []byte // records not yet flushed (current level's)
+	// rbuf caches one read block so the sequential record() walks of
+	// checkpoint serialization and resume regeneration cost one pread per
+	// 64 KiB instead of one per 8-byte record. Flushed bytes are immutable
+	// (appends only extend the file), so the cache never invalidates.
+	rbuf    []byte
+	rbufOff int64
+}
+
+// newDiskSink creates the spill file in dir ("" = os.TempDir()) and
+// immediately unlinks it where the platform allows (the open descriptor
+// keeps the storage alive), so spill space is reclaimed by the OS no matter
+// how the search — or the process — ends; discard closes the descriptor and
+// re-removes the name for platforms where unlink-while-open fails.
+func newDiskSink(dir string) (*diskSink, error) {
+	f, err := os.CreateTemp(dir, "kset-spill-*.lvl")
+	if err != nil {
+		return nil, fmt.Errorf("explore: creating spill file: %w", err)
+	}
+	os.Remove(f.Name())
+	return &diskSink{f: f}, nil
+}
+
+func (d *diskSink) beginLevel() error {
+	if err := d.flush(); err != nil {
+		return err
+	}
+	d.offs = append(d.offs, d.size)
+	d.lens = append(d.lens, 0)
+	return nil
+}
+
+func (d *diskSink) append(rec levelRec) error {
+	bits := recBits(rec)
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(bits >> (8 * i))
+	}
+	d.tail = append(d.tail, buf[:]...)
+	d.lens[len(d.lens)-1]++
+	if len(d.tail) >= 1<<20 {
+		return d.flush()
+	}
+	return nil
+}
+
+func (d *diskSink) flush() error {
+	if len(d.tail) == 0 {
+		return nil
+	}
+	if _, err := d.f.WriteAt(d.tail, d.size); err != nil {
+		return fmt.Errorf("explore: spill write: %w", err)
+	}
+	d.size += int64(len(d.tail))
+	d.tail = d.tail[:0]
+	return nil
+}
+
+func (d *diskSink) levels() int        { return len(d.offs) }
+func (d *diskSink) levelLen(l int) int { return d.lens[l] }
+
+func (d *diskSink) record(l, pos int) (levelRec, error) {
+	off := d.offs[l] + 8*int64(pos)
+	if off >= d.size {
+		// Not yet flushed: serve from the tail buffer.
+		t := off - d.size
+		return recFromBits(leUint64(d.tail[t : t+8])), nil
+	}
+	if off < d.rbufOff || off+8 > d.rbufOff+int64(len(d.rbuf)) {
+		n := int64(1 << 16)
+		if off+n > d.size {
+			n = d.size - off
+		}
+		if int64(cap(d.rbuf)) < n {
+			d.rbuf = make([]byte, n)
+		}
+		d.rbuf = d.rbuf[:n]
+		if _, err := d.f.ReadAt(d.rbuf, off); err != nil {
+			d.rbuf = d.rbuf[:0]
+			return levelRec{}, fmt.Errorf("explore: spill read: %w", err)
+		}
+		d.rbufOff = off
+	}
+	t := off - d.rbufOff
+	return recFromBits(leUint64(d.rbuf[t : t+8])), nil
+}
+
+func (d *diskSink) retained() bool { return true }
+
+func (d *diskSink) discard() {
+	name := d.f.Name()
+	d.f.Close()
+	os.Remove(name)
+}
+
+func leUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+// boundedState is the complete state of a (possibly paused) bounded
+// breadth-first search. Everything except the live configurations of
+// frontier/next is either in the visited set or regenerable from the sink's
+// level logs, which is exactly what makes the search checkpointable.
+type boundedState struct {
+	vis      *visitedSet
+	sink     levelSink
+	frontier []qent // current level's configurations
+	next     []qent // next level's, possibly partial
+	pos      int    // next unexpanded parent position within frontier
+	level    int    // depth of frontier (root = 0)
+	stats    Stats
+}
+
+// boundedHit locates a goal configuration in the level structure: frontier
+// entry pos of level (level >= 1; the root is handled before the loop).
+type boundedHit struct {
+	level  int
+	pos    int
+	detail string
+}
+
+// pausedSearch is a truncated bounded search reduced to its regenerable
+// core: the retained level logs plus the scalar cursor. Explorer.Snapshot
+// serializes it; boundedStart revives it (in-session or via Restore).
+type pausedSearch struct {
+	kind    string
+	digest  uint64
+	sink    levelSink
+	level   int
+	pos     int
+	visited int
+}
+
+// newSink picks the level sink for a fresh bounded search: disk for
+// StoreSpill, memory when a checkpoint directory demands retention,
+// counting-only otherwise.
+func (e *Explorer) newSink() (levelSink, error) {
+	if e.opts.Store == StoreSpill {
+		return newDiskSink(e.opts.SpillDir)
+	}
+	if e.opts.Checkpoint != "" {
+		return &memSink{}, nil
+	}
+	return &discardSink{}, nil
+}
+
+// boundedStart builds the starting state of a bounded search: a resumed one
+// when a matching paused search is pending (in-session from a previous
+// truncation, or auto-restored from the checkpoint directory), a fresh root
+// state otherwise. fresh reports which, so the caller knows whether the
+// root configuration still needs its goal check.
+func (e *Explorer) boundedStart(kind string) (st *boundedState, fresh bool, err error) {
+	// A pending paused search of a different goal kind (the engine runs
+	// disagreement then blocking on one explorer) must not mask this kind's
+	// on-disk checkpoint; its own state was already persisted at pause time
+	// when a checkpoint directory is configured, so overwriting the pending
+	// slot loses nothing resumable.
+	if (e.pending == nil || e.pending.kind != kind) && e.opts.Checkpoint != "" {
+		path := e.checkpointFile(kind)
+		if _, statErr := os.Stat(path); statErr == nil {
+			if err := e.Restore(path); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	if p := e.pending; p != nil && p.kind == kind {
+		e.pending = nil
+		st, err := e.regenerate(p)
+		return st, false, err
+	}
+	return e.boundedFresh()
+}
+
+// boundedFresh builds the root state of a bounded search.
+func (e *Explorer) boundedFresh() (*boundedState, bool, error) {
+	start, err := e.initial()
+	if err != nil {
+		return nil, false, err
+	}
+	sink, err := e.newSink()
+	if err != nil {
+		return nil, false, err
+	}
+	vis := newVisitedSet()
+	vis.Insert(e.key(start, 0))
+	return &boundedState{
+		vis:      vis,
+		sink:     sink,
+		frontier: []qent{{cfg: start}},
+	}, true, nil
+}
+
+// regenerate rebuilds the live search state of a paused search from its
+// level logs: replaying the generation records level by level reconstructs
+// the frontier configurations, their crash budgets, and the visited-key set
+// in one O(visited) pass — nothing else was ever persisted.
+func (e *Explorer) regenerate(p *pausedSearch) (*boundedState, error) {
+	start, err := e.initial()
+	if err != nil {
+		return nil, err
+	}
+	vis := newVisitedSet()
+	vis.Insert(e.key(start, 0))
+	frontier := []qent{{cfg: start}}
+	st := &boundedState{
+		vis:   vis,
+		sink:  p.sink,
+		pos:   p.pos,
+		level: p.level,
+		stats: Stats{Visited: p.visited},
+	}
+	for l := 0; l < p.sink.levels(); l++ {
+		n := p.sink.levelLen(l)
+		next := make([]qent, 0, n)
+		for j := 0; j < n; j++ {
+			rec, err := p.sink.record(l, j)
+			if err != nil {
+				return nil, err
+			}
+			if int(rec.parent) >= len(frontier) {
+				return nil, fmt.Errorf("explore: corrupt checkpoint: level %d record %d parent %d out of range", l, j, rec.parent)
+			}
+			parent := frontier[rec.parent]
+			cfg, ok := e.sc.apply(parent.cfg, rec.act)
+			if !ok {
+				return nil, fmt.Errorf("explore: corrupt checkpoint: level %d record %d action inapplicable", l, j)
+			}
+			crashes := parent.crashes
+			if rec.act.Crash {
+				crashes++
+			}
+			if !vis.Insert(e.key(cfg, int(crashes))) {
+				return nil, fmt.Errorf("explore: corrupt checkpoint: level %d record %d revisits a sealed key", l, j)
+			}
+			next = append(next, qent{cfg: cfg, crashes: crashes})
+		}
+		if l == p.level {
+			// The partial log of the level currently being expanded: the
+			// frontier stays, the regenerated entries are the partial next
+			// level.
+			st.frontier = frontier
+			st.next = next
+			return st, nil
+		}
+		for i := range frontier {
+			e.sc.release(frontier[i].cfg)
+		}
+		frontier = next
+	}
+	// The logs end exactly at a level boundary: the last regenerated level
+	// is the frontier and no partial next level exists.
+	st.frontier = frontier
+	return st, nil
+}
+
+// searchBounded is the bounded-store twin of searchArena's BFS branch:
+// identical verdicts, stats, truncation behaviour, and witnesses at every
+// worker count, with only the visited-key set and two frontier levels
+// retained.
+func (e *Explorer) searchBounded(goal goalFunc, kind string) (*Witness, bool, error) {
+	st, fresh, err := e.boundedStart(kind)
+	if err != nil {
+		return nil, false, err
+	}
+	if fresh {
+		if detail, ok := goal(&e.sc, st.frontier[0].cfg); ok {
+			st.sink.discard()
+			run, err := e.replayActions(nil)
+			if err != nil {
+				return nil, false, err
+			}
+			return &Witness{Kind: kind, Run: run, Detail: detail, Stats: st.stats}, true, nil
+		}
+	}
+	hit, err := e.runBounded(st, goal)
+	if err != nil {
+		return nil, false, err
+	}
+	if hit == nil {
+		if st.stats.Truncated {
+			return e.pauseBounded(st, kind)
+		}
+		st.sink.discard()
+		e.clearCheckpoint(kind)
+		return &Witness{Kind: kind, Stats: st.stats}, false, nil
+	}
+	if !st.sink.retained() {
+		// Bounded re-search: the traversal is deterministic, so re-running
+		// it with a recording sink reproduces the identical hit — this time
+		// with the generation records needed to read the path off.
+		stats := st.stats
+		st2, _, err := e.boundedFresh()
+		if err != nil {
+			return nil, false, err
+		}
+		st2.sink = &memSink{}
+		hit2, err := e.runBounded(st2, goal)
+		if err != nil {
+			return nil, false, err
+		}
+		if hit2 == nil || *hit2 != *hit || st2.stats != stats {
+			return nil, false, fmt.Errorf("explore: witness re-search diverged (hit %+v vs %+v); the search is not deterministic", hit2, hit)
+		}
+		st = st2
+	}
+	w, err := e.boundedWitness(st.sink, hit, kind, st.stats)
+	st.sink.discard()
+	if err != nil {
+		return nil, false, err
+	}
+	e.clearCheckpoint(kind)
+	return w, true, nil
+}
+
+// runBounded drives the bounded BFS from st until a goal hit, exhaustion,
+// or truncation (hit == nil, st.stats distinguishes the latter two). The
+// serial path mirrors the sequential arena search parent by parent; more
+// than one worker runs the chunked parallel frontier on expandLevel.
+func (e *Explorer) runBounded(st *boundedState, goal goalFunc) (*boundedHit, error) {
+	if e.searchWorkers() > 1 {
+		return e.runBoundedParallel(st, goal)
+	}
+	for len(st.frontier) > 0 {
+		if st.sink.levels() == st.level {
+			if err := st.sink.beginLevel(); err != nil {
+				return nil, err
+			}
+		}
+		for st.pos < len(st.frontier) {
+			if st.stats.Visited >= e.opts.MaxConfigs {
+				st.stats.Truncated = true
+				return nil, nil
+			}
+			parent := st.frontier[st.pos]
+			st.stats.Visited++
+			for _, act := range e.actions(parent.cfg, int(parent.crashes)) {
+				next, ok := e.apply(parent.cfg, act)
+				if !ok {
+					continue
+				}
+				crashes := parent.crashes
+				if act.Crash {
+					crashes++
+				}
+				if !st.vis.Insert(e.key(next, int(crashes))) {
+					e.release(next)
+					continue
+				}
+				if err := st.sink.append(levelRec{parent: int32(st.pos), act: act}); err != nil {
+					return nil, err
+				}
+				if detail, ok := goal(&e.sc, next); ok {
+					return &boundedHit{
+						level:  st.level + 1,
+						pos:    st.sink.levelLen(st.level) - 1,
+						detail: detail,
+					}, nil
+				}
+				st.next = append(st.next, qent{cfg: next, crashes: crashes})
+			}
+			e.release(parent.cfg)
+			st.pos++
+		}
+		st.frontier, st.next = st.next, nil
+		st.pos = 0
+		st.level++
+	}
+	return nil, nil
+}
+
+// runBoundedParallel is runBounded on the level-synchronous parallel
+// frontier: expansion chunks run on expandLevel exactly as in
+// searchParallel, and the sequential merge appends generation records
+// instead of arena nodes. Chunk boundaries (a resumed search starts
+// mid-level) cannot change results: candidate order keys are absolute
+// frontier positions, and earlier chunks' children are sealed in the
+// visited set before later chunks expand.
+func (e *Explorer) runBoundedParallel(st *boundedState, goal goalFunc) (*boundedHit, error) {
+	ws := e.workerCtxs(e.searchWorkers())
+	ct := newClaimTable()
+	var winners []candidate
+	for len(st.frontier) > 0 {
+		if st.sink.levels() == st.level {
+			if err := st.sink.beginLevel(); err != nil {
+				return nil, err
+			}
+		}
+		for st.pos < len(st.frontier) {
+			remaining := e.opts.MaxConfigs - st.stats.Visited
+			if remaining <= 0 {
+				st.stats.Truncated = true
+				return nil, nil
+			}
+			limit := len(st.frontier) - st.pos
+			if limit > remaining {
+				limit = remaining
+			}
+			e.expandLevel(ws, st.frontier, st.pos, st.pos+limit, st.vis, ct, goal)
+			winners = ct.take(winners)
+			for _, w := range winners {
+				if !st.vis.Insert(w.key) {
+					// Unreachable: sealed keys were dropped during expansion
+					// and within-level duplicates were resolved by the claim
+					// table.
+					ws[0].release(w.cfg)
+					continue
+				}
+				if err := st.sink.append(levelRec{parent: int32(w.ord >> ordShift), act: w.act}); err != nil {
+					return nil, err
+				}
+				if w.goalOK {
+					// The sequential search finds this witness while
+					// expanding the winner's parent, having counted every
+					// parent up to and including it.
+					st.stats.Visited += int(w.ord>>ordShift) + 1 - st.pos
+					return &boundedHit{
+						level:  st.level + 1,
+						pos:    st.sink.levelLen(st.level) - 1,
+						detail: w.detail,
+					}, nil
+				}
+				st.next = append(st.next, qent{cfg: w.cfg, crashes: w.crashes})
+			}
+			st.stats.Visited += limit
+			releaseLevel(ws, st.frontier, st.pos, st.pos+limit, nil)
+			st.pos += limit
+		}
+		st.frontier, st.next = st.next, nil
+		st.pos = 0
+		st.level++
+	}
+	return nil, nil
+}
+
+// pauseBounded finalizes a truncated bounded search: with a retained sink
+// the paused state stays pending on the explorer (resumable in-session and
+// snapshottable), and with a checkpoint directory configured it is
+// persisted immediately; the frontier configurations — regenerable from the
+// logs — are recycled either way.
+func (e *Explorer) pauseBounded(st *boundedState, kind string) (*Witness, bool, error) {
+	w := &Witness{Kind: kind, Stats: st.stats}
+	if st.sink.retained() {
+		p := &pausedSearch{
+			kind:    kind,
+			digest:  e.searchDigest(kind),
+			sink:    st.sink,
+			level:   st.level,
+			pos:     st.pos,
+			visited: st.stats.Visited,
+		}
+		if e.opts.Checkpoint != "" {
+			path := e.checkpointFile(kind)
+			if err := writeCheckpoint(path, p); err != nil {
+				return nil, false, err
+			}
+			w.Checkpoint = path
+		}
+		// Replacing a previously pending paused search drops its level log;
+		// release that log's resources rather than stranding them (its state
+		// was persisted at its own pause when checkpointing is configured).
+		if e.pending != nil {
+			e.pending.sink.discard()
+		}
+		e.pending = p
+	} else {
+		st.sink.discard()
+	}
+	for i := st.pos; i < len(st.frontier); i++ {
+		e.sc.release(st.frontier[i].cfg)
+	}
+	for i := range st.next {
+		e.sc.release(st.next[i].cfg)
+	}
+	return w, false, nil
+}
+
+// boundedWitness reconstructs the action path to a hit from the retained
+// level logs — a backward walk reading one record per level — and replays
+// it into a recorded run.
+func (e *Explorer) boundedWitness(sink levelSink, hit *boundedHit, kind string, stats Stats) (*Witness, error) {
+	acts := make([]action, hit.level)
+	pos := hit.pos
+	for l := hit.level; l >= 1; l-- {
+		rec, err := sink.record(l-1, pos)
+		if err != nil {
+			return nil, err
+		}
+		acts[l-1] = rec.act
+		pos = int(rec.parent)
+	}
+	run, err := e.replayActions(acts)
+	if err != nil {
+		return nil, err
+	}
+	return &Witness{Kind: kind, Run: run, Detail: hit.detail, Stats: stats}, nil
+}
+
+// searchBoundedDFS is the bounded-store twin of the sequential DFS branch:
+// the same traversal with revisit detection on the compact visited set and
+// the parent chains replaced by immutable cons-list paths hanging off the
+// stack, so memory is bounded by the visited keys plus the live stack —
+// abandoned branches are garbage-collected. Checkpointing is a BFS feature:
+// a DFS pause would have to persist the entire stack of full
+// configurations, which is precisely the footprint the bounded store
+// exists to avoid.
+func (e *Explorer) searchBoundedDFS(goal goalFunc, kind string) (*Witness, bool, error) {
+	if e.opts.Checkpoint != "" {
+		return nil, false, fmt.Errorf("explore: checkpointing requires the breadth-first strategy")
+	}
+	start, err := e.initial()
+	if err != nil {
+		return nil, false, err
+	}
+	stats := Stats{}
+	if detail, ok := goal(&e.sc, start); ok {
+		run, err := e.replayActions(nil)
+		if err != nil {
+			return nil, false, err
+		}
+		return &Witness{Kind: kind, Run: run, Detail: detail, Stats: stats}, true, nil
+	}
+	type pathNode struct {
+		parent *pathNode
+		act    action
+	}
+	type dent struct {
+		cfg     *sim.Configuration
+		path    *pathNode
+		crashes int32
+	}
+	vis := newVisitedSet()
+	vis.Insert(e.key(start, 0))
+	stack := []dent{{cfg: start}}
+	for len(stack) > 0 {
+		if stats.Visited >= e.opts.MaxConfigs {
+			stats.Truncated = true
+			return &Witness{Kind: kind, Stats: stats}, false, nil
+		}
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		stats.Visited++
+		for _, act := range e.actions(cur.cfg, int(cur.crashes)) {
+			next, ok := e.apply(cur.cfg, act)
+			if !ok {
+				continue
+			}
+			crashes := cur.crashes
+			if act.Crash {
+				crashes++
+			}
+			if !vis.Insert(e.key(next, int(crashes))) {
+				e.release(next)
+				continue
+			}
+			node := &pathNode{parent: cur.path, act: act}
+			if detail, ok := goal(&e.sc, next); ok {
+				var acts []action
+				for n := node; n != nil; n = n.parent {
+					acts = append(acts, n.act)
+				}
+				for i, j := 0, len(acts)-1; i < j; i, j = i+1, j-1 {
+					acts[i], acts[j] = acts[j], acts[i]
+				}
+				run, err := e.replayActions(acts)
+				if err != nil {
+					return nil, false, err
+				}
+				return &Witness{Kind: kind, Run: run, Detail: detail, Stats: stats}, true, nil
+			}
+			stack = append(stack, dent{cfg: next, path: node, crashes: crashes})
+		}
+		e.release(cur.cfg)
+	}
+	return &Witness{Kind: kind, Stats: stats}, false, nil
+}

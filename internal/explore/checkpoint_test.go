@@ -1,0 +1,261 @@
+package explore
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kset/internal/algorithms"
+	"kset/internal/sim"
+)
+
+// ckptInstance is the checkpoint test workhorse: a space large enough to
+// truncate at interesting budgets, with reachable witnesses.
+func ckptInstance() diffInstance {
+	return diffInstance{"minwait-n3-crash", algorithms.MinWait{F: 1}, []sim.Value{0, 1, 2}, []sim.ProcessID{1, 2, 3}, 1}
+}
+
+func ckptExplorer(d diffInstance, store Store, workers, maxConfigs int, ckptDir string) *Explorer {
+	return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+		Live:       d.live,
+		MaxCrashes: d.crashes,
+		MaxConfigs: maxConfigs,
+		Workers:    workers,
+		Store:      store,
+		Checkpoint: ckptDir,
+	})
+}
+
+// TestCheckpointResumeParity is the acceptance gate of the checkpoint
+// layer: a search truncated at an arbitrary budget — including mid-level
+// cuts — and resumed from its checkpoint with a full budget must return the
+// identical verdict, witness, and stats as an uninterrupted run, at every
+// combination of truncating and resuming worker counts and for both bounded
+// stores.
+func TestCheckpointResumeParity(t *testing.T) {
+	d := ckptInstance()
+	const fullBudget = 100000
+	refW, refFound, err := ckptExplorer(d, StoreFrontierOnly, 1, fullBudget, "").FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !refFound || refW.Stats.Truncated {
+		t.Fatalf("reference search: found=%t stats=%+v", refFound, refW.Stats)
+	}
+	for _, store := range []Store{StoreFrontierOnly, StoreSpill} {
+		// The reference witness surfaces at visited=31, so every cut below
+		// that truncates; 25 cuts a BFS level mid-way.
+		for _, cut := range []int{1, 3, 7, 25, 30} {
+			for _, workers := range [][2]int{{1, 1}, {1, 4}, {4, 1}, {4, 2}} {
+				dir := t.TempDir()
+				w1, found1, err := ckptExplorer(d, store, workers[0], cut, dir).FindDisagreement()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if found1 || !w1.Stats.Truncated {
+					t.Fatalf("store=%v cut=%d: expected truncation, got found=%t stats=%+v", store, cut, found1, w1.Stats)
+				}
+				if w1.Checkpoint == "" {
+					t.Fatalf("store=%v cut=%d: no checkpoint path reported", store, cut)
+				}
+				if _, err := os.Stat(w1.Checkpoint); err != nil {
+					t.Fatalf("store=%v cut=%d: checkpoint file missing: %v", store, cut, err)
+				}
+				if w1.Stats.Visited != cut {
+					t.Fatalf("store=%v cut=%d: truncated at %d", store, cut, w1.Stats.Visited)
+				}
+				// Resume on a fresh explorer with the full budget.
+				w2, found2, err := ckptExplorer(d, store, workers[1], fullBudget, dir).FindDisagreement()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if found2 != refFound || w2.Stats != refW.Stats {
+					t.Fatalf("store=%v cut=%d workers=%v: resumed found=%t stats=%+v, uninterrupted found=%t stats=%+v",
+						store, cut, workers, found2, w2.Stats, refFound, refW.Stats)
+				}
+				if w2.Detail != refW.Detail || runSignature(w2.Run) != runSignature(refW.Run) {
+					t.Fatalf("store=%v cut=%d workers=%v: resumed witness diverged", store, cut, workers)
+				}
+				// Completion must clear the checkpoint so nothing stale
+				// resumes later.
+				if _, err := os.Stat(w1.Checkpoint); !os.IsNotExist(err) {
+					t.Fatalf("store=%v cut=%d: checkpoint not removed after completion (err=%v)", store, cut, err)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckpointChainedResume pauses and resumes the same search through a
+// ladder of growing budgets — checkpoint to checkpoint to completion — and
+// asserts the final result still matches the uninterrupted run, and that
+// intermediate stats stay on the sequential trajectory.
+func TestCheckpointChainedResume(t *testing.T) {
+	d := ckptInstance()
+	const fullBudget = 100000
+	refW, refFound, err := ckptExplorer(d, StoreFrontierOnly, 1, fullBudget, "").FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, budget := range []int{2, 10, 25, 30} {
+		w, found, err := ckptExplorer(d, StoreFrontierOnly, 1, budget, dir).FindDisagreement()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found || !w.Stats.Truncated || w.Stats.Visited != budget {
+			t.Fatalf("budget=%d: found=%t stats=%+v", budget, found, w.Stats)
+		}
+	}
+	w, found, err := ckptExplorer(d, StoreFrontierOnly, 2, fullBudget, dir).FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found != refFound || w.Stats != refW.Stats || runSignature(w.Run) != runSignature(refW.Run) {
+		t.Fatalf("chained resume diverged: found=%t stats=%+v, uninterrupted found=%t stats=%+v",
+			found, w.Stats, refFound, refW.Stats)
+	}
+}
+
+// TestSnapshotRestoreExplicit exercises the exported Snapshot/Restore pair
+// without the automatic Options.Checkpoint flow: a spill search truncates
+// (its level log is retained on disk), Snapshot writes the paused state,
+// and a fresh explorer Restores and completes with the uninterrupted
+// result. Exhaustive no-witness verification — the memory-bound workload
+// the bounded store exists for — is the goal here.
+func TestSnapshotRestoreExplicit(t *testing.T) {
+	d := diffInstance{"minwait-n3-uniform", algorithms.MinWait{F: 1}, []sim.Value{0, 0, 0}, []sim.ProcessID{1, 2, 3}, 1}
+	const fullBudget = 400000
+	refW, refFound, err := ckptExplorer(d, StoreFrontierOnly, 1, fullBudget, "").FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refFound || refW.Stats.Truncated {
+		t.Fatalf("uniform inputs cannot disagree and the space must be exhaustible: found=%t stats=%+v", refFound, refW.Stats)
+	}
+
+	e1 := ckptExplorer(d, StoreSpill, 1, refW.Stats.Visited/2, "")
+	w1, found1, err := e1.FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found1 || !w1.Stats.Truncated {
+		t.Fatalf("expected truncation, got found=%t stats=%+v", found1, w1.Stats)
+	}
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	if err := e1.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := ckptExplorer(d, StoreFrontierOnly, 1, fullBudget, "")
+	if err := e2.Restore(path); err != nil {
+		t.Fatal(err)
+	}
+	w2, found2, err := e2.FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if found2 != refFound || w2.Stats != refW.Stats {
+		t.Fatalf("restored search diverged: found=%t stats=%+v, uninterrupted found=%t stats=%+v",
+			found2, w2.Stats, refFound, refW.Stats)
+	}
+}
+
+// TestSnapshotWithoutPause pins the error contract: Snapshot without a
+// paused search must fail rather than write an empty file.
+func TestSnapshotWithoutPause(t *testing.T) {
+	d := ckptInstance()
+	e := ckptExplorer(d, StoreFrontierOnly, 1, 0, "")
+	if err := e.Snapshot(filepath.Join(t.TempDir(), "x.ckpt")); err == nil {
+		t.Fatal("Snapshot succeeded with no paused search")
+	}
+}
+
+// TestRestoreDigestMismatch asserts a checkpoint cannot be resumed by a
+// search of a different instance: different inputs, different algorithm,
+// different crash budget, or different reductions.
+func TestRestoreDigestMismatch(t *testing.T) {
+	d := ckptInstance()
+	e1 := ckptExplorer(d, StoreSpill, 1, 10, "")
+	if _, found, err := e1.FindDisagreement(); err != nil || found {
+		t.Fatalf("setup: found=%t err=%v", found, err)
+	}
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	if err := e1.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	others := []diffInstance{
+		{"other-inputs", d.alg, []sim.Value{0, 1, 3}, d.live, d.crashes},
+		{"other-alg", algorithms.FirstHeard{}, d.inputs, d.live, d.crashes},
+		{"other-budget", d.alg, d.inputs, d.live, 0},
+	}
+	for _, o := range others {
+		e2 := ckptExplorer(o, StoreFrontierOnly, 1, 1000, "")
+		if err := e2.Restore(path); err == nil {
+			t.Fatalf("%s: Restore accepted a foreign checkpoint", o.name)
+		}
+	}
+	// Same instance with symmetry enabled dedups under a different key
+	// function: also incompatible.
+	esym := New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+		Live: d.live, MaxCrashes: d.crashes, Store: StoreFrontierOnly, Symmetry: true,
+	})
+	if err := esym.Restore(path); err == nil {
+		t.Fatal("Restore accepted a checkpoint across a reduction change")
+	}
+}
+
+// TestRestoreCorruptFile asserts the checksum and structural validation
+// reject tampered checkpoint bytes.
+func TestRestoreCorruptFile(t *testing.T) {
+	d := ckptInstance()
+	e1 := ckptExplorer(d, StoreSpill, 1, 25, "")
+	if _, _, err := e1.FindDisagreement(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	if err := e1.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{0, len(raw) / 2, len(raw) - 1} {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0x40
+		bad := path + ".bad"
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e2 := ckptExplorer(d, StoreFrontierOnly, 1, 1000, "")
+		if err := e2.Restore(bad); err == nil {
+			t.Fatalf("Restore accepted checkpoint with byte %d flipped", off)
+		}
+	}
+	if err := os.WriteFile(path+".trunc", raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e2 := ckptExplorer(d, StoreFrontierOnly, 1, 1000, "")
+	if err := e2.Restore(path + ".trunc"); err == nil {
+		t.Fatal("Restore accepted a truncated checkpoint")
+	}
+}
+
+// TestCheckpointRequiresBoundedStore pins the option-validation contract.
+func TestCheckpointRequiresBoundedStore(t *testing.T) {
+	d := ckptInstance()
+	e := New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+		Live: d.live, MaxCrashes: d.crashes, Checkpoint: t.TempDir(),
+	})
+	if _, _, err := e.FindDisagreement(); err == nil {
+		t.Fatal("in-memory store accepted Options.Checkpoint")
+	}
+	edfs := New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+		Live: d.live, MaxCrashes: d.crashes, Strategy: "dfs",
+		Store: StoreFrontierOnly, Checkpoint: t.TempDir(),
+	})
+	if _, _, err := edfs.FindDisagreement(); err == nil {
+		t.Fatal("DFS accepted Options.Checkpoint")
+	}
+}

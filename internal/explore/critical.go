@@ -105,9 +105,12 @@ func (e *Explorer) valenceFrom(start *sim.Configuration, crashesSpent, stopAt in
 	seenVals := map[sim.Value]bool{}
 	collectDecisions(seenVals, start)
 	stats := Stats{}
-	ar := newArena()
-	rootIdx := ar.root(e.key(start, crashesSpent))
-	queue := []qent{{cfg: start, idx: rootIdx, crashes: int32(crashesSpent)}}
+	// Valence only censuses decision values — no witness path is ever
+	// reconstructed — so revisit detection keeps the compact visited set
+	// alone (see visited.go); the node arena would be dead weight here.
+	vis := newVisitedSet()
+	vis.Insert(e.key(start, crashesSpent))
+	queue := []qent{{cfg: start, crashes: int32(crashesSpent)}}
 	for len(queue) > 0 {
 		if stopAt > 0 && len(seenVals) >= stopAt {
 			break
@@ -128,13 +131,12 @@ func (e *Explorer) valenceFrom(start *sim.Configuration, crashesSpent, stopAt in
 			if act.Crash {
 				crashes++
 			}
-			idx, fresh := ar.insert(e.key(next, int(crashes)), cur.idx, act)
-			if !fresh {
+			if !vis.Insert(e.key(next, int(crashes))) {
 				e.release(next)
 				continue
 			}
 			collectDecisions(seenVals, next)
-			queue = append(queue, qent{cfg: next, idx: idx, crashes: crashes})
+			queue = append(queue, qent{cfg: next, crashes: crashes})
 		}
 		if cur.cfg != start {
 			e.release(cur.cfg)

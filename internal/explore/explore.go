@@ -145,6 +145,31 @@ type Options struct {
 	// it relies only on the simulator's crash semantics — stays active, so
 	// visited counts may still shrink. Default off.
 	POR bool
+	// Store selects the memory regime of the search (see bounded.go):
+	// StoreInMemory (the default) keeps the full node arena for parent-chain
+	// witness replay; StoreFrontierOnly retains only the compact
+	// fingerprint-keyed visited set plus the current and next BFS levels,
+	// reconstructing witnesses by a bounded, deterministic re-search;
+	// StoreSpill additionally streams each sealed level's generation records
+	// to a disk file, from which witnesses are reconstructed by random-access
+	// re-read and checkpoints are written without re-searching. Verdicts,
+	// stats, and witnesses are bit-identical across all three stores at every
+	// worker count; only the bytes retained per visited state differ.
+	Store Store
+	// SpillDir is the directory for StoreSpill's level-log file; empty means
+	// the system temporary directory. The file is unlinked at creation where
+	// the platform allows (the open descriptor keeps it readable), so spill
+	// space is reclaimed however the search — or the process — ends.
+	SpillDir string
+	// Checkpoint, when non-empty, names a directory in which bounded
+	// breadth-first searches persist their paused state: a search that
+	// truncates at MaxConfigs writes a checkpoint file (keyed by the search's
+	// digest and goal kind, so unrelated searches never collide) before
+	// returning, and a later search of the same instance — typically with a
+	// larger MaxConfigs — finds the file and resumes where it stopped instead
+	// of starting over. Requires a bounded store and the (default) BFS
+	// strategy; see checkpoint.go.
+	Checkpoint string
 	// Workers caps the number of goroutines expanding the BFS frontier.
 	// Zero means GOMAXPROCS; 1 runs the exact sequential legacy search. Any
 	// value above 1 enables the level-synchronous parallel frontier of
@@ -188,6 +213,10 @@ type Explorer struct {
 	// sc is the explorer's own search context, used by sequential searches
 	// and by the critical-step driver.
 	sc searchCtx
+	// pending is the paused state of the most recent truncated bounded
+	// search with a retained level log, staged for Snapshot and for resuming
+	// (see bounded.go and checkpoint.go).
+	pending *pausedSearch
 }
 
 // searchCtx bundles the mutable per-goroutine scratch state of a search:

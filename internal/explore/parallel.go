@@ -136,16 +136,21 @@ func (e *Explorer) workerCtxs(n int) []*searchCtx {
 	return ws
 }
 
-// expandLevel expands frontier[:limit] across the worker contexts, leaving
-// the level's deterministic winners in the claim table. goal, when non-nil,
-// is evaluated on every candidate that survives the sealed-visited check, in
-// parallel, so the merge only inspects the precomputed flag.
-func (e *Explorer) expandLevel(ws []*searchCtx, frontier []qent, limit int, ar *arena, ct *claimTable, goal goalFunc) {
+// expandLevel expands frontier[lo:hi] across the worker contexts, leaving
+// the deterministic winners in the claim table. Candidate order keys use the
+// absolute frontier position, so expanding a level in several chunks (the
+// bounded engine resumes mid-level after a checkpoint) yields the same
+// winners as one pass. vis is the sealed visited set — immutable while
+// workers run, hence read lock-free. goal, when non-nil, is evaluated on
+// every candidate that survives the sealed-visited check, in parallel, so
+// the merge only inspects the precomputed flag.
+func (e *Explorer) expandLevel(ws []*searchCtx, frontier []qent, lo, hi int, vis *visitedSet, ct *claimTable, goal goalFunc) {
 	workers := len(ws)
-	if workers > limit {
-		workers = limit
+	if workers > hi-lo {
+		workers = hi - lo
 	}
 	var next atomic.Int64
+	next.Store(int64(lo))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -153,7 +158,7 @@ func (e *Explorer) expandLevel(ws []*searchCtx, frontier []qent, limit int, ar *
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= limit {
+				if i >= hi {
 					return
 				}
 				parent := frontier[i]
@@ -174,7 +179,7 @@ func (e *Explorer) expandLevel(ws []*searchCtx, frontier []qent, limit int, ar *
 						crashes: crashes,
 						act:     act,
 					}
-					if _, sealed := ar.visited[cand.key]; sealed {
+					if vis.Contains(cand.key) {
 						sc.release(cfg)
 						continue
 					}
@@ -191,10 +196,11 @@ func (e *Explorer) expandLevel(ws []*searchCtx, frontier []qent, limit int, ar *
 	wg.Wait()
 }
 
-// releaseLevel recycles the expanded parents across the worker free lists,
-// skipping keep (the caller-owned start configuration of a valence search).
-func releaseLevel(ws []*searchCtx, frontier []qent, limit int, keep *sim.Configuration) {
-	for i := 0; i < limit; i++ {
+// releaseLevel recycles the expanded parents frontier[lo:hi] across the
+// worker free lists, skipping keep (the caller-owned start configuration of
+// a valence search).
+func releaseLevel(ws []*searchCtx, frontier []qent, lo, hi int, keep *sim.Configuration) {
+	for i := lo; i < hi; i++ {
 		if frontier[i].cfg != keep {
 			ws[i%len(ws)].release(frontier[i].cfg)
 		}
@@ -234,7 +240,7 @@ func (e *Explorer) searchParallel(goal goalFunc, kind string) (*Witness, bool, *
 		if remaining := e.opts.MaxConfigs - stats.Visited; limit > remaining {
 			limit = remaining
 		}
-		e.expandLevel(ws, frontier, limit, ar, ct, goal)
+		e.expandLevel(ws, frontier, 0, limit, ar.visited, ct, goal)
 		winners = ct.take(winners)
 
 		nextFrontier := make([]qent, 0, len(winners))
@@ -260,7 +266,7 @@ func (e *Explorer) searchParallel(goal goalFunc, kind string) (*Witness, bool, *
 			nextFrontier = append(nextFrontier, qent{cfg: w.cfg, idx: idx, crashes: w.crashes})
 		}
 		stats.Visited += limit
-		releaseLevel(ws, frontier, limit, nil)
+		releaseLevel(ws, frontier, 0, limit, nil)
 		if limit < len(frontier) {
 			// The budget ran out mid-level: the sequential search truncates
 			// with these parents still queued.
@@ -282,15 +288,18 @@ func (e *Explorer) valenceFromParallel(start *sim.Configuration, crashesSpent, s
 	seenVals := map[sim.Value]bool{}
 	collectDecisions(seenVals, start)
 	stats := Stats{}
-	ar := newArena()
-	rootIdx := ar.root(e.key(start, crashesSpent))
+	// Valence only censuses decision values — no witness path is ever
+	// reconstructed — so revisit detection needs the compact visited set
+	// alone; no node arena is kept whatever the store mode.
+	vis := newVisitedSet()
+	vis.Insert(e.key(start, crashesSpent))
 	ws := e.workerCtxs(e.searchWorkers())
 	ct := newClaimTable()
-	frontier := []qent{{cfg: start, idx: rootIdx, crashes: int32(crashesSpent)}}
+	frontier := []qent{{cfg: start, crashes: int32(crashesSpent)}}
 	var winners []candidate
 	stopped := false
 	for len(frontier) > 0 && !stopped {
-		e.expandLevel(ws, frontier, len(frontier), ar, ct, nil)
+		e.expandLevel(ws, frontier, 0, len(frontier), vis, ct, nil)
 		winners = ct.take(winners)
 
 		// Serial-gate emulation: dequeue the level's parents in order,
@@ -317,18 +326,17 @@ func (e *Explorer) valenceFromParallel(start *sim.Configuration, crashesSpent, s
 				stopped = true
 				break
 			}
-			idx, fresh := ar.insert(w.key, w.parent, w.act)
-			if !fresh {
+			if !vis.Insert(w.key) {
 				ws[0].release(w.cfg) // unreachable, as in searchParallel
 				continue
 			}
 			collectDecisions(seenVals, w.cfg)
-			nextFrontier = append(nextFrontier, qent{cfg: w.cfg, idx: idx, crashes: w.crashes})
+			nextFrontier = append(nextFrontier, qent{cfg: w.cfg, crashes: w.crashes})
 		}
 		if !stopped && !dequeueThrough(len(frontier)-1) {
 			stopped = true
 		}
-		releaseLevel(ws, frontier, len(frontier), start)
+		releaseLevel(ws, frontier, 0, len(frontier), start)
 		frontier = nextFrontier
 	}
 	vals := make([]sim.Value, 0, len(seenVals))

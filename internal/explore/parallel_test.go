@@ -176,8 +176,8 @@ func TestParallelSearchWithOracle(t *testing.T) {
 		if runSignature(parW.Run) != runSignature(seqW.Run) {
 			t.Fatal("oracle witness runs diverged")
 		}
-	} else if len(parAr.visited) != len(seqAr.visited) {
-		t.Fatalf("oracle visited sets diverged: %d vs %d", len(parAr.visited), len(seqAr.visited))
+	} else if parAr.visited.Len() != seqAr.visited.Len() {
+		t.Fatalf("oracle visited sets diverged: %d vs %d", parAr.visited.Len(), seqAr.visited.Len())
 	}
 }
 

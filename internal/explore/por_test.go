@@ -172,15 +172,16 @@ func TestPORParallelMatchesSerial(t *testing.T) {
 							}
 							continue
 						}
-						if len(parAr.visited) != len(seqAr.visited) || len(parAr.nodes) != len(seqAr.nodes) {
+						if parAr.visited.Len() != seqAr.visited.Len() || len(parAr.nodes) != len(seqAr.nodes) {
 							t.Fatalf("workers=%d: visited %d nodes %d, serial visited %d nodes %d",
-								workers, len(parAr.visited), len(parAr.nodes), len(seqAr.visited), len(seqAr.nodes))
+								workers, parAr.visited.Len(), len(parAr.nodes), seqAr.visited.Len(), len(seqAr.nodes))
 						}
-						for key := range seqAr.visited {
-							if _, ok := parAr.visited[key]; !ok {
+						seqAr.visited.Range(func(key uint64) bool {
+							if !parAr.visited.Contains(key) {
 								t.Fatalf("workers=%d: parallel search missed visited key %#x", workers, key)
 							}
-						}
+							return true
+						})
 					}
 				})
 			}
@@ -288,14 +289,15 @@ func TestPORStandsDownWithoutDeliverAll(t *testing.T) {
 				t.Fatalf("restricted-modes POR diverged: found=%t stats=%+v, plain found=%t stats=%+v",
 					porFound, porW.Stats, plainFound, plainW.Stats)
 			}
-			if len(porAr.visited) != len(plainAr.visited) {
-				t.Fatalf("restricted-modes POR visited %d keys, plain %d", len(porAr.visited), len(plainAr.visited))
+			if porAr.visited.Len() != plainAr.visited.Len() {
+				t.Fatalf("restricted-modes POR visited %d keys, plain %d", porAr.visited.Len(), plainAr.visited.Len())
 			}
-			for key := range plainAr.visited {
-				if _, ok := porAr.visited[key]; !ok {
+			plainAr.visited.Range(func(key uint64) bool {
+				if !porAr.visited.Contains(key) {
 					t.Fatalf("restricted-modes POR missed visited key %#x", key)
 				}
-			}
+				return true
+			})
 		})
 	}
 }

@@ -17,6 +17,10 @@ type Witness struct {
 	Detail string
 	// Stats reports exploration effort.
 	Stats Stats
+	// Checkpoint is the file a truncated bounded search saved its paused
+	// state to (Options.Checkpoint); empty when no checkpoint was written.
+	// A later search of the same instance resumes from it.
+	Checkpoint string
 }
 
 // FindDisagreement searches for a reachable configuration in which two
@@ -125,8 +129,19 @@ type qent struct {
 // configuration fingerprint; retired configurations are recycled through the
 // search context's free list. BFS searches with more than one worker run on
 // the level-synchronous parallel frontier of parallel.go, which produces
-// results identical to the sequential search.
+// results identical to the sequential search. Bounded stores
+// (Options.Store != StoreInMemory) route to the frontier-only engines of
+// bounded.go, whose results are bit-identical too.
 func (e *Explorer) search(goal goalFunc, kind string) (*Witness, bool, error) {
+	if e.opts.Checkpoint != "" && e.opts.Store == StoreInMemory {
+		return nil, false, fmt.Errorf("explore: Options.Checkpoint requires a bounded store (StoreFrontierOnly or StoreSpill)")
+	}
+	if e.opts.Store != StoreInMemory {
+		if e.opts.Strategy == "dfs" {
+			return e.searchBoundedDFS(goal, kind)
+		}
+		return e.searchBounded(goal, kind)
+	}
 	w, found, _, err := e.searchArena(goal, kind)
 	return w, found, err
 }
@@ -203,8 +218,13 @@ func (e *Explorer) searchArena(goal goalFunc, kind string) (*Witness, bool, *are
 // replay re-executes the arena path to idx from the initial configuration,
 // producing a recorded run.
 func (e *Explorer) replay(ar *arena, idx int32) (*sim.Run, error) {
-	acts := ar.path(idx)
+	return e.replayActions(ar.path(idx))
+}
 
+// replayActions re-executes an explicit action sequence from the initial
+// configuration, producing a recorded run: the shared tail of arena-path
+// replay and of the bounded engines' log-reconstructed witnesses.
+func (e *Explorer) replayActions(acts []action) (*sim.Run, error) {
 	cfg, err := e.initial()
 	if err != nil {
 		return nil, err

@@ -150,15 +150,16 @@ func TestSymmetryParallelMatchesSerial(t *testing.T) {
 						}
 						continue
 					}
-					if len(parAr.visited) != len(seqAr.visited) || len(parAr.nodes) != len(seqAr.nodes) {
+					if parAr.visited.Len() != seqAr.visited.Len() || len(parAr.nodes) != len(seqAr.nodes) {
 						t.Fatalf("workers=%d: visited %d nodes %d, serial visited %d nodes %d",
-							workers, len(parAr.visited), len(parAr.nodes), len(seqAr.visited), len(seqAr.nodes))
+							workers, parAr.visited.Len(), len(parAr.nodes), seqAr.visited.Len(), len(seqAr.nodes))
 					}
-					for key := range seqAr.visited {
-						if _, ok := parAr.visited[key]; !ok {
+					seqAr.visited.Range(func(key uint64) bool {
+						if !parAr.visited.Contains(key) {
 							t.Fatalf("workers=%d: parallel search missed visited key %#x", workers, key)
 						}
-					}
+						return true
+					})
 				}
 			})
 		}

@@ -22,6 +22,20 @@ package sim
 // behaviour. Two configurations with equal Key() always have equal
 // fingerprints; distinct keys collide with probability ~2^-64 per pair.
 
+// FingerprintVersion identifies the fingerprint encoding: the FNV/splitmix
+// construction above, the per-slot salts, and the Hash64/SymHash64
+// encodings of every algorithm's states and payloads. The encoding is
+// deliberately stable across processes and runs — it uses no per-process
+// hash seed, no map iteration order, and no addresses — which is what lets
+// package explore persist fingerprint-derived artifacts (search
+// checkpoints, whose deduplication decisions are only valid under the key
+// function that made them) and read them back in a different process. Bump
+// this constant whenever the encoding changes observably — a changed
+// constant, salt, fold order, or any algorithm's Hash64 — so stale on-disk
+// state is rejected instead of silently resumed under a different state
+// quotient; internal/sim's stability test pins the v1 values.
+const FingerprintVersion = 1
+
 const (
 	fnvOffset64 = 14695981039346656037
 	fnvPrime64  = 1099511628211

@@ -1,0 +1,126 @@
+package sim_test
+
+import (
+	"testing"
+
+	"kset/internal/algorithms"
+	"kset/internal/sim"
+)
+
+// This file pins the on-disk stability of the fingerprint encoding
+// (sim.FingerprintVersion): the 64-bit fingerprints and orbit-canonical
+// hashes of a fixed corpus of configurations, computed once and committed
+// as constants. The encoding intentionally contains no per-process seed, so
+// these values must be identical on every machine, architecture, and run.
+// Package explore persists fingerprint-derived artifacts (search
+// checkpoints) whose deduplication decisions are only valid under the key
+// function that made them; if this test fails, the encoding changed — bump
+// sim.FingerprintVersion (invalidating outstanding checkpoints) and
+// re-record the constants below.
+
+// stableCase builds one corpus configuration and states its pinned hashes.
+type stableCase struct {
+	name      string
+	build     func(t *testing.T) *sim.Configuration
+	fp        uint64
+	canonical uint64 // 0 = concrete-only case (no symmetry attached)
+}
+
+// step applies a request, failing the test on error.
+func step(t *testing.T, c *sim.Configuration, req sim.StepRequest) {
+	t.Helper()
+	if _, err := c.Apply(req); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func stableCases() []stableCase {
+	return []stableCase{
+		{
+			name: "minwait-n3-initial",
+			build: func(t *testing.T) *sim.Configuration {
+				return sim.NewConfiguration(algorithms.MinWait{F: 1}, []sim.Value{0, 1, 2})
+			},
+			fp: 0x4a68a7d1b366af35,
+		},
+		{
+			name: "minwait-n3-broadcasts-and-crash",
+			build: func(t *testing.T) *sim.Configuration {
+				c := sim.NewConfiguration(algorithms.MinWait{F: 1}, []sim.Value{0, 1, 2})
+				step(t, c, sim.StepRequest{Proc: 1})
+				step(t, c, sim.StepRequest{Proc: 2})
+				step(t, c, sim.StepRequest{Proc: 3, Crash: true, OmitTo: map[sim.ProcessID]bool{2: true}})
+				step(t, c, sim.StepRequest{Proc: 1, Deliver: c.DeliverAll(1)})
+				return c
+			},
+			fp: 0x146c997210637b52,
+		},
+		{
+			name: "minwait-n4-uniform-symmetric",
+			build: func(t *testing.T) *sim.Configuration {
+				inputs := []sim.Value{7, 7, 7, 7}
+				live := []sim.ProcessID{1, 2, 3, 4}
+				c := sim.NewConfiguration(algorithms.MinWait{F: 1}, inputs)
+				c.AttachSymmetry(sim.NewSymmetry(inputs, live))
+				step(t, c, sim.StepRequest{Proc: 2})
+				step(t, c, sim.StepRequest{Proc: 4})
+				step(t, c, sim.StepRequest{Proc: 1, Deliver: c.DeliverAll(1)})
+				return c
+			},
+			fp:        0xb9d95477febbf41a,
+			canonical: 0xfe8a0dfbbde6596e,
+		},
+		{
+			name: "flpkset-n3-initial",
+			build: func(t *testing.T) *sim.Configuration {
+				return sim.NewConfiguration(algorithms.FLPKSet{F: 1}, []sim.Value{0, 1, 2})
+			},
+			fp: 0x4506fa633670dbc3,
+		},
+		{
+			name: "firstheard-n3-delivery-decides",
+			build: func(t *testing.T) *sim.Configuration {
+				c := sim.NewConfiguration(algorithms.FirstHeard{}, []sim.Value{5, 6, 7})
+				step(t, c, sim.StepRequest{Proc: 1})
+				step(t, c, sim.StepRequest{Proc: 2, Deliver: c.DeliverAll(2)})
+				return c
+			},
+			fp: 0x97c11205703f8164,
+		},
+		{
+			name: "quorummin-n3-silent-crash",
+			build: func(t *testing.T) *sim.Configuration {
+				c := sim.NewConfiguration(algorithms.QuorumMin{}, []sim.Value{3, 1, 2})
+				step(t, c, sim.StepRequest{Proc: 2, SilentCrash: true})
+				step(t, c, sim.StepRequest{Proc: 1})
+				return c
+			},
+			fp: 0x26fcf7939fb03032,
+		},
+	}
+}
+
+// TestFingerprintEncodingStable asserts the committed corpus hashes under
+// fingerprint encoding v1. Record mode: run with -run TestFingerprintEncodingStable
+// -v after an intended change, copy the logged values, and bump
+// sim.FingerprintVersion.
+func TestFingerprintEncodingStable(t *testing.T) {
+	if got, want := sim.FingerprintVersion, 1; got != want {
+		t.Fatalf("FingerprintVersion = %d; this test pins v%d — update the corpus constants alongside the bump", got, want)
+	}
+	for _, tc := range stableCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			c := tc.build(t)
+			t.Logf("fp=%#x canonical-applicable=%t", c.Fingerprint(), tc.canonical != 0)
+			if got := c.Fingerprint(); got != tc.fp {
+				t.Errorf("Fingerprint() = %#x, want %#x — the encoding changed; bump sim.FingerprintVersion and re-record", got, tc.fp)
+			}
+			if tc.canonical != 0 {
+				t.Logf("canonical=%#x", c.Canonical64())
+				if got := c.Canonical64(); got != tc.canonical {
+					t.Errorf("Canonical64() = %#x, want %#x — the symmetric encoding changed; bump sim.FingerprintVersion and re-record", got, tc.canonical)
+				}
+			}
+		})
+	}
+}

@@ -257,6 +257,44 @@ var SearchSymmetry = false
 // explore.Options.POR for the soundness argument.
 var SearchPOR = false
 
+// SearchStore selects the memory regime of every condition-(C) state-space
+// search the facade spawns: "" or "inmem" keeps the default arena-backed
+// engine (full parent chains, fastest witness replay); "frontier" retains
+// only the compact ~16 bytes-per-state fingerprint visited set plus the
+// current and next BFS levels, reconstructing witnesses by a bounded
+// deterministic re-search; "spill" additionally streams sealed levels to a
+// temporary disk file (8 bytes per state) so witnesses and checkpoints
+// never re-search. Verdicts, stats, and witnesses are bit-identical across
+// the three stores at every worker count — the knob trades peak memory
+// against witness-reconstruction time, nothing else. The bounded stores are
+// what let exhaustive verification runs (E13's uniform Theorem 2 instances)
+// complete under a gigabyte-scale GOMEMLIMIT where the arena engine
+// truncates or thrashes. See explore.Options.Store and README "Memory &
+// checkpoints".
+var SearchStore = ""
+
+// SearchCheckpoint, when non-empty, names a directory in which truncated
+// bounded breadth-first searches persist their paused state: a search that
+// stops at its MaxConfigs budget writes a small self-keyed checkpoint file
+// (the level-generation log, 8 bytes per visited state — the frontier and
+// visited set regenerate from it) and a later identical search resumes
+// where it stopped instead of starting over, so truncation becomes "pause",
+// not "lose everything". Requires a bounded SearchStore. Checkpoints are
+// keyed by a digest of the search instance, so many experiments can share
+// one directory. See explore.Options.Checkpoint.
+var SearchCheckpoint = ""
+
+// parseSearchStore resolves the SearchStore global, panicking on an invalid
+// spelling: the knob is set programmatically or by a CLI flag that already
+// validated it, so an invalid value is a programming error, not user input.
+func parseSearchStore() explore.Store {
+	store, err := explore.ParseStore(SearchStore)
+	if err != nil {
+		panic(fmt.Sprintf("kset: invalid SearchStore: %v", err))
+	}
+	return store
+}
+
 // FindConsensusFailure searches the subsystem of live processes for a
 // disagreement or blocking witness of the algorithm under adversarial
 // scheduling with the given crash budget — the condition (C) helper exposed
@@ -269,6 +307,8 @@ func FindConsensusFailure(alg Algorithm, inputs []Value, live []ProcessID, crash
 		Workers:    SearchWorkers,
 		Symmetry:   SearchSymmetry,
 		POR:        SearchPOR,
+		Store:      parseSearchStore(),
+		Checkpoint: SearchCheckpoint,
 	})
 	w, found, err := ex.FindDisagreement()
 	if err != nil || found {
