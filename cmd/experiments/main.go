@@ -24,7 +24,6 @@ import (
 	"time"
 
 	"kset"
-	"kset/internal/explore"
 )
 
 func main() {
@@ -39,24 +38,30 @@ func run(args []string) int {
 	por := fs.Bool("por", false, "partial-order reduction in state-space searches (prunes interleavings of commuting steps once sending is over; composes with -symmetry; see README, Reductions)")
 	store := fs.String("store", "", "search memory regime: inmem (default), frontier (visited keys + two BFS levels only), or spill (frontier + sealed levels on disk); see README, Memory & checkpoints")
 	checkpoint := fs.String("checkpoint", "", "directory for pausing truncated bounded searches and resuming them on the next run (requires -store frontier or spill)")
+	faults := fs.String("faults", "", "fault model of state-space search adversaries beyond crashes: model[:budget[:maxfaulty]] with model send-omission, receive-omission, or byzantine (default crash-only); see README, Fault models")
 	writeGolden := fs.String("write-golden", "", "write each table to <dir>/<ID>.txt instead of stdout")
 	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-	if _, err := explore.ParseStore(*store); err != nil {
-		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 	if *checkpoint != "" && (*store == "" || *store == "inmem") {
 		fmt.Fprintln(os.Stderr, "experiments: -checkpoint requires -store frontier or -store spill")
 		return 2
 	}
+	// One shared flag->facade mapping (kset.ApplySearchConfig, which also
+	// validates the store and fault spellings) so every search path sees
+	// every knob; SweepWorkers is experiment plumbing, not a search knob.
+	if err := kset.ApplySearchConfig(kset.SearchConfig{
+		Workers:    *searchWorkers,
+		Symmetry:   *symmetry,
+		POR:        *por,
+		Store:      *store,
+		Checkpoint: *checkpoint,
+		Faults:     *faults,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	kset.SweepWorkers = *sweepWorkers
-	kset.SearchWorkers = *searchWorkers
-	kset.SearchSymmetry = *symmetry
-	kset.SearchPOR = *por
-	kset.SearchStore = *store
-	kset.SearchCheckpoint = *checkpoint
 
 	want := make(map[string]bool, fs.NArg())
 	for _, a := range fs.Args() {

@@ -18,7 +18,6 @@ import (
 	"strings"
 
 	"kset"
-	"kset/internal/explore"
 )
 
 func main() {
@@ -41,25 +40,32 @@ func run() int {
 		por       = flag.Bool("por", false, "partial-order reduction in the <D-bar> search (prunes interleavings of commuting steps once every live process has finished sending; composes with -symmetry)")
 		store     = flag.String("store", "", "search memory regime: inmem (default), frontier (visited keys + two BFS levels only), or spill (frontier + sealed levels on disk)")
 		ckpt      = flag.String("checkpoint", "", "directory for pausing truncated bounded <D-bar> searches and resuming them on the next run (requires -store frontier or spill and -strategy bfs)")
+		faults    = flag.String("faults", "", "fault model of the <D-bar> adversary beyond crashes: model[:budget[:maxfaulty]] with model send-omission, receive-omission, or byzantine (default crash-only)")
 		verbose   = flag.Bool("v", false, "print the per-condition explanation")
 	)
 	flag.Parse()
 
-	if _, err := explore.ParseStore(*store); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
-	}
 	if *ckpt != "" && (*store == "" || *store == "inmem") {
 		fmt.Fprintln(os.Stderr, "impossibility: -checkpoint requires -store frontier or -store spill")
 		return 2
 	}
 
-	// The Theorem 10 path goes through the facade's global knobs rather than
-	// an explicit Instance, so mirror the flags there too.
-	kset.SearchSymmetry = *symmetry
-	kset.SearchPOR = *por
-	kset.SearchStore = *store
-	kset.SearchCheckpoint = *ckpt
+	// Mirror the flags into the facade globals through the one shared
+	// helper (which also validates the store and fault spellings): the
+	// Theorem 10 path below reads the globals rather than an explicit
+	// Instance, and a hand-maintained assignment list here once let
+	// -symmetry/-por drift past it.
+	if err := kset.ApplySearchConfig(kset.SearchConfig{
+		Workers:    *workers,
+		Symmetry:   *symmetry,
+		POR:        *por,
+		Store:      *store,
+		Checkpoint: *ckpt,
+		Faults:     *faults,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 
 	if *theorem10 {
 		rep, merged, err := kset.Theorem10Construction(*n, *k, *maxCfg)
@@ -110,6 +116,7 @@ func run() int {
 		Spec:            spec,
 		DBarCrashBudget: *budget,
 		MaxConfigs:      *maxCfg,
+		Faults:          *faults,
 		SearchStrategy:  *strategy,
 		SearchWorkers:   *workers,
 		Symmetry:        *symmetry,

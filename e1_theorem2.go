@@ -110,6 +110,7 @@ func VerifyTheorem2Row(n, f, k, maxConfigs int) (*core.Report, error) {
 		Spec:            spec,
 		DBarCrashBudget: 1,
 		MaxConfigs:      maxConfigs,
+		Faults:          SearchFaults,
 		Symmetry:        SearchSymmetry,
 		POR:             SearchPOR,
 		SearchStore:     SearchStore,

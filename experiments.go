@@ -99,5 +99,6 @@ func Experiments() []Experiment {
 		{"E11", "Discussion outlook: partitioning in the Heard-Of round model", func() (*Table, error) { return ExperimentRoundModel() }},
 		{"E12", "Synchrony ladder: protocols across the Section II model dimensions", func() (*Table, error) { return ExperimentSynchronyLadder() }},
 		{"E13", "Memory-bounded exploration: uniform Theorem 2 beyond the in-memory arena", func() (*Table, error) { return ExperimentBoundedExploration(DefaultE13Params()) }},
+		{"E14", "Fault models: omission and value faults across the search substrate", func() (*Table, error) { return ExperimentFaultModels(DefaultE14Params()) }},
 	}
 }

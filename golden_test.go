@@ -17,11 +17,14 @@ import (
 // reduction was needed. E13 is deterministic too but explores ~1.8M
 // configurations across its three rows (minutes of wall clock), so the
 // nightly workflow exercises it instead; its bounded-vs-in-memory parity is
-// already pinned at test scale by internal/explore/bounded_test.go.
+// already pinned at test scale by internal/explore/bounded_test.go. E14
+// (fault models) joined the gate immediately: its eight rows complete in
+// milliseconds and its visited counts pin the exact branching the omission
+// and Byzantine adversaries add to the search space.
 // Regenerate the files with:
 //
-//	go run ./cmd/experiments -write-golden testdata/golden E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12
-var goldenExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+//	go run ./cmd/experiments -write-golden testdata/golden E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 E14
+var goldenExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E14"}
 
 // TestGoldenTables regenerates each gated experiment table and diffs it
 // against the committed golden file. The tables are deterministic at any

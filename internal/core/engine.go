@@ -66,6 +66,14 @@ type Instance struct {
 	// algorithm during the subsystem exploration.
 	DBarOracle sched.Oracle
 
+	// Faults selects the fault model of the condition-(C) adversary beyond
+	// crashes, in explore.ParseFaults form: "" or "crash" for the crash-only
+	// engine, or "model[:budget[:maxfaulty]]" with model send-omission,
+	// receive-omission, or byzantine (e.g. "send-omission:1:1"). Witness
+	// replay reproduces fault steps exactly, so conditions (B)/(D) still
+	// verify on the pasted run.
+	Faults string
+
 	// MaxSteps bounds each constructed run; MaxConfigs bounds the subsystem
 	// exploration. Zero means package defaults.
 	MaxSteps   int
@@ -248,11 +256,16 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	faults, err := explore.ParseFaults(inst.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	ex := explore.New(restricted, inst.Inputs, explore.Options{
 		Live:       dbar,
 		MaxCrashes: inst.DBarCrashBudget,
 		MaxConfigs: inst.MaxConfigs,
 		Oracle:     inst.DBarOracle,
+		Faults:     faults,
 		Strategy:   strategy,
 		Workers:    inst.SearchWorkers,
 		Symmetry:   inst.Symmetry,

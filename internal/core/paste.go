@@ -83,6 +83,17 @@ func replayWitnessPhase(combined *sim.Run, cfg *sim.Configuration, dbar []sim.Pr
 			return fmt.Errorf("witness schedules non-D-bar process %d", ev.Proc)
 		}
 		req := sim.StepRequest{Proc: ev.Proc, Crash: ev.Crashed, FD: ev.FD}
+		switch ev.Fault {
+		// Fault steps replay as fault steps: the witness's omissions and
+		// corruptions are part of the adversary's schedule, and the StateKey
+		// check below confirms the pasted process evolves identically.
+		case sim.FaultSendOmission:
+			req.OmitSends = true
+		case sim.FaultReceiveOmission:
+			req.DropDeliver = true
+		case sim.FaultByzantine:
+			req.Corrupt = true
+		}
 		if ev.Crashed && len(ev.Sent) == 0 {
 			// The witness's crash step sent nothing: replay it with
 			// omit-all, which is identical whether the witness omitted its

@@ -189,3 +189,40 @@ func BenchmarkValence(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOmissionSearch times the same exhaustive uniform-input Theorem 2
+// search as BenchmarkSymmetrySearch (MinWait{F:1}, four processes, one late
+// crash — uniform proposals, so no disagreement exists and the whole space
+// is visited) with the fault substrate disarmed ("off": the crash-only
+// adversary, which must stay bit-identical to the pre-fault engine) and
+// with a budgeted send-omission adversary armed ("on": one omission event
+// on one process). The "on" variant is gated in CI (cmd/benchgate); both
+// report their visited-node count as nodes/op, so the baseline pins both
+// the crash-only engine's unchanged node count and the exact size of the
+// omission adversary's enlarged space alongside ns/op.
+func BenchmarkOmissionSearch(b *testing.B) {
+	inputs := []sim.Value{0, 0, 0, 0}
+	live := []sim.ProcessID{1, 2, 3, 4}
+	run := func(b *testing.B, faults FaultAdversary) {
+		visited := 0
+		for i := 0; i < b.N; i++ {
+			e := New(algorithms.MinWait{F: 1}, inputs, Options{
+				Live:       live,
+				MaxCrashes: 1,
+				MaxConfigs: 1 << 20,
+				Workers:    1,
+				Faults:     faults,
+			})
+			w, found, err := e.FindDisagreement()
+			if err != nil || found || w.Stats.Truncated {
+				b.Fatalf("found=%t truncated=%t err=%v", found, w.Stats.Truncated, err)
+			}
+			visited = w.Stats.Visited
+		}
+		b.ReportMetric(float64(visited), "nodes/op")
+	}
+	b.Run("off", func(b *testing.B) { run(b, FaultAdversary{}) })
+	b.Run("on", func(b *testing.B) {
+		run(b, FaultAdversary{Model: sim.FaultSendOmission, Budget: 1, MaxFaulty: 1})
+	})
+}

@@ -105,7 +105,9 @@ type levelRec struct {
 
 // recBits packs a record into the fixed 8-byte on-disk encoding shared by
 // the spill file and the checkpoint format: parent in the low 32 bits, then
-// process id (16), delivery mode (8), and the crash/omit flags (8).
+// process id (16), delivery mode (8), and a flags byte — crash (bit 0),
+// omit (bit 1), and the step's fault model (bits 2-3; 0 for non-fault
+// steps, so crash-only encodings are unchanged from earlier versions).
 func recBits(r levelRec) uint64 {
 	var flags uint64
 	if r.act.Crash {
@@ -114,6 +116,7 @@ func recBits(r levelRec) uint64 {
 	if r.act.Omit {
 		flags |= 2
 	}
+	flags |= uint64(r.act.Fault) << 2
 	return uint64(uint32(r.parent)) |
 		uint64(uint16(r.act.Proc))<<32 |
 		uint64(uint8(r.act.Mode))<<48 |
@@ -129,6 +132,7 @@ func recFromBits(b uint64) levelRec {
 			Mode:  DeliveryMode(uint8(b >> 48)),
 			Crash: b>>56&1 != 0,
 			Omit:  b>>56&2 != 0,
+			Fault: sim.FaultModel(b >> 58 & 3),
 		},
 	}
 }

@@ -85,6 +85,14 @@ func (e *Explorer) searchDigest(kind string) uint64 {
 		flags |= 4
 	}
 	h = sim.HashUint(h, flags)
+	// Fault-adversary fields fold in only under a non-crash model, so
+	// crash-only digests — and checkpoints recorded before the fault layer
+	// existed — are unchanged.
+	if fa := e.opts.Faults; fa.Model != sim.FaultCrash {
+		h = sim.HashUint(h, uint64(fa.Model))
+		h = sim.HashUint(h, uint64(fa.Budget))
+		h = sim.HashUint(h, uint64(fa.MaxFaulty))
+	}
 	h = sim.HashString(h, kind)
 	return sim.HashMix(h)
 }

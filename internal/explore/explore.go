@@ -57,6 +57,10 @@ type action struct {
 	Mode  DeliveryMode
 	Crash bool
 	Omit  bool
+	// Fault marks the step as a fault action of Options.Faults' model
+	// (FaultCrash — the zero value — for plain and crash steps; a fault
+	// never combines with Crash).
+	Fault sim.FaultModel
 }
 
 // DeliveryMode selects which pending messages a step delivers.
@@ -100,6 +104,14 @@ type Options struct {
 	// Oracle optionally supplies failure-detector values (deterministic per
 	// (process, time, configuration)); nil for detector-free models.
 	Oracle sched.Oracle
+	// Faults configures non-crash fault injection (send/receive omission,
+	// Byzantine value corruption) with per-process budgets; the zero value
+	// keeps the crash-only engine, bit-identical to searches that predate
+	// the knob. Spent budgets are part of the simulator fingerprint, so the
+	// visited/claim keys need no extra salt; POR stands down under a
+	// non-crash model (see the POR field), while Symmetry extends soundly —
+	// fault counts fold into the per-slot orbit signatures.
+	Faults FaultAdversary
 	// Modes lists the delivery modes the adversary may use; nil means all
 	// three.
 	Modes []DeliveryMode
@@ -246,6 +258,9 @@ func New(alg sim.Algorithm, inputs []sim.Value, opts Options) *Explorer {
 	if opts.MaxConfigs <= 0 {
 		opts.MaxConfigs = DefaultMaxConfigs
 	}
+	if opts.Faults.Model != sim.FaultCrash && opts.Faults.Budget <= 0 {
+		opts.Faults.Budget = 1
+	}
 	live := append([]sim.ProcessID(nil), opts.Live...)
 	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
 	opts.Live = live
@@ -268,7 +283,14 @@ func New(alg sim.Algorithm, inputs []sim.Value, opts Options) *Explorer {
 	// oldest-on-singleton duplicate prune identifies DeliverOldest with
 	// DeliverAll — neither holds for a custom Modes list without DeliverAll,
 	// so the reduction (pruning and key quotient alike) stands down there.
-	e.por = opts.POR && opts.Oracle == nil && hasMode(opts.Modes, DeliverAll)
+	// Non-crash fault models stand POR down the same way oracles do: the
+	// commutation argument assumes a process's step footprint is its own
+	// slot and buffer, but fault branching gives every step an adversary
+	// choice whose availability (remaining budgets, the faulty-set cap)
+	// other processes' fault steps can change, and the crashed-slot key
+	// quotient would erase spent budgets of crashed processes.
+	e.por = opts.POR && opts.Oracle == nil && hasMode(opts.Modes, DeliverAll) &&
+		opts.Faults.Model == sim.FaultCrash
 	e.sc.e = e
 	return e
 }
@@ -362,6 +384,7 @@ func (sc *searchCtx) apply(cfg *sim.Configuration, act action) (*sim.Configurati
 	if act.Crash && act.Omit {
 		req.OmitTo = e.omitAll
 	}
+	faultRequest(&req, act.Fault)
 	switch act.Mode {
 	case DeliverNone:
 	case DeliverOldest:
@@ -431,6 +454,20 @@ func (sc *searchCtx) enumerate(cfg *sim.Configuration, crashes int, plan porPlan
 					// omit variant duplicates the plain crash byte-for-byte.
 					out = append(out, action{Proc: p, Mode: m, Crash: true, Omit: true})
 				}
+			}
+		}
+		// Fault variants between the crash block and the plain block: DFS
+		// reaches plain progress steps first, then spends fault budgets,
+		// then crash budgets. POR is off whenever these are enumerated (see
+		// New), so plan is empty and no fault branch can be pruned away.
+		if e.canFault(cfg, p) {
+			for _, m := range e.opts.Modes {
+				if m == DeliverNone && e.opts.Faults.Model == sim.FaultReceiveOmission {
+					// Dropping an empty delivery is the identity; the
+					// variant would duplicate the plain DeliverNone step.
+					continue
+				}
+				out = append(out, action{Proc: p, Mode: m, Fault: e.opts.Faults.Model})
 			}
 		}
 		for _, m := range e.opts.Modes {

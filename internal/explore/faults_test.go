@@ -1,0 +1,378 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"kset/internal/sim"
+	"kset/internal/testutil"
+)
+
+// minAllAlg decides the minimum proposal, but only after hearing a value
+// from every process: it records its own proposal at init, broadcasts it
+// once at its first step, and treats a Corrupted payload as the poisoned
+// value 999. Fault-free (and with crash budget 0) every run decides the true
+// minimum, so the crash-only adversary has no witness of either kind —
+// every witness the fault tests below find exists only because of the armed
+// fault model: an omitted or dropped broadcast starves a process forever
+// (blocking), and a corrupted minimum splits the decisions (disagreement).
+type minAllAlg struct{}
+
+func (minAllAlg) Name() string { return "minall" }
+
+func (minAllAlg) Init(n int, id sim.ProcessID, input sim.Value) sim.State {
+	vals := make([]sim.Value, n+1)
+	heard := make([]bool, n+1)
+	vals[id], heard[id] = input, true
+	return minAllState{id: id, n: n, own: input, vals: vals, heard: heard}
+}
+
+// poisonedValue is what a minAll process reads out of a Corrupted payload:
+// larger than every test proposal, so corrupting the minimum's broadcast
+// moves the receiver's minimum while the sender keeps its own.
+const poisonedValue sim.Value = 999
+
+// minAllPayload carries the sender's proposal.
+type minAllPayload struct {
+	From sim.ProcessID
+	V    sim.Value
+}
+
+func (p minAllPayload) Key() string { return fmt.Sprintf("val(%d,%d)", p.From, p.V) }
+
+type minAllState struct {
+	id    sim.ProcessID
+	n     int
+	own   sim.Value
+	sent  bool
+	vals  []sim.Value
+	heard []bool
+}
+
+func (s minAllState) Step(in sim.Input) (sim.State, []sim.Send) {
+	next := s
+	next.vals = append([]sim.Value(nil), s.vals...)
+	next.heard = append([]bool(nil), s.heard...)
+	for _, m := range in.Delivered {
+		v := poisonedValue
+		if p, ok := m.Payload.(minAllPayload); ok {
+			v = p.V
+		}
+		if !next.heard[m.From] {
+			next.heard[m.From], next.vals[m.From] = true, v
+		}
+	}
+	var sends []sim.Send
+	if !next.sent {
+		next.sent = true
+		sends = sim.Broadcast(s.n, minAllPayload{From: s.id, V: s.own})
+	}
+	return next, sends
+}
+
+func (s minAllState) Decided() (sim.Value, bool) {
+	min := s.vals[s.id]
+	for p := 1; p <= s.n; p++ {
+		if !s.heard[p] {
+			return sim.NoValue, false
+		}
+		if s.vals[p] < min {
+			min = s.vals[p]
+		}
+	}
+	return min, true
+}
+
+func (s minAllState) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "minall,%d,%t", s.id, s.sent)
+	for p := 1; p <= s.n; p++ {
+		if s.heard[p] {
+			fmt.Fprintf(&b, ",%d", s.vals[p])
+		} else {
+			b.WriteString(",?")
+		}
+	}
+	return b.String()
+}
+
+// minAllExplorer builds the 3-process minAll instance with crash budget 0
+// and the given fault adversary.
+func minAllExplorer(fa FaultAdversary, opts Options) *Explorer {
+	opts.Live = []sim.ProcessID{1, 2, 3}
+	opts.Faults = fa
+	if opts.Workers == 0 {
+		opts.Workers = 1
+	}
+	return New(minAllAlg{}, []sim.Value{100, 101, 102}, opts)
+}
+
+// TestFaultModelsEnableNewWitnesses is the semantic core of the fault
+// substrate: on an instance that is correct under the crash-only adversary,
+// each non-crash model manufactures exactly the violation its definition
+// promises, and the witness run replays with a concrete fault event in it.
+func TestFaultModelsEnableNewWitnesses(t *testing.T) {
+	// Crash-only baseline: no witness of either kind.
+	plain := minAllExplorer(FaultAdversary{}, Options{})
+	if w, found, err := plain.FindDisagreement(); err != nil || found || w.Stats.Truncated {
+		t.Fatalf("crash-only disagreement: found=%t truncated=%t err=%v", found, w.Stats.Truncated, err)
+	}
+	plainBlock, found, err := minAllExplorer(FaultAdversary{}, Options{}).FindBlocking()
+	if err != nil || found || plainBlock.Stats.Truncated {
+		t.Fatalf("crash-only blocking: found=%t truncated=%t err=%v", found, plainBlock.Stats.Truncated, err)
+	}
+
+	cases := []struct {
+		model sim.FaultModel
+		kind  string
+		find  func(*Explorer) (*Witness, bool, error)
+	}{
+		// An omitted broadcast starves the other processes of the omitter's
+		// value: they stay undecided in a quiescent configuration.
+		{sim.FaultSendOmission, "blocking", (*Explorer).FindBlocking},
+		// A dropped delivery consumes the only copy of a value on its last
+		// hop: the dropping process can never decide.
+		{sim.FaultReceiveOmission, "blocking", (*Explorer).FindBlocking},
+		// Corrupting the minimum's broadcast poisons every receiver's
+		// minimum while the sender decides its own true value.
+		{sim.FaultByzantine, "disagreement", (*Explorer).FindDisagreement},
+	}
+	for _, tc := range cases {
+		t.Run(tc.model.String(), func(t *testing.T) {
+			e := minAllExplorer(FaultAdversary{Model: tc.model, Budget: 1, MaxFaulty: 1}, Options{})
+			w, found, err := tc.find(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found {
+				t.Fatalf("no %s witness under %s (visited %d, truncated %t)",
+					tc.kind, tc.model, w.Stats.Visited, w.Stats.Truncated)
+			}
+			testutil.RevalidateWitness(t, w.Kind, w.Run)
+			faultEvents := 0
+			for _, ev := range w.Run.Events {
+				if ev.Fault == tc.model {
+					faultEvents++
+				} else if ev.Fault != sim.FaultCrash {
+					t.Fatalf("witness replayed a %s event under the %s adversary", ev.Fault, tc.model)
+				}
+			}
+			if faultEvents != 1 {
+				t.Fatalf("witness replayed %d effective %s events, want exactly 1 (budget)", faultEvents, tc.model)
+			}
+			for p := sim.ProcessID(1); p <= 3; p++ {
+				if got := w.Run.Final.FaultsUsed(p); got > 1 {
+					t.Fatalf("replayed final configuration charged %d fault events to process %d, budget is 1", got, p)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultBudgetCapsWitnesses pins the budget accounting end to end: with
+// MaxFaulty 1 the witness's fault events all charge one process, and the
+// exhaustive no-witness verdicts stay exhaustive (the budgeted space is
+// finite).
+func TestFaultBudgetCapsWitnesses(t *testing.T) {
+	e := minAllExplorer(FaultAdversary{Model: sim.FaultSendOmission, Budget: 2, MaxFaulty: 1}, Options{})
+	w, found, err := e.FindBlocking()
+	if err != nil || !found {
+		t.Fatalf("found=%t err=%v", found, err)
+	}
+	faulty := map[sim.ProcessID]bool{}
+	for _, ev := range w.Run.Events {
+		if ev.Fault != sim.FaultCrash {
+			faulty[ev.Proc] = true
+		}
+	}
+	if len(faulty) > 1 {
+		t.Fatalf("witness charged %d faulty processes, MaxFaulty is 1", len(faulty))
+	}
+	if got := w.Run.Final.FaultyProcesses(); got > 1 {
+		t.Fatalf("replayed final configuration has %d faulty processes, MaxFaulty is 1", got)
+	}
+}
+
+// TestPORStandsDownUnderFaults asserts the documented soundness rule: a
+// non-crash fault model disables POR (fault branching availability depends
+// on other processes' fault histories, which commutation would reorder), so
+// POR on and off must run the identical engine — equal stats, not merely
+// equal verdicts.
+func TestPORStandsDownUnderFaults(t *testing.T) {
+	fa := FaultAdversary{Model: sim.FaultSendOmission, Budget: 1, MaxFaulty: 1}
+	off, foundOff, err := minAllExplorer(fa, Options{}).FindBlocking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, foundOn, err := minAllExplorer(fa, Options{POR: true}).FindBlocking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if foundOn != foundOff || on.Stats != off.Stats {
+		t.Fatalf("POR did not stand down under faults: on %+v/%t, off %+v/%t",
+			on.Stats, foundOn, off.Stats, foundOff)
+	}
+}
+
+// faultMatrixCell is one engine configuration of the crash-only bit-identity
+// matrix.
+type faultMatrixCell struct {
+	name     string
+	workers  int
+	store    Store
+	symmetry bool
+	por      bool
+}
+
+// faultMatrix spans workers {1,2,4} x stores {inmem,frontier} x reductions
+// {none, sym, por, both} — the acceptance matrix of the fault-model PR.
+func faultMatrix() []faultMatrixCell {
+	var cells []faultMatrixCell
+	for _, workers := range []int{1, 2, 4} {
+		for _, store := range []Store{StoreInMemory, StoreFrontierOnly} {
+			for _, red := range []struct {
+				name     string
+				sym, por bool
+			}{{"none", false, false}, {"sym", true, false}, {"por", false, true}, {"both", true, true}} {
+				storeName := "inmem"
+				if store == StoreFrontierOnly {
+					storeName = "frontier"
+				}
+				cells = append(cells, faultMatrixCell{
+					name:     fmt.Sprintf("w%d/%s/%s", workers, storeName, red.name),
+					workers:  workers,
+					store:    store,
+					symmetry: red.sym,
+					por:      red.por,
+				})
+			}
+		}
+	}
+	return cells
+}
+
+// TestCrashOnlyFaultsBitIdentity is the robustness guarantee of the fault
+// substrate: an explicitly-spelled crash-only adversary (ParseFaults
+// "crash") and the zero Options.Faults value must drive bit-identical
+// searches — same found flag, witness detail, scheduled witness run, and
+// stats — in every cell of the workers x stores x reductions matrix, for
+// both goals. The zero-value cells are the engine every pre-fault search
+// ran; equality proves the fault layer is invisible until armed.
+func TestCrashOnlyFaultsBitIdentity(t *testing.T) {
+	crash, err := ParseFaults("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals := []struct {
+		name string
+		find func(*Explorer) (*Witness, bool, error)
+	}{
+		{"disagreement", (*Explorer).FindDisagreement},
+		{"blocking", (*Explorer).FindBlocking},
+	}
+	for _, d := range []diffInstance{
+		{"minwait-n3-crash", diffInstances()[1].alg, diffInstances()[1].inputs, diffInstances()[1].live, 1},
+		diffInstances()[3], // flpkset-n3
+	} {
+		build := func(c faultMatrixCell, fa FaultAdversary) *Explorer {
+			return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+				Live:       d.live,
+				MaxCrashes: d.crashes,
+				Workers:    c.workers,
+				Store:      c.store,
+				Symmetry:   c.symmetry,
+				POR:        c.por,
+				Faults:     fa,
+			})
+		}
+		for _, c := range faultMatrix() {
+			for _, g := range goals {
+				t.Run(d.name+"/"+c.name+"/"+g.name, func(t *testing.T) {
+					zeroW, zeroFound, err := g.find(build(c, FaultAdversary{}))
+					if err != nil {
+						t.Fatal(err)
+					}
+					crashW, crashFound, err := g.find(build(c, crash))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if crashFound != zeroFound || crashW.Stats != zeroW.Stats {
+						t.Fatalf("crash-spelled adversary diverged: %+v/%t, zero value %+v/%t",
+							crashW.Stats, crashFound, zeroW.Stats, zeroFound)
+					}
+					if zeroFound {
+						if crashW.Detail != zeroW.Detail {
+							t.Fatalf("witness detail diverged: %q vs %q", crashW.Detail, zeroW.Detail)
+						}
+						if got, want := runSignature(crashW.Run), runSignature(zeroW.Run); got != want {
+							t.Fatalf("witness run diverged:\n got %s\nwant %s", got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCrashOnlyFaultsVisitSameSet extends the bit-identity guarantee from
+// stats to the visited configuration set itself: under the legacy
+// string-keyed enumeration, the crash-spelled adversary's action enumeration
+// reaches exactly the zero-value engine's set.
+func TestCrashOnlyFaultsVisitSameSet(t *testing.T) {
+	crash, err := ParseFaults("crash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diffInstances() {
+		t.Run(d.name, func(t *testing.T) {
+			const maxConfigs = 400000
+			mk := func(fa FaultAdversary) *Explorer {
+				return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+					Live:       d.live,
+					MaxCrashes: d.crashes,
+					Workers:    1,
+					Faults:     fa,
+				})
+			}
+			zero := enumerate(t, mk(FaultAdversary{}), false, maxConfigs)
+			withCrash := enumerate(t, mk(crash), false, maxConfigs)
+			if len(zero) != len(withCrash) {
+				t.Fatalf("visited %d configurations with zero faults, %d with crash-spelled faults",
+					len(zero), len(withCrash))
+			}
+			for key := range zero {
+				if !withCrash[key] {
+					t.Fatalf("crash-spelled search missed configuration %s", key)
+				}
+			}
+		})
+	}
+}
+
+// TestParseFaultsRejectsBadSpecs pins the CLI surface's error cases.
+func TestParseFaultsRejectsBadSpecs(t *testing.T) {
+	for _, bad := range []string{
+		"meteor", "send-omission:x", "send-omission:-1", "byzantine:1:x",
+		"byzantine:1:-2", "crash:1", "crash:0:1", "send-omission:1:1:1",
+	} {
+		if _, err := ParseFaults(bad); err == nil {
+			t.Errorf("ParseFaults(%q) succeeded, want error", bad)
+		}
+	}
+	for _, tc := range []struct {
+		in   string
+		want FaultAdversary
+	}{
+		{"", FaultAdversary{}},
+		{"crash", FaultAdversary{}},
+		{"send-omission", FaultAdversary{Model: sim.FaultSendOmission}},
+		{"receive-omission:2", FaultAdversary{Model: sim.FaultReceiveOmission, Budget: 2}},
+		{"byzantine:1:1", FaultAdversary{Model: sim.FaultByzantine, Budget: 1, MaxFaulty: 1}},
+	} {
+		got, err := ParseFaults(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseFaults(%q) = (%+v, %v), want %+v", tc.in, got, err, tc.want)
+		}
+	}
+}

@@ -46,16 +46,38 @@ func fuzzInstance(algPick, nPick, crashPick byte, inputBits uint16) diffInstance
 	return diffInstance{name, alg, inputs, live, int(crashPick % 2)}
 }
 
+// fuzzFaults decodes the fuzzer's fault pick into an adversary: the zero
+// pick keeps the crash-only engine, the rest arm one non-crash model with
+// the smallest budget (1 event, 1 faulty process) so the fuzzed state
+// spaces stay exhaustively explorable.
+func fuzzFaults(faultPick byte) FaultAdversary {
+	switch faultPick % 4 {
+	case 1:
+		return FaultAdversary{Model: sim.FaultSendOmission, Budget: 1, MaxFaulty: 1}
+	case 2:
+		return FaultAdversary{Model: sim.FaultReceiveOmission, Budget: 1, MaxFaulty: 1}
+	case 3:
+		return FaultAdversary{Model: sim.FaultByzantine, Budget: 1, MaxFaulty: 1}
+	}
+	return FaultAdversary{}
+}
+
 func FuzzExploreParity(f *testing.F) {
 	// One seed per algorithm, covering uniform and mixed inputs, with and
-	// without a crash budget.
-	f.Add(byte(0), byte(1), byte(1), uint16(0b100100)) // minwait n=3 mixed, crash
-	f.Add(byte(0), byte(1), byte(0), uint16(0))        // minwait n=3 uniform
-	f.Add(byte(1), byte(0), byte(1), uint16(0b0100))   // flpkset n=2 mixed, crash
-	f.Add(byte(2), byte(1), byte(0), uint16(0b110000)) // firstheard n=3
-	f.Add(byte(3), byte(1), byte(1), uint16(0b010101)) // decideown n=3 uniform, crash
-	f.Fuzz(func(t *testing.T, algPick, nPick, crashPick byte, inputBits uint16) {
+	// without a crash budget; the last three arm each non-crash fault model
+	// so the reduction parity matrix fuzzes the fault-branching adversary
+	// from the first corpus run.
+	f.Add(byte(0), byte(1), byte(1), uint16(0b100100), byte(0)) // minwait n=3 mixed, crash
+	f.Add(byte(0), byte(1), byte(0), uint16(0), byte(0))        // minwait n=3 uniform
+	f.Add(byte(1), byte(0), byte(1), uint16(0b0100), byte(0))   // flpkset n=2 mixed, crash
+	f.Add(byte(2), byte(1), byte(0), uint16(0b110000), byte(0)) // firstheard n=3
+	f.Add(byte(3), byte(1), byte(1), uint16(0b010101), byte(0)) // decideown n=3 uniform, crash
+	f.Add(byte(0), byte(1), byte(0), uint16(0b100100), byte(1)) // minwait n=3, send omission
+	f.Add(byte(2), byte(1), byte(0), uint16(0b110000), byte(2)) // firstheard n=3, receive omission
+	f.Add(byte(0), byte(0), byte(1), uint16(0b0100), byte(3))   // minwait n=2 crash, byzantine
+	f.Fuzz(func(t *testing.T, algPick, nPick, crashPick byte, inputBits uint16, faultPick byte) {
 		d := fuzzInstance(algPick, nPick, crashPick, inputBits)
+		faults := fuzzFaults(faultPick)
 		build := func(symmetry, por bool) *Explorer {
 			return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
 				Live:       d.live,
@@ -69,6 +91,7 @@ func FuzzExploreParity(f *testing.F) {
 				Workers:    1,
 				Symmetry:   symmetry,
 				POR:        por,
+				Faults:     faults,
 			})
 		}
 		modes := []struct {
@@ -135,6 +158,86 @@ func FuzzExploreParity(f *testing.F) {
 				if vals[i] != plainVals[i] {
 					t.Fatalf("%s valence diverged on %s %v: reduced %v, plain %v", m.name, d.name, d.inputs, vals, plainVals)
 				}
+			}
+		}
+	})
+}
+
+// FuzzFaultParity is the fuzzing arm of the fault-model substrate's
+// robustness guarantees. For a random small instance and a random fault
+// adversary it asserts the two load-bearing invariants of the layer:
+// crash-only bit-identity (an explicitly crash-spelled adversary drives the
+// exact engine of the zero value — stats, witness detail, and scheduled
+// run), and fault monotonicity (arming a fault model strictly grows the
+// adversary's power, so a crash-only witness implies a fault-model witness,
+// and every found witness revalidates by concrete replay). CI runs the
+// target briefly; the seed corpus runs as ordinary tests on every `go test`.
+func FuzzFaultParity(f *testing.F) {
+	f.Add(byte(0), byte(1), byte(1), uint16(0b100100), byte(1)) // minwait n=3 mixed crash, send omission
+	f.Add(byte(2), byte(1), byte(0), uint16(0b110000), byte(2)) // firstheard n=3, receive omission
+	f.Add(byte(3), byte(1), byte(0), uint16(0b010101), byte(3)) // decideown n=3, byzantine
+	f.Add(byte(1), byte(0), byte(1), uint16(0b0100), byte(1))   // flpkset n=2 crash, send omission
+	f.Fuzz(func(t *testing.T, algPick, nPick, crashPick byte, inputBits uint16, faultPick byte) {
+		d := fuzzInstance(algPick, nPick, crashPick, inputBits)
+		build := func(fa FaultAdversary) *Explorer {
+			return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+				Live:       d.live,
+				MaxCrashes: d.crashes,
+				MaxConfigs: 12000,
+				Workers:    1,
+				Faults:     fa,
+			})
+		}
+		crashSpelled, err := ParseFaults("crash")
+		if err != nil {
+			t.Fatal(err)
+		}
+		goals := []struct {
+			name string
+			find func(*Explorer) (*Witness, bool, error)
+		}{
+			{"disagreement", (*Explorer).FindDisagreement},
+			{"blocking", (*Explorer).FindBlocking},
+		}
+		for _, g := range goals {
+			plainW, plainFound, err := g.find(build(FaultAdversary{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			spelledW, spelledFound, err := g.find(build(crashSpelled))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spelledFound != plainFound || spelledW.Stats != plainW.Stats || spelledW.Detail != plainW.Detail {
+				t.Fatalf("%s: crash-spelled adversary diverged on %s %v: %+v/%t %q, zero %+v/%t %q",
+					g.name, d.name, d.inputs, spelledW.Stats, spelledFound, spelledW.Detail,
+					plainW.Stats, plainFound, plainW.Detail)
+			}
+			if plainW.Stats.Truncated {
+				continue // not exhaustively explorable; monotonicity is not checkable
+			}
+			fa := fuzzFaults(faultPick)
+			if fa.Model == sim.FaultCrash {
+				continue
+			}
+			faultW, faultFound, err := g.find(build(fa))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plainFound && !faultFound {
+				t.Fatalf("%s: crash-only witness exists on %s %v but the %s adversary (a superset) found none",
+					g.name, d.name, d.inputs, fa.Model)
+			}
+			if faultFound {
+				testutil.RevalidateWitness(t, faultW.Kind, faultW.Run)
+				for _, ev := range faultW.Run.Events {
+					if ev.Fault != sim.FaultCrash && ev.Fault != fa.Model {
+						t.Fatalf("%s: witness replayed a %s event under the %s adversary", g.name, ev.Fault, fa.Model)
+					}
+				}
+			} else if !faultW.Stats.Truncated && faultW.Stats.Visited < plainW.Stats.Visited {
+				t.Fatalf("%s: exhaustive %s search visited %d < crash-only %d; the fault space contains the plain space",
+					g.name, fa.Model, faultW.Stats.Visited, plainW.Stats.Visited)
 			}
 		}
 	})

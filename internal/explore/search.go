@@ -246,6 +246,7 @@ func (e *Explorer) replayActions(acts []action) (*sim.Run, error) {
 		if act.Crash && act.Omit {
 			req.OmitTo = e.omitAll
 		}
+		faultRequest(&req, act.Fault)
 		switch act.Mode {
 		case DeliverOldest:
 			id, ok := cfg.OldestMessageID(act.Proc)

@@ -1,0 +1,105 @@
+package ho
+
+import (
+	"testing"
+
+	"kset/internal/sim"
+)
+
+// TestExecuteGoldenE11Cases pins, as literals, the exact executor outputs
+// that feed the E11 experiment (and through it the E12 synchrony ladder's
+// round-model rows): FloodMin under the complete and partitioned
+// assignments and OneThirdRule under the complete one, for every (n, k)
+// cell of the experiment, with the kernel-predicate verdicts that separate
+// the assignments. The round model shares the simulator's value and payload
+// types but none of its fault machinery, so changes elsewhere in the
+// substrate — fault models, fingerprints, scheduling — must leave every
+// number here untouched; a diff in this test means the round-model executor
+// itself changed semantics, which the E11/E12 golden tables would surface
+// only indirectly.
+func TestExecuteGoldenE11Cases(t *testing.T) {
+	cases := []struct {
+		n, k int
+		// groups is E11's balanced consecutive partition of 1..n into k.
+		groups [][]sim.ProcessID
+		// partDecisions is FloodMin's decision map under the partitioned
+		// assignment: each group floods its own minimum.
+		partDecisions map[sim.ProcessID]sim.Value
+	}{
+		{4, 2, [][]sim.ProcessID{{1, 2}, {3, 4}},
+			map[sim.ProcessID]sim.Value{1: 100, 2: 100, 3: 102, 4: 102}},
+		{6, 2, [][]sim.ProcessID{{1, 2, 3}, {4, 5, 6}},
+			map[sim.ProcessID]sim.Value{1: 100, 2: 100, 3: 100, 4: 103, 5: 103, 6: 103}},
+		{6, 3, [][]sim.ProcessID{{1, 2}, {3, 4}, {5, 6}},
+			map[sim.ProcessID]sim.Value{1: 100, 2: 100, 3: 102, 4: 102, 5: 104, 6: 104}},
+		{8, 4, [][]sim.ProcessID{{1, 2}, {3, 4}, {5, 6}, {7, 8}},
+			map[sim.ProcessID]sim.Value{1: 100, 2: 100, 3: 102, 4: 102, 5: 104, 6: 104, 7: 106, 8: 106}},
+		{9, 3, [][]sim.ProcessID{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}},
+			map[sim.ProcessID]sim.Value{1: 100, 2: 100, 3: 100, 4: 103, 5: 103, 6: 103, 7: 106, 8: 106, 9: 106}},
+	}
+	const r = 3
+	for _, c := range cases {
+		inputs := make([]sim.Value, c.n)
+		for i := range inputs {
+			inputs[i] = sim.Value(100 + i)
+		}
+		complete := Complete(c.n)
+		partitioned := Partitioned(c.n, c.groups, r)
+
+		// FloodMin, complete assignment: everyone floods to the global
+		// minimum in exactly R rounds.
+		full, err := Execute(FloodMin{R: r}, inputs, complete, 3*r)
+		if err != nil {
+			t.Fatalf("n=%d complete: %v", c.n, err)
+		}
+		if full.Rounds != 3 {
+			t.Errorf("n=%d: FloodMin complete decided in %d rounds, want 3", c.n, full.Rounds)
+		}
+		for p := sim.ProcessID(1); int(p) <= c.n; p++ {
+			if full.Decisions[p] != 100 {
+				t.Errorf("n=%d: FloodMin complete p%d decided %v, want 100", c.n, p, full.Decisions[p])
+			}
+		}
+
+		// FloodMin, partitioned assignment: one minimum per group, same
+		// round count — the Theorem 1 violation shape.
+		part, err := Execute(FloodMin{R: r}, inputs, partitioned, 3*r)
+		if err != nil {
+			t.Fatalf("n=%d k=%d partitioned: %v", c.n, c.k, err)
+		}
+		if part.Rounds != 3 {
+			t.Errorf("n=%d k=%d: FloodMin partitioned decided in %d rounds, want 3", c.n, c.k, part.Rounds)
+		}
+		if len(part.Decisions) != len(c.partDecisions) {
+			t.Errorf("n=%d k=%d: %d partitioned decisions, want %d", c.n, c.k, len(part.Decisions), len(c.partDecisions))
+		}
+		for p, want := range c.partDecisions {
+			if got := part.Decisions[p]; got != want {
+				t.Errorf("n=%d k=%d: FloodMin partitioned p%d decided %v, want %v", c.n, c.k, p, got, want)
+			}
+		}
+
+		// OneThirdRule, complete assignment: unanimous threshold reached in
+		// exactly 2 rounds, everyone decides the minimum.
+		otr, err := Execute(OneThirdRule{}, inputs, complete, 12)
+		if err != nil {
+			t.Fatalf("n=%d one-third complete: %v", c.n, err)
+		}
+		if otr.Rounds != 2 {
+			t.Errorf("n=%d: OneThirdRule complete decided in %d rounds, want 2", c.n, otr.Rounds)
+		}
+		for p := sim.ProcessID(1); int(p) <= c.n; p++ {
+			if otr.Decisions[p] != 100 {
+				t.Errorf("n=%d: OneThirdRule complete p%d decided %v, want 100", c.n, p, otr.Decisions[p])
+			}
+		}
+
+		// The kernel predicate is what separates the assignments in E11.
+		if !CheckNonemptyKernel(c.n, complete, r) {
+			t.Errorf("n=%d: complete assignment kernel empty, want nonempty", c.n)
+		}
+		if CheckNonemptyKernel(c.n, partitioned, r) {
+			t.Errorf("n=%d k=%d: partitioned assignment kernel nonempty, want empty", c.n, c.k)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import "kset/internal/sim"
 // long as delivery happens eventually).
 type Fair struct {
 	Crash  CrashPlan
+	Faults FaultPlan
 	Gate   Gate
 	Oracle Oracle
 	Stop   StopWhen
@@ -86,6 +87,7 @@ func (s *Fair) request(c *sim.Configuration, p sim.ProcessID, deliver []int64) s
 		req.Crash = true
 		req.OmitTo = s.Crash.omitSet(p)
 	}
+	s.Faults.apply(&req, c)
 	return req
 }
 

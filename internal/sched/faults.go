@@ -1,0 +1,139 @@
+package sched
+
+import (
+	"fmt"
+
+	"kset/internal/sim"
+)
+
+// PlanError is the typed error returned by plan validation: which plan type,
+// which field, and why it is invalid. Callers that construct plans from user
+// input (flags, experiment parameters) can test for it with errors.As.
+type PlanError struct {
+	Plan   string // "CrashPlan" or "FaultPlan"
+	Field  string // the offending field
+	Reason string
+}
+
+func (e *PlanError) Error() string {
+	return fmt.Sprintf("sched: invalid %s.%s: %s", e.Plan, e.Field, e.Reason)
+}
+
+// FaultPlan schedules non-crash fault events the way CrashPlan schedules
+// crashes: From maps a process to the global time at or after which every
+// step it takes is a fault step of the plan's Model (all sends omitted,
+// all deliveries dropped, or all sends corrupted), and Budget caps how many
+// fault events each planned process may be charged (0 = unbounded). The
+// zero FaultPlan — Model FaultCrash — schedules nothing.
+type FaultPlan struct {
+	Model  sim.FaultModel
+	From   map[sim.ProcessID]int
+	Budget int
+}
+
+// Active reports whether p's step at global time t is a fault step under the
+// plan given the budget already spent in c.
+func (fp FaultPlan) Active(c *sim.Configuration, p sim.ProcessID, t int) bool {
+	if fp.Model == sim.FaultCrash {
+		return false
+	}
+	at, ok := fp.From[p]
+	if !ok || t < at {
+		return false
+	}
+	return fp.Budget <= 0 || c.FaultsUsed(p) < fp.Budget
+}
+
+// apply marks req as a fault step of the plan's model when the plan is
+// active for its process. Crash directives win: the simulator rejects steps
+// that combine a fault action with a crash, and a process the crash plan
+// fails now has no later steps for the fault plan to claim.
+func (fp FaultPlan) apply(req *sim.StepRequest, c *sim.Configuration) {
+	if req.Crash || req.SilentCrash || !fp.Active(c, req.Proc, c.Time()) {
+		return
+	}
+	switch fp.Model {
+	case sim.FaultSendOmission:
+		req.OmitSends = true
+	case sim.FaultReceiveOmission:
+		req.DropDeliver = true
+	case sim.FaultByzantine:
+		req.Corrupt = true
+	}
+}
+
+// Validate checks the plan against a system of n processes with fault bound
+// f: process ids must be in 1..n, activation times non-negative, the Budget
+// non-negative, the model known, and — when f >= 0 — the number of planned
+// faulty processes must not exceed f. Pass f < 0 to skip the bound check.
+func (fp FaultPlan) Validate(n, f int) error {
+	if _, err := sim.ParseFaultModel(fp.Model.String()); err != nil {
+		return &PlanError{Plan: "FaultPlan", Field: "Model", Reason: fmt.Sprintf("unknown model %d", int(fp.Model))}
+	}
+	for p, at := range fp.From {
+		if p < 1 || int(p) > n {
+			return &PlanError{Plan: "FaultPlan", Field: "From", Reason: fmt.Sprintf("process %d out of range 1..%d", p, n)}
+		}
+		if at < 0 {
+			return &PlanError{Plan: "FaultPlan", Field: "From", Reason: fmt.Sprintf("process %d activates at negative time %d", p, at)}
+		}
+	}
+	if fp.Budget < 0 {
+		return &PlanError{Plan: "FaultPlan", Field: "Budget", Reason: fmt.Sprintf("negative budget %d", fp.Budget)}
+	}
+	if fp.Model != sim.FaultCrash && f >= 0 && len(fp.From) > f {
+		return &PlanError{Plan: "FaultPlan", Field: "From", Reason: fmt.Sprintf("%d faulty processes exceed the fault bound f=%d", len(fp.From), f)}
+	}
+	return nil
+}
+
+// Validate checks the crash plan against a system of n processes with fault
+// bound f: every process id (initially dead, crash-at-time, omission sender
+// and receiver) must be in 1..n, InitialDead must not repeat a process or
+// overlap CrashAtTime, omission lists may only be attached to processes the
+// plan crashes and must not repeat receivers, and — when f >= 0 — the
+// plan's FaultBudget must not exceed f. Pass f < 0 to skip the bound check.
+func (cp CrashPlan) Validate(n, f int) error {
+	seen := make(map[sim.ProcessID]bool, len(cp.InitialDead))
+	for _, p := range cp.InitialDead {
+		if p < 1 || int(p) > n {
+			return &PlanError{Plan: "CrashPlan", Field: "InitialDead", Reason: fmt.Sprintf("process %d out of range 1..%d", p, n)}
+		}
+		if seen[p] {
+			return &PlanError{Plan: "CrashPlan", Field: "InitialDead", Reason: fmt.Sprintf("process %d listed twice", p)}
+		}
+		seen[p] = true
+	}
+	for p, at := range cp.CrashAtTime {
+		if p < 1 || int(p) > n {
+			return &PlanError{Plan: "CrashPlan", Field: "CrashAtTime", Reason: fmt.Sprintf("process %d out of range 1..%d", p, n)}
+		}
+		if at < 0 {
+			return &PlanError{Plan: "CrashPlan", Field: "CrashAtTime", Reason: fmt.Sprintf("process %d crashes at negative time %d", p, at)}
+		}
+		if seen[p] {
+			return &PlanError{Plan: "CrashPlan", Field: "CrashAtTime", Reason: fmt.Sprintf("process %d is already initially dead", p)}
+		}
+	}
+	for p, list := range cp.OmitTo {
+		if _, crashes := cp.CrashAtTime[p]; !crashes {
+			return &PlanError{Plan: "CrashPlan", Field: "OmitTo", Reason: fmt.Sprintf("process %d has omissions but no scheduled crash", p)}
+		}
+		rcv := make(map[sim.ProcessID]bool, len(list))
+		for _, q := range list {
+			if q < 1 || int(q) > n {
+				return &PlanError{Plan: "CrashPlan", Field: "OmitTo", Reason: fmt.Sprintf("receiver %d out of range 1..%d", q, n)}
+			}
+			if rcv[q] {
+				return &PlanError{Plan: "CrashPlan", Field: "OmitTo", Reason: fmt.Sprintf("receiver %d listed twice for process %d", q, p)}
+			}
+			rcv[q] = true
+		}
+	}
+	if f >= 0 {
+		if b := cp.FaultBudget(); b > f {
+			return &PlanError{Plan: "CrashPlan", Field: "FaultBudget", Reason: fmt.Sprintf("%d crashed processes exceed the fault bound f=%d", b, f)}
+		}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ import "kset/internal/sim"
 // sending are part of the same atomic step".
 type Lockstep struct {
 	Crash  CrashPlan
+	Faults FaultPlan
 	Gate   Gate
 	Oracle Oracle
 	Stop   StopWhen
@@ -62,6 +63,7 @@ func (s *Lockstep) Next(c *sim.Configuration) (sim.StepRequest, bool) {
 			req.Crash = true
 			req.OmitTo = s.Crash.omitSet(p)
 		}
+		s.Faults.apply(&req, c)
 		return req, true
 	}
 }

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"kset/internal/sim"
+)
+
+func TestCrashPlanValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		plan  CrashPlan
+		n, f  int
+		field string // "" = valid
+	}{
+		{name: "empty", plan: CrashPlan{}, n: 3, f: 1},
+		{name: "valid full", n: 5, f: 2, plan: CrashPlan{
+			InitialDead: []sim.ProcessID{2},
+			CrashAtTime: map[sim.ProcessID]int{4: 3},
+			OmitTo:      map[sim.ProcessID][]sim.ProcessID{4: {1, 5}},
+		}},
+		{name: "dead out of range", n: 3, f: 3, field: "InitialDead",
+			plan: CrashPlan{InitialDead: []sim.ProcessID{4}}},
+		{name: "dead zero id", n: 3, f: 3, field: "InitialDead",
+			plan: CrashPlan{InitialDead: []sim.ProcessID{0}}},
+		{name: "dead duplicate", n: 3, f: 3, field: "InitialDead",
+			plan: CrashPlan{InitialDead: []sim.ProcessID{2, 2}}},
+		{name: "crash out of range", n: 3, f: 3, field: "CrashAtTime",
+			plan: CrashPlan{CrashAtTime: map[sim.ProcessID]int{9: 0}}},
+		{name: "crash negative time", n: 3, f: 3, field: "CrashAtTime",
+			plan: CrashPlan{CrashAtTime: map[sim.ProcessID]int{1: -1}}},
+		{name: "dead and crashing", n: 3, f: 3, field: "CrashAtTime",
+			plan: CrashPlan{InitialDead: []sim.ProcessID{1}, CrashAtTime: map[sim.ProcessID]int{1: 2}}},
+		{name: "omission without crash", n: 3, f: 3, field: "OmitTo",
+			plan: CrashPlan{OmitTo: map[sim.ProcessID][]sim.ProcessID{1: {2}}}},
+		{name: "omission receiver out of range", n: 3, f: 3, field: "OmitTo",
+			plan: CrashPlan{CrashAtTime: map[sim.ProcessID]int{1: 0}, OmitTo: map[sim.ProcessID][]sim.ProcessID{1: {7}}}},
+		{name: "omission receiver duplicate", n: 3, f: 3, field: "OmitTo",
+			plan: CrashPlan{CrashAtTime: map[sim.ProcessID]int{1: 0}, OmitTo: map[sim.ProcessID][]sim.ProcessID{1: {2, 2}}}},
+		{name: "budget exceeded", n: 4, f: 1, field: "FaultBudget",
+			plan: CrashPlan{InitialDead: []sim.ProcessID{1}, CrashAtTime: map[sim.ProcessID]int{2: 0}}},
+		{name: "budget check skipped", n: 4, f: -1,
+			plan: CrashPlan{InitialDead: []sim.ProcessID{1}, CrashAtTime: map[sim.ProcessID]int{2: 0}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(tc.n, tc.f)
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Validate = %v, want nil", err)
+				}
+				return
+			}
+			var pe *PlanError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Validate = %v, want *PlanError", err)
+			}
+			if pe.Plan != "CrashPlan" || pe.Field != tc.field {
+				t.Fatalf("PlanError{%s,%s}, want field %s", pe.Plan, pe.Field, tc.field)
+			}
+		})
+	}
+}
+
+func TestFaultPlanValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		plan  FaultPlan
+		n, f  int
+		field string
+	}{
+		{name: "zero plan", plan: FaultPlan{}, n: 3, f: 0},
+		{name: "valid", n: 4, f: 1, plan: FaultPlan{
+			Model: sim.FaultSendOmission, From: map[sim.ProcessID]int{3: 2}, Budget: 1,
+		}},
+		{name: "unknown model", n: 3, f: 3, field: "Model",
+			plan: FaultPlan{Model: sim.FaultModel(42)}},
+		{name: "process out of range", n: 3, f: 3, field: "From",
+			plan: FaultPlan{Model: sim.FaultReceiveOmission, From: map[sim.ProcessID]int{5: 0}}},
+		{name: "negative activation", n: 3, f: 3, field: "From",
+			plan: FaultPlan{Model: sim.FaultReceiveOmission, From: map[sim.ProcessID]int{1: -2}}},
+		{name: "negative budget", n: 3, f: 3, field: "Budget",
+			plan: FaultPlan{Model: sim.FaultByzantine, Budget: -1}},
+		{name: "too many faulty", n: 4, f: 1, field: "From",
+			plan: FaultPlan{Model: sim.FaultSendOmission, From: map[sim.ProcessID]int{1: 0, 2: 0}}},
+		{name: "bound check skipped", n: 4, f: -1,
+			plan: FaultPlan{Model: sim.FaultSendOmission, From: map[sim.ProcessID]int{1: 0, 2: 0}}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(tc.n, tc.f)
+			if tc.field == "" {
+				if err != nil {
+					t.Fatalf("Validate = %v, want nil", err)
+				}
+				return
+			}
+			var pe *PlanError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Validate = %v, want *PlanError", err)
+			}
+			if pe.Plan != "FaultPlan" || pe.Field != tc.field {
+				t.Fatalf("PlanError{%s,%s}, want field %s", pe.Plan, pe.Field, tc.field)
+			}
+		})
+	}
+}
+
+func TestFairHonoursSendOmissionPlan(t *testing.T) {
+	// Process 1 omits every send from time 0 (unbounded budget): its one
+	// broadcast is lost, countAlg never re-broadcasts, so nobody ever hears
+	// p1 and quorum 3 blocks at the step horizon.
+	fp := FaultPlan{Model: sim.FaultSendOmission, From: map[sim.ProcessID]int{1: 0}}
+	s := &Fair{Faults: fp, Stop: AllCorrectDecided(CrashPlan{})}
+	run, err := sim.Execute(countAlg{quorum: 3}, []sim.Value{1, 2, 3}, s, sim.Options{MaxSteps: 60})
+	if err != nil && !errors.Is(err, sim.ErrHorizon) {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) == 0 {
+		t.Fatal("quorum reached despite p1's broadcast being send-omitted")
+	}
+	if got := run.Final.FaultsUsed(1); got != 1 {
+		t.Fatalf("FaultsUsed(1) = %d, want 1 (one effective omission)", got)
+	}
+	for _, ev := range run.Events {
+		if ev.Proc == 1 && len(ev.Sent) > 0 {
+			t.Fatalf("p1 sent %d messages at t=%d under a full omission plan", len(ev.Sent), ev.Time)
+		}
+	}
+}
+
+func TestFairFaultBudgetExpires(t *testing.T) {
+	// Receive omission with budget 1: p2 loses one delivery batch, then
+	// behaves correctly; with quorum 2 every process still decides.
+	fp := FaultPlan{Model: sim.FaultReceiveOmission, From: map[sim.ProcessID]int{2: 0}, Budget: 1}
+	s := &Fair{Faults: fp, Stop: AllCorrectDecided(CrashPlan{})}
+	run, err := sim.Execute(countAlg{quorum: 2}, []sim.Value{1, 2, 3}, s, sim.Options{MaxSteps: 120})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v (budget-1 omission should not prevent quorum 2)", run.Blocked)
+	}
+	if got := run.Final.FaultsUsed(2); got != 1 {
+		t.Fatalf("FaultsUsed(2) = %d, want exactly the budget 1", got)
+	}
+}
+
+func TestLockstepHonoursFaultPlanWithCrashPrecedence(t *testing.T) {
+	// p1 is both fault-planned and crash-planned at time 0: the crash wins
+	// (the simulator rejects combined requests), and the run proceeds as a
+	// plain crash run.
+	cp := CrashPlan{CrashAtTime: map[sim.ProcessID]int{1: 0}}
+	fp := FaultPlan{Model: sim.FaultSendOmission, From: map[sim.ProcessID]int{1: 0}}
+	s := &Lockstep{Crash: cp, Faults: fp, Stop: AllCorrectDecided(cp), MaxRounds: 40}
+	run, err := sim.Execute(countAlg{quorum: 2}, []sim.Value{1, 2, 3}, s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if !run.Final.Crashed(1) {
+		t.Fatal("crash plan not honoured")
+	}
+	if got := run.Final.FaultsUsed(1); got != 0 {
+		t.Fatalf("FaultsUsed(1) = %d, want 0 (crash precedence)", got)
+	}
+	if len(run.Blocked) != 0 {
+		t.Fatalf("blocked: %v", run.Blocked)
+	}
+}
+
+func TestLockstepHonoursByzantinePlan(t *testing.T) {
+	// p3 corrupts every send: countAlg's type assertion ignores Corrupted
+	// payloads, so with quorum 3 nobody ever counts p3 and the run blocks.
+	fp := FaultPlan{Model: sim.FaultByzantine, From: map[sim.ProcessID]int{3: 0}}
+	s := &Lockstep{Faults: fp, Stop: AllCorrectDecided(CrashPlan{}), MaxRounds: 25}
+	run, err := sim.Execute(countAlg{quorum: 3}, []sim.Value{1, 2, 3}, s, sim.Options{})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if len(run.Blocked) == 0 {
+		t.Fatal("quorum reached despite p3's pings being corrupted")
+	}
+	if run.Final.FaultsUsed(3) == 0 {
+		t.Fatal("no fault events charged to the Byzantine process")
+	}
+	corrupted := false
+	for _, ev := range run.Events {
+		if ev.Proc != 3 {
+			continue
+		}
+		for _, m := range ev.Sent {
+			if _, ok := m.Payload.(sim.Corrupted); ok {
+				corrupted = true
+			} else {
+				t.Fatalf("p3 sent an uncorrupted payload %q at t=%d", m.Payload.Key(), ev.Time)
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("p3 never sent a corrupted message")
+	}
+}

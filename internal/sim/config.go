@@ -47,6 +47,12 @@ type Configuration struct {
 	time      int
 	nextMsgID int64
 
+	// faults counts, per process, the committed fault events of the
+	// pluggable fault models (see faults.go). It stays nil — and contributes
+	// nothing to any fingerprint — until the first effective fault action,
+	// so crash-only runs are bit-identical to the pre-fault-model engine.
+	faults []int32
+
 	// fp is the incremental fingerprint (see fingerprint.go); procFP caches
 	// the per-process components so state changes fold in as deltas.
 	fp     uint64
@@ -176,6 +182,7 @@ func (c *Configuration) Clone() *Configuration {
 		decisions: append([]Value(nil), c.decisions...),
 		time:      c.time,
 		nextMsgID: c.nextMsgID,
+		faults:    append([]int32(nil), c.faults...),
 		fp:        c.fp,
 		procFP:    append([]uint64(nil), c.procFP...),
 		sym:       c.sym,
@@ -207,6 +214,7 @@ func (c *Configuration) CloneInto(dst *Configuration) *Configuration {
 	dst.states = append(dst.states[:0], c.states...)
 	dst.crashed = append(dst.crashed[:0], c.crashed...)
 	dst.decisions = append(dst.decisions[:0], c.decisions...)
+	dst.faults = append(dst.faults[:0], c.faults...)
 	dst.procFP = append(dst.procFP[:0], c.procFP...)
 	dst.symBase = append(dst.symBase[:0], c.symBase...)
 	dst.symMsg = append(dst.symMsg[:0], c.symMsg...)
@@ -231,6 +239,12 @@ func (c *Configuration) Key() string {
 		fmt.Fprintf(&b, "p%d[", i+1)
 		if c.crashed[i] {
 			b.WriteString("X;")
+		}
+		if f := c.faultCount(i); f != 0 {
+			// Spent fault budget changes the adversary's remaining choices,
+			// so it is part of behavioural identity — exactly like the crash
+			// flag. Zero counts add nothing: crash-only keys are unchanged.
+			fmt.Fprintf(&b, "F%d;", f)
 		}
 		b.WriteString(s.Key())
 		b.WriteString("]{")
@@ -261,6 +275,19 @@ type StepRequest struct {
 	FD      FDValue
 	Crash   bool
 	OmitTo  map[ProcessID]bool
+
+	// OmitSends drops every send of this step before it reaches a buffer (a
+	// send-omission fault event, FaultSendOmission). DropDeliver consumes
+	// the Deliver subset from the buffer without handing it to the process —
+	// the messages are lost (a receive-omission fault event,
+	// FaultReceiveOmission). Corrupt replaces the payload of every send with
+	// its deterministic corrupted variant (a Byzantine value fault,
+	// FaultByzantine; see Corruptible). At most one may be set, none may be
+	// combined with Crash or SilentCrash, and the event is charged to the
+	// process's fault count only when it had an effect (see faults.go).
+	OmitSends   bool
+	DropDeliver bool
+	Corrupt     bool
 
 	// SilentCrash marks the process as crashed without executing a step:
 	// the process is in F(t) for the current time t onward and, if it never
@@ -340,6 +367,22 @@ func (c *Configuration) apply(req StepRequest, record bool) (Event, error) {
 	if c.crashed[i] {
 		return Event{}, fmt.Errorf("sim: process %d stepped after crashing", p)
 	}
+	nfaults := 0
+	if req.OmitSends {
+		nfaults++
+	}
+	if req.DropDeliver {
+		nfaults++
+	}
+	if req.Corrupt {
+		nfaults++
+	}
+	if nfaults > 1 {
+		return Event{}, fmt.Errorf("sim: process %d step combines multiple fault actions", p)
+	}
+	if nfaults > 0 && (req.Crash || req.SilentCrash) {
+		return Event{}, fmt.Errorf("sim: process %d step combines a fault action with a crash", p)
+	}
 
 	if req.SilentCrash {
 		c.crashed[i] = true
@@ -361,7 +404,14 @@ func (c *Configuration) apply(req StepRequest, record bool) (Event, error) {
 		return Event{}, err
 	}
 
+	faulted := false
 	in := Input{Time: c.time, Delivered: delivered, FD: req.FD}
+	if req.DropDeliver && len(delivered) > 0 {
+		// Receive omission: the messages left the buffer but the process
+		// never sees them. The event still records them as consumed.
+		in.Delivered = nil
+		faulted = true
+	}
 	next, sends := c.states[i].Step(in)
 	if next == nil {
 		return Event{}, fmt.Errorf("sim: process %d returned nil state", p)
@@ -395,12 +445,22 @@ func (c *Configuration) apply(req StepRequest, record bool) (Event, error) {
 		if req.Crash && req.OmitTo[snd.To] {
 			continue
 		}
+		if req.OmitSends {
+			// Send omission: the send is validated but never enqueued.
+			faulted = true
+			continue
+		}
+		payload := snd.Payload
+		if req.Corrupt {
+			payload = corruptPayload(payload)
+			faulted = true
+		}
 		m := Message{
 			ID:      c.nextMsgID,
 			From:    p,
 			To:      snd.To,
 			SentAt:  c.time,
-			Payload: snd.Payload,
+			Payload: payload,
 		}
 		m.fp = msgComponent(int(snd.To)-1, &m)
 		c.fp += m.fp
@@ -418,6 +478,9 @@ func (c *Configuration) apply(req StepRequest, record bool) (Event, error) {
 	if req.Crash {
 		c.crashed[i] = true
 	}
+	if faulted {
+		c.bumpFault(i)
+	}
 	c.refreshProc(i)
 	c.time++
 
@@ -432,6 +495,20 @@ func (c *Configuration) apply(req StepRequest, record bool) (Event, error) {
 		Sent:      sent,
 		StateKey:  next.Key(),
 		Crashed:   req.Crash,
+	}
+	// Only an effective fault step is recorded on the event: an ineffective
+	// one (nothing dropped, nothing corrupted) is bit-identical to its plain
+	// twin, so replaying it without the fault flag reproduces the same
+	// configuration and the event stream stays free of phantom fault marks.
+	if faulted {
+		switch {
+		case req.OmitSends:
+			ev.Fault = FaultSendOmission
+		case req.DropDeliver:
+			ev.Fault = FaultReceiveOmission
+		case req.Corrupt:
+			ev.Fault = FaultByzantine
+		}
 	}
 	if v, ok := next.Decided(); ok {
 		ev.Decision, ev.Decided = v, true

@@ -1,0 +1,183 @@
+package sim
+
+import "fmt"
+
+// This file implements the pluggable fault-model vocabulary of the
+// simulator. The paper's impossibility arguments are not specific to clean
+// crashes: Section II's model discussion and the Discussion section both
+// point out that the partition and indistinguishability constructions apply
+// verbatim in message-passing models with restricted communication —
+// send-omission and receive-omission faulty processes, and (for the safety
+// side of the argument) even value-faulty ones. The simulator therefore
+// exposes, next to the crash directives of StepRequest, three per-step fault
+// actions an adversary may charge against a process's fault budget:
+//
+//   - send omission: the step executes normally but ALL of its sends are
+//     dropped before they reach any buffer;
+//   - receive omission: the delivered subset L is consumed from the buffer
+//     but never handed to the process (the messages are lost, exactly as if
+//     the channel dropped them on the last hop);
+//   - Byzantine value corruption: the step's sends are delivered, but every
+//     payload is replaced by its deterministic corrupted variant (see
+//     Corruptible and Corrupted).
+//
+// The configuration tracks, per process, how many fault events it has
+// committed (FaultsUsed); budget enforcement is the caller's job — package
+// sched enforces FaultPlan budgets and package explore enumerates fault
+// actions only while budgets remain. A fault event is charged only when it
+// had an effect (a dropped send set or delivered set that was non-empty, a
+// corrupted send that existed): ineffective fault steps produce successors
+// identical to their plain twins and deduplicate for free.
+//
+// Fingerprint contract: the per-process fault counts participate in the
+// configuration fingerprint and in the orbit-canonical fingerprint — the
+// same configuration with different spent budgets has different adversarial
+// futures — through components that are EXACTLY ZERO while every count is
+// zero (see procComponent and symBaseComponent). A run or search that never
+// requests a fault action therefore produces bit-identical fingerprints,
+// canonical fingerprints, and keys to the crash-only engine this layer was
+// grafted onto; the differential tests pin that identity.
+
+// FaultModel identifies a fault model of the adversary: which fault actions
+// beyond crashes it may charge against faulty processes. The zero value is
+// the crash-only model of the original engine.
+type FaultModel int
+
+// Fault models.
+const (
+	// FaultCrash is the crash-only model: processes fail only by stopping
+	// (possibly omitting sends in their very last step, MASYNC clause (2)).
+	FaultCrash FaultModel = iota
+	// FaultSendOmission lets faulty processes drop all sends of a step.
+	FaultSendOmission
+	// FaultReceiveOmission lets faulty processes lose the messages delivered
+	// to a step (consumed from the buffer, never seen by the process).
+	FaultReceiveOmission
+	// FaultByzantine lets faulty processes corrupt the payload of every send
+	// of a step (deterministic value corruption; see Corruptible).
+	FaultByzantine
+)
+
+func (m FaultModel) String() string {
+	switch m {
+	case FaultCrash:
+		return "crash"
+	case FaultSendOmission:
+		return "send-omission"
+	case FaultReceiveOmission:
+		return "receive-omission"
+	case FaultByzantine:
+		return "byzantine"
+	default:
+		return fmt.Sprintf("fault(%d)", int(m))
+	}
+}
+
+// ParseFaultModel parses the CLI spelling of a fault model: "" or "crash",
+// "send-omission", "receive-omission", or "byzantine".
+func ParseFaultModel(s string) (FaultModel, error) {
+	switch s {
+	case "", "crash":
+		return FaultCrash, nil
+	case "send-omission":
+		return FaultSendOmission, nil
+	case "receive-omission":
+		return FaultReceiveOmission, nil
+	case "byzantine":
+		return FaultByzantine, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown fault model %q (want crash, send-omission, receive-omission, or byzantine)", s)
+	}
+}
+
+// Corruptible is an optional Payload capability: a payload that can produce
+// its deterministic Byzantine-corrupted variant. The returned payload must
+// be immutable like every payload, must differ from the original under Key,
+// and must be deterministic — corruption is part of the adversary's
+// strategy, and witness replay re-corrupts the same sends to reproduce the
+// same run. Payloads without the capability are wrapped in Corrupted, which
+// the repository's algorithms do not recognize and therefore ignore: the
+// weakest value fault, an unintelligible message.
+type Corruptible interface {
+	Corrupt() Payload
+}
+
+// Corrupted is the generic Byzantine wrapper applied to payloads that do not
+// implement Corruptible: the original payload garbled beyond the receiving
+// algorithm's type assertions.
+type Corrupted struct {
+	Inner Payload
+}
+
+// Key implements Payload.
+func (c Corrupted) Key() string { return "byz(" + c.Inner.Key() + ")" }
+
+// Hash64 implements Hasher64, equality-compatible with Key.
+func (c Corrupted) Hash64() uint64 {
+	return fnvUint(fnvString(fnvOffset64, "byz"), payloadHash(c.Inner))
+}
+
+// SymHash64 implements SymHasher64: the wrapper relabels through the inner
+// payload when it is equivariant, and falls back to the concrete hash
+// otherwise (mirroring symMsgTerm's fallback).
+func (c Corrupted) SymHash64(relabel func(ProcessID) uint64) uint64 {
+	h := fnvString(fnvOffset64, "byz")
+	if sh, ok := c.Inner.(SymHasher64); ok {
+		return fnvUint(h, sh.SymHash64(relabel))
+	}
+	return fnvUint(h, payloadHash(c.Inner))
+}
+
+// corruptPayload returns the deterministic corrupted variant of p: its
+// Corruptible self-corruption when implemented, the generic Corrupted
+// wrapper otherwise.
+func corruptPayload(p Payload) Payload {
+	if c, ok := p.(Corruptible); ok {
+		return c.Corrupt()
+	}
+	return Corrupted{Inner: p}
+}
+
+// FaultsUsed returns the number of fault events process p has committed
+// (send/receive omissions or corruptions that had an effect). It is 0 for
+// every process of a run that never requested a fault action.
+func (c *Configuration) FaultsUsed(p ProcessID) int {
+	i := int(p) - 1
+	if i < 0 || i >= len(c.faults) {
+		return 0
+	}
+	return int(c.faults[i])
+}
+
+// FaultyProcesses returns the number of processes that have committed at
+// least one fault event.
+func (c *Configuration) FaultyProcesses() int {
+	n := 0
+	for _, f := range c.faults {
+		if f != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// bumpFault charges one fault event to process slot i. The caller must
+// refresh the slot's fingerprint components afterwards (apply does, via its
+// trailing refreshProc).
+func (c *Configuration) bumpFault(i int) {
+	if len(c.faults) != c.n {
+		f := make([]int32, c.n)
+		copy(f, c.faults)
+		c.faults = f
+	}
+	c.faults[i]++
+}
+
+// faultCount returns slot i's committed fault events without forcing the
+// lazily allocated slice.
+func (c *Configuration) faultCount(i int) int32 {
+	if i >= len(c.faults) {
+		return 0
+	}
+	return c.faults[i]
+}

@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// sinkAlg ignores everything it receives and sends one broadcast per step:
+// its state key is identical whether a delivery reached the process or was
+// dropped on the last hop, which is exactly the shape that forces the fault
+// COUNT (not just the visible state) to carry the distinction.
+type sinkAlg struct{}
+
+func (sinkAlg) Name() string { return "sink" }
+
+func (sinkAlg) Init(n int, id ProcessID, input Value) State {
+	return sinkState{n: n, id: id}
+}
+
+type sinkState struct {
+	n  int
+	id ProcessID
+}
+
+func (s sinkState) Step(in Input) (State, []Send) {
+	return s, Broadcast(s.n, testPayload{Tag: "S", From: s.id})
+}
+
+func (s sinkState) Decided() (Value, bool) { return NoValue, false }
+func (s sinkState) Key() string            { return "sink" }
+
+func TestSendOmissionDropsSends(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	ev, err := c.Apply(StepRequest{Proc: 1, OmitSends: true})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if ev.Fault != FaultSendOmission {
+		t.Fatalf("event fault = %v, want send-omission", ev.Fault)
+	}
+	if len(ev.Sent) != 0 {
+		t.Fatalf("event recorded %d sends, want 0 (all omitted)", len(ev.Sent))
+	}
+	if got := c.BufferSize(1) + c.BufferSize(2); got != 0 {
+		t.Fatalf("%d messages buffered after omitted broadcast, want 0", got)
+	}
+	if got := c.FaultsUsed(1); got != 1 {
+		t.Fatalf("FaultsUsed(1) = %d, want 1", got)
+	}
+	if got := c.FaultyProcesses(); got != 1 {
+		t.Fatalf("FaultyProcesses = %d, want 1", got)
+	}
+}
+
+func TestReceiveOmissionConsumesButHides(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	if _, err := c.Apply(StepRequest{Proc: 1}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	ids := c.DeliverAll(2)
+	if len(ids) != 1 {
+		t.Fatalf("p2 has %d pending messages, want 1", len(ids))
+	}
+	ev, err := c.Apply(StepRequest{Proc: 2, Deliver: ids, DropDeliver: true})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if ev.Fault != FaultReceiveOmission {
+		t.Fatalf("event fault = %v, want receive-omission", ev.Fault)
+	}
+	// The messages are consumed (gone from the buffer, listed in the event)
+	// but the process never saw them: echoState counts deliveries.
+	if len(ev.Delivered) != 1 {
+		t.Fatalf("event recorded %d deliveries, want 1 (consumed)", len(ev.Delivered))
+	}
+	if !strings.Contains(ev.StateKey, ",0,") {
+		t.Fatalf("p2 state %q counted a delivery it should never have seen", ev.StateKey)
+	}
+	if got := c.FaultsUsed(2); got != 1 {
+		t.Fatalf("FaultsUsed(2) = %d, want 1", got)
+	}
+}
+
+func TestByzantineCorruptsPayloads(t *testing.T) {
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	ev, err := c.Apply(StepRequest{Proc: 1, Corrupt: true})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if ev.Fault != FaultByzantine {
+		t.Fatalf("event fault = %v, want byzantine", ev.Fault)
+	}
+	if len(ev.Sent) != 2 {
+		t.Fatalf("corrupted broadcast sent %d, want 2", len(ev.Sent))
+	}
+	for _, m := range ev.Sent {
+		if _, ok := m.Payload.(Corrupted); !ok {
+			t.Fatalf("payload %T not wrapped in Corrupted", m.Payload)
+		}
+		if !strings.HasPrefix(m.Payload.Key(), "byz(") {
+			t.Fatalf("corrupted payload key %q lacks byz( prefix", m.Payload.Key())
+		}
+	}
+	// echoState's type assertion rejects the wrapper: delivering the
+	// corrupted message must not count as a heard testPayload... but echo
+	// counts raw deliveries, so just check the buffer content survived.
+	if got := c.FaultsUsed(1); got != 1 {
+		t.Fatalf("FaultsUsed(1) = %d, want 1", got)
+	}
+}
+
+func TestFaultChargedOnlyWhenEffective(t *testing.T) {
+	// echoAlg broadcasts only on its first step: a second OmitSends step has
+	// nothing to drop, and a DropDeliver with an empty delivery set hides
+	// nothing. Neither may charge the budget or perturb the fingerprint.
+	c := NewConfiguration(echoAlg{}, []Value{1, 2})
+	if _, err := c.Apply(StepRequest{Proc: 1}); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	plain := c.Clone()
+	if _, err := c.Apply(StepRequest{Proc: 1, OmitSends: true}); err != nil {
+		t.Fatalf("ineffective OmitSends: %v", err)
+	}
+	if _, err := plain.Apply(StepRequest{Proc: 1}); err != nil {
+		t.Fatalf("plain twin: %v", err)
+	}
+	if got := c.FaultsUsed(1); got != 0 {
+		t.Fatalf("ineffective send omission charged %d fault events", got)
+	}
+	if c.Fingerprint() != plain.Fingerprint() {
+		t.Fatalf("ineffective fault step diverged from its plain twin: %#x != %#x",
+			c.Fingerprint(), plain.Fingerprint())
+	}
+	if _, err := c.Apply(StepRequest{Proc: 2, DropDeliver: true}); err != nil {
+		t.Fatalf("ineffective DropDeliver: %v", err)
+	}
+	if got := c.FaultsUsed(2); got != 0 {
+		t.Fatalf("ineffective receive omission charged %d fault events", got)
+	}
+}
+
+func TestFaultRejectsCombinedActions(t *testing.T) {
+	for _, req := range []StepRequest{
+		{Proc: 1, OmitSends: true, Corrupt: true},
+		{Proc: 1, OmitSends: true, DropDeliver: true},
+		{Proc: 1, DropDeliver: true, Corrupt: true},
+		{Proc: 1, OmitSends: true, Crash: true},
+		{Proc: 1, Corrupt: true, SilentCrash: true},
+	} {
+		c := NewConfiguration(echoAlg{}, []Value{1, 2})
+		if _, err := c.Apply(req); err == nil {
+			t.Errorf("Apply(%+v) succeeded, want combination error", req)
+		}
+	}
+}
+
+func TestFaultCountDistinguishesFingerprints(t *testing.T) {
+	// sinkAlg's state is delivery-blind, so a receive-omission flush and a
+	// plain flush reach configurations whose every visible part — states,
+	// buffers, decisions, crashes — is identical. Only the charged fault
+	// event separates them, and the fingerprint, canonical fingerprint, and
+	// Key must all see it: the faulty configuration has adversarial futures
+	// (more omissions already spent) the clean one does not.
+	inputs := []Value{1, 1}
+	mk := func(drop bool) *Configuration {
+		c := NewConfiguration(sinkAlg{}, inputs)
+		c.AttachSymmetry(NewSymmetry(inputs, []ProcessID{1, 2}))
+		if _, err := c.Apply(StepRequest{Proc: 1}); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		req := StepRequest{Proc: 2, Deliver: c.DeliverAll(2), DropDeliver: drop}
+		if _, err := c.Apply(req); err != nil {
+			t.Fatalf("Apply: %v", err)
+		}
+		return c
+	}
+	faulty, clean := mk(true), mk(false)
+	if faulty.Key() == clean.Key() {
+		t.Fatalf("fault count invisible in Key: %s", faulty.Key())
+	}
+	if faulty.Fingerprint() == clean.Fingerprint() {
+		t.Fatalf("fault count invisible in fingerprint %#x", faulty.Fingerprint())
+	}
+	if faulty.Canonical64() == clean.Canonical64() {
+		t.Fatalf("fault count invisible in canonical fingerprint %#x", faulty.Canonical64())
+	}
+	// And the counts survive both clone paths.
+	if got := faulty.Clone().FaultsUsed(2); got != 1 {
+		t.Fatalf("Clone dropped fault count: %d", got)
+	}
+	var pool ClonePool
+	if got := faulty.CloneInto(pool.Get()).FaultsUsed(2); got != 1 {
+		t.Fatalf("CloneInto dropped fault count: %d", got)
+	}
+}
+
+func TestParseFaultModel(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FaultModel
+	}{
+		{"", FaultCrash},
+		{"crash", FaultCrash},
+		{"send-omission", FaultSendOmission},
+		{"receive-omission", FaultReceiveOmission},
+		{"byzantine", FaultByzantine},
+	} {
+		got, err := ParseFaultModel(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseFaultModel(%q) = (%v, %v), want %v", tc.in, got, err, tc.want)
+		}
+		// Every canonical spelling round-trips; "" renders as "crash".
+		if s := got.String(); tc.in != "" && s != tc.in {
+			t.Errorf("String() = %q, want %q", s, tc.in)
+		}
+	}
+	if _, err := ParseFaultModel("meteor"); err == nil {
+		t.Error("ParseFaultModel accepted an unknown model")
+	}
+}

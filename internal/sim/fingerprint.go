@@ -123,6 +123,13 @@ func (c *Configuration) procComponent(i int) uint64 {
 	}
 	h = fnvUint(h, stateHash(c.states[i]))
 	h = fnvUint(h, uint64(c.decisions[i]))
+	if f := c.faultCount(i); f != 0 {
+		// Spent fault budget distinguishes otherwise-identical
+		// configurations with different adversarial futures. Guarded so a
+		// crash-only run's components stay bit-identical to the pre-fault
+		// engine.
+		h = fnvUint(h, uint64(f))
+	}
 	return splitmix64(h) * procSalt(i)
 }
 

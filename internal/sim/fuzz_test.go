@@ -150,7 +150,7 @@ func fuzzDrive(t *testing.T, data []byte, attachSym bool, check func(t *testing.
 			continue
 		}
 		req := StepRequest{Proc: p}
-		switch data[i+1] % 8 {
+		switch data[i+1] % 11 {
 		case 0: // empty-delivery step
 		case 1: // deliver the oldest pending message
 			if id, ok := cfg.OldestMessageID(p); ok {
@@ -176,6 +176,13 @@ func fuzzDrive(t *testing.T, data []byte, attachSym bool, check func(t *testing.
 			cfg = next
 			check(t, cfg)
 			continue
+		case 8: // send-omission step
+			req.OmitSends = true
+		case 9: // receive-omission flush
+			req.Deliver = cfg.DeliverAll(p)
+			req.DropDeliver = true
+		case 10: // Byzantine value-corruption step
+			req.Corrupt = true
 		}
 		if err := cfg.ApplyQuiet(req); err != nil {
 			t.Fatalf("apply %+v: %v", req, err)
@@ -193,6 +200,12 @@ func fuzzSeeds(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 0, 0, 3, 1, 4, 2, 5, 3, 2})
 	f.Add([]byte{0, 0, 1, 6, 2, 7, 3, 0, 0, 2, 1, 2, 2, 2, 3, 2, 0, 7, 1, 1})
 	f.Add([]byte{3, 0, 2, 0, 1, 0, 0, 0, 3, 2, 2, 2, 1, 2, 0, 2, 3, 1, 2, 1, 1, 1, 0, 1})
+	// Omission/corruption fault op streams: send-omission broadcasts,
+	// receive-omission flushes, corrupted broadcasts, interleaved with
+	// crashes and clone churn so fault counts survive copying.
+	f.Add([]byte{0, 8, 1, 8, 2, 0, 3, 0, 0, 9, 1, 9, 2, 2, 3, 2})
+	f.Add([]byte{0, 10, 1, 10, 2, 2, 3, 2, 0, 2, 1, 9, 2, 8, 3, 10})
+	f.Add([]byte{0, 8, 0, 6, 1, 9, 1, 7, 2, 10, 2, 3, 3, 9, 0, 5, 1, 2})
 }
 
 // FuzzFingerprintIncremental drives random Apply/crash/clone sequences and

@@ -24,6 +24,13 @@ type Event struct {
 	// they advance no time and are skipped by state/observation sequences
 	// and the failure-pattern helpers.
 	Silent bool
+
+	// Fault records the fault action requested for this step (zero —
+	// FaultCrash — for normal steps): FaultSendOmission when the step's
+	// sends were dropped, FaultReceiveOmission when Delivered was consumed
+	// but withheld from the process, FaultByzantine when the sends were
+	// corrupted. Replaying the run must re-request the same action.
+	Fault FaultModel
 }
 
 // Run is a recorded finite run prefix: the algorithm name, the proposal

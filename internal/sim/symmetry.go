@@ -125,6 +125,12 @@ func (c *Configuration) symBaseComponent(i int) uint64 {
 	}
 	h = fnvUint(h, uint64(c.decisions[i]))
 	h = fnvUint(h, symStateHash(c.states[i], c.sym))
+	if f := c.faultCount(i); f != 0 {
+		// Fault counts fold inside the per-slot signature (not as a separate
+		// additive term) so renamings must match counts slot-by-slot; guarded
+		// to keep crash-only canonical fingerprints bit-identical.
+		h = fnvUint(h, uint64(f))
+	}
 	return splitmix64(h)
 }
 

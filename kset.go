@@ -200,6 +200,12 @@ func Simulate(alg Algorithm, inputs []Value, opts SimOptions) (*Run, error) {
 	if len(opts.Partition) > 0 {
 		gate = sched.PartitionUntilDecidedGate(opts.Partition, fd.AllProcesses(n))
 	}
+	// Construction-time plan validation: out-of-range or duplicate process
+	// ids surface here as typed sched.PlanErrors instead of as downstream
+	// scheduler misbehaviour (f = -1: Simulate imposes no resilience bound).
+	if err := cp.Validate(n, -1); err != nil {
+		return nil, fmt.Errorf("kset: %w", err)
+	}
 	s := &sched.Fair{
 		Crash:  cp,
 		Gate:   gate,
@@ -284,6 +290,20 @@ var SearchStore = ""
 // one directory. See explore.Options.Checkpoint.
 var SearchCheckpoint = ""
 
+// SearchFaults selects the fault model of every condition-(C) state-space
+// search the facade spawns, in explore.ParseFaults form: "" or "crash" keeps
+// the crash-only adversary (bit-identical to the engine before the fault
+// layer existed — the differential tests pin this); "send-omission",
+// "receive-omission", or "byzantine", optionally suffixed ":budget" (fault
+// events per process, default 1) and ":maxfaulty" (distinct faulty
+// processes, default unbounded), arms the corresponding budgeted fault
+// branching in the adversary. Witnesses remain concrete replayable runs
+// whose fault steps re-execute exactly. Symmetry reduction extends soundly
+// to fault searches (spent budgets fold into the orbit signatures); POR
+// stands down as a sound no-op under a non-crash model, exactly as it does
+// under oracles. Default "".
+var SearchFaults = ""
+
 // parseSearchStore resolves the SearchStore global, panicking on an invalid
 // spelling: the knob is set programmatically or by a CLI flag that already
 // validated it, so an invalid value is a programming error, not user input.
@@ -293,6 +313,56 @@ func parseSearchStore() explore.Store {
 		panic(fmt.Sprintf("kset: invalid SearchStore: %v", err))
 	}
 	return store
+}
+
+// parseSearchFaults resolves the SearchFaults global, panicking like
+// parseSearchStore on an invalid spelling.
+func parseSearchFaults() explore.FaultAdversary {
+	fa, err := explore.ParseFaults(SearchFaults)
+	if err != nil {
+		panic(fmt.Sprintf("kset: invalid SearchFaults: %v", err))
+	}
+	return fa
+}
+
+// SearchConfig bundles the facade's search knobs in CLI spelling, one field
+// per Search* global. Commands parse their flags into a SearchConfig and
+// mirror it with ApplySearchConfig: a single shared mapping instead of
+// per-command assignment lists, so a knob added here cannot be wired into
+// one command's search path and silently dropped from another's (the
+// -symmetry/-por theorem10-path drift this replaced).
+type SearchConfig struct {
+	// Workers mirrors SearchWorkers.
+	Workers int
+	// Symmetry mirrors SearchSymmetry.
+	Symmetry bool
+	// POR mirrors SearchPOR.
+	POR bool
+	// Store mirrors SearchStore ("", "inmem", "frontier", "spill").
+	Store string
+	// Checkpoint mirrors SearchCheckpoint.
+	Checkpoint string
+	// Faults mirrors SearchFaults (explore.ParseFaults spelling).
+	Faults string
+}
+
+// ApplySearchConfig validates cfg and mirrors it into the facade's Search*
+// globals, returning an error — and leaving the globals untouched — when a
+// spelling does not parse.
+func ApplySearchConfig(cfg SearchConfig) error {
+	if _, err := explore.ParseStore(cfg.Store); err != nil {
+		return err
+	}
+	if _, err := explore.ParseFaults(cfg.Faults); err != nil {
+		return err
+	}
+	SearchWorkers = cfg.Workers
+	SearchSymmetry = cfg.Symmetry
+	SearchPOR = cfg.POR
+	SearchStore = cfg.Store
+	SearchCheckpoint = cfg.Checkpoint
+	SearchFaults = cfg.Faults
+	return nil
 }
 
 // FindConsensusFailure searches the subsystem of live processes for a
@@ -307,6 +377,7 @@ func FindConsensusFailure(alg Algorithm, inputs []Value, live []ProcessID, crash
 		Workers:    SearchWorkers,
 		Symmetry:   SearchSymmetry,
 		POR:        SearchPOR,
+		Faults:     parseSearchFaults(),
 		Store:      parseSearchStore(),
 		Checkpoint: SearchCheckpoint,
 	})
