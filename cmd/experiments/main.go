@@ -47,17 +47,18 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "experiments: -checkpoint requires -store frontier or -store spill")
 		return 2
 	}
-	// One shared flag->facade mapping (kset.ApplySearchConfig, which also
-	// validates the store and fault spellings) so every search path sees
-	// every knob; SweepWorkers is experiment plumbing, not a search knob.
-	if err := kset.ApplySearchConfig(kset.SearchConfig{
+	// One Searcher value carries every search knob (and validates the store
+	// and fault spellings) into the search-driven experiments; SweepWorkers
+	// is experiment plumbing, not a search knob.
+	search, err := kset.NewSearcher(kset.Options{
 		Workers:    *searchWorkers,
 		Symmetry:   *symmetry,
 		POR:        *por,
 		Store:      *store,
 		Checkpoint: *checkpoint,
 		Faults:     *faults,
-	}); err != nil {
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
@@ -68,7 +69,7 @@ func run(args []string) int {
 		want[a] = true
 	}
 	failed := 0
-	for _, e := range kset.Experiments() {
+	for _, e := range kset.ExperimentsWith(search) {
 		if len(want) > 0 && !want[e.ID] {
 			continue
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,25 +51,26 @@ func run() int {
 		return 2
 	}
 
-	// Mirror the flags into the facade globals through the one shared
-	// helper (which also validates the store and fault spellings): the
-	// Theorem 10 path below reads the globals rather than an explicit
-	// Instance, and a hand-maintained assignment list here once let
-	// -symmetry/-por drift past it.
-	if err := kset.ApplySearchConfig(kset.SearchConfig{
+	// One Searcher value carries every search knob (and validates the store
+	// and fault spellings); both the Theorem 10 path and the generic engine
+	// path below search through it, so a knob cannot be wired into one path
+	// and silently dropped from the other — the drift the old
+	// globals-mirroring helper papered over.
+	search, err := kset.NewSearcher(kset.Options{
 		Workers:    *workers,
 		Symmetry:   *symmetry,
 		POR:        *por,
 		Store:      *store,
 		Checkpoint: *ckpt,
 		Faults:     *faults,
-	}); err != nil {
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
 
 	if *theorem10 {
-		rep, merged, err := kset.Theorem10Construction(*n, *k, *maxCfg)
+		rep, merged, err := search.Theorem10Construction(context.Background(), *n, *k, *maxCfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "theorem 10 construction: %v\n", err)
 			return 1
@@ -84,9 +86,9 @@ func run() int {
 		return 1
 	}
 
-	alg, err := pickAlgorithm(*algName, *f)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	alg, algErr := pickAlgorithm(*algName, *f)
+	if algErr != nil {
+		fmt.Fprintln(os.Stderr, algErr)
 		return 2
 	}
 
@@ -110,19 +112,15 @@ func run() int {
 		}
 	}
 
-	rep, err := kset.CheckImpossibility(kset.ImpossibilityInstance{
+	// The Searcher stamps its knobs (workers, reductions, store, checkpoint,
+	// faults) over the instance; only per-instance fields remain here.
+	rep, err := search.CheckImpossibility(context.Background(), kset.ImpossibilityInstance{
 		Alg:             alg,
 		Inputs:          kset.DistinctInputs(*n),
 		Spec:            spec,
 		DBarCrashBudget: *budget,
 		MaxConfigs:      *maxCfg,
-		Faults:          *faults,
 		SearchStrategy:  *strategy,
-		SearchWorkers:   *workers,
-		Symmetry:        *symmetry,
-		POR:             *por,
-		SearchStore:     *store,
-		Checkpoint:      *ckpt,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "engine: %v\n", err)
@@ -150,22 +148,7 @@ func run() int {
 }
 
 func pickAlgorithm(name string, f int) (kset.Algorithm, error) {
-	switch name {
-	case "flpkset":
-		return kset.NewFLPKSet(f), nil
-	case "minwait":
-		return kset.NewMinWait(f), nil
-	case "sigmaomega":
-		return kset.NewSigmaOmega(), nil
-	case "quorummin":
-		return kset.NewQuorumMin(), nil
-	case "decideown":
-		return kset.NewDecideOwn(), nil
-	case "firstheard":
-		return kset.NewFirstHeard(), nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", name)
-	}
+	return kset.NewAlgorithm(name, f)
 }
 
 func parseGroups(s string) ([][]kset.ProcessID, error) {

@@ -1,0 +1,101 @@
+// Command ksetd serves the Theorem 1 verification engine over HTTP:
+// impossibility-check and consensus-failure-search jobs run on a bounded
+// worker pool, progress is observable by polling, and completed verdicts are
+// cached content-addressed by instance digest — resubmitting an instance
+// answers from the cache instead of re-searching.
+//
+// Usage:
+//
+//	ksetd -addr :8418                                  # in-memory cache
+//	ksetd -addr :8418 -cache disk -cache-dir ./verdicts
+//	ksetd -pool 4 -checkpoint ./ckpt                   # resumable pauses
+//
+// See the README's "Running the service" section for the endpoint reference
+// and the job lifecycle.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kset/internal/service"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8418", "listen address")
+		pool      = flag.Int("pool", 2, "worker pool size (concurrently running jobs)")
+		queue     = flag.Int("queue", 64, "submission queue depth (jobs waiting for a worker; full queue answers 503)")
+		cacheKind = flag.String("cache", "mem", "verdict cache backend: mem (in-process) or disk (survives restarts)")
+		cacheDir  = flag.String("cache-dir", "", "directory for the disk cache (required with -cache disk)")
+		ckptDir   = flag.String("checkpoint", "", "directory for checkpoint-opted jobs to pause resumably (empty disables checkpointing)")
+	)
+	flag.Parse()
+
+	var cache service.Cache
+	switch *cacheKind {
+	case "mem":
+		cache = service.NewMemoryCache()
+	case "disk":
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "ksetd: -cache disk requires -cache-dir")
+			return 2
+		}
+		dc, err := service.NewDiskCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksetd:", err)
+			return 2
+		}
+		cache = dc
+	default:
+		fmt.Fprintf(os.Stderr, "ksetd: unknown -cache %q (want \"mem\" or \"disk\")\n", *cacheKind)
+		return 2
+	}
+
+	srv := service.New(service.Config{
+		Runner:     service.KsetRunner{CheckpointDir: *ckptDir},
+		Cache:      cache,
+		Workers:    *pool,
+		QueueDepth: *queue,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("ksetd: listening on %s (pool %d, cache %s)", *addr, *pool, *cacheKind)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		// Immediate listen failure (bad address, port in use).
+		fmt.Fprintln(os.Stderr, "ksetd:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	log.Print("ksetd: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ksetd: shutdown:", err)
+		return 1
+	}
+	return 0
+}

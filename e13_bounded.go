@@ -31,6 +31,10 @@ type E13Params struct {
 	// Spill adds a disk-spill row (same result as frontier; the sealed
 	// levels stream to a temporary file instead of being dropped).
 	Spill bool
+	// Search configures the searches' worker count and checkpoint directory
+	// (the store and reductions are the experiment's subject and fixed per
+	// row); nil uses DefaultSearcher (the deprecated Search* globals).
+	Search *Searcher
 }
 
 // DefaultE13Params returns the instance used by cmd/experiments: n = 8,
@@ -117,6 +121,7 @@ func ExperimentBoundedExploration(p E13Params) (*Table, error) {
 	for i := range live {
 		live[i] = sim.ProcessID(i + 1)
 	}
+	search := orDefault(p.Search)
 	exhaustiveVisited := -1
 	for _, r := range rows {
 		store, err := explore.ParseStore(r.store)
@@ -124,10 +129,10 @@ func ExperimentBoundedExploration(p E13Params) (*Table, error) {
 			return nil, fmt.Errorf("E13: %w", err)
 		}
 		// Checkpointing requires a bounded store, so the in-memory
-		// comparison row must not inherit the global checkpoint directory —
-		// with it, `-checkpoint` would abort the one experiment built to
-		// demonstrate checkpointing.
-		checkpoint := SearchCheckpoint
+		// comparison row must not inherit the configured checkpoint
+		// directory — with it, `-checkpoint` would abort the one experiment
+		// built to demonstrate checkpointing.
+		checkpoint := search.Options().Checkpoint
 		if store == explore.StoreInMemory {
 			checkpoint = ""
 		}
@@ -135,7 +140,7 @@ func ExperimentBoundedExploration(p E13Params) (*Table, error) {
 			Live:       live,
 			MaxCrashes: p.Budget,
 			MaxConfigs: r.maxConfigs,
-			Workers:    SearchWorkers,
+			Workers:    search.Options().Workers,
 			Symmetry:   true,
 			POR:        true,
 			Store:      store,

@@ -1,6 +1,7 @@
 package kset
 
 import (
+	"context"
 	"fmt"
 
 	"kset/internal/algorithms"
@@ -20,6 +21,10 @@ type E14Params struct {
 	EngineN, EngineF, EngineK int
 	// EngineMaxConfigs bounds the engine rows' condition-(C) searches.
 	EngineMaxConfigs int
+	// Search supplies the base search configuration; each row derives a
+	// per-fault Searcher from it (the Faults knob is the sweep's subject).
+	// Nil uses DefaultSearcher (the deprecated Search* globals).
+	Search *Searcher
 }
 
 // DefaultE14Params returns the instance used by cmd/experiments: the E6
@@ -67,7 +72,15 @@ func ExperimentFaultModels(p E14Params) (*Table, error) {
 		},
 	}
 
-	defer func(s string) { SearchFaults = s }(SearchFaults)
+	// Each row derives a per-fault Searcher from the base options instead of
+	// mutating the SearchFaults global: fault configurations stay isolated
+	// per row, so concurrent experiment runs cannot observe each other.
+	base := orDefault(p.Search).Options()
+	perFault := func(faults string) (*Searcher, error) {
+		o := base
+		o.Faults = faults
+		return NewSearcher(o)
+	}
 
 	// --- Subsystem rows: the fault models against MinWait directly. ---
 	inst := fmt.Sprintf("minwait(%d) n=%d budget=1", p.F, p.N)
@@ -76,8 +89,17 @@ func ExperimentFaultModels(p E14Params) (*Table, error) {
 		live[i] = ProcessID(i + 1)
 	}
 	for _, faults := range faultSweep {
-		SearchFaults = faults
-		w, found, err := FindConsensusFailure(algorithms.MinWait{F: p.F}, DistinctInputs(p.N), live, 1, p.MaxConfigs)
+		fs, err := perFault(faults)
+		if err != nil {
+			return nil, fmt.Errorf("E14: faults=%q: %w", faults, err)
+		}
+		w, found, err := fs.FindConsensusFailure(context.Background(), SearchRequest{
+			Alg:         algorithms.MinWait{F: p.F},
+			Inputs:      DistinctInputs(p.N),
+			Live:        live,
+			CrashBudget: 1,
+			MaxConfigs:  p.MaxConfigs,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("E14: subsystem search (faults=%q): %w", faults, err)
 		}
@@ -94,8 +116,11 @@ func ExperimentFaultModels(p E14Params) (*Table, error) {
 	// --- Engine rows: Theorem 2 under fault-augmented adversaries. ---
 	inst = fmt.Sprintf("theorem2 n=%d f=%d k=%d", p.EngineN, p.EngineF, p.EngineK)
 	for _, faults := range faultSweep {
-		SearchFaults = faults
-		rep, err := VerifyTheorem2Row(p.EngineN, p.EngineF, p.EngineK, p.EngineMaxConfigs)
+		fs, err := perFault(faults)
+		if err != nil {
+			return nil, fmt.Errorf("E14: faults=%q: %w", faults, err)
+		}
+		rep, err := fs.VerifyTheorem2Row(context.Background(), p.EngineN, p.EngineF, p.EngineK, p.EngineMaxConfigs)
 		if err != nil {
 			return nil, fmt.Errorf("E14: engine row (faults=%q): %w", faults, err)
 		}

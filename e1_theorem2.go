@@ -1,6 +1,7 @@
 package kset
 
 import (
+	"context"
 	"fmt"
 
 	"kset/internal/algorithms"
@@ -13,6 +14,9 @@ type E1Params struct {
 	MinN, MaxN int
 	// MaxConfigs bounds each subsystem exploration.
 	MaxConfigs int
+	// Search configures the engine searches; nil uses DefaultSearcher
+	// (the deprecated Search* globals).
+	Search *Searcher
 }
 
 // DefaultE1Params returns the sweep used by cmd/experiments and the E1
@@ -52,13 +56,14 @@ func ExperimentTheorem2Border(p E1Params) (*Table, error) {
 			}
 		}
 	}
+	search := orDefault(p.Search)
 	rows, err := sweepRows(len(cells), func(i int) ([]string, error) {
 		n, f, k := cells[i].n, cells[i].f, cells[i].k
 		l := n - f
 		switch {
 		case k*l+1 <= n:
 			// Impossible regime: apply the engine.
-			rep, err := VerifyTheorem2Row(n, f, k, p.MaxConfigs)
+			rep, err := search.VerifyTheorem2Row(context.Background(), n, f, k, p.MaxConfigs)
 			if err != nil {
 				return nil, fmt.Errorf("E1: engine n=%d f=%d k=%d: %w", n, f, k, err)
 			}
@@ -99,21 +104,25 @@ func ExperimentTheorem2Border(p E1Params) (*Table, error) {
 
 // VerifyTheorem2Row runs the engine for one (n, f, k) inside the bound and
 // returns the report — the programmatic form of an E1 row, used by tests.
+// It reads the deprecated Search* globals via DefaultSearcher; new code
+// should call the Searcher method.
 func VerifyTheorem2Row(n, f, k, maxConfigs int) (*core.Report, error) {
+	return DefaultSearcher().VerifyTheorem2Row(context.Background(), n, f, k, maxConfigs)
+}
+
+// VerifyTheorem2Row runs the Theorem 2 engine instance for one (n, f, k)
+// inside the bound with this Searcher's knobs: MinWait under the Lemma 3
+// partition with a one-crash subsystem adversary.
+func (s *Searcher) VerifyTheorem2Row(ctx context.Context, n, f, k, maxConfigs int) (*core.Report, error) {
 	spec, err := core.Theorem2Partition(n, f, k)
 	if err != nil {
 		return nil, err
 	}
-	return core.CheckImpossibility(core.Instance{
+	return s.CheckImpossibility(ctx, core.Instance{
 		Alg:             algorithms.MinWait{F: f},
 		Inputs:          DistinctInputs(n),
 		Spec:            spec,
 		DBarCrashBudget: 1,
 		MaxConfigs:      maxConfigs,
-		Faults:          SearchFaults,
-		Symmetry:        SearchSymmetry,
-		POR:             SearchPOR,
-		SearchStore:     SearchStore,
-		Checkpoint:      SearchCheckpoint,
 	})
 }

@@ -1,6 +1,7 @@
 package kset
 
 import (
+	"context"
 	"fmt"
 
 	"kset/internal/algorithms"
@@ -14,6 +15,9 @@ import (
 type E5Params struct {
 	MinN, MaxN int
 	MaxConfigs int
+	// Search configures the engine searches; nil uses DefaultSearcher
+	// (the deprecated Search* globals).
+	Search *Searcher
 }
 
 // DefaultE5Params returns the sweep used by cmd/experiments and benchmarks.
@@ -101,7 +105,7 @@ func ExperimentFailureDetectorBorder(p E5Params) (*Table, error) {
 			return rowOf(n, k, "solvable", outcome, "-", "-",
 				fmt.Sprintf("%d distinct via Sigma_{n-1} singleton-quorum protocol (1 crash)", d)), nil
 		default:
-			row, err := theorem10Row(n, k, p.MaxConfigs)
+			row, err := theorem10Row(orDefault(p.Search), n, k, p.MaxConfigs)
 			if err != nil {
 				return nil, fmt.Errorf("E5: theorem 10 n=%d k=%d: %w", n, k, err)
 			}
@@ -116,8 +120,8 @@ func ExperimentFailureDetectorBorder(p E5Params) (*Table, error) {
 }
 
 // theorem10Row executes the full Theorem 10 construction for one (n, k).
-func theorem10Row(n, k, maxConfigs int) ([]string, error) {
-	rep, merged, err := Theorem10Construction(n, k, maxConfigs)
+func theorem10Row(s *Searcher, n, k, maxConfigs int) ([]string, error) {
+	rep, merged, err := s.Theorem10Construction(context.Background(), n, k, maxConfigs)
 	if err != nil {
 		return nil, err
 	}
@@ -146,8 +150,16 @@ func theorem10Row(n, k, maxConfigs int) ([]string, error) {
 // (Definition 7), an alive-set Sigma restricted to D-bar plus a fixed
 // leader pair for the subsystem exploration (the detector Gamma of the
 // paper's condition (C) discussion), and Lemma 12's merged run over all k
-// partitions. It returns the engine report and the merged-run report.
+// partitions. It returns the engine report and the merged-run report. It
+// reads the deprecated Search* globals via DefaultSearcher; new code should
+// call the Searcher method.
 func Theorem10Construction(n, k, maxConfigs int) (*core.Report, *core.MergedGroupsReport, error) {
+	return DefaultSearcher().Theorem10Construction(context.Background(), n, k, maxConfigs)
+}
+
+// Theorem10Construction runs the Theorem 10 pipeline with this Searcher's
+// knobs; see the package-level function for the construction's anatomy.
+func (s *Searcher) Theorem10Construction(ctx context.Context, n, k, maxConfigs int) (*core.Report, *core.MergedGroupsReport, error) {
 	spec, err := core.Theorem10Partition(n, k)
 	if err != nil {
 		return nil, nil, err
@@ -178,7 +190,10 @@ func Theorem10Construction(n, k, maxConfigs int) (*core.Report, *core.MergedGrou
 		return fd.Combined{Quorum: fd.NewTrustSet(alive...), Leaders: leaders}
 	})
 
-	rep, err := core.CheckImpossibility(core.Instance{
+	// POR is a sound no-op here (the Gamma oracle disables pruning), and the
+	// Searcher stamps the full knob set — including Workers and Faults,
+	// which the legacy global-reading path silently dropped on this route.
+	rep, err := s.CheckImpossibility(ctx, core.Instance{
 		Alg:             algorithms.QuorumMin{},
 		Inputs:          DistinctInputs(n),
 		Spec:            spec,
@@ -186,10 +201,6 @@ func Theorem10Construction(n, k, maxConfigs int) (*core.Report, *core.MergedGrou
 		DBarCrashBudget: 1, // Theorem 10 allows up to |D-bar|-1; one suffices
 		DBarOracle:      dbarOracle,
 		MaxConfigs:      maxConfigs,
-		Symmetry:        SearchSymmetry,
-		POR:             SearchPOR, // sound no-op here: the Gamma oracle disables pruning
-		SearchStore:     SearchStore,
-		Checkpoint:      SearchCheckpoint,
 	})
 	if err != nil {
 		return nil, nil, err

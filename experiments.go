@@ -83,22 +83,48 @@ type Experiment struct {
 // order. cmd/experiments prints them all; the root benchmarks time them.
 // Sweep-shaped experiments (E1, E5, E12) evaluate their independent cells on
 // a worker pool sized by SweepWorkers while emitting rows in deterministic
-// sequential order.
+// sequential order. The search-driven experiments read the deprecated
+// Search* globals via DefaultSearcher; ExperimentsWith threads an explicit
+// Searcher instead.
 func Experiments() []Experiment {
+	return ExperimentsWith(nil)
+}
+
+// ExperimentsWith is Experiments with an explicit search configuration for
+// the search-driven experiments (E1, E5, E6, E13, E14); nil uses
+// DefaultSearcher (the deprecated Search* globals). Experiments that run no
+// condition-(C) search are unaffected by the Searcher.
+func ExperimentsWith(s *Searcher) []Experiment {
 	return []Experiment{
-		{"E1", "Theorem 2: impossibility border k <= (n-1)/(n-f)", func() (*Table, error) { return ExperimentTheorem2Border(DefaultE1Params()) }},
+		{"E1", "Theorem 2: impossibility border k <= (n-1)/(n-f)", func() (*Table, error) {
+			p := DefaultE1Params()
+			p.Search = s
+			return ExperimentTheorem2Border(p)
+		}},
 		{"E2", "Theorem 8: possibility region kn > (k+1)f (initial crashes)", func() (*Table, error) { return ExperimentInitialCrashPossibility(DefaultE2Params()) }},
 		{"E3", "Theorem 8: border impossibility kn = (k+1)f", func() (*Table, error) { return ExperimentBorderImpossibility() }},
 		{"E4", "Lemmas 6/7: source components of min-in-degree digraphs", func() (*Table, error) { return ExperimentSourceComponents(DefaultE4Params()) }},
-		{"E5", "Theorem 10 / Corollary 13: the (Sigma_k, Omega_k) border", func() (*Table, error) { return ExperimentFailureDetectorBorder(DefaultE5Params()) }},
-		{"E6", "Condition (C): bivalence in restricted subsystems", func() (*Table, error) { return ExperimentBivalence() }},
+		{"E5", "Theorem 10 / Corollary 13: the (Sigma_k, Omega_k) border", func() (*Table, error) {
+			p := DefaultE5Params()
+			p.Search = s
+			return ExperimentFailureDetectorBorder(p)
+		}},
+		{"E6", "Condition (C): bivalence in restricted subsystems", func() (*Table, error) { return ExperimentBivalenceWith(s) }},
 		{"E7", "Lemma 9: partition histories satisfy (Sigma_k, Omega_k)", func() (*Table, error) { return ExperimentPartitionHistoryValidity() }},
 		{"E8", "Section IV: T-independence of the protocols", func() (*Table, error) { return ExperimentTIndependence() }},
 		{"E9", "Section III remark: Theorem 1 as a vetting tool", func() (*Table, error) { return ExperimentCandidateVetting() }},
 		{"E10", "Ablation: deterministic kernel vs goroutine runtime", func() (*Table, error) { return ExperimentRuntimeAblation() }},
 		{"E11", "Discussion outlook: partitioning in the Heard-Of round model", func() (*Table, error) { return ExperimentRoundModel() }},
 		{"E12", "Synchrony ladder: protocols across the Section II model dimensions", func() (*Table, error) { return ExperimentSynchronyLadder() }},
-		{"E13", "Memory-bounded exploration: uniform Theorem 2 beyond the in-memory arena", func() (*Table, error) { return ExperimentBoundedExploration(DefaultE13Params()) }},
-		{"E14", "Fault models: omission and value faults across the search substrate", func() (*Table, error) { return ExperimentFaultModels(DefaultE14Params()) }},
+		{"E13", "Memory-bounded exploration: uniform Theorem 2 beyond the in-memory arena", func() (*Table, error) {
+			p := DefaultE13Params()
+			p.Search = s
+			return ExperimentBoundedExploration(p)
+		}},
+		{"E14", "Fault models: omission and value faults across the search substrate", func() (*Table, error) {
+			p := DefaultE14Params()
+			p.Search = s
+			return ExperimentFaultModels(p)
+		}},
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -117,6 +118,21 @@ type Instance struct {
 	// explore.Options.Checkpoint).
 	Checkpoint string
 
+	// Ctx, when non-nil, cancels the condition-(C) exploration
+	// cooperatively: a cancelled search stops at the next poll point with
+	// its truncation flag set (explore.Options.Context), so the report comes
+	// back inconclusive rather than erroring, and — with Checkpoint set — the
+	// paused state is persisted for a later resume. The solo runs and the
+	// pasting of conditions (A)/(B)/(D) are not interruptible; they are
+	// cheap deterministic replays.
+	Ctx context.Context
+
+	// OnSearchProgress, when non-nil, receives periodic progress from the
+	// condition-(C) exploration (explore.Options.OnProgress): the cumulative
+	// visited count and the sealed BFS level, or level -1 from engines that
+	// do not track depth. Called from the search goroutine; must be fast.
+	OnSearchProgress func(visited, level int)
+
 	// POR enables commutativity-based partial-order reduction in the
 	// condition-(C) exploration (explore.Options.POR): once every live
 	// process of <D-bar> has provably finished sending, redundant
@@ -146,6 +162,12 @@ type Report struct {
 	CondC       Status
 	CondCDetail string
 	DBarWitness *explore.Witness
+
+	// CondCStats aggregates the condition-(C) exploration effort across the
+	// disagreement and blocking searches: Visited sums, the flags are sticky.
+	// Populated even when no witness is found, so callers can report search
+	// effort and cancellation for inconclusive verdicts.
+	CondCStats explore.Stats
 
 	// Conditions (B) and (D): machine-checked indistinguishability between
 	// the pasted run and the solo/witness runs.
@@ -235,47 +257,16 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 	r.CondA = StatusSatisfied
 
 	// --- Condition (C): consensus failure of A|D-bar in <D-bar>. ---
-	dbar := inst.Spec.DBar()
-	restricted := sim.Restrict(inst.Alg, dbar)
-	// DFS (the default) dives to complete executions first, which finds
-	// disagreement and blocking witnesses in subsystems too large for
-	// breadth-first search; BFS instances fan the frontier out over
-	// SearchWorkers goroutines with sequential-identical results.
-	strategy := inst.SearchStrategy
-	switch strategy {
-	case "":
-		strategy = "dfs"
-	case "dfs", "bfs":
-	default:
-		// explore treats every string other than "dfs" as BFS, so a typo'd
-		// "dfs" would silently run a search order that drowns in breadth and
-		// reports "not refuted" where DFS refutes. Reject it here instead.
-		return nil, fmt.Errorf("core: unknown SearchStrategy %q (want \"dfs\" or \"bfs\")", inst.SearchStrategy)
-	}
-	store, err := explore.ParseStore(inst.SearchStore)
+	ex, err := subsystemExplorer(inst)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	faults, err := explore.ParseFaults(inst.Faults)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	ex := explore.New(restricted, inst.Inputs, explore.Options{
-		Live:       dbar,
-		MaxCrashes: inst.DBarCrashBudget,
-		MaxConfigs: inst.MaxConfigs,
-		Oracle:     inst.DBarOracle,
-		Faults:     faults,
-		Strategy:   strategy,
-		Workers:    inst.SearchWorkers,
-		Symmetry:   inst.Symmetry,
-		POR:        inst.POR,
-		Store:      store,
-		Checkpoint: inst.Checkpoint,
-	})
 	witness, found, err := ex.FindDisagreement()
 	if err != nil {
 		return nil, fmt.Errorf("core: subsystem disagreement search: %w", err)
+	}
+	if witness != nil {
+		r.CondCStats = witness.Stats
 	}
 	if !found {
 		truncated := witness != nil && witness.Stats.Truncated
@@ -283,10 +274,19 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: subsystem blocking search: %w", err)
 		}
+		if witness != nil {
+			r.CondCStats.Visited += witness.Stats.Visited
+			r.CondCStats.Truncated = r.CondCStats.Truncated || witness.Stats.Truncated
+			r.CondCStats.Cancelled = r.CondCStats.Cancelled || witness.Stats.Cancelled
+		}
 		if !found {
 			if truncated || (witness != nil && witness.Stats.Truncated) {
 				r.CondC = StatusInconclusive
-				r.CondCDetail = "bounded subsystem search found no consensus failure (truncated)"
+				if r.CondCStats.Cancelled {
+					r.CondCDetail = "bounded subsystem search found no consensus failure (cancelled)"
+				} else {
+					r.CondCDetail = "bounded subsystem search found no consensus failure (truncated)"
+				}
 			} else {
 				r.CondC = StatusFailed
 				r.CondCDetail = "A|D-bar solves consensus in <D-bar> under the explored adversary (condition (C) fails for this algorithm/model)"
@@ -316,7 +316,7 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 		}
 	}
 	r.CondD = StatusSatisfied
-	if !sim.IndistinguishableForAll(witness.Run, pasted, dbar) {
+	if !sim.IndistinguishableForAll(witness.Run, pasted, inst.Spec.DBar()) {
 		r.CondD = StatusFailed
 		return r, fmt.Errorf("core: pasted run distinguishable from subsystem witness for D-bar")
 	}
@@ -338,6 +338,95 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 		r.CondCDetail += " (pasted run did not exceed k decisions; report inspected manually)"
 	}
 	return r, nil
+}
+
+// subsystemExplorer validates the instance's search knobs and builds the
+// condition-(C) explorer over <D-bar>: the single construction point shared
+// by CheckImpossibility and InstanceDigest, so the content address always
+// reflects exactly the search the engine would run.
+func subsystemExplorer(inst Instance) (*explore.Explorer, error) {
+	dbar := inst.Spec.DBar()
+	restricted := sim.Restrict(inst.Alg, dbar)
+	// DFS (the default) dives to complete executions first, which finds
+	// disagreement and blocking witnesses in subsystems too large for
+	// breadth-first search; BFS instances fan the frontier out over
+	// SearchWorkers goroutines with sequential-identical results.
+	strategy := inst.SearchStrategy
+	switch strategy {
+	case "":
+		strategy = "dfs"
+	case "dfs", "bfs":
+	default:
+		// explore treats every string other than "dfs" as BFS, so a typo'd
+		// "dfs" would silently run a search order that drowns in breadth and
+		// reports "not refuted" where DFS refutes. Reject it here instead.
+		return nil, fmt.Errorf("core: unknown SearchStrategy %q (want \"dfs\" or \"bfs\")", inst.SearchStrategy)
+	}
+	store, err := explore.ParseStore(inst.SearchStore)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	faults, err := explore.ParseFaults(inst.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return explore.New(restricted, inst.Inputs, explore.Options{
+		Live:       dbar,
+		MaxCrashes: inst.DBarCrashBudget,
+		MaxConfigs: inst.MaxConfigs,
+		Oracle:     inst.DBarOracle,
+		Faults:     faults,
+		Strategy:   strategy,
+		Workers:    inst.SearchWorkers,
+		Symmetry:   inst.Symmetry,
+		POR:        inst.POR,
+		Store:      store,
+		Checkpoint: inst.Checkpoint,
+		Context:    inst.Ctx,
+		OnProgress: inst.OnSearchProgress,
+	}), nil
+}
+
+// InstanceDigest computes the content address of an instance's verdict: a
+// fingerprint of everything that determines CheckImpossibility's result.
+// It folds together the explorer's per-goal search digests (algorithm,
+// inputs, live set, crash budget, reductions, fault model — see
+// explore.(*Explorer).Digest) with the partition shape and the
+// verdict-relevant bounds. SearchWorkers and SearchStore are deliberately
+// excluded: results are bit-identical across them. MaxConfigs and the
+// strategy are included: a truncated or differently-ordered search can
+// produce a different (inconclusive vs refuted) verdict.
+func InstanceDigest(inst Instance) (uint64, error) {
+	if len(inst.Inputs) != inst.Spec.N {
+		return 0, fmt.Errorf("core: %d inputs for %d processes", len(inst.Inputs), inst.Spec.N)
+	}
+	if err := requireDistinct(inst.Inputs); err != nil {
+		return 0, err
+	}
+	ex, err := subsystemExplorer(inst)
+	if err != nil {
+		return 0, err
+	}
+	h := sim.HashSeed()
+	h = sim.HashUint(h, ex.Digest("disagreement"))
+	h = sim.HashUint(h, ex.Digest("blocking"))
+	h = sim.HashUint(h, uint64(inst.Spec.N))
+	h = sim.HashUint(h, uint64(inst.Spec.K))
+	h = sim.HashUint(h, uint64(len(inst.Spec.Groups)))
+	for _, g := range inst.Spec.Groups {
+		h = sim.HashUint(h, uint64(len(g)))
+		for _, p := range g {
+			h = sim.HashUint(h, uint64(p))
+		}
+	}
+	h = sim.HashUint(h, uint64(inst.MaxSteps))
+	h = sim.HashUint(h, uint64(inst.MaxConfigs))
+	strategy := inst.SearchStrategy
+	if strategy == "" {
+		strategy = "dfs"
+	}
+	h = sim.HashString(h, strategy)
+	return sim.HashMix(h), nil
 }
 
 func requireDistinct(vs []sim.Value) error {

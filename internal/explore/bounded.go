@@ -510,6 +510,12 @@ func (e *Explorer) searchBounded(goal goalFunc, kind string) (*Witness, bool, er
 		if err != nil {
 			return nil, false, err
 		}
+		if hit2 == nil && st2.stats.Cancelled {
+			// The witness re-search was cancelled before re-reaching the hit.
+			// The original sink was discarded, so the witness is lost; report
+			// the cancellation rather than a spurious divergence.
+			return nil, false, fmt.Errorf("explore: search cancelled during witness re-search: %w", e.opts.Context.Err())
+		}
 		if hit2 == nil || *hit2 != *hit || st2.stats != stats {
 			return nil, false, fmt.Errorf("explore: witness re-search diverged (hit %+v vs %+v); the search is not deterministic", hit2, hit)
 		}
@@ -541,6 +547,14 @@ func (e *Explorer) runBounded(st *boundedState, goal goalFunc) (*boundedHit, err
 		for st.pos < len(st.frontier) {
 			if st.stats.Visited >= e.opts.MaxConfigs {
 				st.stats.Truncated = true
+				return nil, nil
+			}
+			if st.stats.Visited%cancelInterval == 0 && e.cancelled() {
+				// Cancellation takes the truncation path: the caller pauses
+				// (and checkpoints) the search exactly as if the budget ran
+				// out here, so a killed search resumes mid-level.
+				st.stats.Truncated = true
+				st.stats.Cancelled = true
 				return nil, nil
 			}
 			parent := st.frontier[st.pos]
@@ -576,6 +590,7 @@ func (e *Explorer) runBounded(st *boundedState, goal goalFunc) (*boundedHit, err
 		st.frontier, st.next = st.next, nil
 		st.pos = 0
 		st.level++
+		e.progress(st.stats.Visited, st.level)
 	}
 	return nil, nil
 }
@@ -601,6 +616,13 @@ func (e *Explorer) runBoundedParallel(st *boundedState, goal goalFunc) (*bounded
 			remaining := e.opts.MaxConfigs - st.stats.Visited
 			if remaining <= 0 {
 				st.stats.Truncated = true
+				return nil, nil
+			}
+			if e.cancelled() {
+				// As in runBounded: cancellation pauses via the truncation
+				// path, at a chunk boundary here.
+				st.stats.Truncated = true
+				st.stats.Cancelled = true
 				return nil, nil
 			}
 			limit := len(st.frontier) - st.pos
@@ -640,6 +662,7 @@ func (e *Explorer) runBoundedParallel(st *boundedState, goal goalFunc) (*bounded
 		st.frontier, st.next = st.next, nil
 		st.pos = 0
 		st.level++
+		e.progress(st.stats.Visited, st.level)
 	}
 	return nil, nil
 }
@@ -747,6 +770,16 @@ func (e *Explorer) searchBoundedDFS(goal goalFunc, kind string) (*Witness, bool,
 		if stats.Visited >= e.opts.MaxConfigs {
 			stats.Truncated = true
 			return &Witness{Kind: kind, Stats: stats}, false, nil
+		}
+		if stats.Visited%cancelInterval == 0 && e.cancelled() {
+			// DFS has no pause path; a cancelled DFS just stops (truncated,
+			// not resumable).
+			stats.Truncated = true
+			stats.Cancelled = true
+			return &Witness{Kind: kind, Stats: stats}, false, nil
+		}
+		if stats.Visited > 0 && stats.Visited%progressInterval == 0 {
+			e.progress(stats.Visited, -1)
 		}
 		cur := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]

@@ -97,6 +97,13 @@ func (e *Explorer) searchDigest(kind string) uint64 {
 	return sim.HashMix(h)
 }
 
+// Digest exposes the search digest for the given goal kind ("disagreement"
+// or "blocking"): the content address of the search, identical across
+// worker counts and store modes. Verdict caches key completed results by it.
+func (e *Explorer) Digest(kind string) uint64 {
+	return e.searchDigest(kind)
+}
+
 // checkpointFile names the checkpoint for this search and goal kind inside
 // the configured checkpoint directory.
 func (e *Explorer) checkpointFile(kind string) string {

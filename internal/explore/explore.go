@@ -39,6 +39,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -182,6 +183,27 @@ type Options struct {
 	// of starting over. Requires a bounded store and the (default) BFS
 	// strategy; see checkpoint.go.
 	Checkpoint string
+	// Context, when non-nil, cancels witness searches cooperatively: the
+	// search loops poll it every cancelInterval visited configurations (and
+	// at every BFS level boundary), and a cancelled search stops early with
+	// Stats.Cancelled (and Stats.Truncated) set instead of returning an
+	// error — for bounded breadth-first searches this takes the exact
+	// truncation path, so a cancelled search with Options.Checkpoint set
+	// snapshots its paused state mid-level and a later identical search
+	// resumes where it stopped (see bounded.go). Until the first poll after
+	// cancellation the search behaves exactly as without a context, so a
+	// never-cancelled context changes nothing — verdicts, stats, and
+	// witnesses remain bit-identical. Valence analyses do not poll the
+	// context; they are bounded by MaxConfigs alone.
+	Context context.Context
+	// OnProgress, when non-nil, receives (visited, level) updates while a
+	// witness search runs: at every sealed BFS level boundary for
+	// breadth-first searches, and every progressInterval visited
+	// configurations with level -1 for depth-first searches (whose traversal
+	// has no level structure). Calls are made from the goroutine driving the
+	// search — never concurrently — and must return quickly: the search
+	// blocks while the callback runs.
+	OnProgress func(visited, level int)
 	// Workers caps the number of goroutines expanding the BFS frontier.
 	// Zero means GOMAXPROCS; 1 runs the exact sequential legacy search. Any
 	// value above 1 enables the level-synchronous parallel frontier of
@@ -501,4 +523,33 @@ type Stats struct {
 	// Truncated reports that the MaxConfigs budget stopped the search, so a
 	// negative answer ("no witness found") is not exhaustive.
 	Truncated bool
+	// Cancelled reports that Options.Context was cancelled before the search
+	// finished. A cancelled search stopped early exactly like a truncated
+	// one — Truncated is set alongside — so bounded searches pause and
+	// checkpoint identically; Cancelled only records why the stop happened.
+	Cancelled bool
+}
+
+// cancelInterval is the visited-count stride between Options.Context polls
+// in the serial search loops: frequent enough that cancellation lands within
+// milliseconds, sparse enough that the poll (a mutex acquisition inside
+// context.Context.Err) stays off the per-configuration hot path.
+const cancelInterval = 1024
+
+// progressInterval is the visited-count stride between Options.OnProgress
+// calls in search loops without level structure (DFS).
+const progressInterval = 8192
+
+// cancelled reports whether Options.Context has been cancelled. Callers poll
+// it on a visited-count stride, not per configuration.
+func (e *Explorer) cancelled() bool {
+	return e.opts.Context != nil && e.opts.Context.Err() != nil
+}
+
+// progress delivers a (visited, level) update to Options.OnProgress; level
+// is -1 for traversals without level structure.
+func (e *Explorer) progress(visited, level int) {
+	if e.opts.OnProgress != nil {
+		e.opts.OnProgress(visited, level)
+	}
 }

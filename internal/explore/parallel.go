@@ -231,9 +231,15 @@ func (e *Explorer) searchParallel(goal goalFunc, kind string) (*Witness, bool, *
 	ct := newClaimTable()
 	frontier := []qent{{cfg: start, idx: rootIdx}}
 	var winners []candidate
+	level := 0
 	for len(frontier) > 0 {
 		if stats.Visited >= e.opts.MaxConfigs {
 			stats.Truncated = true
+			return &Witness{Kind: kind, Stats: stats}, false, ar, nil
+		}
+		if e.cancelled() {
+			stats.Truncated = true
+			stats.Cancelled = true
 			return &Witness{Kind: kind, Stats: stats}, false, ar, nil
 		}
 		limit := len(frontier)
@@ -274,6 +280,8 @@ func (e *Explorer) searchParallel(goal goalFunc, kind string) (*Witness, bool, *
 			return &Witness{Kind: kind, Stats: stats}, false, ar, nil
 		}
 		frontier = nextFrontier
+		level++
+		e.progress(stats.Visited, level)
 	}
 	return &Witness{Kind: kind, Stats: stats}, false, ar, nil
 }

@@ -177,6 +177,16 @@ func (e *Explorer) searchArena(goal goalFunc, kind string) (*Witness, bool, *are
 			stats.Truncated = true
 			return &Witness{Kind: kind, Stats: stats}, false, ar, nil
 		}
+		if stats.Visited%cancelInterval == 0 && e.cancelled() {
+			stats.Truncated = true
+			stats.Cancelled = true
+			return &Witness{Kind: kind, Stats: stats}, false, ar, nil
+		}
+		if stats.Visited > 0 && stats.Visited%progressInterval == 0 {
+			// The arena engine interleaves its queue (BFS) or stack (DFS)
+			// without tracking depth, so progress reports carry no level.
+			e.progress(stats.Visited, -1)
+		}
 		var cur qent
 		if dfs {
 			cur = queue[len(queue)-1]

@@ -1,0 +1,161 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Cache stores completed verdicts content-addressed by instance digest.
+// Implementations must be safe for concurrent use. Only final verdicts are
+// stored: the server never caches a cancelled job's partial verdict, so a
+// Get hit is always the deterministic result of a completed search.
+type Cache interface {
+	// Get returns the cached verdict for digest, reporting whether one
+	// exists. A read error is an error, not a miss.
+	Get(digest string) (*Verdict, bool, error)
+	// Put stores the verdict under digest, overwriting any previous entry
+	// (entries are content-addressed, so an overwrite rewrites equal bytes).
+	Put(digest string, v *Verdict) error
+	// Len reports the number of cached verdicts.
+	Len() (int, error)
+}
+
+// MemoryCache is the in-process Cache: a mutex-guarded map. The zero value
+// is ready to use.
+type MemoryCache struct {
+	mu sync.Mutex
+	m  map[string]*Verdict
+}
+
+// NewMemoryCache returns an empty in-memory cache.
+func NewMemoryCache() *MemoryCache { return &MemoryCache{} }
+
+// Get implements Cache.
+func (c *MemoryCache) Get(digest string) (*Verdict, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[digest]
+	if !ok {
+		return nil, false, nil
+	}
+	cp := *v
+	return &cp, true, nil
+}
+
+// Put implements Cache.
+func (c *MemoryCache) Put(digest string, v *Verdict) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]*Verdict)
+	}
+	cp := *v
+	c.m[digest] = &cp
+	return nil
+}
+
+// Len implements Cache.
+func (c *MemoryCache) Len() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m), nil
+}
+
+// DiskCache persists verdicts as one JSON file per digest in a directory,
+// written atomically (temp file + rename) so a crashed write never leaves a
+// corrupt entry. Entries survive server restarts — the on-disk twin of the
+// digest-keyed checkpoint files, but for finished searches.
+type DiskCache struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewDiskCache creates (if needed) and wraps the cache directory.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: cache dir: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+// path maps a digest to its entry file, rejecting anything that is not a
+// plain hex digest so a malicious digest cannot escape the directory.
+func (c *DiskCache) path(digest string) (string, error) {
+	if digest == "" || strings.ContainsAny(digest, "/\\.") {
+		return "", fmt.Errorf("service: invalid digest %q", digest)
+	}
+	return filepath.Join(c.dir, digest+".json"), nil
+}
+
+// Get implements Cache.
+func (c *DiskCache) Get(digest string) (*Verdict, bool, error) {
+	p, err := c.path(digest)
+	if err != nil {
+		return nil, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := os.ReadFile(p)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("service: cache read: %w", err)
+	}
+	var v Verdict
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, false, fmt.Errorf("service: cache entry %s corrupt: %w", digest, err)
+	}
+	return &v, true, nil
+}
+
+// Put implements Cache.
+func (c *DiskCache) Put(digest string, v *Verdict) error {
+	p, err := c.path(digest)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("service: cache encode: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tmp, err := os.CreateTemp(c.dir, ".cache-*")
+	if err != nil {
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	return nil
+}
+
+// Len implements Cache.
+func (c *DiskCache) Len() (int, error) {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, fmt.Errorf("service: cache dir: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n, nil
+}

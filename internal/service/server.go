@@ -1,0 +1,387 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Job lifecycle states.
+const (
+	// StateQueued: accepted, waiting for a worker slot.
+	StateQueued = "queued"
+	// StateRunning: a worker is executing the search.
+	StateRunning = "running"
+	// StateDone: completed; the verdict is final and cached.
+	StateDone = "done"
+	// StateFailed: the runner returned an error; see the status Error.
+	StateFailed = "failed"
+	// StateCancelled: cancelled before completion. A cancelled job may
+	// still carry a partial (truncated) verdict, which is never cached.
+	StateCancelled = "cancelled"
+)
+
+// job is one submitted verification job. Progress counters are atomics
+// (written from the search goroutine, read by status polls); the remaining
+// mutable fields are guarded by the server mutex.
+type job struct {
+	id     string
+	digest string
+	spec   InstanceSpec
+
+	visited atomic.Int64
+	level   atomic.Int64
+
+	// Guarded by Server.mu.
+	state           string
+	cancel          context.CancelFunc
+	cancelRequested bool
+	verdict         *Verdict
+	errMsg          string
+}
+
+// Config parameterizes New.
+type Config struct {
+	// Runner executes jobs; required.
+	Runner Runner
+	// Cache stores completed verdicts; required.
+	Cache Cache
+	// Workers bounds concurrently running jobs (default 2).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 64); a full
+	// queue rejects submissions with 503.
+	QueueDepth int
+}
+
+// Server is the verification job server: a bounded worker pool draining a
+// submission queue, a job registry for status polling and cancellation, and
+// a content-addressed verdict cache consulted before any work is queued.
+// All methods are safe for concurrent use.
+type Server struct {
+	runner Runner
+	cache  Cache
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string        // submission order, for deterministic listing
+	byDigest map[string]*job // queued/running jobs, for duplicate-submit dedup
+	nextID   int
+
+	queue   chan *job
+	baseCtx context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// New builds the server and starts its worker pool. Call Close to stop it.
+func New(cfg Config) *Server {
+	if cfg.Runner == nil || cfg.Cache == nil {
+		panic("service: Config.Runner and Config.Cache are required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		runner:   cfg.Runner,
+		cache:    cfg.Cache,
+		jobs:     make(map[string]*job),
+		byDigest: make(map[string]*job),
+		queue:    make(chan *job, cfg.QueueDepth),
+		baseCtx:  ctx,
+		stop:     stop,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close cancels every in-flight job and stops the worker pool, blocking
+// until the workers have drained. Jobs still queued are marked cancelled.
+func (s *Server) Close() {
+	s.stop()
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.state == StateQueued || j.state == StateRunning {
+			j.state = StateCancelled
+			delete(s.byDigest, j.digest)
+		}
+	}
+}
+
+// worker drains the queue until the server stops.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob executes one job and settles its final state. Cancelled jobs keep
+// their partial verdict for inspection but never populate the cache: only
+// completed searches are deterministic functions of the digest.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	s.mu.Lock()
+	if j.state != StateQueued {
+		// Cancelled while waiting in the queue.
+		s.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.cancel = cancel
+	s.mu.Unlock()
+
+	v, err := s.runner.Run(ctx, j.spec, func(visited, level int) {
+		j.visited.Store(int64(visited))
+		j.level.Store(int64(level))
+	})
+	cancelled := ctx.Err() != nil
+
+	var cacheErr error
+	if err == nil && !cancelled && v != nil {
+		cacheErr = s.cache.Put(j.digest, v)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.byDigest, j.digest)
+	j.cancel = nil
+	switch {
+	case err != nil && cancelled:
+		j.state = StateCancelled
+		j.errMsg = err.Error()
+	case err != nil:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	case cancelled:
+		j.state = StateCancelled
+		j.verdict = v
+	default:
+		j.state = StateDone
+		j.verdict = v
+		if cacheErr != nil {
+			j.errMsg = fmt.Sprintf("verdict complete but not cached: %v", cacheErr)
+		}
+	}
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/jobs             submit a job (InstanceSpec JSON body)
+//	GET  /v1/jobs             list jobs in submission order
+//	GET  /v1/jobs/{id}        poll one job's status and progress
+//	POST /v1/jobs/{id}/cancel request cooperative cancellation
+//	GET  /v1/cache/stats      verdict-cache hit/miss/entry counters
+//	GET  /healthz             liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// SubmitResponse is the POST /v1/jobs reply: a cached verdict (Cached),
+// an already-in-flight duplicate (Deduped, with the existing job), or a
+// freshly queued job.
+type SubmitResponse struct {
+	Digest  string   `json:"digest"`
+	Cached  bool     `json:"cached,omitempty"`
+	Deduped bool     `json:"deduped,omitempty"`
+	JobID   string   `json:"job_id,omitempty"`
+	State   string   `json:"state,omitempty"`
+	Verdict *Verdict `json:"verdict,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec InstanceSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("malformed instance: %v", err))
+		return
+	}
+	digest, err := s.runner.Digest(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if v, ok, err := s.cache.Get(digest); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	} else if ok {
+		s.hits.Add(1)
+		writeJSON(w, http.StatusOK, SubmitResponse{Digest: digest, Cached: true, Verdict: v})
+		return
+	}
+	s.misses.Add(1)
+
+	s.mu.Lock()
+	if dup := s.byDigest[digest]; dup != nil {
+		resp := SubmitResponse{Digest: digest, Deduped: true, JobID: dup.id, State: dup.state}
+		s.mu.Unlock()
+		writeJSON(w, http.StatusAccepted, resp)
+		return
+	}
+	s.nextID++
+	j := &job{id: fmt.Sprintf("j%d", s.nextID), digest: digest, spec: spec, state: StateQueued}
+	j.level.Store(-1)
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.byDigest[digest] = j
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Lock()
+		j.state = StateFailed
+		j.errMsg = "job queue full"
+		delete(s.byDigest, digest)
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "job queue full")
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{Digest: digest, JobID: j.id, State: StateQueued})
+}
+
+// Progress is a job's live search progress: the cumulative visited count
+// and the most recently sealed BFS level (-1 before the first report and
+// for depth-unaware engines).
+type Progress struct {
+	Visited int64 `json:"visited"`
+	Level   int64 `json:"level"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} reply.
+type JobStatus struct {
+	ID              string       `json:"id"`
+	Digest          string       `json:"digest"`
+	State           string       `json:"state"`
+	CancelRequested bool         `json:"cancel_requested,omitempty"`
+	Spec            InstanceSpec `json:"spec"`
+	Progress        Progress     `json:"progress"`
+	Verdict         *Verdict     `json:"verdict,omitempty"`
+	Error           string       `json:"error,omitempty"`
+}
+
+// status snapshots a job; callers must hold s.mu.
+func (s *Server) status(j *job) JobStatus {
+	return JobStatus{
+		ID:              j.id,
+		Digest:          j.digest,
+		State:           j.state,
+		CancelRequested: j.cancelRequested,
+		Spec:            j.spec,
+		Progress:        Progress{Visited: j.visited.Load(), Level: j.level.Load()},
+		Verdict:         j.verdict,
+		Error:           j.errMsg,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.status(s.jobs[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	var st JobStatus
+	if ok {
+		st = s.status(j)
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	if !ok {
+		s.mu.Unlock()
+		writeError(w, http.StatusNotFound, "unknown job")
+		return
+	}
+	var cancel context.CancelFunc
+	switch j.state {
+	case StateQueued:
+		// Never started: settle immediately; the worker will skip it.
+		j.state = StateCancelled
+		j.cancelRequested = true
+		delete(s.byDigest, j.digest)
+	case StateRunning:
+		j.cancelRequested = true
+		cancel = j.cancel
+	}
+	st := s.status(j)
+	s.mu.Unlock()
+	if cancel != nil {
+		// Cooperative: the search notices at its next poll point and the
+		// worker settles the job to cancelled; poll the status to observe.
+		cancel()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// CacheStats is the GET /v1/cache/stats reply.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	n, err := s.cache.Len()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, CacheStats{Hits: s.hits.Load(), Misses: s.misses.Load(), Entries: n})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

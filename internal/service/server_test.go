@@ -1,0 +1,361 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mockRunner drives the handler tests without real searches. Digest keys on
+// (N, K) so tests steer dedup and cache behaviour by varying those; Run can
+// block on a channel to hold a job in the running state, and honours ctx
+// cancellation by returning a partial truncated verdict (the Runner
+// contract).
+type mockRunner struct {
+	block   chan struct{} // non-nil: Run waits for close or cancellation
+	started chan string   // non-nil: receives the digest when a Run begins
+	fail    bool          // Run returns an error
+}
+
+func (m *mockRunner) Digest(spec InstanceSpec) (string, error) {
+	if spec.Alg == "" {
+		return "", errors.New("service: spec missing alg")
+	}
+	return fmt.Sprintf("%016x", uint64(spec.N)<<16|uint64(spec.K)), nil
+}
+
+func (m *mockRunner) Run(ctx context.Context, spec InstanceSpec, progress func(int, int)) (*Verdict, error) {
+	d, _ := m.Digest(spec)
+	if m.started != nil {
+		m.started <- d
+	}
+	if progress != nil {
+		progress(500, 3)
+	}
+	if m.block != nil {
+		select {
+		case <-m.block:
+		case <-ctx.Done():
+			return &Verdict{Digest: d, Goal: GoalImpossibility, Summary: "cancelled", Visited: 500, Truncated: true}, nil
+		}
+	}
+	if m.fail {
+		return nil, errors.New("mock runner failure")
+	}
+	return &Verdict{Digest: d, Goal: GoalImpossibility, Summary: "ok", Refuted: true, Visited: 1000}, nil
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (int, SubmitResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SubmitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, out
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) (int, JobStatus) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, st
+}
+
+// waitState polls the status endpoint until the job reaches want.
+func waitState(t *testing.T, ts *httptest.Server, id, want string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		code, st := getStatus(t, ts, id)
+		if code != http.StatusOK {
+			t.Fatalf("status %s: HTTP %d", id, code)
+		}
+		if st.State == want {
+			return st
+		}
+		if st.State == StateFailed && want != StateFailed {
+			t.Fatalf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached state %q", id, want)
+	return JobStatus{}
+}
+
+func cacheStats(t *testing.T, ts *httptest.Server) CacheStats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/cache/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cs CacheStats
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	return cs
+}
+
+func TestSubmitMalformed(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runner: &mockRunner{}, Cache: NewMemoryCache()})
+	for name, body := range map[string]string{
+		"invalid-json":  `{"alg": "minwait",`,
+		"unknown-field": `{"alg": "minwait", "n": 4, "k": 2, "bogus": true}`,
+		"bad-spec":      `{"n": 4, "k": 2}`, // mock rejects a missing alg
+	} {
+		code, _ := postJob(t, ts, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: HTTP %d, want 400", name, code)
+		}
+	}
+	// Malformed submissions must not create jobs.
+	resp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 0 {
+		t.Fatalf("malformed submissions created %d jobs", len(list.Jobs))
+	}
+}
+
+func TestSubmitRunPollAndCacheHit(t *testing.T) {
+	cache := NewMemoryCache()
+	_, ts := newTestServer(t, Config{Runner: &mockRunner{}, Cache: cache})
+	body := `{"alg": "minwait", "n": 4, "f": 3, "k": 2}`
+
+	code, sub := postJob(t, ts, body)
+	if code != http.StatusAccepted || sub.JobID == "" || sub.Cached {
+		t.Fatalf("first submit: HTTP %d %+v", code, sub)
+	}
+	st := waitState(t, ts, sub.JobID, StateDone)
+	if st.Verdict == nil || !st.Verdict.Refuted || st.Verdict.Digest != sub.Digest {
+		t.Fatalf("done status verdict: %+v", st.Verdict)
+	}
+	if st.Progress.Visited != 500 || st.Progress.Level != 3 {
+		t.Fatalf("progress not surfaced: %+v", st.Progress)
+	}
+
+	code, sub2 := postJob(t, ts, body)
+	if code != http.StatusOK || !sub2.Cached || sub2.Verdict == nil {
+		t.Fatalf("second submit: HTTP %d %+v", code, sub2)
+	}
+	if *sub2.Verdict != *st.Verdict {
+		t.Fatalf("cached verdict differs: %+v vs %+v", sub2.Verdict, st.Verdict)
+	}
+	cs := cacheStats(t, ts)
+	if cs.Hits != 1 || cs.Misses != 1 || cs.Entries != 1 {
+		t.Fatalf("cache stats: %+v", cs)
+	}
+}
+
+func TestDuplicateSubmitDedup(t *testing.T) {
+	block := make(chan struct{})
+	_, ts := newTestServer(t, Config{Runner: &mockRunner{block: block}, Cache: NewMemoryCache()})
+	body := `{"alg": "minwait", "n": 5, "k": 2}`
+
+	code, first := postJob(t, ts, body)
+	if code != http.StatusAccepted || first.Deduped {
+		t.Fatalf("first submit: HTTP %d %+v", code, first)
+	}
+	code, second := postJob(t, ts, body)
+	if code != http.StatusAccepted || !second.Deduped || second.JobID != first.JobID {
+		t.Fatalf("duplicate submit: HTTP %d %+v (want dedup onto %s)", code, second, first.JobID)
+	}
+	// A different instance is not a duplicate.
+	code, other := postJob(t, ts, `{"alg": "minwait", "n": 6, "k": 2}`)
+	if code != http.StatusAccepted || other.Deduped || other.JobID == first.JobID {
+		t.Fatalf("distinct submit: HTTP %d %+v", code, other)
+	}
+	close(block)
+	waitState(t, ts, first.JobID, StateDone)
+	// Once the verdict is cached, a resubmission is a hit, not a dedup.
+	code, third := postJob(t, ts, body)
+	if code != http.StatusOK || !third.Cached {
+		t.Fatalf("post-completion submit: HTTP %d %+v", code, third)
+	}
+}
+
+func TestCancelRunningJobNotCached(t *testing.T) {
+	cache := NewMemoryCache()
+	started := make(chan string, 1)
+	_, ts := newTestServer(t, Config{
+		Runner: &mockRunner{block: make(chan struct{}), started: started},
+		Cache:  cache,
+	})
+	code, sub := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	<-started
+
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+sub.JobID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.CancelRequested {
+		t.Fatalf("cancel reply: %+v", st)
+	}
+
+	st = waitState(t, ts, sub.JobID, StateCancelled)
+	if st.Verdict == nil || !st.Verdict.Truncated {
+		t.Fatalf("cancelled job's partial verdict: %+v", st.Verdict)
+	}
+	if n, _ := cache.Len(); n != 0 {
+		t.Fatalf("cancelled job's verdict was cached (%d entries)", n)
+	}
+	// The settled digest is free again: a resubmission starts a fresh job
+	// rather than deduping onto the cancelled one.
+	code, sub2 := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted || sub2.Deduped || sub2.JobID == sub.JobID {
+		t.Fatalf("resubmit after cancel: HTTP %d %+v", code, sub2)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	started := make(chan string, 1)
+	block := make(chan struct{})
+	_, ts := newTestServer(t, Config{
+		Runner:  &mockRunner{block: block, started: started},
+		Cache:   NewMemoryCache(),
+		Workers: 1,
+	})
+	// Occupy the single worker, then queue a second job and cancel it.
+	code, running := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 1: HTTP %d", code)
+	}
+	<-started
+	code, queued := postJob(t, ts, `{"alg": "minwait", "n": 5, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit 2: HTTP %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs/"+queued.JobID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.State != StateCancelled {
+		t.Fatalf("queued job after cancel: state %q, want %q", st.State, StateCancelled)
+	}
+	close(block)
+	waitState(t, ts, running.JobID, StateDone)
+	// The cancelled queued job must stay cancelled (the worker skips it).
+	if _, st := getStatus(t, ts, queued.JobID); st.State != StateCancelled {
+		t.Fatalf("queued job resurrected: state %q", st.State)
+	}
+}
+
+func TestUnknownJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runner: &mockRunner{}, Cache: NewMemoryCache()})
+	if code, _ := getStatus(t, ts, "j999"); code != http.StatusNotFound {
+		t.Fatalf("status of unknown job: HTTP %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs/j999/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cancel of unknown job: HTTP %d", resp.StatusCode)
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	started := make(chan string, 1)
+	block := make(chan struct{})
+	defer close(block)
+	_, ts := newTestServer(t, Config{
+		Runner:     &mockRunner{block: block, started: started},
+		Cache:      NewMemoryCache(),
+		Workers:    1,
+		QueueDepth: 1,
+	})
+	if code, _ := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`); code != http.StatusAccepted {
+		t.Fatalf("submit 1: HTTP %d", code)
+	}
+	<-started // worker holds job 1; the queue is empty again
+	if code, _ := postJob(t, ts, `{"alg": "minwait", "n": 5, "k": 2}`); code != http.StatusAccepted {
+		t.Fatalf("submit 2: HTTP %d", code)
+	}
+	code, _ := postJob(t, ts, `{"alg": "minwait", "n": 6, "k": 2}`)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit 3 with a full queue: HTTP %d, want 503", code)
+	}
+}
+
+func TestRunnerFailure(t *testing.T) {
+	cache := NewMemoryCache()
+	_, ts := newTestServer(t, Config{Runner: &mockRunner{fail: true}, Cache: cache})
+	code, sub := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, sub.JobID, StateFailed)
+	if st.Error == "" {
+		t.Fatal("failed job carries no error")
+	}
+	if n, _ := cache.Len(); n != 0 {
+		t.Fatalf("failed job's verdict was cached (%d entries)", n)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runner: &mockRunner{}, Cache: NewMemoryCache()})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+}

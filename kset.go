@@ -21,6 +21,7 @@
 package kset
 
 import (
+	"context"
 	"fmt"
 
 	"kset/internal/algorithms"
@@ -96,6 +97,35 @@ func NewRoundFlood(f int) Algorithm { return algorithms.RoundFlood{F: f} }
 // protocol (the k = n-1 endpoint of Corollary 13): unconditional safety by
 // quorum intersection, with the liveness condition documented on the type.
 func NewSingletonQuorum() Algorithm { return algorithms.SingletonQuorum{} }
+
+// NewAlgorithm maps a CLI/API algorithm name to its constructor: "minwait",
+// "flpkset", "sigmaomega", "quorummin", "decideown", "firstheard",
+// "roundflood", or "singletonquorum". f parameterizes the resilience-bound
+// algorithms and is ignored by the rest. The shared registry of
+// cmd/impossibility and the ksetd job server, so the two spell instances
+// identically.
+func NewAlgorithm(name string, f int) (Algorithm, error) {
+	switch name {
+	case "minwait":
+		return NewMinWait(f), nil
+	case "flpkset":
+		return NewFLPKSet(f), nil
+	case "sigmaomega":
+		return NewSigmaOmega(), nil
+	case "quorummin":
+		return NewQuorumMin(), nil
+	case "decideown":
+		return NewDecideOwn(), nil
+	case "firstheard":
+		return NewFirstHeard(), nil
+	case "roundflood":
+		return NewRoundFlood(f), nil
+	case "singletonquorum":
+		return NewSingletonQuorum(), nil
+	default:
+		return nil, fmt.Errorf("kset: unknown algorithm %q", name)
+	}
+}
 
 // DistinctInputs returns n pairwise distinct proposal values (Theorem 1
 // requires runs in which every process proposes a distinct value; |V| > n).
@@ -224,6 +254,10 @@ func Simulate(alg Algorithm, inputs []Value, opts SimOptions) (*Run, error) {
 // same witness, same stats — so the knob is purely a performance control.
 // It composes with SweepWorkers: sweeps parallelize across independent
 // experiment cells, SearchWorkers parallelizes inside one search.
+//
+// Deprecated: package globals cannot configure concurrent searches safely.
+// Construct an Options value and a Searcher instead (see options.go); the
+// global remains as the seed of DefaultSearcher.
 var SearchWorkers = 0
 
 // SearchSymmetry enables orbit-canonical revisit detection in every
@@ -241,6 +275,9 @@ var SearchWorkers = 0
 // minimum-id decide rule is not renaming-equivariant and which therefore
 // stays on concrete hashes (see explore.Options.Symmetry for the soundness
 // discussion).
+//
+// Deprecated: use Options.Symmetry with a Searcher; the global remains as
+// the seed of DefaultSearcher.
 var SearchSymmetry = false
 
 // SearchPOR enables commutativity-based partial-order reduction in every
@@ -261,6 +298,9 @@ var SearchSymmetry = false
 // without sim.SendQuiescent only the inert-crashed-slot collapsing
 // remains active, which is sound for any algorithm. Default off. See
 // explore.Options.POR for the soundness argument.
+//
+// Deprecated: use Options.POR with a Searcher; the global remains as the
+// seed of DefaultSearcher.
 var SearchPOR = false
 
 // SearchStore selects the memory regime of every condition-(C) state-space
@@ -277,6 +317,9 @@ var SearchPOR = false
 // complete under a gigabyte-scale GOMEMLIMIT where the arena engine
 // truncates or thrashes. See explore.Options.Store and README "Memory &
 // checkpoints".
+//
+// Deprecated: use Options.Store with a Searcher; the global remains as the
+// seed of DefaultSearcher.
 var SearchStore = ""
 
 // SearchCheckpoint, when non-empty, names a directory in which truncated
@@ -288,6 +331,9 @@ var SearchStore = ""
 // not "lose everything". Requires a bounded SearchStore. Checkpoints are
 // keyed by a digest of the search instance, so many experiments can share
 // one directory. See explore.Options.Checkpoint.
+//
+// Deprecated: use Options.Checkpoint with a Searcher; the global remains
+// as the seed of DefaultSearcher.
 var SearchCheckpoint = ""
 
 // SearchFaults selects the fault model of every condition-(C) state-space
@@ -302,28 +348,10 @@ var SearchCheckpoint = ""
 // to fault searches (spent budgets fold into the orbit signatures); POR
 // stands down as a sound no-op under a non-crash model, exactly as it does
 // under oracles. Default "".
+//
+// Deprecated: use Options.Faults with a Searcher; the global remains as
+// the seed of DefaultSearcher.
 var SearchFaults = ""
-
-// parseSearchStore resolves the SearchStore global, panicking on an invalid
-// spelling: the knob is set programmatically or by a CLI flag that already
-// validated it, so an invalid value is a programming error, not user input.
-func parseSearchStore() explore.Store {
-	store, err := explore.ParseStore(SearchStore)
-	if err != nil {
-		panic(fmt.Sprintf("kset: invalid SearchStore: %v", err))
-	}
-	return store
-}
-
-// parseSearchFaults resolves the SearchFaults global, panicking like
-// parseSearchStore on an invalid spelling.
-func parseSearchFaults() explore.FaultAdversary {
-	fa, err := explore.ParseFaults(SearchFaults)
-	if err != nil {
-		panic(fmt.Sprintf("kset: invalid SearchFaults: %v", err))
-	}
-	return fa
-}
 
 // SearchConfig bundles the facade's search knobs in CLI spelling, one field
 // per Search* global. Commands parse their flags into a SearchConfig and
@@ -331,6 +359,9 @@ func parseSearchFaults() explore.FaultAdversary {
 // per-command assignment lists, so a knob added here cannot be wired into
 // one command's search path and silently dropped from another's (the
 // -symmetry/-por theorem10-path drift this replaced).
+//
+// Deprecated: construct an Options value (the same fields) and a Searcher
+// with NewSearcher instead of mirroring knobs into the globals.
 type SearchConfig struct {
 	// Workers mirrors SearchWorkers.
 	Workers int
@@ -349,6 +380,11 @@ type SearchConfig struct {
 // ApplySearchConfig validates cfg and mirrors it into the facade's Search*
 // globals, returning an error — and leaving the globals untouched — when a
 // spelling does not parse.
+//
+// Deprecated: use NewSearcher(Options{...}) and pass the Searcher to the
+// search entry points; mutating the globals cannot configure concurrent
+// searches safely. The shim remains so global-configured tests and
+// examples keep passing.
 func ApplySearchConfig(cfg SearchConfig) error {
 	if _, err := explore.ParseStore(cfg.Store); err != nil {
 		return err
@@ -368,22 +404,16 @@ func ApplySearchConfig(cfg SearchConfig) error {
 // FindConsensusFailure searches the subsystem of live processes for a
 // disagreement or blocking witness of the algorithm under adversarial
 // scheduling with the given crash budget — the condition (C) helper exposed
-// on its own for examples and CLI use.
+// on its own for examples and CLI use. It reads the deprecated Search*
+// globals via DefaultSearcher; new code should call
+// Searcher.FindConsensusFailure, which adds context cancellation and
+// progress reporting.
 func FindConsensusFailure(alg Algorithm, inputs []Value, live []ProcessID, crashBudget, maxConfigs int) (*explore.Witness, bool, error) {
-	ex := explore.New(sim.Restrict(alg, live), inputs, explore.Options{
-		Live:       live,
-		MaxCrashes: crashBudget,
-		MaxConfigs: maxConfigs,
-		Workers:    SearchWorkers,
-		Symmetry:   SearchSymmetry,
-		POR:        SearchPOR,
-		Faults:     parseSearchFaults(),
-		Store:      parseSearchStore(),
-		Checkpoint: SearchCheckpoint,
+	return DefaultSearcher().FindConsensusFailure(context.Background(), SearchRequest{
+		Alg:         alg,
+		Inputs:      inputs,
+		Live:        live,
+		CrashBudget: crashBudget,
+		MaxConfigs:  maxConfigs,
 	})
-	w, found, err := ex.FindDisagreement()
-	if err != nil || found {
-		return w, found, err
-	}
-	return ex.FindBlocking()
 }
