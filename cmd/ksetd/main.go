@@ -4,14 +4,23 @@
 // cached content-addressed by instance digest — resubmitting an instance
 // answers from the cache instead of re-searching.
 //
+// With -journal the server is crash-safe: every job transition is appended
+// durably, and a restart replays the journal, re-enqueueing every job that
+// had not finished. Combined with -checkpoint and checkpoint-opted jobs, a
+// kill -9 mid-search costs at most one BFS level of re-exploration and the
+// recovered verdict is bit-identical to an uninterrupted run.
+//
 // Usage:
 //
 //	ksetd -addr :8418                                  # in-memory cache
 //	ksetd -addr :8418 -cache disk -cache-dir ./verdicts
 //	ksetd -pool 4 -checkpoint ./ckpt                   # resumable pauses
+//	ksetd -journal ./jobs.jsonl -checkpoint ./ckpt \
+//	      -cache disk -cache-dir ./verdicts            # crash-safe
+//	ksetd -job-timeout 10m -retries 2                  # bounded jobs
 //
-// See the README's "Running the service" section for the endpoint reference
-// and the job lifecycle.
+// See the README's "Running the service" and "Operations & crash recovery"
+// sections for the endpoint reference and the recovery semantics.
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,12 +45,16 @@ func main() {
 
 func run() int {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8418", "listen address")
-		pool      = flag.Int("pool", 2, "worker pool size (concurrently running jobs)")
-		queue     = flag.Int("queue", 64, "submission queue depth (jobs waiting for a worker; full queue answers 503)")
-		cacheKind = flag.String("cache", "mem", "verdict cache backend: mem (in-process) or disk (survives restarts)")
-		cacheDir  = flag.String("cache-dir", "", "directory for the disk cache (required with -cache disk)")
-		ckptDir   = flag.String("checkpoint", "", "directory for checkpoint-opted jobs to pause resumably (empty disables checkpointing)")
+		addr       = flag.String("addr", "127.0.0.1:8418", "listen address")
+		pool       = flag.Int("pool", 2, "worker pool size (concurrently running jobs)")
+		queue      = flag.Int("queue", 64, "submission queue depth (jobs waiting for a worker; full queue answers 503)")
+		cacheKind  = flag.String("cache", "mem", "verdict cache backend: mem (in-process) or disk (survives restarts)")
+		cacheDir   = flag.String("cache-dir", "", "directory for the disk cache (required with -cache disk)")
+		ckptDir    = flag.String("checkpoint", "", "directory for checkpoint-opted jobs to pause resumably (empty disables checkpointing)")
+		journal    = flag.String("journal", "", "durable job journal file; restarts replay it and resume unfinished jobs (empty disables crash safety)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-job wall-clock deadline; an expired job settles as failed with its partial progress (0 = unlimited)")
+		retries    = flag.Int("retries", 0, "re-run attempts for jobs failing with transient errors, with exponential backoff")
+		drain      = flag.Duration("drain", 5*time.Second, "graceful shutdown budget for in-flight jobs to reach their pause path")
 	)
 	flag.Parse()
 
@@ -64,37 +78,78 @@ func run() int {
 		return 2
 	}
 
+	var jnl *service.Journal
+	if *journal != "" {
+		var err error
+		jnl, err = service.OpenJournal(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksetd:", err)
+			return 2
+		}
+		if n := len(jnl.Replayed()); n > 0 {
+			log.Printf("ksetd: journal %s: replayed %d records", *journal, n)
+		}
+	}
+
 	srv := service.New(service.Config{
 		Runner:     service.KsetRunner{CheckpointDir: *ckptDir},
 		Cache:      cache,
 		Workers:    *pool,
 		QueueDepth: *queue,
+		Journal:    jnl,
+		JobTimeout: *jobTimeout,
+		Retries:    *retries,
 	})
-	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// Conservative HTTP timeouts: the API is small JSON request/response —
+	// no streaming — so a slow client is a stuck client, and an unbounded
+	// one could pin goroutines forever.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	// Listen explicitly (rather than ListenAndServe) so ":0" test setups
+	// can learn the real port from the log line before submitting.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ksetd:", err)
+		srv.Close()
+		return 1
+	}
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("ksetd: listening on %s (pool %d, cache %s)", *addr, *pool, *cacheKind)
-		errc <- httpSrv.ListenAndServe()
+		log.Printf("ksetd: listening on %s (pool %d, cache %s)", ln.Addr(), *pool, *cacheKind)
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	select {
 	case err := <-errc:
-		// Immediate listen failure (bad address, port in use).
 		fmt.Fprintln(os.Stderr, "ksetd:", err)
+		srv.Close()
 		return 1
 	case <-ctx.Done():
 	}
 
+	// Graceful shutdown, both layers on the same bounded budget: stop
+	// accepting HTTP, then cancel in-flight searches onto their cooperative
+	// pause path and wait for the workers to drain. Jobs that don't settle
+	// within the budget stay non-terminal in the journal — the next start
+	// recovers them, so overrunning the drain loses no work.
 	log.Print("ksetd: shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "ksetd: shutdown:", err)
+	}
+	if err := srv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "ksetd: drain:", err)
 		return 1
 	}
 	return 0

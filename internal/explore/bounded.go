@@ -321,6 +321,14 @@ type boundedState struct {
 	pos      int    // next unexpanded parent position within frontier
 	level    int    // depth of frontier (root = 0)
 	stats    Stats
+	// kind is the goal kind of the running search, so the level-boundary
+	// snapshots of snapshotLevel can name their checkpoint file.
+	kind string
+	// snapErr latches the first level-boundary snapshot failure: periodic
+	// snapshots are best-effort (a full disk must not fail a search that
+	// would succeed without checkpointing), but after one failure further
+	// attempts are skipped rather than hammering the same broken disk.
+	snapErr error
 }
 
 // boundedHit locates a goal configuration in the level structure: frontier
@@ -361,24 +369,48 @@ func (e *Explorer) newSink() (levelSink, error) {
 // truncation, or auto-restored from the checkpoint directory), a fresh root
 // state otherwise. fresh reports which, so the caller knows whether the
 // root configuration still needs its goal check.
+//
+// The automatic resume path treats checkpoints as purely an optimization: a
+// file that fails to decode, carries a foreign digest, or replays
+// inconsistently (a partial write the checksum happened to miss, manual
+// tampering, fingerprint-encoding drift) is quarantined aside and the search
+// falls back to a fresh root — it must never wedge a search that would
+// succeed from scratch. The explicit Restore API keeps its strict error
+// contract for callers that need to know.
 func (e *Explorer) boundedStart(kind string) (st *boundedState, fresh bool, err error) {
 	// A pending paused search of a different goal kind (the engine runs
 	// disagreement then blocking on one explorer) must not mask this kind's
 	// on-disk checkpoint; its own state was already persisted at pause time
 	// when a checkpoint directory is configured, so overwriting the pending
 	// slot loses nothing resumable.
+	fromDisk := false
 	if (e.pending == nil || e.pending.kind != kind) && e.opts.Checkpoint != "" {
 		path := e.checkpointFile(kind)
 		if _, statErr := os.Stat(path); statErr == nil {
 			if err := e.Restore(path); err != nil {
-				return nil, false, err
+				quarantineFile(path)
+			} else {
+				fromDisk = true
 			}
 		}
 	}
 	if p := e.pending; p != nil && p.kind == kind {
 		e.pending = nil
 		st, err := e.regenerate(p)
-		return st, false, err
+		if err != nil {
+			p.sink.discard()
+			if fromDisk {
+				// The file passed its checksum but its log is inconsistent
+				// with this search (it replays an inapplicable action or
+				// revisits a sealed key): quarantine and start over.
+				quarantineFile(e.checkpointFile(kind))
+				return e.boundedFresh()
+			}
+			// An in-session pending state was produced by this very process;
+			// failing to regenerate it is a bug, not file corruption.
+			return nil, false, err
+		}
+		return st, false, nil
 	}
 	return e.boundedFresh()
 }
@@ -474,6 +506,7 @@ func (e *Explorer) searchBounded(goal goalFunc, kind string) (*Witness, bool, er
 	if err != nil {
 		return nil, false, err
 	}
+	st.kind = kind
 	if fresh {
 		if detail, ok := goal(&e.sc, st.frontier[0].cfg); ok {
 			st.sink.discard()
@@ -528,6 +561,32 @@ func (e *Explorer) searchBounded(goal goalFunc, kind string) (*Witness, bool, er
 	}
 	e.clearCheckpoint(kind)
 	return w, true, nil
+}
+
+// snapshotLevel persists the search's paused state at a sealed level
+// boundary when a checkpoint directory is configured: the crash-safety
+// complement of the pause-time checkpoint of pauseBounded. A process killed
+// without warning (kill -9, OOM, power loss) between two boundaries resumes
+// from the last sealed level, so the kill costs at most one level of
+// re-exploration plus the O(visited) log replay — and since resume is
+// bit-exact, the eventual verdict is identical to an uninterrupted run's.
+// Snapshots are best-effort: a write failure (disk full) latches snapErr and
+// disables further attempts, but never fails the search itself — the final
+// truncation pause, whose checkpoint callers rely on, still reports its own
+// errors through pauseBounded.
+func (e *Explorer) snapshotLevel(st *boundedState) {
+	if e.opts.Checkpoint == "" || st.kind == "" || st.snapErr != nil || !st.sink.retained() {
+		return
+	}
+	p := &pausedSearch{
+		kind:    st.kind,
+		digest:  e.searchDigest(st.kind),
+		sink:    st.sink,
+		level:   st.level,
+		pos:     st.pos,
+		visited: st.stats.Visited,
+	}
+	st.snapErr = writeCheckpoint(e.checkpointFile(st.kind), p)
 }
 
 // runBounded drives the bounded BFS from st until a goal hit, exhaustion,
@@ -590,6 +649,7 @@ func (e *Explorer) runBounded(st *boundedState, goal goalFunc) (*boundedHit, err
 		st.frontier, st.next = st.next, nil
 		st.pos = 0
 		st.level++
+		e.snapshotLevel(st)
 		e.progress(st.stats.Visited, st.level)
 	}
 	return nil, nil
@@ -662,6 +722,7 @@ func (e *Explorer) runBoundedParallel(st *boundedState, goal goalFunc) (*bounded
 		st.frontier, st.next = st.next, nil
 		st.pos = 0
 		st.level++
+		e.snapshotLevel(st)
 		e.progress(st.stats.Visited, st.level)
 	}
 	return nil, nil

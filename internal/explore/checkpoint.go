@@ -110,6 +110,16 @@ func (e *Explorer) checkpointFile(kind string) string {
 	return filepath.Join(e.opts.Checkpoint, fmt.Sprintf("%016x-%s.ckpt", e.searchDigest(kind), kind))
 }
 
+// quarantineFile renames a corrupt file aside (path + ".corrupt",
+// overwriting a previous quarantine of the same path) so it can never be
+// read again but stays available for post-mortem inspection. A checkpoint is
+// an optimization, never the source of truth — the search regenerates
+// everything from the root — so the automatic resume path quarantines
+// unreadable files and starts fresh instead of failing the search.
+func quarantineFile(path string) {
+	os.Rename(path, path+".corrupt")
+}
+
 // clearCheckpoint removes the checkpoint for kind after a search ran to
 // completion: the paused state it held is obsolete.
 func (e *Explorer) clearCheckpoint(kind string) {

@@ -242,6 +242,192 @@ func TestRestoreCorruptFile(t *testing.T) {
 	}
 }
 
+// TestRestoreTruncatedAtEveryByte simulates partial writes and disk-full
+// cuts exhaustively: a valid checkpoint truncated at every byte boundary
+// must be rejected cleanly by Restore — an error, never a panic and never a
+// silent partial resume. (The atomic temp+rename write discipline means a
+// real crash can only ever leave the previous complete file or none, but
+// the decoder must not rely on that.)
+func TestRestoreTruncatedAtEveryByte(t *testing.T) {
+	d := ckptInstance()
+	e1 := ckptExplorer(d, StoreSpill, 1, 25, "")
+	if _, _, err := e1.FindDisagreement(); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "search.ckpt")
+	if err := e1.Snapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.ckpt")
+	for n := 0; n < len(raw); n++ {
+		if err := os.WriteFile(cut, raw[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		e2 := ckptExplorer(d, StoreFrontierOnly, 1, 1000, "")
+		if err := e2.Restore(cut); err == nil {
+			t.Fatalf("Restore accepted a checkpoint truncated to %d of %d bytes", n, len(raw))
+		}
+	}
+}
+
+// TestAutoResumeQuarantinesCorruptCheckpoint is the recovery contract of
+// the automatic Options.Checkpoint flow: a corrupt or truncated checkpoint
+// file must not fail the search — it is renamed aside (".corrupt") and the
+// search falls back to a fresh root, producing the exact uninterrupted
+// verdict.
+func TestAutoResumeQuarantinesCorruptCheckpoint(t *testing.T) {
+	d := ckptInstance()
+	ref, refFound, err := ckptExplorer(d, StoreFrontierOnly, 1, 100000, "").FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := map[string]func(raw []byte) []byte{
+		"truncated": func(raw []byte) []byte { return raw[:len(raw)/2] },
+		"bitflip":   func(raw []byte) []byte { m := append([]byte(nil), raw...); m[len(m)/2] ^= 0x40; return m },
+		"garbage":   func(raw []byte) []byte { return []byte("not a checkpoint at all") },
+		"empty":     func(raw []byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			w1, found1, err := ckptExplorer(d, StoreFrontierOnly, 1, 20, dir).FindDisagreement()
+			if err != nil || found1 || w1.Checkpoint == "" {
+				t.Fatalf("setup pause: found=%t ckpt=%q err=%v", found1, w1.Checkpoint, err)
+			}
+			raw, err := os.ReadFile(w1.Checkpoint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(w1.Checkpoint, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			w2, found2, err := ckptExplorer(d, StoreFrontierOnly, 1, 100000, dir).FindDisagreement()
+			if err != nil {
+				t.Fatalf("resume over corrupt checkpoint errored instead of falling back: %v", err)
+			}
+			if found2 != refFound || w2.Stats != ref.Stats || w2.Detail != ref.Detail {
+				t.Fatalf("fresh fallback diverged: found=%t stats=%+v, uninterrupted found=%t stats=%+v",
+					found2, w2.Stats, refFound, ref.Stats)
+			}
+			if _, err := os.Stat(w1.Checkpoint + ".corrupt"); err != nil {
+				t.Fatalf("corrupt checkpoint was not quarantined: %v", err)
+			}
+		})
+	}
+}
+
+// TestAutoResumeQuarantinesInconsistentLog covers the corruption the
+// checksum cannot catch: a checkpoint of a *different* instance copied onto
+// this search's filename decodes fine but carries a foreign digest. The
+// auto-resume path must quarantine it and fall back to a fresh search.
+func TestAutoResumeQuarantinesInconsistentLog(t *testing.T) {
+	d := ckptInstance()
+	other := diffInstance{"other", d.alg, []sim.Value{0, 1, 3}, d.live, d.crashes}
+	dir := t.TempDir()
+	w1, found1, err := ckptExplorer(other, StoreFrontierOnly, 1, 20, dir).FindDisagreement()
+	if err != nil || found1 || w1.Checkpoint == "" {
+		t.Fatalf("setup pause: found=%t err=%v", found1, err)
+	}
+	e := ckptExplorer(d, StoreFrontierOnly, 1, 100000, dir)
+	foreign := e.checkpointFile("disagreement")
+	if err := os.Rename(w1.Checkpoint, foreign); err != nil {
+		t.Fatal(err)
+	}
+	ref, refFound, err := ckptExplorer(d, StoreFrontierOnly, 1, 100000, "").FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, found2, err := e.FindDisagreement()
+	if err != nil {
+		t.Fatalf("resume over foreign checkpoint errored instead of falling back: %v", err)
+	}
+	if found2 != refFound || w2.Stats != ref.Stats {
+		t.Fatalf("fresh fallback diverged: stats=%+v vs %+v", w2.Stats, ref.Stats)
+	}
+	if _, err := os.Stat(foreign + ".corrupt"); err != nil {
+		t.Fatalf("foreign checkpoint was not quarantined: %v", err)
+	}
+}
+
+// TestCheckpointEveryLevel proves the crash-safety property of the
+// level-boundary snapshots: a checkpoint captured mid-run (here: copied
+// aside at a level boundary, simulating the state a kill -9 would leave on
+// disk) resumes to the exact verdict and stats of the uninterrupted run.
+func TestCheckpointEveryLevel(t *testing.T) {
+	d := diffInstance{"minwait-n3-uniform", algorithms.MinWait{F: 1}, []sim.Value{0, 0, 0}, []sim.ProcessID{1, 2, 3}, 1}
+	ref, refFound, err := ckptExplorer(d, StoreFrontierOnly, 1, 400000, "").FindDisagreement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refFound || ref.Stats.Truncated {
+		t.Fatalf("reference: found=%t stats=%+v", refFound, ref.Stats)
+	}
+	for _, workers := range []int{1, 4} {
+		dir := t.TempDir()
+		saved := filepath.Join(dir, "killed-here.bin")
+		e := New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+			Live: d.live, MaxCrashes: d.crashes, MaxConfigs: 400000,
+			Workers: workers, Store: StoreFrontierOnly, Checkpoint: dir,
+			OnProgress: func(visited, level int) {
+				// snapshotLevel runs before OnProgress at each sealed level:
+				// the file on disk now is exactly what a kill here would
+				// leave. Keep the level-2 snapshot.
+				if level == 2 {
+					raw, err := os.ReadFile(e2eCkptPath(dir, d))
+					if err != nil {
+						t.Errorf("level %d: no live checkpoint on disk: %v", level, err)
+						return
+					}
+					if err := os.WriteFile(saved, raw, 0o644); err != nil {
+						t.Error(err)
+					}
+				}
+			},
+		})
+		w1, found1, err := e.FindDisagreement()
+		if err != nil || found1 {
+			t.Fatalf("workers=%d: found=%t err=%v", workers, found1, err)
+		}
+		if w1.Stats != ref.Stats {
+			t.Fatalf("workers=%d: checkpointing run diverged: %+v vs %+v", workers, w1.Stats, ref.Stats)
+		}
+		// Completion must have cleared the live checkpoint.
+		if _, err := os.Stat(e2eCkptPath(dir, d)); !os.IsNotExist(err) {
+			t.Fatalf("workers=%d: live checkpoint not cleared after completion (err=%v)", workers, err)
+		}
+		raw, err := os.ReadFile(saved)
+		if err != nil {
+			t.Fatalf("workers=%d: no mid-run snapshot captured: %v", workers, err)
+		}
+		// "Restart" from the mid-run snapshot: the resumed search must land
+		// on the uninterrupted verdict and stats bit for bit.
+		if err := os.WriteFile(e2eCkptPath(dir, d), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, found2, err := ckptExplorer(d, StoreFrontierOnly, workers, 400000, dir).FindDisagreement()
+		if err != nil || found2 {
+			t.Fatalf("workers=%d: resumed: found=%t err=%v", workers, found2, err)
+		}
+		if w2.Stats != ref.Stats {
+			t.Fatalf("workers=%d: resume from mid-run snapshot diverged: %+v vs %+v", workers, w2.Stats, ref.Stats)
+		}
+	}
+}
+
+// e2eCkptPath names the disagreement checkpoint file an explorer of d with
+// the given checkpoint dir would use, without needing the explorer itself.
+func e2eCkptPath(dir string, d diffInstance) string {
+	e := New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+		Live: d.live, MaxCrashes: d.crashes, Store: StoreFrontierOnly, Checkpoint: dir,
+	})
+	return e.checkpointFile("disagreement")
+}
+
 // TestCheckpointRequiresBoundedStore pins the option-validation contract.
 func TestCheckpointRequiresBoundedStore(t *testing.T) {
 	d := ckptInstance()

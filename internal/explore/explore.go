@@ -180,8 +180,15 @@ type Options struct {
 	// digest and goal kind, so unrelated searches never collide) before
 	// returning, and a later search of the same instance — typically with a
 	// larger MaxConfigs — finds the file and resumes where it stopped instead
-	// of starting over. Requires a bounded store and the (default) BFS
-	// strategy; see checkpoint.go.
+	// of starting over. While the search runs, the paused state is also
+	// persisted at every sealed BFS level boundary (best-effort; see
+	// snapshotLevel in bounded.go), so a process killed without warning
+	// resumes from the last sealed level and loses at most the partial level
+	// in flight. A checkpoint file that fails to load on the automatic resume
+	// path is quarantined (renamed aside with a ".corrupt" suffix) and the
+	// search starts fresh — corruption can cost re-exploration, never a
+	// verdict. Requires a bounded store and the (default) BFS strategy; see
+	// checkpoint.go.
 	Checkpoint string
 	// Context, when non-nil, cancels witness searches cooperatively: the
 	// search loops poll it every cancelInterval visited configurations (and

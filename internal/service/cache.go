@@ -15,7 +15,10 @@ import (
 // Get hit is always the deterministic result of a completed search.
 type Cache interface {
 	// Get returns the cached verdict for digest, reporting whether one
-	// exists. A read error is an error, not a miss.
+	// exists. An I/O error is an error, not a miss; a corrupt entry is a
+	// miss, not an error — implementations quarantine it aside and let the
+	// search re-run, because corruption must cost re-exploration, never a
+	// wrong verdict or a dead server.
 	Get(digest string) (*Verdict, bool, error)
 	// Put stores the verdict under digest, overwriting any previous entry
 	// (entries are content-addressed, so an overwrite rewrites equal bytes).
@@ -108,7 +111,12 @@ func (c *DiskCache) Get(digest string) (*Verdict, bool, error) {
 	}
 	var v Verdict
 	if err := json.Unmarshal(data, &v); err != nil {
-		return nil, false, fmt.Errorf("service: cache entry %s corrupt: %w", digest, err)
+		// Corrupt or truncated entry (e.g. bit rot, manual tampering — a
+		// crashed Put cannot leave one thanks to temp+rename): quarantine it
+		// aside and report a miss. The search re-runs and overwrites the
+		// entry; the quarantined bytes stay for inspection.
+		quarantineAside(p)
+		return nil, false, nil
 	}
 	return &v, true, nil
 }

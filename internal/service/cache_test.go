@@ -1,0 +1,97 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Satellite regression: a corrupt or truncated disk-cache entry is a miss,
+// not an error and never a wrong verdict — the bad bytes are quarantined
+// aside (".corrupt") and the next Put overwrites the slot cleanly.
+func TestDiskCacheQuarantinesCorruptEntry(t *testing.T) {
+	for name, mangle := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"garbage":   func([]byte) []byte { return []byte("not json at all") },
+		"empty":     func([]byte) []byte { return nil },
+		"bitflip": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] ^= 0xff // breaks the leading '{'
+			return c
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			c, err := NewDiskCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const digest = "00000000deadbeef"
+			want := &Verdict{Digest: digest, Goal: GoalImpossibility, Summary: "ok", Refuted: true, Visited: 42}
+			if err := c.Put(digest, want); err != nil {
+				t.Fatal(err)
+			}
+			entry := filepath.Join(dir, digest+".json")
+			data, err := os.ReadFile(entry)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(entry, mangle(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			v, ok, err := c.Get(digest)
+			if err != nil {
+				t.Fatalf("corrupt entry surfaced as an error: %v", err)
+			}
+			if ok || v != nil {
+				t.Fatalf("corrupt entry surfaced as a hit: %+v", v)
+			}
+			if _, err := os.Stat(entry + ".corrupt"); err != nil {
+				t.Fatalf("corrupt entry not quarantined: %v", err)
+			}
+			if _, err := os.Stat(entry); !os.IsNotExist(err) {
+				t.Fatal("corrupt entry still present at the live path")
+			}
+			// Quarantined files never count as entries.
+			if n, _ := c.Len(); n != 0 {
+				t.Fatalf("Len counts quarantined entries: %d", n)
+			}
+			// The slot heals: re-put, then a clean hit.
+			if err := c.Put(digest, want); err != nil {
+				t.Fatal(err)
+			}
+			v, ok, err = c.Get(digest)
+			if err != nil || !ok || *v != *want {
+				t.Fatalf("healed entry: %+v ok=%v err=%v", v, ok, err)
+			}
+		})
+	}
+}
+
+// A missing entry is a plain miss, and invalid digests cannot escape the
+// cache directory.
+func TestDiskCacheMissAndBadDigest(t *testing.T) {
+	c, err := NewDiskCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := c.Get("0123456789abcdef"); ok || err != nil {
+		t.Fatalf("absent entry: ok=%v err=%v", ok, err)
+	}
+	for _, bad := range []string{"", "../escape", "a/b", `a\b`, "x.json"} {
+		if _, _, err := c.Get(bad); err == nil {
+			t.Errorf("digest %q accepted", bad)
+		}
+		if err := c.Put(bad, &Verdict{}); err == nil {
+			t.Errorf("digest %q accepted for put", bad)
+		}
+	}
+	if !strings.Contains(func() string {
+		_, _, err := c.Get("../x")
+		return err.Error()
+	}(), "invalid digest") {
+		t.Error("bad digest error unclear")
+	}
+}

@@ -1,0 +1,268 @@
+package service
+
+// Process-level chaos e2e: build the real ksetd binary, SIGKILL it mid-
+// search, restart it over the same journal/cache/checkpoint state, and
+// assert the recovered job's verdict is bit-for-bit what an uninterrupted
+// library run produces. This is the acceptance gate of the crash-safety
+// tentpole: kill -9 costs re-exploration, never a verdict.
+//
+// The workload is chosen to be deterministic under interruption: a
+// quorummin n=5 consensus-failure search truncated at max_configs=30000
+// (the witness lies beyond 800k configs, so truncation always wins).
+// Truncation is digest-relevant and the checkpoint resume is level-exact,
+// so the verdict cannot depend on where the kill landed.
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"kset"
+)
+
+// chaosSpec is the interruptible workload; ~2.5s single-worker on a dev
+// machine, long enough that a kill after the first sealed level lands
+// mid-search with high margin.
+const chaosSpec = `{"alg": "quorummin", "n": 5, "f": 4, "goal": "search", "budget": 1, "max_configs": 30000, "workers": 1, "store": "spill", "checkpoint": true}`
+
+// ksetdProc is one life of the ksetd process.
+type ksetdProc struct {
+	cmd  *exec.Cmd
+	base string // http://127.0.0.1:port
+}
+
+// startKsetd launches bin with the shared state directories and waits for
+// its listen log line to learn the port.
+func startKsetd(t *testing.T, bin, stateDir string) *ksetdProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-pool", "1",
+		"-cache", "disk",
+		"-cache-dir", filepath.Join(stateDir, "verdicts"),
+		"-checkpoint", filepath.Join(stateDir, "ckpt"),
+		"-journal", filepath.Join(stateDir, "jobs.jsonl"),
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				addr := strings.Fields(line[i+len("listening on "):])[0]
+				addrCh <- addr
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &ksetdProc{cmd: cmd, base: "http://" + addr}
+	case <-time.After(15 * time.Second):
+		t.Fatal("ksetd never logged its listen address")
+		return nil
+	}
+}
+
+func (p *ksetdProc) get(t *testing.T, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(p.base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestChaosKillMidSearchVerdictParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("process-level chaos test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "ksetd")
+	build := exec.Command("go", "build", "-o", bin, "kset/cmd/ksetd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ksetd: %v\n%s", err, out)
+	}
+	stateDir := t.TempDir()
+
+	// First life: submit and let the search get past its first sealed
+	// level, then kill -9.
+	p1 := startKsetd(t, bin, stateDir)
+	resp, err := http.Post(p1.base+"/v1/jobs", "application/json", strings.NewReader(chaosSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted || sub.Cached {
+		t.Fatalf("submit: HTTP %d %+v (%v)", resp.StatusCode, sub, err)
+	}
+
+	killDeadline := time.Now().Add(60 * time.Second)
+	var atKill JobStatus
+	for {
+		if time.Now().After(killDeadline) {
+			t.Fatal("job never reported running progress to kill under")
+		}
+		var st JobStatus
+		if code := p1.get(t, "/v1/jobs/"+sub.JobID, &st); code != http.StatusOK {
+			t.Fatalf("status: HTTP %d", code)
+		}
+		if st.State == StateDone {
+			t.Fatalf("search finished before the kill landed — shrink the kill trigger or grow max_configs (visited %d)", st.Progress.Visited)
+		}
+		// Wait for a few sealed levels so the restart resumes a genuinely
+		// mid-flight checkpoint, not a near-fresh search. 5000 of the 30000
+		// configs still leaves most of the wall clock ahead of the kill
+		// (the deepest level dominates).
+		if st.State == StateRunning && st.Progress.Visited >= 5000 {
+			atKill = st
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := p1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+	t.Logf("killed mid-search at visited=%d level=%d", atKill.Progress.Visited, atKill.Progress.Level)
+
+	// Second life over the same state: the journal replays the job, the
+	// checkpoint resumes the search, and the verdict settles.
+	p2 := startKsetd(t, bin, stateDir)
+	readyDeadline := time.Now().Add(30 * time.Second)
+	for {
+		if code := p2.get(t, "/readyz", nil); code == http.StatusOK {
+			break
+		}
+		if time.Now().After(readyDeadline) {
+			t.Fatal("restarted server never became ready")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var final JobStatus
+	doneDeadline := time.Now().Add(120 * time.Second)
+	for {
+		if code := p2.get(t, "/v1/jobs/"+sub.JobID, &final); code != http.StatusOK {
+			t.Fatalf("restarted status: HTTP %d", code)
+		}
+		if final.State == StateDone {
+			break
+		}
+		if final.State == StateFailed || final.State == StateCancelled {
+			t.Fatalf("recovered job settled %s: %s", final.State, final.Error)
+		}
+		if time.Now().After(doneDeadline) {
+			t.Fatalf("recovered job never completed (state %s, visited %d)", final.State, final.Progress.Visited)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !final.Recovered {
+		t.Fatalf("job not flagged recovered after restart: %+v", final)
+	}
+	if final.Verdict == nil {
+		t.Fatal("recovered job has no verdict")
+	}
+
+	// Ground truth: the same search, uninterrupted, straight through the
+	// library. The recovered verdict must match field for field.
+	var spec InstanceSpec
+	if err := json.Unmarshal([]byte(chaosSpec), &spec); err != nil {
+		t.Fatal(err)
+	}
+	search, err := kset.NewSearcher(kset.Options{Store: "spill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := kset.NewAlgorithm(spec.Alg, spec.F)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := make([]kset.ProcessID, spec.N)
+	for i := range live {
+		live[i] = kset.ProcessID(i + 1)
+	}
+	w, found, err := search.FindConsensusFailure(context.Background(), kset.SearchRequest{
+		Alg:         alg,
+		Inputs:      kset.DistinctInputs(spec.N),
+		Live:        live,
+		CrashBudget: spec.Budget,
+		MaxConfigs:  spec.MaxConfigs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := final.Verdict
+	if v.Found != found || v.Visited != w.Stats.Visited || v.Truncated != w.Stats.Truncated {
+		t.Fatalf("recovered verdict diverges from uninterrupted library run:\n  server:  found=%t visited=%d truncated=%t\n  library: found=%t visited=%d truncated=%t",
+			v.Found, v.Visited, v.Truncated, found, w.Stats.Visited, w.Stats.Truncated)
+	}
+	if found && (v.WitnessKind != w.Kind || v.WitnessDetail != w.Detail) {
+		t.Fatalf("witness disagrees: server (%s %q), library (%s %q)", v.WitnessKind, v.WitnessDetail, w.Kind, w.Detail)
+	}
+
+	// And the recovered verdict is now a cache hit for any client.
+	resp, err = http.Post(p2.base+"/v1/jobs", "application/json", strings.NewReader(chaosSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub2 SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sub2)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || !sub2.Cached {
+		t.Fatalf("post-recovery submit: HTTP %d %+v (%v)", resp.StatusCode, sub2, err)
+	}
+	got, _ := json.Marshal(sub2.Verdict)
+	want, _ := json.Marshal(v)
+	if string(got) != string(want) {
+		t.Fatalf("cached verdict differs from recovered verdict:\n  cached:    %s\n  recovered: %s", got, want)
+	}
+
+	// The journal itself must replay cleanly (the kill may have torn its
+	// last line — that is tolerated, not an error).
+	j, err := OpenJournal(filepath.Join(stateDir, "jobs.jsonl"))
+	if err != nil {
+		t.Fatalf("journal unreadable after chaos: %v", err)
+	}
+	defer j.Close()
+	var events []string
+	for _, rec := range j.Replayed() {
+		if rec.Job == sub.JobID {
+			events = append(events, rec.Event)
+		}
+	}
+	if events[0] != EventSubmitted || events[len(events)-1] != EventDone {
+		t.Fatalf("journal lifecycle for %s: %v", sub.JobID, events)
+	}
+	if _, err := os.Stat(filepath.Join(stateDir, "jobs.jsonl.corrupt")); err == nil {
+		t.Log("note: kill landed mid-append; journal was quarantined and salvaged")
+	}
+}

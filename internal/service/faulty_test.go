@@ -1,0 +1,281 @@
+package service
+
+// Fault-injection layer: wrappers that make the runner and the cache fail
+// on demand, driving the server's retry, deadline, and degradation paths
+// without touching a real filesystem fault. The invariant under test is the
+// PR's contract: no injected fault sequence crashes the server or caches a
+// wrong verdict — faults cost retries or re-runs, never correctness.
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// faultyRunner fails its first `failures` Run calls with err, then
+// delegates to the inner Runner. Digest always delegates.
+type faultyRunner struct {
+	inner    Runner
+	err      error
+	failures int
+
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *faultyRunner) Digest(spec InstanceSpec) (string, error) {
+	return f.inner.Digest(spec)
+}
+
+func (f *faultyRunner) Run(ctx context.Context, spec InstanceSpec, progress func(int, int)) (*Verdict, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	if n <= f.failures {
+		return nil, f.err
+	}
+	return f.inner.Run(ctx, spec, progress)
+}
+
+func (f *faultyRunner) runCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// faultyCache injects errors around an inner Cache: Get fails while getErr
+// is set, Put fails while putErr is set.
+type faultyCache struct {
+	inner  Cache
+	mu     sync.Mutex
+	getErr error
+	putErr error
+}
+
+func (c *faultyCache) Get(digest string) (*Verdict, bool, error) {
+	c.mu.Lock()
+	err := c.getErr
+	c.mu.Unlock()
+	if err != nil {
+		return nil, false, err
+	}
+	return c.inner.Get(digest)
+}
+
+func (c *faultyCache) Put(digest string, v *Verdict) error {
+	c.mu.Lock()
+	err := c.putErr
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return c.inner.Put(digest, v)
+}
+
+func (c *faultyCache) Len() (int, error) { return c.inner.Len() }
+
+func TestRetryableErrorRetriesUntilSuccess(t *testing.T) {
+	fr := &faultyRunner{
+		inner:    &mockRunner{},
+		err:      Retryable(errors.New("transient store hiccup")),
+		failures: 2,
+	}
+	_, ts := newTestServer(t, Config{
+		Runner:     fr,
+		Cache:      NewMemoryCache(),
+		Retries:    3,
+		RetryDelay: time.Millisecond,
+	})
+	code, sub := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, sub.JobID, StateDone)
+	if st.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (two failures + success)", st.Attempts)
+	}
+	if st.Verdict == nil || !st.Verdict.Refuted {
+		t.Fatalf("verdict after retries: %+v", st.Verdict)
+	}
+}
+
+func TestRetryExhaustionFails(t *testing.T) {
+	fr := &faultyRunner{
+		inner:    &mockRunner{},
+		err:      Retryable(errors.New("still down")),
+		failures: 100,
+	}
+	cache := NewMemoryCache()
+	_, ts := newTestServer(t, Config{
+		Runner:     fr,
+		Cache:      cache,
+		Retries:    2,
+		RetryDelay: time.Millisecond,
+	})
+	code, sub := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, sub.JobID, StateFailed)
+	if st.Attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (initial + 2 retries)", st.Attempts)
+	}
+	if !strings.Contains(st.Error, "still down") {
+		t.Fatalf("failed job error: %q", st.Error)
+	}
+	if n, _ := cache.Len(); n != 0 {
+		t.Fatalf("failed job cached a verdict (%d entries)", n)
+	}
+}
+
+// Permanent (unmarked) errors never retry: a deterministic search that
+// failed once will fail identically every time.
+func TestPermanentErrorNoRetry(t *testing.T) {
+	fr := &faultyRunner{
+		inner:    &mockRunner{},
+		err:      errors.New("spec hits an engine limit"),
+		failures: 100,
+	}
+	_, ts := newTestServer(t, Config{
+		Runner:     fr,
+		Cache:      NewMemoryCache(),
+		Retries:    5,
+		RetryDelay: time.Millisecond,
+	})
+	code, sub := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, sub.JobID, StateFailed)
+	if st.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (permanent errors never retry)", st.Attempts)
+	}
+	if fr.runCount() != 1 {
+		t.Fatalf("runner called %d times, want 1", fr.runCount())
+	}
+}
+
+func TestIsRetryable(t *testing.T) {
+	base := errors.New("x")
+	if IsRetryable(base) {
+		t.Fatal("plain error reported retryable")
+	}
+	if !IsRetryable(Retryable(base)) {
+		t.Fatal("Retryable-wrapped error not reported retryable")
+	}
+	// Survives further wrapping, and Unwrap reaches the original.
+	wrapped := errors.Join(errors.New("context"), Retryable(base))
+	if !IsRetryable(wrapped) {
+		t.Fatal("retryable mark lost under wrapping")
+	}
+	if !errors.Is(Retryable(base), base) {
+		t.Fatal("Retryable breaks errors.Is")
+	}
+	if Retryable(nil) != nil {
+		t.Fatal("Retryable(nil) != nil")
+	}
+}
+
+// A job past its wall-clock deadline settles as failed — keeping its
+// partial verdict for inspection but never caching it — because the
+// deadline cancellation rides the same cooperative pause path as a client
+// cancel.
+func TestJobDeadlineFailsWithPartialVerdict(t *testing.T) {
+	cache := NewMemoryCache()
+	_, ts := newTestServer(t, Config{
+		Runner:     &mockRunner{block: make(chan struct{})}, // never unblocks
+		Cache:      cache,
+		JobTimeout: 50 * time.Millisecond,
+	})
+	code, sub := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, sub.JobID, StateFailed)
+	if !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("deadline failure error: %q", st.Error)
+	}
+	if st.Verdict == nil || !st.Verdict.Truncated {
+		t.Fatalf("partial verdict not kept: %+v", st.Verdict)
+	}
+	if n, _ := cache.Len(); n != 0 {
+		t.Fatalf("deadline-failed job cached a verdict (%d entries)", n)
+	}
+}
+
+// A cache write failure degrades, never blocks: the job still settles done
+// with its verdict, and the miss is simply paid again next time.
+func TestCachePutFailureStillDone(t *testing.T) {
+	fc := &faultyCache{inner: NewMemoryCache(), putErr: errors.New("disk full")}
+	_, ts := newTestServer(t, Config{Runner: &mockRunner{}, Cache: fc})
+	code, sub := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, sub.JobID, StateDone)
+	if st.Verdict == nil || !st.Verdict.Refuted {
+		t.Fatalf("verdict lost to a cache fault: %+v", st.Verdict)
+	}
+	if !strings.Contains(st.Error, "not cached") {
+		t.Fatalf("cache failure not surfaced: %q", st.Error)
+	}
+}
+
+// A cache read I/O error (not corruption — that quarantines to a miss) is
+// surfaced as a 500, not silently treated as a miss that would duplicate
+// work forever.
+func TestCacheGetIOErrorSurfaced(t *testing.T) {
+	fc := &faultyCache{inner: NewMemoryCache(), getErr: errors.New("input/output error")}
+	_, ts := newTestServer(t, Config{Runner: &mockRunner{}, Cache: fc})
+	code, _ := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("submit with failing cache read: HTTP %d, want 500", code)
+	}
+}
+
+// Faults on both layers at once: retryable runner errors plus a flaky cache
+// must still converge to a correct, settled verdict.
+func TestCombinedFaultsStillConverge(t *testing.T) {
+	fr := &faultyRunner{
+		inner:    &mockRunner{},
+		err:      Retryable(errors.New("flap")),
+		failures: 1,
+	}
+	fc := &faultyCache{inner: NewMemoryCache(), putErr: errors.New("flap")}
+	_, ts := newTestServer(t, Config{
+		Runner:     fr,
+		Cache:      fc,
+		Retries:    2,
+		RetryDelay: time.Millisecond,
+	})
+	code, sub := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	st := waitState(t, ts, sub.JobID, StateDone)
+	if st.Verdict == nil || !st.Verdict.Refuted || st.Attempts != 2 {
+		t.Fatalf("converged status: %+v", st)
+	}
+	// Heal the cache: the next submission re-runs (the put failed) and
+	// this time the verdict sticks.
+	fc.mu.Lock()
+	fc.putErr = nil
+	fc.mu.Unlock()
+	code, sub2 := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: HTTP %d", code)
+	}
+	st2 := waitState(t, ts, sub2.JobID, StateDone)
+	if *st2.Verdict != *st.Verdict {
+		t.Fatalf("re-run verdict differs: %+v vs %+v", st2.Verdict, st.Verdict)
+	}
+	code, sub3 := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusOK || !sub3.Cached {
+		t.Fatalf("post-heal submit: HTTP %d %+v, want cache hit", code, sub3)
+	}
+}

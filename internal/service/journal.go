@@ -1,0 +1,319 @@
+package service
+
+// This file implements the durable job journal behind crash-safe ksetd: an
+// append-only JSONL log of job transitions (submitted, started,
+// checkpointed, done, failed, cancelled) that the server replays on startup
+// to rebuild its registry and re-enqueue every job that had not reached a
+// terminal state — so a kill -9 or redeploy loses no accepted work, and a
+// job that was mid-search resumes from its level checkpoint (see
+// explore's Options.Checkpoint) instead of starting over.
+//
+// Durability discipline, in the same spirit as DiskCache's atomic
+// temp+rename writes:
+//
+//   - Appends are single write(2) calls of one newline-terminated JSON
+//     record to an O_APPEND descriptor, fsync'd before Append returns, so a
+//     record either exists completely or not at all — except for the one
+//     torn tail a crash mid-write can leave, which replay tolerates.
+//   - Replay drops a final line that fails to parse (the torn tail) and
+//     quarantines the whole file aside (".corrupt" rename) when a line
+//     *before* the end fails — that is real corruption, not a crash
+//     artifact — salvaging every record up to the first bad line.
+//   - Whenever replay had to drop anything, the journal is rewritten from
+//     the salvaged records via temp file + rename, so the on-disk file is
+//     always a clean prefix-complete log.
+//
+// Journal write failures after the submitted record are deliberately
+// non-fatal to the job (see Server.runJob): a lost "done" record only means
+// the job is re-run on the next restart, where it hits the verdict cache or
+// its checkpoint — re-execution is always safe, a wrong verdict never
+// possible. Only the submitted record is durability-critical: if it cannot
+// be written, the submission is rejected, because accepting a job the
+// journal does not know about would break the crash-safety contract.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Journal events, in job-lifecycle order.
+const (
+	// EventSubmitted opens a job: the record carries the full InstanceSpec.
+	EventSubmitted = "submitted"
+	// EventStarted marks a run attempt (Attempt counts from 0; retries of
+	// retryable runner failures append further started records).
+	EventStarted = "started"
+	// EventCheckpointed marks search progress of a checkpoint-opted job: a
+	// sealed BFS level whose paused state is on disk (Visited/Level).
+	EventCheckpointed = "checkpointed"
+	// EventDone closes a job with its verdict.
+	EventDone = "done"
+	// EventFailed closes a job with its error.
+	EventFailed = "failed"
+	// EventCancelled closes a job cancelled by a client. Jobs interrupted by
+	// a shutdown are deliberately NOT journalled as cancelled: they stay
+	// non-terminal so the next start recovers them.
+	EventCancelled = "cancelled"
+)
+
+// JournalRecord is one line of the journal: a job transition.
+type JournalRecord struct {
+	// Seq is the record's 1-based sequence number within the journal file;
+	// assigned by Append, renumbered on compaction.
+	Seq int64 `json:"seq"`
+	// Job and Digest identify the job this record belongs to.
+	Job    string `json:"job"`
+	Digest string `json:"digest,omitempty"`
+	// Event is one of the Event* constants.
+	Event string `json:"event"`
+	// Spec accompanies EventSubmitted: everything needed to re-run the job.
+	Spec *InstanceSpec `json:"spec,omitempty"`
+	// Attempt accompanies EventStarted (0 for the first run attempt).
+	Attempt int `json:"attempt,omitempty"`
+	// Visited and Level accompany EventCheckpointed.
+	Visited int64 `json:"visited,omitempty"`
+	Level   int64 `json:"level,omitempty"`
+	// Error accompanies EventFailed (and EventCancelled when the runner
+	// reported one).
+	Error string `json:"error,omitempty"`
+	// Verdict accompanies EventDone.
+	Verdict *Verdict `json:"verdict,omitempty"`
+}
+
+// Journal is the durable job journal. All methods are safe for concurrent
+// use. Open with OpenJournal; the server appends through it and reads the
+// replayed records once at construction.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	seq      int64
+	replayed []JournalRecord
+}
+
+// OpenJournal opens (creating if absent) the journal at path, replaying any
+// existing records: a torn final line — the expected artifact of a crash
+// mid-append — is dropped; corruption before the end quarantines the file
+// aside (path + ".corrupt") and salvages the records up to the first bad
+// line. In either case the journal is compacted back to disk atomically
+// (temp + rename) so it is clean for appending. The replayed records are
+// available via Replayed until the first Append.
+func OpenJournal(path string) (*Journal, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: journal dir: %w", err)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, fmt.Errorf("service: journal read: %w", err)
+	}
+	records, dirty := parseJournal(raw)
+	if dirty {
+		if tornOnly(raw, records) {
+			// A torn tail is a normal crash artifact; rewrite silently.
+		} else {
+			// Mid-file corruption: keep the evidence, never crash.
+			quarantineAside(path)
+		}
+		if err := rewriteJournal(path, records); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: journal open: %w", err)
+	}
+	return &Journal{f: f, path: path, seq: int64(len(records)), replayed: records}, nil
+}
+
+// parseJournal decodes raw line by line, stopping at the first bad line.
+// dirty reports that some bytes were dropped (torn tail or corruption).
+func parseJournal(raw []byte) (records []JournalRecord, dirty bool) {
+	for off := 0; off < len(raw); {
+		nl := bytes.IndexByte(raw[off:], '\n')
+		var line []byte
+		if nl < 0 {
+			// No trailing newline: an append was cut mid-write.
+			line, off, dirty = raw[off:], len(raw), true
+		} else {
+			line = raw[off : off+nl]
+			off += nl + 1
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Event == "" {
+			return records, true
+		}
+		records = append(records, rec)
+	}
+	return records, dirty
+}
+
+// tornOnly reports whether the only dropped bytes of a dirty parse are a
+// single unterminated or unparsable final line — the benign crash artifact —
+// as opposed to corruption with intact records after it.
+func tornOnly(raw []byte, salvaged []JournalRecord) bool {
+	// Count the newline-terminated lines plus a trailing fragment; if the
+	// salvaged records cover all but the last line, only the tail was lost.
+	lines := bytes.Count(raw, []byte{'\n'})
+	if len(raw) > 0 && raw[len(raw)-1] != '\n' {
+		lines++
+	}
+	return len(salvaged) >= lines-1
+}
+
+// rewriteJournal writes records as a fresh journal file atomically.
+func rewriteJournal(path string, records []JournalRecord) error {
+	var buf bytes.Buffer
+	for i := range records {
+		records[i].Seq = int64(i + 1)
+		line, err := json.Marshal(&records[i])
+		if err != nil {
+			return fmt.Errorf("service: journal compact: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-*")
+	if err != nil {
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: journal compact: %w", err)
+	}
+	return nil
+}
+
+// quarantineAside renames a corrupt file to path + ".corrupt" (overwriting
+// an earlier quarantine of the same path), keeping it for inspection while
+// guaranteeing it is never read as live data again. Rename failures are
+// ignored: quarantine is best-effort evidence preservation, and the caller
+// rewrites the live path regardless.
+func quarantineAside(path string) {
+	os.Rename(path, path+".corrupt")
+}
+
+// Replayed returns the records replayed at open, in order.
+func (j *Journal) Replayed() []JournalRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.replayed
+}
+
+// Append assigns the next sequence number and durably appends rec: one
+// newline-terminated JSON line written in a single call and fsync'd, so a
+// crash leaves at most one torn tail for the next open to drop.
+func (j *Journal) Append(rec JournalRecord) error {
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	rec.Seq = j.seq
+	// Re-marshal with the sequence number stamped (the first marshal only
+	// validated encodability before taking the lock).
+	line, err = json.Marshal(&rec)
+	if err != nil {
+		j.seq--
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		j.seq--
+		return fmt.Errorf("service: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file. Appends after Close fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// recoveredJob is the folded per-job outcome of a journal replay.
+type recoveredJob struct {
+	id       string
+	digest   string
+	spec     InstanceSpec
+	state    string // StateQueued for non-terminal jobs; the terminal state otherwise
+	attempts int    // started records seen
+	visited  int64  // last checkpointed progress
+	level    int64
+	errMsg   string
+	verdict  *Verdict
+}
+
+// recoverJobs folds journal records into per-job outcomes, in first-
+// submission order. Jobs without a terminal record come back StateQueued —
+// the server re-enqueues them; a job that was mid-search resumes from its
+// checkpoint file because checkpoints are content-addressed by the search
+// digest, not by anything the dead process held in memory. Records for jobs
+// with no submitted record (possible only after a corruption salvage cut
+// the log) are dropped: without the spec there is nothing to re-run.
+func recoverJobs(records []JournalRecord) []*recoveredJob {
+	byID := make(map[string]*recoveredJob)
+	var order []*recoveredJob
+	for i := range records {
+		rec := &records[i]
+		if rec.Event == EventSubmitted {
+			if rec.Spec == nil || byID[rec.Job] != nil {
+				continue
+			}
+			r := &recoveredJob{
+				id:     rec.Job,
+				digest: rec.Digest,
+				spec:   *rec.Spec,
+				state:  StateQueued,
+				level:  -1,
+			}
+			byID[rec.Job] = r
+			order = append(order, r)
+			continue
+		}
+		r := byID[rec.Job]
+		if r == nil {
+			continue
+		}
+		switch rec.Event {
+		case EventStarted:
+			r.attempts++
+		case EventCheckpointed:
+			r.visited, r.level = rec.Visited, rec.Level
+		case EventDone:
+			r.state, r.verdict = StateDone, rec.Verdict
+		case EventFailed:
+			r.state, r.errMsg = StateFailed, rec.Error
+		case EventCancelled:
+			r.state, r.errMsg = StateCancelled, rec.Error
+		}
+	}
+	return order
+}

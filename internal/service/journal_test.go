@@ -1,0 +1,251 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testJournalPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "jobs.jsonl")
+}
+
+func mustOpenJournal(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestJournalAppendAndReplay(t *testing.T) {
+	path := testJournalPath(t)
+	j := mustOpenJournal(t, path)
+	recs := []JournalRecord{
+		{Job: "j1", Digest: "d1", Event: EventSubmitted, Spec: &InstanceSpec{Alg: "minwait", N: 4, K: 2}},
+		{Job: "j1", Digest: "d1", Event: EventStarted},
+		{Job: "j1", Digest: "d1", Event: EventDone, Verdict: &Verdict{Digest: "d1", Summary: "ok"}},
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpenJournal(t, path)
+	defer j2.Close()
+	got := j2.Replayed()
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.Seq != int64(i+1) {
+			t.Errorf("record %d: seq %d, want %d", i, r.Seq, i+1)
+		}
+		if r.Event != recs[i].Event || r.Job != recs[i].Job {
+			t.Errorf("record %d: %+v, want event %s", i, r, recs[i].Event)
+		}
+	}
+	if got[0].Spec == nil || got[0].Spec.Alg != "minwait" {
+		t.Fatalf("submitted spec not round-tripped: %+v", got[0].Spec)
+	}
+	if got[2].Verdict == nil || got[2].Verdict.Summary != "ok" {
+		t.Fatalf("done verdict not round-tripped: %+v", got[2].Verdict)
+	}
+	// Appends continue the sequence after a reopen.
+	if err := j2.Append(JournalRecord{Job: "j2", Event: EventSubmitted, Spec: &InstanceSpec{Alg: "minwait"}}); err != nil {
+		t.Fatal(err)
+	}
+	j3 := mustOpenJournal(t, path)
+	defer j3.Close()
+	all := j3.Replayed()
+	if len(all) != 4 || all[3].Seq != 4 {
+		t.Fatalf("after reopen+append: %d records, last seq %d", len(all), all[len(all)-1].Seq)
+	}
+}
+
+// A torn final line — what a crash mid-append leaves — is dropped silently:
+// all complete records survive, the file is compacted clean, and no
+// quarantine file appears (a torn tail is normal, not corruption).
+func TestJournalTornTailDropped(t *testing.T) {
+	for name, tail := range map[string]string{
+		"unterminated": `{"seq":3,"job":"j2","event":"star`,
+		"half-json":    `{"seq":3,"job"` + "\n",
+		"binary":       "\x00\x7f\xba\xad" + "\n",
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := testJournalPath(t)
+			j := mustOpenJournal(t, path)
+			j.Append(JournalRecord{Job: "j1", Event: EventSubmitted, Spec: &InstanceSpec{Alg: "minwait"}})
+			j.Append(JournalRecord{Job: "j1", Event: EventStarted})
+			j.Close()
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.WriteString(tail)
+			f.Close()
+
+			j2 := mustOpenJournal(t, path)
+			defer j2.Close()
+			if got := j2.Replayed(); len(got) != 2 {
+				t.Fatalf("replayed %d records, want 2", len(got))
+			}
+			if _, err := os.Stat(path + ".corrupt"); !os.IsNotExist(err) {
+				t.Fatal("torn tail produced a quarantine file; it should rewrite silently")
+			}
+			// The live file must have been compacted back to clean JSONL.
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if recs, dirty := parseJournal(raw); dirty || len(recs) != 2 {
+				t.Fatalf("compacted file still dirty (%d records, dirty=%v)", len(recs), dirty)
+			}
+		})
+	}
+}
+
+// Corruption before the end of the file — intact records follow the bad
+// line — is not a torn tail: the original is quarantined aside for
+// inspection and the clean prefix is salvaged.
+func TestJournalMidFileCorruptionQuarantined(t *testing.T) {
+	path := testJournalPath(t)
+	j := mustOpenJournal(t, path)
+	j.Append(JournalRecord{Job: "j1", Event: EventSubmitted, Spec: &InstanceSpec{Alg: "minwait"}})
+	j.Append(JournalRecord{Job: "j1", Event: EventStarted})
+	j.Close()
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the middle: flip bytes of line 1, keep line 2 intact.
+	lines := strings.SplitAfter(string(orig), "\n")
+	mangled := "XX" + lines[0][2:] + lines[1]
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := mustOpenJournal(t, path)
+	defer j2.Close()
+	// Nothing salvaged before the first bad line (it was line 0).
+	if got := j2.Replayed(); len(got) != 0 {
+		t.Fatalf("replayed %d records from a log corrupt at line 0, want 0", len(got))
+	}
+	quarantined, err := os.ReadFile(path + ".corrupt")
+	if err != nil {
+		t.Fatalf("no quarantine file: %v", err)
+	}
+	if string(quarantined) != mangled {
+		t.Fatal("quarantine file does not preserve the corrupt original")
+	}
+	// The journal stays usable: appends land in a clean file.
+	if err := j2.Append(JournalRecord{Job: "j2", Event: EventSubmitted, Spec: &InstanceSpec{Alg: "minwait"}}); err != nil {
+		t.Fatal(err)
+	}
+	j3 := mustOpenJournal(t, path)
+	defer j3.Close()
+	if got := j3.Replayed(); len(got) != 1 || got[0].Job != "j2" {
+		t.Fatalf("post-quarantine journal: %+v", got)
+	}
+}
+
+// Salvage keeps the clean prefix when corruption strikes later in the file.
+func TestJournalSalvagePrefix(t *testing.T) {
+	path := testJournalPath(t)
+	j := mustOpenJournal(t, path)
+	j.Append(JournalRecord{Job: "j1", Event: EventSubmitted, Spec: &InstanceSpec{Alg: "minwait"}})
+	j.Append(JournalRecord{Job: "j1", Event: EventDone, Verdict: &Verdict{Summary: "ok"}})
+	j.Append(JournalRecord{Job: "j2", Event: EventSubmitted, Spec: &InstanceSpec{Alg: "minwait", N: 5}})
+	j.Close()
+	orig, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(orig), "\n")
+	// Garbage replaces record 2; record 3 is intact after it.
+	mangled := lines[0] + lines[1][:4] + "\n" + lines[2]
+	os.WriteFile(path, []byte(mangled), 0o644)
+
+	j2 := mustOpenJournal(t, path)
+	defer j2.Close()
+	got := j2.Replayed()
+	if len(got) != 1 || got[0].Job != "j1" || got[0].Event != EventSubmitted {
+		t.Fatalf("salvaged %+v, want the single clean leading record", got)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("mid-file corruption not quarantined: %v", err)
+	}
+}
+
+func TestRecoverJobsFolding(t *testing.T) {
+	spec := func(n int) *InstanceSpec { return &InstanceSpec{Alg: "minwait", N: n, K: 2} }
+	records := []JournalRecord{
+		// j1: completed.
+		{Job: "j1", Digest: "d1", Event: EventSubmitted, Spec: spec(4)},
+		{Job: "j1", Digest: "d1", Event: EventStarted},
+		{Job: "j1", Digest: "d1", Event: EventDone, Verdict: &Verdict{Digest: "d1", Summary: "done"}},
+		// j2: mid-flight with checkpoint progress — must come back queued.
+		{Job: "j2", Digest: "d2", Event: EventSubmitted, Spec: spec(5)},
+		{Job: "j2", Digest: "d2", Event: EventStarted},
+		{Job: "j2", Digest: "d2", Event: EventCheckpointed, Visited: 1000, Level: 4},
+		{Job: "j2", Digest: "d2", Event: EventCheckpointed, Visited: 2500, Level: 5},
+		// j3: failed twice (one retry).
+		{Job: "j3", Digest: "d3", Event: EventSubmitted, Spec: spec(6)},
+		{Job: "j3", Digest: "d3", Event: EventStarted},
+		{Job: "j3", Digest: "d3", Event: EventStarted, Attempt: 1},
+		{Job: "j3", Digest: "d3", Event: EventFailed, Error: "boom"},
+		// j4: cancelled by a client.
+		{Job: "j4", Digest: "d4", Event: EventSubmitted, Spec: spec(7)},
+		{Job: "j4", Digest: "d4", Event: EventCancelled},
+		// Orphan records (salvage cut their submit): dropped.
+		{Job: "j9", Digest: "d9", Event: EventStarted},
+		{Job: "j9", Digest: "d9", Event: EventDone},
+	}
+	got := recoverJobs(records)
+	if len(got) != 4 {
+		t.Fatalf("recovered %d jobs, want 4", len(got))
+	}
+	byID := map[string]*recoveredJob{}
+	for _, r := range got {
+		byID[r.id] = r
+	}
+	if r := byID["j1"]; r.state != StateDone || r.verdict == nil || r.verdict.Summary != "done" {
+		t.Fatalf("j1: %+v", r)
+	}
+	if r := byID["j2"]; r.state != StateQueued || r.visited != 2500 || r.level != 5 || r.attempts != 1 {
+		t.Fatalf("j2: %+v", r)
+	}
+	if r := byID["j3"]; r.state != StateFailed || r.errMsg != "boom" || r.attempts != 2 {
+		t.Fatalf("j3: %+v", r)
+	}
+	if r := byID["j4"]; r.state != StateCancelled {
+		t.Fatalf("j4: %+v", r)
+	}
+	// Submission order preserved.
+	for i, id := range []string{"j1", "j2", "j3", "j4"} {
+		if got[i].id != id {
+			t.Fatalf("order[%d] = %s, want %s", i, got[i].id, id)
+		}
+	}
+}
+
+// The journal file is valid JSONL end to end — each line decodes on its own.
+func TestJournalLinesAreValidJSON(t *testing.T) {
+	path := testJournalPath(t)
+	j := mustOpenJournal(t, path)
+	j.Append(JournalRecord{Job: "j1", Event: EventSubmitted, Spec: &InstanceSpec{Alg: "minwait", N: 4}})
+	j.Append(JournalRecord{Job: "j1", Event: EventDone, Verdict: &Verdict{Summary: "ok"}})
+	j.Close()
+	raw, _ := os.ReadFile(path)
+	for i, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line %d not standalone JSON: %v", i, err)
+		}
+	}
+}

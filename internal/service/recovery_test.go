@@ -1,0 +1,306 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func getReadyz(t *testing.T, ts *httptest.Server) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func waitReady(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if code, _ := getReadyz(t, ts); code == http.StatusOK {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never became ready")
+}
+
+// selectiveRunner behaves like mockRunner but blocks only the job whose
+// digest matches blockDigest (until block closes or the ctx cancels).
+type selectiveRunner struct {
+	mockRunner
+	blockDigest string
+	block       chan struct{}
+}
+
+func (r *selectiveRunner) Run(ctx context.Context, spec InstanceSpec, progress func(int, int)) (*Verdict, error) {
+	d, _ := r.Digest(spec)
+	if d == r.blockDigest {
+		if r.started != nil {
+			r.started <- d
+		}
+		select {
+		case <-r.block:
+		case <-ctx.Done():
+			return &Verdict{Digest: d, Summary: "cancelled", Visited: 1, Truncated: true}, nil
+		}
+		return &Verdict{Digest: d, Summary: "ok", Refuted: true, Visited: 1000}, nil
+	}
+	return r.mockRunner.Run(ctx, spec, progress)
+}
+
+// A server with no journal (or an empty one) is ready immediately.
+func TestReadyzNoRecovery(t *testing.T) {
+	_, ts := newTestServer(t, Config{Runner: &mockRunner{}, Cache: NewMemoryCache()})
+	code, body := getReadyz(t, ts)
+	if code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz: HTTP %d %v", code, body)
+	}
+}
+
+// Restart recovery: jobs that had not settled when the process died are
+// re-enqueued and re-run; settled jobs come back with their final state and
+// verdict and are NOT re-run.
+func TestRecoveryRerunsUnfinishedJobs(t *testing.T) {
+	path := testJournalPath(t)
+
+	// First life: one job completes, one is still running when the process
+	// "dies". Close() deliberately journals nothing terminal for in-flight
+	// jobs, so it doubles as a crash for the journal's purposes.
+	started := make(chan string, 4)
+	stuckDigest, _ := (&mockRunner{}).Digest(InstanceSpec{Alg: "minwait", N: 5, K: 2})
+	r1 := &selectiveRunner{
+		mockRunner:  mockRunner{started: started},
+		blockDigest: stuckDigest,
+		block:       make(chan struct{}),
+	}
+	s1 := New(Config{
+		Runner:  r1,
+		Cache:   NewMemoryCache(),
+		Journal: mustOpenJournal(t, path),
+	})
+	ts1 := httptest.NewServer(s1.Handler())
+	code, done := postJob(t, ts1, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit done-job: HTTP %d", code)
+	}
+	<-started
+	waitState(t, ts1, done.JobID, StateDone)
+	// This job's digest is the blocked one: it will still be running at
+	// shutdown.
+	code, stuck := postJob(t, ts1, `{"alg": "minwait", "n": 5, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit stuck-job: HTTP %d", code)
+	}
+	<-started
+	ts1.Close()
+	s1.Close() // in-flight job stays non-terminal in the journal
+
+	// Second life: only the unfinished job runs again.
+	started2 := make(chan string, 4)
+	s2 := New(Config{
+		Runner:  &mockRunner{started: started2},
+		Cache:   NewMemoryCache(),
+		Journal: mustOpenJournal(t, path),
+	})
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+	waitReady(t, ts2)
+
+	st := waitState(t, ts2, stuck.JobID, StateDone)
+	if !st.Recovered {
+		t.Fatalf("re-run job not flagged recovered: %+v", st)
+	}
+	if st.Digest != stuck.Digest {
+		t.Fatalf("recovered job digest %s, want %s", st.Digest, stuck.Digest)
+	}
+
+	_, doneSt := getStatus(t, ts2, done.JobID)
+	if doneSt.State != StateDone || doneSt.Verdict == nil || !doneSt.Verdict.Refuted {
+		t.Fatalf("completed job not recovered with its verdict: %+v", doneSt)
+	}
+
+	// Exactly one Run in the second life: the stuck job, never the done one.
+	select {
+	case d := <-started2:
+		if d != stuck.Digest {
+			t.Fatalf("second life ran digest %s, want %s", d, stuck.Digest)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recovered job never started")
+	}
+	select {
+	case d := <-started2:
+		t.Fatalf("second life ran an extra job (digest %s)", d)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// A client-cancelled job is terminal in the journal: a restart recovers its
+// state but does not re-run it.
+func TestUserCancelNotRecovered(t *testing.T) {
+	path := testJournalPath(t)
+	started := make(chan string, 1)
+	s1 := New(Config{
+		Runner:  &mockRunner{block: make(chan struct{}), started: started},
+		Cache:   NewMemoryCache(),
+		Journal: mustOpenJournal(t, path),
+	})
+	ts1 := httptest.NewServer(s1.Handler())
+	code, sub := postJob(t, ts1, `{"alg": "minwait", "n": 4, "k": 2}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	<-started
+	resp, err := http.Post(ts1.URL+"/v1/jobs/"+sub.JobID+"/cancel", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitState(t, ts1, sub.JobID, StateCancelled)
+	ts1.Close()
+	s1.Close()
+
+	started2 := make(chan string, 1)
+	s2 := New(Config{
+		Runner:  &mockRunner{started: started2},
+		Cache:   NewMemoryCache(),
+		Journal: mustOpenJournal(t, path),
+	})
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+
+	// Nothing to recover: ready at once, cancelled state preserved, no run.
+	if code, _ := getReadyz(t, ts2); code != http.StatusOK {
+		t.Fatalf("readyz with only terminal jobs: HTTP %d", code)
+	}
+	if _, st := getStatus(t, ts2, sub.JobID); st.State != StateCancelled {
+		t.Fatalf("cancelled job recovered as %q", st.State)
+	}
+	select {
+	case d := <-started2:
+		t.Fatalf("cancelled job was re-run (digest %s)", d)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// Satellite regression: while startup recovery is still re-enqueueing
+// journalled jobs, a duplicate submission must dedup onto the recovered job
+// — not race it into a second execution — because the dedup index is built
+// synchronously before the server accepts traffic. /readyz reports 503
+// until the backlog is fully enqueued.
+func TestStartupDedupAgainstRecoveringJobs(t *testing.T) {
+	path := testJournalPath(t)
+	// Hand-build a journal with three unfinished jobs whose digests match
+	// what the server's runner will compute.
+	mock := &mockRunner{}
+	j := mustOpenJournal(t, path)
+	specs := []InstanceSpec{
+		{Alg: "minwait", N: 4, K: 2},
+		{Alg: "minwait", N: 5, K: 2},
+		{Alg: "minwait", N: 6, K: 2},
+	}
+	for i, sp := range specs {
+		sp := sp
+		d, _ := mock.Digest(sp)
+		if err := j.Append(JournalRecord{
+			Job: []string{"j1", "j2", "j3"}[i], Digest: d, Event: EventSubmitted, Spec: &sp,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Workers=1 and QueueDepth=1 wedge recovery deterministically: the
+	// worker holds j1 (blocked runner), the queue holds j2, and the
+	// re-enqueue goroutine is still blocked sending j3.
+	block := make(chan struct{})
+	started := make(chan string, 3)
+	s := New(Config{
+		Runner:     &mockRunner{block: block, started: started},
+		Cache:      NewMemoryCache(),
+		Workers:    1,
+		QueueDepth: 1,
+		Journal:    mustOpenJournal(t, path),
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	<-started // j1 is running; j2/j3 still in the recovery pipeline
+
+	// Recovery must still be in progress with j3 unenqueued.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, body := getReadyz(t, ts)
+		if code == http.StatusServiceUnavailable && body["pending"].(float64) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovery never wedged at pending=1 (readyz %d %v)", code, body)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Submitting j3's spec now must dedup onto the journalled job.
+	code, dup := postJob(t, ts, `{"alg": "minwait", "n": 6, "k": 2}`)
+	if code != http.StatusAccepted || !dup.Deduped || dup.JobID != "j3" {
+		t.Fatalf("submit during recovery: HTTP %d %+v, want dedup onto j3", code, dup)
+	}
+	// A genuinely new spec gets an ID beyond the recovered range. It lands
+	// in StateFailed (queue full) — fine; only the ID matters here.
+	code, fresh := postJob(t, ts, `{"alg": "minwait", "n": 7, "k": 2}`)
+	if fresh.JobID == "j1" || fresh.JobID == "j2" || fresh.JobID == "j3" {
+		t.Fatalf("fresh submit reused a recovered job ID: HTTP %d %+v", code, fresh)
+	}
+
+	close(block)
+	waitReady(t, ts)
+	for _, id := range []string{"j1", "j2", "j3"} {
+		if st := waitState(t, ts, id, StateDone); !st.Recovered {
+			t.Fatalf("%s not flagged recovered: %+v", id, st)
+		}
+	}
+}
+
+// Checkpoint-opted jobs journal their level progress so an operator can see
+// how far a crashed job had gotten; the record also survives folding.
+func TestCheckpointProgressJournalled(t *testing.T) {
+	path := testJournalPath(t)
+	s := New(Config{
+		Runner:  &mockRunner{},
+		Cache:   NewMemoryCache(),
+		Journal: mustOpenJournal(t, path),
+	})
+	ts := httptest.NewServer(s.Handler())
+	code, sub := postJob(t, ts, `{"alg": "minwait", "n": 4, "k": 2, "checkpoint": true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	waitState(t, ts, sub.JobID, StateDone)
+	ts.Close()
+	s.Close()
+
+	j := mustOpenJournal(t, path)
+	defer j.Close()
+	var ckpt *JournalRecord
+	for i, rec := range j.Replayed() {
+		if rec.Event == EventCheckpointed {
+			ckpt = &j.Replayed()[i]
+		}
+	}
+	if ckpt == nil {
+		t.Fatal("no checkpointed record for a checkpoint-opted job")
+	}
+	if ckpt.Visited != 500 || ckpt.Level != 3 {
+		t.Fatalf("checkpointed progress: %+v", ckpt)
+	}
+}
