@@ -14,16 +14,35 @@
 // <dir>/<ID>.txt (without the wall-clock footer, which is not
 // deterministic); the repository's golden_test.go diffs regenerated tables
 // against the committed files.
+//
+// A second mode runs one verification job instead of the experiment suite:
+//
+//	experiments -instance '{"alg":"minwait","n":3,"f":1,"goal":"search"}'
+//	experiments -instance '...' -shards 4        # multi-process sharded search
+//
+// -instance takes a service.InstanceSpec JSON document, runs it to
+// completion, and prints a single canonical JSON object
+// {"verdict": ..., "progress": [[visited, level], ...]} on stdout. With
+// -shards N > 1 the search runs as N worker processes (re-execs of this
+// binary) coordinated over localhost HTTP; the output — verdict, visited
+// count, and per-level profile — is bit-identical to -shards 1, which CI
+// enforces by diffing the two. The -shard-worker/-shard-index flags are the
+// internal re-exec entry point of those workers.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"kset"
+	"kset/internal/service"
 )
 
 func main() {
@@ -40,7 +59,25 @@ func run(args []string) int {
 	checkpoint := fs.String("checkpoint", "", "directory for pausing truncated bounded searches and resuming them on the next run (requires -store frontier or spill)")
 	faults := fs.String("faults", "", "fault model of state-space search adversaries beyond crashes: model[:budget[:maxfaulty]] with model send-omission, receive-omission, or byzantine (default crash-only); see README, Fault models")
 	writeGolden := fs.String("write-golden", "", "write each table to <dir>/<ID>.txt instead of stdout")
+	instance := fs.String("instance", "", "run one verification job (service.InstanceSpec JSON) instead of the experiment suite and print its verdict and level profile as JSON")
+	shards := fs.Int("shards", 1, "worker processes for the -instance search (1 = single-process; results are bit-identical at every count)")
+	shardWorker := fs.String("shard-worker", "", "internal: run as a shard worker against this coordinator URL")
+	shardIndex := fs.Int("shard-index", -1, "internal: shard index for -shard-worker")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *shardWorker != "" {
+		if err := service.ShardWorkerMain(context.Background(), *shardWorker, *shardIndex); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			return 1
+		}
+		return 0
+	}
+	if *instance != "" {
+		return runInstance(*instance, *shards)
+	}
+	if *shards != 1 {
+		fmt.Fprintln(os.Stderr, "experiments: -shards requires -instance")
 		return 2
 	}
 	if *checkpoint != "" && (*store == "" || *store == "inmem") {
@@ -99,4 +136,58 @@ func run(args []string) int {
 		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	return min(failed, 1)
+}
+
+// runInstance runs one verification job — sharded across worker processes
+// when shards > 1 — and prints {"verdict", "progress"} as one canonical
+// JSON object. Degradation notices are skipped: progress holds only the
+// deterministic (visited, level) pairs the sharded CI smoke diffs.
+func runInstance(specJSON string, shards int) int {
+	dec := json.NewDecoder(strings.NewReader(specJSON))
+	dec.DisallowUnknownFields()
+	var spec service.InstanceSpec
+	if err := dec.Decode(&spec); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: malformed -instance: %v\n", err)
+		return 2
+	}
+	progress := [][2]int{}
+	collect := func(u service.ProgressUpdate) {
+		if u.Degraded != "" {
+			return
+		}
+		progress = append(progress, [2]int{u.Visited, u.Level})
+	}
+	var verdict *service.Verdict
+	var err error
+	if shards > 1 {
+		exe, eerr := os.Executable()
+		if eerr != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", eerr)
+			return 1
+		}
+		verdict, err = service.RunShardedSearch(context.Background(), service.ShardConfig{
+			Spec:   spec,
+			Shards: shards,
+			WorkerArgs: func(coordURL string, shard int) []string {
+				return []string{exe, "-shard-worker", coordURL, "-shard-index", strconv.Itoa(shard)}
+			},
+			OnProgress: collect,
+		})
+	} else {
+		verdict, err = service.KsetRunner{}.Run(context.Background(), spec, collect)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(struct {
+		Verdict  *service.Verdict `json:"verdict"`
+		Progress [][2]int         `json:"progress"`
+	}{verdict, progress}); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		return 1
+	}
+	return 0
 }

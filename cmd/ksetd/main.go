@@ -18,6 +18,13 @@
 //	ksetd -journal ./jobs.jsonl -checkpoint ./ckpt \
 //	      -cache disk -cache-dir ./verdicts            # crash-safe
 //	ksetd -job-timeout 10m -retries 2                  # bounded jobs
+//	ksetd -shards 4                                    # multi-process search jobs
+//
+// With -shards N > 1 the server runs eligible search-goal jobs (goal
+// "search", no checkpoint opt-in) as N worker processes — re-execs of this
+// binary coordinated over localhost HTTP — with verdicts bit-identical to
+// single-process execution; other jobs run in-process as usual. The
+// -shard-worker/-shard-index flags are the workers' internal entry point.
 //
 // See the README's "Running the service" and "Operations & crash recovery"
 // sections for the endpoint reference and the recovery semantics.
@@ -33,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -55,8 +63,21 @@ func run() int {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-job wall-clock deadline; an expired job settles as failed with its partial progress (0 = unlimited)")
 		retries    = flag.Int("retries", 0, "re-run attempts for jobs failing with transient errors, with exponential backoff")
 		drain      = flag.Duration("drain", 5*time.Second, "graceful shutdown budget for in-flight jobs to reach their pause path")
+		shards     = flag.Int("shards", 1, "worker processes per eligible search job (goal \"search\", no checkpoint); 1 runs everything in-process")
+		shardURL   = flag.String("shard-worker", "", "internal: run as a shard worker against this coordinator URL")
+		shardIdx   = flag.Int("shard-index", -1, "internal: shard index for -shard-worker")
 	)
 	flag.Parse()
+
+	if *shardURL != "" {
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
+		if err := service.ShardWorkerMain(ctx, *shardURL, *shardIdx); err != nil {
+			fmt.Fprintln(os.Stderr, "ksetd:", err)
+			return 1
+		}
+		return 0
+	}
 
 	var cache service.Cache
 	switch *cacheKind {
@@ -91,8 +112,24 @@ func run() int {
 		}
 	}
 
+	var runner service.Runner = service.KsetRunner{CheckpointDir: *ckptDir}
+	if *shards > 1 {
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ksetd:", err)
+			return 1
+		}
+		runner = service.ShardedRunner{
+			KsetRunner: service.KsetRunner{CheckpointDir: *ckptDir},
+			Shards:     *shards,
+			WorkerArgs: func(coordURL string, shard int) []string {
+				return []string{exe, "-shard-worker", coordURL, "-shard-index", strconv.Itoa(shard)}
+			},
+		}
+	}
+
 	srv := service.New(service.Config{
-		Runner:     service.KsetRunner{CheckpointDir: *ckptDir},
+		Runner:     runner,
 		Cache:      cache,
 		Workers:    *pool,
 		QueueDepth: *queue,

@@ -91,7 +91,7 @@ func Experiments() []Experiment {
 }
 
 // ExperimentsWith is Experiments with an explicit search configuration for
-// the search-driven experiments (E1, E5, E6, E13, E14); nil uses
+// the search-driven experiments (E1, E5, E6, E13, E14, E15); nil uses
 // DefaultSearcher (the deprecated Search* globals). Experiments that run no
 // condition-(C) search are unaffected by the Searcher.
 func ExperimentsWith(s *Searcher) []Experiment {
@@ -125,6 +125,11 @@ func ExperimentsWith(s *Searcher) []Experiment {
 			p := DefaultE14Params()
 			p.Search = s
 			return ExperimentFaultModels(p)
+		}},
+		{"E15", "Sharded exploration: bit-identical verdicts at every shard count", func() (*Table, error) {
+			p := DefaultE15Params()
+			p.Search = s
+			return ExperimentShardedExploration(p)
 		}},
 	}
 }

@@ -20,11 +20,14 @@ import (
 // already pinned at test scale by internal/explore/bounded_test.go. E14
 // (fault models) joined the gate immediately: its eight rows complete in
 // milliseconds and its visited counts pin the exact branching the omission
-// and Byzantine adversaries add to the search space.
+// and Byzantine adversaries add to the search space. E15 (sharded
+// exploration) likewise: millisecond-scale searches whose rows are the
+// bit-identity of sharded and plain verdicts, visited counts, and level
+// profiles.
 // Regenerate the files with:
 //
-//	go run ./cmd/experiments -write-golden testdata/golden E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 E14
-var goldenExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E14"}
+//	go run ./cmd/experiments -write-golden testdata/golden E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 E14 E15
+var goldenExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E14", "E15"}
 
 // TestGoldenTables regenerates each gated experiment table and diffs it
 // against the committed golden file. The tables are deterministic at any

@@ -133,6 +133,13 @@ type Instance struct {
 	// do not track depth. Called from the search goroutine; must be fast.
 	OnSearchProgress func(visited, level int)
 
+	// OnSnapshotError, when non-nil, is notified once if the condition-(C)
+	// exploration's best-effort level-boundary checkpoint snapshots start
+	// failing (explore.Options.OnSnapshotError): the verdict is unaffected
+	// but crash durability degraded. CondCStats.SnapshotFailed records the
+	// same fact on the report.
+	OnSnapshotError func(error)
+
 	// POR enables commutativity-based partial-order reduction in the
 	// condition-(C) exploration (explore.Options.POR): once every live
 	// process of <D-bar> has provably finished sending, redundant
@@ -278,6 +285,7 @@ func CheckImpossibility(inst Instance) (*Report, error) {
 			r.CondCStats.Visited += witness.Stats.Visited
 			r.CondCStats.Truncated = r.CondCStats.Truncated || witness.Stats.Truncated
 			r.CondCStats.Cancelled = r.CondCStats.Cancelled || witness.Stats.Cancelled
+			r.CondCStats.SnapshotFailed = r.CondCStats.SnapshotFailed || witness.Stats.SnapshotFailed
 		}
 		if !found {
 			if truncated || (witness != nil && witness.Stats.Truncated) {
@@ -371,19 +379,20 @@ func subsystemExplorer(inst Instance) (*explore.Explorer, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return explore.New(restricted, inst.Inputs, explore.Options{
-		Live:       dbar,
-		MaxCrashes: inst.DBarCrashBudget,
-		MaxConfigs: inst.MaxConfigs,
-		Oracle:     inst.DBarOracle,
-		Faults:     faults,
-		Strategy:   strategy,
-		Workers:    inst.SearchWorkers,
-		Symmetry:   inst.Symmetry,
-		POR:        inst.POR,
-		Store:      store,
-		Checkpoint: inst.Checkpoint,
-		Context:    inst.Ctx,
-		OnProgress: inst.OnSearchProgress,
+		Live:            dbar,
+		MaxCrashes:      inst.DBarCrashBudget,
+		MaxConfigs:      inst.MaxConfigs,
+		Oracle:          inst.DBarOracle,
+		Faults:          faults,
+		Strategy:        strategy,
+		Workers:         inst.SearchWorkers,
+		Symmetry:        inst.Symmetry,
+		POR:             inst.POR,
+		Store:           store,
+		Checkpoint:      inst.Checkpoint,
+		Context:         inst.Ctx,
+		OnProgress:      inst.OnSearchProgress,
+		OnSnapshotError: inst.OnSnapshotError,
 	}), nil
 }
 

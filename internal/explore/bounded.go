@@ -329,6 +329,10 @@ type boundedState struct {
 	// would succeed without checkpointing), but after one failure further
 	// attempts are skipped rather than hammering the same broken disk.
 	snapErr error
+	// quiet suppresses OnProgress: the witness re-search replays levels the
+	// original pass already reported, and re-emitting them would make the
+	// caller's counters jump backward.
+	quiet bool
 }
 
 // boundedHit locates a goal configuration in the level structure: frontier
@@ -539,6 +543,7 @@ func (e *Explorer) searchBounded(goal goalFunc, kind string) (*Witness, bool, er
 			return nil, false, err
 		}
 		st2.sink = &memSink{}
+		st2.quiet = true
 		hit2, err := e.runBounded(st2, goal)
 		if err != nil {
 			return nil, false, err
@@ -573,7 +578,9 @@ func (e *Explorer) searchBounded(goal goalFunc, kind string) (*Witness, bool, er
 // Snapshots are best-effort: a write failure (disk full) latches snapErr and
 // disables further attempts, but never fails the search itself — the final
 // truncation pause, whose checkpoint callers rely on, still reports its own
-// errors through pauseBounded.
+// errors through pauseBounded. The degradation is surfaced rather than
+// swallowed: Stats.SnapshotFailed marks the completed search and
+// Options.OnSnapshotError fires as it happens.
 func (e *Explorer) snapshotLevel(st *boundedState) {
 	if e.opts.Checkpoint == "" || st.kind == "" || st.snapErr != nil || !st.sink.retained() {
 		return
@@ -586,7 +593,18 @@ func (e *Explorer) snapshotLevel(st *boundedState) {
 		pos:     st.pos,
 		visited: st.stats.Visited,
 	}
-	st.snapErr = writeCheckpoint(e.checkpointFile(st.kind), p)
+	if err := writeCheckpoint(e.checkpointFile(st.kind), p); err != nil {
+		// Latch the failure: later snapshots are skipped (the condition
+		// that broke the disk rarely heals mid-search, and retrying every
+		// level would stall it), and the degradation is surfaced — in
+		// Stats for the final verdict, through OnSnapshotError right now —
+		// instead of waiting for the next kill -9 to reveal it.
+		st.snapErr = err
+		st.stats.SnapshotFailed = true
+		if e.opts.OnSnapshotError != nil {
+			e.opts.OnSnapshotError(err)
+		}
+	}
 }
 
 // runBounded drives the bounded BFS from st until a goal hit, exhaustion,
@@ -650,7 +668,9 @@ func (e *Explorer) runBounded(st *boundedState, goal goalFunc) (*boundedHit, err
 		st.pos = 0
 		st.level++
 		e.snapshotLevel(st)
-		e.progress(st.stats.Visited, st.level)
+		if !st.quiet {
+			e.progress(st.stats.Visited, st.level)
+		}
 	}
 	return nil, nil
 }
@@ -723,7 +743,9 @@ func (e *Explorer) runBoundedParallel(st *boundedState, goal goalFunc) (*bounded
 		st.pos = 0
 		st.level++
 		e.snapshotLevel(st)
-		e.progress(st.stats.Visited, st.level)
+		if !st.quiet {
+			e.progress(st.stats.Visited, st.level)
+		}
 	}
 	return nil, nil
 }

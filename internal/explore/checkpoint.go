@@ -42,6 +42,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"kset/internal/quarantine"
 	"kset/internal/sim"
 )
 
@@ -110,14 +111,15 @@ func (e *Explorer) checkpointFile(kind string) string {
 	return filepath.Join(e.opts.Checkpoint, fmt.Sprintf("%016x-%s.ckpt", e.searchDigest(kind), kind))
 }
 
-// quarantineFile renames a corrupt file aside (path + ".corrupt",
-// overwriting a previous quarantine of the same path) so it can never be
-// read again but stays available for post-mortem inspection. A checkpoint is
-// an optimization, never the source of truth — the search regenerates
-// everything from the root — so the automatic resume path quarantines
-// unreadable files and starts fresh instead of failing the search.
+// quarantineFile renames a corrupt file aside (path + ".corrupt", or a
+// numbered suffix when that name is already a previous incident's evidence)
+// so it can never be read again but stays available for post-mortem
+// inspection. A checkpoint is an optimization, never the source of truth —
+// the search regenerates everything from the root — so the automatic resume
+// path quarantines unreadable files and starts fresh instead of failing the
+// search.
 func quarantineFile(path string) {
-	os.Rename(path, path+".corrupt")
+	quarantine.Aside(path)
 }
 
 // clearCheckpoint removes the checkpoint for kind after a search ran to

@@ -211,6 +211,14 @@ type Options struct {
 	// search — never concurrently — and must return quickly: the search
 	// blocks while the callback runs.
 	OnProgress func(visited, level int)
+	// OnSnapshotError, when non-nil, is called when a best-effort
+	// level-boundary checkpoint snapshot fails (disk full, permissions):
+	// the search continues — snapshots are an optimization, never a
+	// correctness requirement — but later snapshots are skipped, so a
+	// crash now costs a full re-exploration. The callback fires once per
+	// search, from the goroutine driving it, at the moment durability
+	// degrades; Stats.SnapshotFailed records the same fact at completion.
+	OnSnapshotError func(error)
 	// Workers caps the number of goroutines expanding the BFS frontier.
 	// Zero means GOMAXPROCS; 1 runs the exact sequential legacy search. Any
 	// value above 1 enables the level-synchronous parallel frontier of
@@ -535,6 +543,12 @@ type Stats struct {
 	// one — Truncated is set alongside — so bounded searches pause and
 	// checkpoint identically; Cancelled only records why the stop happened.
 	Cancelled bool
+	// SnapshotFailed reports that a best-effort level-boundary checkpoint
+	// snapshot failed during the search (and later snapshots were skipped):
+	// the verdict is unaffected, but crash durability degraded to the last
+	// snapshot that succeeded. Only ever set when Options.Checkpoint is
+	// configured; see Options.OnSnapshotError for mid-run notification.
+	SnapshotFailed bool
 }
 
 // cancelInterval is the visited-count stride between Options.Context polls

@@ -1,0 +1,431 @@
+package explore
+
+import (
+	"math"
+	"math/bits"
+	"reflect"
+	"sync"
+	"testing"
+
+	"kset/internal/sim"
+	"kset/internal/testutil"
+)
+
+// TestShardOwnerProperty checks the ownership function's contract over
+// boundary keys and a deterministic pseudo-random sample: every key has
+// exactly one owner (ShardOwner is total and in-range) at any shard count,
+// ownership is stable, one shard owns everything at shards == 1, and the
+// fixed-point arithmetic matches the wide-integer reference
+// floor(top32(key) * shards / 2^32).
+func TestShardOwnerProperty(t *testing.T) {
+	keys := []uint64{
+		0, 1, math.MaxUint64, math.MaxUint64 - 1,
+		1<<32 - 1, 1 << 32, 1<<32 + 1, 1 << 63, 1<<63 - 1,
+		0xffffffff00000000, 0x00000000ffffffff,
+	}
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 4096; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		keys = append(keys, x)
+	}
+	for _, shards := range []int{1, 2, 3, 4, 5, 7, 8, 13, 64, 1000} {
+		counts := make([]int, shards)
+		for _, key := range keys {
+			o := ShardOwner(key, shards)
+			if o < 0 || o >= shards {
+				t.Fatalf("ShardOwner(%#x, %d) = %d out of range", key, shards, o)
+			}
+			if o2 := ShardOwner(key, shards); o2 != o {
+				t.Fatalf("ShardOwner(%#x, %d) unstable: %d then %d", key, shards, o, o2)
+			}
+			hi, _ := bits.Mul64(key>>32<<32, uint64(shards))
+			if want := int(hi); o != want {
+				t.Fatalf("ShardOwner(%#x, %d) = %d, wide reference %d", key, shards, o, want)
+			}
+			counts[o]++
+		}
+		if shards == 1 && counts[0] != len(keys) {
+			t.Fatalf("single shard owns %d of %d keys", counts[0], len(keys))
+		}
+		// The sample is splitmix-diffused, as real fingerprints are; every
+		// shard of a reasonable count should own a nontrivial slice.
+		if shards <= 8 {
+			for o, c := range counts {
+				if c == 0 {
+					t.Fatalf("shard %d of %d owns no keys from a %d-key uniform sample", o, shards, len(keys))
+				}
+			}
+		}
+	}
+}
+
+// runShardedConsensusFailure drives a full sharded consensus-failure search
+// in-process: a coordinator plus `shards` goroutine workers, each on its own
+// explorer from mk, over a LocalShardHub. It mirrors the
+// kset.Searcher.FindConsensusFailureSharded composition (disagreement
+// phase, then blocking even when disagreement truncated).
+func runShardedConsensusFailure(mk func() *Explorer, shards int) (*Witness, bool, error) {
+	hub := NewLocalShardHub(shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			if err := mk().ShardWorker(shard, shards, hub.Exchange(shard)); err != nil {
+				hub.Fail(err)
+			}
+		}(i)
+	}
+	coord := mk()
+	w, found, err := func() (*Witness, bool, error) {
+		defer hub.Finish()
+		w, found, err := coord.ShardSearch("disagreement", hub)
+		if err != nil {
+			hub.Fail(err)
+			return nil, false, err
+		}
+		if found {
+			return w, true, nil
+		}
+		w, found, err = coord.ShardSearch("blocking", hub)
+		if err != nil {
+			hub.Fail(err)
+		}
+		return w, found, err
+	}()
+	wg.Wait()
+	return w, found, err
+}
+
+// plainConsensusFailure is the single-process reference: FindDisagreement,
+// then FindBlocking on the same explorer — the FindConsensusFailure shape.
+func plainConsensusFailure(e *Explorer) (*Witness, bool, error) {
+	w, found, err := e.FindDisagreement()
+	if err != nil || found {
+		return w, found, err
+	}
+	return e.FindBlocking()
+}
+
+// shardDiffOpts is the reduction/store matrix of the sharded differential
+// tests.
+type shardDiffOpts struct {
+	name     string
+	symmetry bool
+	por      bool
+	store    Store
+}
+
+func shardDiffMatrix() []shardDiffOpts {
+	return []shardDiffOpts{
+		{name: "plain", store: StoreInMemory},
+		{name: "sym", symmetry: true, store: StoreInMemory},
+		{name: "por", por: true, store: StoreInMemory},
+		{name: "sym-por-spill", symmetry: true, por: true, store: StoreSpill},
+	}
+}
+
+func (d diffInstance) explorerOpts(o shardDiffOpts, maxConfigs int) *Explorer {
+	return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+		Live:       d.live,
+		MaxCrashes: d.crashes,
+		Symmetry:   o.symmetry,
+		POR:        o.por,
+		Store:      o.store,
+		MaxConfigs: maxConfigs,
+		Workers:    1,
+	})
+}
+
+// TestShardedSearchMatchesSequential is the sharded differential matrix:
+// instances × reductions/stores × shard counts {1, 2, 3, 4}, asserting the
+// sharded search reproduces the single-process consensus-failure search
+// bit-identically — found flag, witness kind/detail, scheduled witness run,
+// and stats — and that found witnesses replay to genuine violations.
+func TestShardedSearchMatchesSequential(t *testing.T) {
+	for _, d := range diffInstances() {
+		for _, o := range shardDiffMatrix() {
+			t.Run(d.name+"/"+o.name, func(t *testing.T) {
+				want, wantFound, err := plainConsensusFailure(d.explorerOpts(o, 0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range []int{1, 2, 3, 4} {
+					got, found, err := runShardedConsensusFailure(func() *Explorer {
+						return d.explorerOpts(o, 0)
+					}, shards)
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					if found != wantFound {
+						t.Fatalf("shards=%d: found=%t, sequential says %t", shards, found, wantFound)
+					}
+					if got.Kind != want.Kind || got.Detail != want.Detail {
+						t.Fatalf("shards=%d: witness (%s, %q), sequential (%s, %q)",
+							shards, got.Kind, got.Detail, want.Kind, want.Detail)
+					}
+					if got.Stats != want.Stats {
+						t.Fatalf("shards=%d: stats %+v, sequential %+v", shards, got.Stats, want.Stats)
+					}
+					if found {
+						if runSignature(got.Run) != runSignature(want.Run) {
+							t.Fatalf("shards=%d: witness run diverged:\n got %s\nwant %s",
+								shards, runSignature(got.Run), runSignature(want.Run))
+						}
+						testutil.RevalidateWitness(t, got.Kind, got.Run)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardedSearchTruncationParity pins the budget arithmetic: truncated
+// sharded searches (including mid-level truncation, where the budget runs
+// out partway through a frontier) report exactly the sequential engine's
+// visited counts and flags.
+func TestShardedSearchTruncationParity(t *testing.T) {
+	d := diffInstances()[1] // minwait-n3-crash: a larger space with witnesses
+	for _, maxConfigs := range []int{1, 7, 57, 200, 1000} {
+		seq := d.explorerOpts(shardDiffOpts{store: StoreFrontierOnly}, maxConfigs)
+		want, wantFound, err := plainConsensusFailure(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 3} {
+			got, found, err := runShardedConsensusFailure(func() *Explorer {
+				return d.explorerOpts(shardDiffOpts{store: StoreFrontierOnly}, maxConfigs)
+			}, shards)
+			if err != nil {
+				t.Fatalf("max=%d shards=%d: %v", maxConfigs, shards, err)
+			}
+			if found != wantFound || got.Stats != want.Stats {
+				t.Fatalf("max=%d shards=%d: (found=%t, %+v), sequential (found=%t, %+v)",
+					maxConfigs, shards, found, got.Stats, wantFound, want.Stats)
+			}
+		}
+	}
+}
+
+// TestShardedSearchLevelProfile pins the per-level progress stream: the
+// coordinator reports the same (visited, level) sequence as the
+// single-process bounded engine — the level profile the multi-process CI
+// smoke diffs too. Both sides run with a retained sink (StoreSpill) so the
+// single-process engine builds its witness directly instead of re-searching,
+// which would emit the profile twice.
+func (d diffInstance) spillExplorer(dir string, prog func(v, l int)) *Explorer {
+	return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+		Live:       d.live,
+		MaxCrashes: d.crashes,
+		Store:      StoreSpill,
+		SpillDir:   dir,
+		Workers:    1,
+		OnProgress: prog,
+	})
+}
+
+func TestShardedSearchLevelProfile(t *testing.T) {
+	for _, d := range []diffInstance{diffInstances()[0], diffInstances()[1]} {
+		t.Run(d.name, func(t *testing.T) {
+			var wantProg, gotProg [][2]int
+			seq := d.spillExplorer(t.TempDir(), func(v, l int) {
+				wantProg = append(wantProg, [2]int{v, l})
+			})
+			_, wantFound, err := plainConsensusFailure(seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var mu sync.Mutex
+			dir := t.TempDir()
+			_, found, err := runShardedConsensusFailure(func() *Explorer {
+				return d.spillExplorer(dir, func(v, l int) {
+					mu.Lock()
+					gotProg = append(gotProg, [2]int{v, l})
+					mu.Unlock()
+				})
+			}, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if found != wantFound {
+				t.Fatalf("found=%t, sequential says %t", found, wantFound)
+			}
+			if !reflect.DeepEqual(gotProg, wantProg) {
+				t.Fatalf("level profile diverged:\n got %v\nwant %v", gotProg, wantProg)
+			}
+		})
+	}
+}
+
+// TestShardCodecRoundTrip pins the exchange codec on a representative
+// payload, including empty buckets, goal candidates with details, and a
+// halt seal.
+func TestShardCodecRoundTrip(t *testing.T) {
+	batches := [][]ShardCandidate{
+		{
+			{Key: 1, Ord: 2, Bits: 3},
+			{Key: math.MaxUint64, Ord: 1 << 40, Bits: 1 << 56, Goal: true, Detail: "decisions [0 1] reached"},
+		},
+		nil,
+		{{Key: 0xdeadbeef, Ord: 0, Bits: 0}},
+	}
+	enc, err := EncodeShardBatches(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeShardBatches(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(batches) {
+		t.Fatalf("decoded %d batches, want %d", len(dec), len(batches))
+	}
+	for i := range batches {
+		if len(batches[i]) == 0 && len(dec[i]) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(dec[i], batches[i]) {
+			t.Fatalf("batch %d diverged: %+v vs %+v", i, dec[i], batches[i])
+		}
+	}
+	cands, err := EncodeShardCandidates(batches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := DecodeShardCandidates(cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dc, batches[0]) {
+		t.Fatalf("candidate list diverged: %+v vs %+v", dc, batches[0])
+	}
+	for _, seal := range []LevelSeal{
+		{},
+		{Halt: true},
+		{Records: []uint64{1, 2, 3, math.MaxUint64}},
+	} {
+		got, err := DecodeLevelSeal(EncodeLevelSeal(seal))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Halt != seal.Halt || !reflect.DeepEqual(append([]uint64{}, got.Records...), append([]uint64{}, seal.Records...)) {
+			t.Fatalf("seal diverged: %+v vs %+v", got, seal)
+		}
+	}
+}
+
+// TestShardCodecRejectsCorrupt spot-checks the decoder's defenses; the fuzz
+// target explores far beyond these.
+func TestShardCodecRejectsCorrupt(t *testing.T) {
+	valid, err := EncodeShardBatches([][]ShardCandidate{{{Key: 1, Ord: 2, Bits: 3, Detail: "x"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := [][]byte{
+		nil,
+		{},
+		[]byte("KSB1"),
+		valid[:len(valid)-1],
+		append(append([]byte{}, valid...), 0),
+	}
+	hdr := append([]byte{}, valid...)
+	hdr[0] = 'X'
+	bad = append(bad, hdr)
+	for i, data := range bad {
+		if _, err := DecodeShardBatches(data); err == nil {
+			t.Fatalf("corrupt input %d decoded without error", i)
+		}
+	}
+	if _, err := DecodeShardCandidates([]byte("KSC1")); err == nil {
+		t.Fatal("truncated candidate list decoded without error")
+	}
+	if _, err := DecodeLevelSeal([]byte("KSS1\x02\x00\x00\x00\x00")); err == nil {
+		t.Fatal("bad halt flag decoded without error")
+	}
+}
+
+// FuzzShardCodec asserts the exchange codec never panics or over-allocates
+// on arbitrary input, and that anything that decodes re-encodes to a
+// decodable equal value (a full round-trip law on the valid subset).
+func FuzzShardCodec(f *testing.F) {
+	if enc, err := EncodeShardBatches([][]ShardCandidate{
+		{{Key: 1, Ord: 2, Bits: 3, Goal: true, Detail: "d"}},
+		nil,
+	}); err == nil {
+		f.Add(enc)
+	}
+	if enc, err := EncodeShardCandidates([]ShardCandidate{{Key: 9, Ord: 8, Bits: 7}}); err == nil {
+		f.Add(enc)
+	}
+	f.Add(EncodeLevelSeal(LevelSeal{Records: []uint64{1, 2, 3}}))
+	f.Add(EncodeLevelSeal(LevelSeal{Halt: true}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if batches, err := DecodeShardBatches(data); err == nil {
+			enc, err := EncodeShardBatches(batches)
+			if err != nil {
+				t.Fatalf("re-encoding decoded batches: %v", err)
+			}
+			again, err := DecodeShardBatches(enc)
+			if err != nil {
+				t.Fatalf("decoding re-encoded batches: %v", err)
+			}
+			if len(again) != len(batches) {
+				t.Fatalf("round trip changed batch count: %d vs %d", len(again), len(batches))
+			}
+		}
+		if cands, err := DecodeShardCandidates(data); err == nil {
+			enc, err := EncodeShardCandidates(cands)
+			if err != nil {
+				t.Fatalf("re-encoding decoded candidates: %v", err)
+			}
+			if again, err := DecodeShardCandidates(enc); err != nil || len(again) != len(cands) {
+				t.Fatalf("candidate round trip: err=%v len %d vs %d", err, len(again), len(cands))
+			}
+		}
+		if seal, err := DecodeLevelSeal(data); err == nil {
+			if again, err := DecodeLevelSeal(EncodeLevelSeal(seal)); err != nil || again.Halt != seal.Halt || len(again.Records) != len(seal.Records) {
+				t.Fatalf("seal round trip: err=%v %+v vs %+v", err, again, seal)
+			}
+		}
+	})
+}
+
+// TestLocalShardHubFailUnblocks asserts Fail poisons every blocked
+// participant instead of deadlocking the rendezvous.
+func TestLocalShardHubFailUnblocks(t *testing.T) {
+	hub := NewLocalShardHub(2)
+	if err := hub.StartPhase("disagreement", false); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	ex := hub.Exchange(0)
+	if _, err := ex.NextPhase(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// Blocks: shard 1 never posts.
+		_, err := ex.Exchange(0, make([][]ShardCandidate, 2))
+		done <- err
+	}()
+	go func() {
+		_, err := hub.GatherWinners(0)
+		done <- err
+	}()
+	hub.Fail(errDeliberate)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err == nil {
+			t.Fatal("blocked participant returned nil after Fail")
+		}
+	}
+	if _, _, err := hub.TryPhase(0); err == nil {
+		t.Fatal("TryPhase returned nil after Fail")
+	}
+}
+
+var errDeliberate = errDeliberateType{}
+
+type errDeliberateType struct{}
+
+func (errDeliberateType) Error() string { return "deliberate failure" }

@@ -1,0 +1,43 @@
+// Package quarantine renames corrupt files aside so they are never read as
+// live data again but stay available for post-mortem inspection. It is the
+// shared quarantine policy of the checkpoint, journal, and verdict-cache
+// layers.
+//
+// Names are unique per incident: the first quarantine of a path lands at
+// path + ".corrupt" (the historical name, which operators and tests grep
+// for), and subsequent quarantines of the same path take numbered suffixes
+// (".corrupt.1", ".corrupt.2", ...) instead of silently overwriting the
+// evidence of the previous incident — a repeated-corruption pattern is
+// exactly the case where the earlier specimens matter most.
+package quarantine
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// maxProbes bounds the search for an unused quarantine name. Past the
+// bound — thousands of corruptions of one path — the final candidate is
+// used even if it overwrites: preserving the newest evidence beats failing
+// the caller, for whom quarantine is always best-effort.
+const maxProbes = 10000
+
+// Aside renames path to an unused quarantine name and returns the name
+// chosen. The only errors are from the rename itself (e.g. path vanished);
+// callers for whom quarantine is best-effort evidence preservation may
+// ignore them.
+func Aside(path string) (string, error) {
+	dst := path + ".corrupt"
+	for i := 1; i <= maxProbes; i++ {
+		if _, err := os.Lstat(dst); errors.Is(err, fs.ErrNotExist) {
+			break
+		}
+		dst = fmt.Sprintf("%s.corrupt.%d", path, i)
+	}
+	if err := os.Rename(path, dst); err != nil {
+		return "", err
+	}
+	return dst, nil
+}

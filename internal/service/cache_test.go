@@ -95,3 +95,46 @@ func TestDiskCacheMissAndBadDigest(t *testing.T) {
 		t.Error("bad digest error unclear")
 	}
 }
+
+// Repeated corruption of the same slot must not overwrite the quarantined
+// evidence of the previous incident: the first quarantine keeps the
+// historical ".corrupt" name, subsequent ones take numbered suffixes.
+func TestDiskCacheDoubleCorruptionKeepsBothSpecimens(t *testing.T) {
+	dir := t.TempDir()
+	c, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const digest = "00000000deadbeef"
+	entry := filepath.Join(dir, digest+".json")
+	corruptOnce := func(garbage string) {
+		if err := c.Put(digest, &Verdict{Digest: digest, Summary: "ok"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(entry, []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := c.Get(digest); ok || err != nil {
+			t.Fatalf("corrupt entry: ok=%v err=%v", ok, err)
+		}
+	}
+	corruptOnce("first incident")
+	corruptOnce("second incident")
+
+	for name, want := range map[string]string{
+		entry + ".corrupt":   "first incident",
+		entry + ".corrupt.1": "second incident",
+	} {
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Errorf("quarantine specimen missing: %v", err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("%s holds %q, want %q", name, got, want)
+		}
+	}
+	if n, _ := c.Len(); n != 0 {
+		t.Fatalf("Len counts quarantined specimens: %d", n)
+	}
+}

@@ -31,7 +31,7 @@ func (f *faultyRunner) Digest(spec InstanceSpec) (string, error) {
 	return f.inner.Digest(spec)
 }
 
-func (f *faultyRunner) Run(ctx context.Context, spec InstanceSpec, progress func(int, int)) (*Verdict, error) {
+func (f *faultyRunner) Run(ctx context.Context, spec InstanceSpec, progress func(ProgressUpdate)) (*Verdict, error) {
 	f.mu.Lock()
 	f.calls++
 	n := f.calls

@@ -38,6 +38,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"kset/internal/quarantine"
 )
 
 // Journal events, in job-lifecycle order.
@@ -203,13 +205,14 @@ func rewriteJournal(path string, records []JournalRecord) error {
 	return nil
 }
 
-// quarantineAside renames a corrupt file to path + ".corrupt" (overwriting
-// an earlier quarantine of the same path), keeping it for inspection while
-// guaranteeing it is never read as live data again. Rename failures are
-// ignored: quarantine is best-effort evidence preservation, and the caller
-// rewrites the live path regardless.
+// quarantineAside renames a corrupt file to path + ".corrupt" — or a
+// numbered suffix when that name already holds an earlier incident's
+// evidence — keeping it for inspection while guaranteeing it is never read
+// as live data again. Rename failures are ignored: quarantine is
+// best-effort evidence preservation, and the caller rewrites the live path
+// regardless.
 func quarantineAside(path string) {
-	os.Rename(path, path+".corrupt")
+	quarantine.Aside(path)
 }
 
 // Replayed returns the records replayed at open, in order.

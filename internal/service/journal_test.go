@@ -249,3 +249,46 @@ func TestJournalLinesAreValidJSON(t *testing.T) {
 		}
 	}
 }
+
+// Two corruption incidents on the same journal leave two quarantine files —
+// ".corrupt" for the first, ".corrupt.1" for the second — with both
+// specimens preserved for inspection.
+func TestJournalDoubleCorruptionKeepsBothSpecimens(t *testing.T) {
+	path := testJournalPath(t)
+	corruptOnce := func(marker string) string {
+		j := mustOpenJournal(t, path)
+		j.Append(JournalRecord{Job: marker, Event: EventSubmitted, Spec: &InstanceSpec{Alg: "minwait"}})
+		j.Append(JournalRecord{Job: marker, Event: EventStarted})
+		j.Close()
+		orig, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mangle line 1, keep line 2 intact: mid-file corruption, not a
+		// torn tail, so reopening quarantines.
+		lines := strings.SplitAfter(string(orig), "\n")
+		mangled := marker + lines[0][len(marker):] + lines[1]
+		if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2 := mustOpenJournal(t, path)
+		j2.Close()
+		return mangled
+	}
+	first := corruptOnce("AA")
+	second := corruptOnce("BB")
+
+	for name, want := range map[string]string{
+		path + ".corrupt":   first,
+		path + ".corrupt.1": second,
+	} {
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Errorf("quarantine specimen missing: %v", err)
+			continue
+		}
+		if string(got) != want {
+			t.Errorf("%s does not preserve its incident's bytes", name)
+		}
+	}
+}

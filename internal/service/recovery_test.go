@@ -43,7 +43,7 @@ type selectiveRunner struct {
 	block       chan struct{}
 }
 
-func (r *selectiveRunner) Run(ctx context.Context, spec InstanceSpec, progress func(int, int)) (*Verdict, error) {
+func (r *selectiveRunner) Run(ctx context.Context, spec InstanceSpec, progress func(ProgressUpdate)) (*Verdict, error) {
 	d, _ := r.Digest(spec)
 	if d == r.blockDigest {
 		if r.started != nil {

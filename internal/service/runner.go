@@ -5,7 +5,24 @@ import (
 	"fmt"
 
 	"kset"
+	"kset/internal/explore"
 )
+
+// ProgressUpdate is one report from a running job: either search progress
+// (Degraded empty) or a durability degradation notice (Degraded set, the
+// progress fields unset). Splitting the two keeps progress consumers from
+// misreading a degradation notice as the counters jumping backward.
+type ProgressUpdate struct {
+	// Visited is the cumulative visited-configuration count; Level is the
+	// sealed BFS level (-1 from depth-unaware engines).
+	Visited int
+	Level   int
+	// Degraded, when non-empty, reports that the job's crash durability
+	// degraded mid-run (checkpoint snapshots failing — see
+	// explore.Options.OnSnapshotError). The verdict is unaffected; the
+	// notice is surfaced on the job's status record.
+	Degraded string
+}
 
 // Runner executes verification jobs. The production implementation is
 // KsetRunner; handler tests substitute a mock to exercise the HTTP layer
@@ -15,13 +32,12 @@ type Runner interface {
 	// verdict-cache key) as 16 lowercase hex digits. An error marks the
 	// spec malformed: the submit handler answers 400 with it.
 	Digest(spec InstanceSpec) (string, error)
-	// Run executes the job to completion, reporting periodic progress
-	// through the callback (cumulative visited count and sealed BFS level,
-	// -1 for depth-unaware engines; callback may be nil). A ctx
+	// Run executes the job to completion, reporting periodic progress and
+	// degradation notices through the callback (may be nil). A ctx
 	// cancellation is not an error: Run returns ctx.Err() only when no
 	// meaningful verdict exists — a cancelled search otherwise comes back
 	// as a truncated, inconclusive verdict.
-	Run(ctx context.Context, spec InstanceSpec, progress func(visited, level int)) (*Verdict, error)
+	Run(ctx context.Context, spec InstanceSpec, progress func(ProgressUpdate)) (*Verdict, error)
 }
 
 // KsetRunner is the production Runner: it maps InstanceSpec onto the
@@ -127,8 +143,47 @@ func (r KsetRunner) Digest(spec InstanceSpec) (string, error) {
 	}
 }
 
+// searchVerdict builds the GoalSearch verdict from a search outcome; shared
+// by the single-process runner and the sharded coordinator so both produce
+// identical verdicts for identical search results.
+func searchVerdict(digest string, w *explore.Witness, found bool) *Verdict {
+	v := &Verdict{Digest: digest, Goal: GoalSearch, Found: found}
+	if w != nil {
+		v.Visited = w.Stats.Visited
+		v.Truncated = w.Stats.Truncated
+		if found {
+			v.WitnessKind = w.Kind
+			v.WitnessDetail = w.Detail
+			v.Summary = fmt.Sprintf("%s witness: %s", w.Kind, w.Detail)
+		}
+	}
+	if !found {
+		v.Summary = "no consensus failure found"
+		if v.Truncated {
+			v.Summary += " (truncated)"
+		}
+	}
+	return v
+}
+
+// progressFuncs splits a ProgressUpdate callback into the two lower-level
+// callbacks the search engines expose: periodic (visited, level) progress
+// and the once-per-search snapshot-failure notice.
+func progressFuncs(progress func(ProgressUpdate)) (onProgress func(visited, level int), onSnapErr func(error)) {
+	if progress == nil {
+		return nil, nil
+	}
+	onProgress = func(visited, level int) {
+		progress(ProgressUpdate{Visited: visited, Level: level})
+	}
+	onSnapErr = func(err error) {
+		progress(ProgressUpdate{Degraded: fmt.Sprintf("checkpoint snapshots failing: %v", err)})
+	}
+	return onProgress, onSnapErr
+}
+
 // Run implements Runner.
-func (r KsetRunner) Run(ctx context.Context, spec InstanceSpec, progress func(visited, level int)) (*Verdict, error) {
+func (r KsetRunner) Run(ctx context.Context, spec InstanceSpec, progress func(ProgressUpdate)) (*Verdict, error) {
 	p, err := r.prepare(spec)
 	if err != nil {
 		return nil, err
@@ -137,35 +192,23 @@ func (r KsetRunner) Run(ctx context.Context, spec InstanceSpec, progress func(vi
 	if err != nil {
 		return nil, err
 	}
+	onProgress, onSnapErr := progressFuncs(progress)
 	switch p.spec.Goal {
 	case GoalSearch:
-		w, found, err := p.search.FindConsensusFailure(ctx, p.request(progress))
+		req := p.request(onProgress)
+		req.OnSnapshotError = onSnapErr
+		w, found, err := p.search.FindConsensusFailure(ctx, req)
 		if err != nil {
 			return nil, fmt.Errorf("service: search: %w", err)
 		}
-		v := &Verdict{Digest: digest, Goal: GoalSearch, Found: found}
-		if w != nil {
-			v.Visited = w.Stats.Visited
-			v.Truncated = w.Stats.Truncated
-			if found {
-				v.WitnessKind = w.Kind
-				v.WitnessDetail = w.Detail
-				v.Summary = fmt.Sprintf("%s witness: %s", w.Kind, w.Detail)
-			}
-		}
-		if !found {
-			v.Summary = "no consensus failure found"
-			if v.Truncated {
-				v.Summary += " (truncated)"
-			}
-		}
-		return v, nil
+		return searchVerdict(digest, w, found), nil
 	default:
 		inst, err := p.instance()
 		if err != nil {
 			return nil, err
 		}
-		inst.OnSearchProgress = progress
+		inst.OnSearchProgress = onProgress
+		inst.OnSnapshotError = onSnapErr
 		rep, err := p.search.CheckImpossibility(ctx, inst)
 		if err != nil {
 			return nil, fmt.Errorf("service: engine: %w", err)

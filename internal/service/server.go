@@ -71,6 +71,7 @@ type job struct {
 	cancelRequested bool
 	verdict         *Verdict
 	errMsg          string
+	degraded        string // durability degradation notice; sticky
 }
 
 // Config parameterizes New.
@@ -226,18 +227,35 @@ func (s *Server) recover(recovered []*recoveredJob) []*job {
 	return pending
 }
 
-// reenqueue feeds recovered jobs into the queue. Sends block — recovered
-// jobs may outnumber the queue depth — so this runs off New's critical
-// path; submissions racing it dedup against byDigest, which recover
+// reenqueue feeds recovered jobs into the queue through the same bounded
+// admission path as live submissions: a non-blocking try-send retried on a
+// short tick. Recovered jobs may outnumber the queue depth, so this runs
+// off New's critical path and fills queue slots as the workers free them —
+// but never parks in a blocking send, so a wedged pool cannot pin this
+// goroutine beyond its next tick and /readyz can always report the real
+// backlog (recovering count plus queue occupancy) while recovery drains.
+// Submissions racing recovery dedup against byDigest, which recover
 // already populated.
 func (s *Server) reenqueue(pending []*job) {
 	defer s.wg.Done()
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
 	for _, j := range pending {
-		select {
-		case <-s.baseCtx.Done():
-			return
-		case s.queue <- j:
-			s.recovering.Add(-1)
+	admit:
+		for {
+			select {
+			case <-s.baseCtx.Done():
+				return
+			case s.queue <- j:
+				s.recovering.Add(-1)
+				break admit
+			default:
+				select {
+				case <-s.baseCtx.Done():
+					return
+				case <-tick.C:
+				}
+			}
 		}
 	}
 	s.ready.Store(true)
@@ -329,17 +347,28 @@ func (s *Server) runJob(j *job) {
 	j.cancel = cancel
 	s.mu.Unlock()
 
-	progress := func(visited, level int) {
-		j.visited.Store(int64(visited))
-		j.level.Store(int64(level))
+	progress := func(u ProgressUpdate) {
+		if u.Degraded != "" {
+			// A durability degradation notice (checkpoint snapshots
+			// failing): record it once on the job — it fires at most once
+			// per search attempt, so the lock is off the hot path.
+			s.mu.Lock()
+			if j.degraded == "" {
+				j.degraded = u.Degraded
+			}
+			s.mu.Unlock()
+			return
+		}
+		j.visited.Store(int64(u.Visited))
+		j.level.Store(int64(u.Level))
 		// Each sealed level of a checkpoint-opted job has a resumable
 		// snapshot on disk; record the progress durably so an operator can
 		// see how far a crashed job had gotten.
-		if lv := int64(level); j.spec.Checkpoint && lv > j.ckptLevel.Load() {
+		if lv := int64(u.Level); j.spec.Checkpoint && lv > j.ckptLevel.Load() {
 			j.ckptLevel.Store(lv)
 			s.journalAppend(JournalRecord{
 				Job: j.id, Digest: j.digest, Event: EventCheckpointed,
-				Visited: int64(visited), Level: lv,
+				Visited: int64(u.Visited), Level: lv,
 			})
 		}
 	}
@@ -450,8 +479,10 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-		"status":  "recovering",
-		"pending": s.recovering.Load(),
+		"status":    "recovering",
+		"pending":   s.recovering.Load(),
+		"queue_len": len(s.queue),
+		"queue_cap": cap(s.queue),
 	})
 }
 
@@ -559,6 +590,11 @@ type JobStatus struct {
 	Progress        Progress     `json:"progress"`
 	Verdict         *Verdict     `json:"verdict,omitempty"`
 	Error           string       `json:"error,omitempty"`
+	// Degraded, when non-empty, reports that the job's crash durability
+	// degraded mid-run (checkpoint snapshots failing): the verdict is
+	// unaffected, but a crash now costs re-exploration from the last
+	// snapshot that succeeded.
+	Degraded string `json:"degraded,omitempty"`
 }
 
 // status snapshots a job; callers must hold s.mu.
@@ -574,6 +610,7 @@ func (s *Server) status(j *job) JobStatus {
 		Progress:        Progress{Visited: j.visited.Load(), Level: j.level.Load()},
 		Verdict:         j.verdict,
 		Error:           j.errMsg,
+		Degraded:        j.degraded,
 	}
 }
 

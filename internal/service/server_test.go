@@ -30,13 +30,13 @@ func (m *mockRunner) Digest(spec InstanceSpec) (string, error) {
 	return fmt.Sprintf("%016x", uint64(spec.N)<<16|uint64(spec.K)), nil
 }
 
-func (m *mockRunner) Run(ctx context.Context, spec InstanceSpec, progress func(int, int)) (*Verdict, error) {
+func (m *mockRunner) Run(ctx context.Context, spec InstanceSpec, progress func(ProgressUpdate)) (*Verdict, error) {
 	d, _ := m.Digest(spec)
 	if m.started != nil {
 		m.started <- d
 	}
 	if progress != nil {
-		progress(500, 3)
+		progress(ProgressUpdate{Visited: 500, Level: 3})
 	}
 	if m.block != nil {
 		select {

@@ -1,0 +1,493 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"strconv"
+	"sync"
+	"time"
+
+	"kset/internal/explore"
+)
+
+// Multi-process sharded exploration: the coordinator half of
+// kset.ShardCoordinate served over localhost HTTP, plus the worker-side
+// client and process plumbing behind the `-shards N` flag of
+// cmd/experiments and cmd/ksetd.
+//
+// The coordinator embeds an explore.LocalShardHub and exposes its
+// non-blocking Try/Post surface as HTTP endpoints on an ephemeral
+// 127.0.0.1 listener — handlers never park (the job server's write
+// timeouts forbid it); workers poll the 202-until-ready reads. Worker
+// processes bootstrap from GET /v1/shard/instance, which carries the full
+// InstanceSpec plus the coordinator's content digest; a worker recomputes
+// the digest from the spec it decoded and refuses to participate on
+// mismatch, so a version-skewed binary fails fast instead of corrupting a
+// bit-identical search. Frontier exchange bodies use the length-prefixed
+// binary codec of internal/explore (EncodeShardBatches and friends), not
+// JSON: candidate batches are the protocol's hot path.
+//
+//	GET  /v1/shard/instance                      spec + shards + digest
+//	GET  /v1/shard/phase?seq=N                   200 phase JSON | 202
+//	POST /v1/shard/buckets?phase&level&shard     KSB1 body
+//	GET  /v1/shard/owned?phase&level&shard       200 KSC1 | 202
+//	POST /v1/shard/winners?phase&level&shard     KSC1 body
+//	GET  /v1/shard/seal?phase&level              200 KSS1 | 202
+//	POST /v1/shard/error                         {"error": ...} -> hub.Fail
+//
+// A poisoned hub answers 500 with the error everywhere, which each
+// participant converts back into a local failure — exactly the
+// LocalShardHub poisoning semantics, stretched over HTTP.
+
+// shardInstance is the GET /v1/shard/instance reply: everything a worker
+// process needs to reconstruct the coordinator's search bit for bit.
+type shardInstance struct {
+	Spec   InstanceSpec `json:"spec"`
+	Shards int          `json:"shards"`
+	Digest string       `json:"digest"`
+}
+
+// shardHub serves one sharded search's coordination state.
+type shardHub struct {
+	hub  *explore.LocalShardHub
+	inst shardInstance
+}
+
+// shardQuery parses the integer query parameters of a shard endpoint.
+func shardQuery(r *http.Request, names ...string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, name := range names {
+		v, err := strconv.Atoi(r.URL.Query().Get(name))
+		if err != nil {
+			return nil, fmt.Errorf("bad %s: %v", name, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (h *shardHub) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/shard/instance", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, h.inst)
+	})
+	mux.HandleFunc("GET /v1/shard/phase", func(w http.ResponseWriter, r *http.Request) {
+		q, err := shardQuery(r, "seq")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		ph, ok, err := h.hub.TryPhase(q[0])
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if !ok {
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		writeJSON(w, http.StatusOK, ph)
+	})
+	mux.HandleFunc("POST /v1/shard/buckets", func(w http.ResponseWriter, r *http.Request) {
+		q, err := shardQuery(r, "phase", "level", "shard")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		batches, err := explore.DecodeShardBatches(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := h.hub.PostBuckets(q[0], q[1], q[2], batches); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/shard/owned", func(w http.ResponseWriter, r *http.Request) {
+		q, err := shardQuery(r, "phase", "level", "shard")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		cands, ok, err := h.hub.TryOwned(q[0], q[1], q[2])
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if !ok {
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		enc, err := explore.EncodeShardCandidates(cands)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(enc)
+	})
+	mux.HandleFunc("POST /v1/shard/winners", func(w http.ResponseWriter, r *http.Request) {
+		q, err := shardQuery(r, "phase", "level", "shard")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		winners, err := explore.DecodeShardCandidates(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if err := h.hub.PostWinners(q[0], q[1], q[2], winners); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/shard/seal", func(w http.ResponseWriter, r *http.Request) {
+		q, err := shardQuery(r, "phase", "level")
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		seal, ok, err := h.hub.TrySeal(q[0], q[1])
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if !ok {
+			w.WriteHeader(http.StatusAccepted)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(explore.EncodeLevelSeal(seal))
+	})
+	mux.HandleFunc("POST /v1/shard/error", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Error == "" {
+			writeError(w, http.StatusBadRequest, "missing error")
+			return
+		}
+		h.hub.Fail(errors.New(body.Error))
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+// shardPollInterval paces the workers' 202 polls. Exchange rounds are
+// milliseconds on realistic levels, so a short fixed interval stays
+// responsive without hammering the coordinator.
+const shardPollInterval = 2 * time.Millisecond
+
+// shardClient implements explore.ShardExchange over the coordinator's HTTP
+// hub: posts go through once, reads poll until the rendezvous completes.
+// Like the in-process exchange handle it tracks its phase cursor locally.
+type shardClient struct {
+	ctx    context.Context
+	client *http.Client
+	base   string
+	shard  int
+	phase  int
+}
+
+// do performs one request, distinguishing ready (200/204), still-filling
+// (202), and failure.
+func (c *shardClient) do(method, path string, body []byte) (data []byte, ready bool, err error) {
+	req, err := http.NewRequestWithContext(c.ctx, method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusNoContent:
+		return data, true, nil
+	case http.StatusAccepted:
+		return nil, false, nil
+	default:
+		var msg struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &msg) == nil && msg.Error != "" {
+			return nil, false, fmt.Errorf("service: coordinator: %s", msg.Error)
+		}
+		return nil, false, fmt.Errorf("service: coordinator: unexpected status %d", resp.StatusCode)
+	}
+}
+
+// poll repeats a read until the coordinator reports it ready.
+func (c *shardClient) poll(path string) ([]byte, error) {
+	for {
+		data, ready, err := c.do(http.MethodGet, path, nil)
+		if err != nil {
+			return nil, err
+		}
+		if ready {
+			return data, nil
+		}
+		select {
+		case <-c.ctx.Done():
+			return nil, c.ctx.Err()
+		case <-time.After(shardPollInterval):
+		}
+	}
+}
+
+// NextPhase implements explore.ShardExchange.
+func (c *shardClient) NextPhase() (explore.ShardPhase, error) {
+	seq := c.phase + 1
+	data, err := c.poll(fmt.Sprintf("/v1/shard/phase?seq=%d", seq))
+	if err != nil {
+		return explore.ShardPhase{}, err
+	}
+	var ph explore.ShardPhase
+	if err := json.Unmarshal(data, &ph); err != nil {
+		return explore.ShardPhase{}, fmt.Errorf("service: malformed phase: %w", err)
+	}
+	if !ph.Done {
+		c.phase = seq
+	}
+	return ph, nil
+}
+
+// Exchange implements explore.ShardExchange.
+func (c *shardClient) Exchange(level int, byOwner [][]explore.ShardCandidate) ([]explore.ShardCandidate, error) {
+	body, err := explore.EncodeShardBatches(byOwner)
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := c.do(http.MethodPost,
+		fmt.Sprintf("/v1/shard/buckets?phase=%d&level=%d&shard=%d", c.phase, level, c.shard), body); err != nil {
+		return nil, err
+	}
+	data, err := c.poll(fmt.Sprintf("/v1/shard/owned?phase=%d&level=%d&shard=%d", c.phase, level, c.shard))
+	if err != nil {
+		return nil, err
+	}
+	return explore.DecodeShardCandidates(data)
+}
+
+// SubmitWinners implements explore.ShardExchange.
+func (c *shardClient) SubmitWinners(level int, winners []explore.ShardCandidate) (explore.LevelSeal, error) {
+	body, err := explore.EncodeShardCandidates(winners)
+	if err != nil {
+		return explore.LevelSeal{}, err
+	}
+	if _, _, err := c.do(http.MethodPost,
+		fmt.Sprintf("/v1/shard/winners?phase=%d&level=%d&shard=%d", c.phase, level, c.shard), body); err != nil {
+		return explore.LevelSeal{}, err
+	}
+	data, err := c.poll(fmt.Sprintf("/v1/shard/seal?phase=%d&level=%d", c.phase, level))
+	if err != nil {
+		return explore.LevelSeal{}, err
+	}
+	return explore.DecodeLevelSeal(data)
+}
+
+// ShardConfig parameterizes RunShardedSearch.
+type ShardConfig struct {
+	// Spec is the search job; must have Goal == GoalSearch and no
+	// checkpoint opt-in (distributed pause/resume is future work).
+	Spec InstanceSpec
+	// Shards is the worker-process count (>= 1).
+	Shards int
+	// WorkerArgs builds the command line of one worker process given the
+	// coordinator's base URL; typically a re-exec of the current binary
+	// with hidden worker flags. Workers inherit the coordinator's stderr.
+	WorkerArgs func(coordURL string, shard int) []string
+	// OnProgress, when non-nil, receives the coordinator's per-level
+	// progress updates.
+	OnProgress func(ProgressUpdate)
+}
+
+// RunShardedSearch runs one GoalSearch job as a multi-process sharded
+// exploration: an in-process coordinator serving the shard hub on an
+// ephemeral localhost listener, plus cfg.Shards worker processes spawned
+// from cfg.WorkerArgs. The verdict is bit-identical to KsetRunner.Run on
+// the same spec at any shard count.
+func RunShardedSearch(ctx context.Context, cfg ShardConfig) (*Verdict, error) {
+	spec := cfg.Spec.withDefaults()
+	if spec.Goal != GoalSearch {
+		return nil, fmt.Errorf("service: sharded execution requires goal %q (got %q)", GoalSearch, spec.Goal)
+	}
+	if spec.Checkpoint {
+		return nil, fmt.Errorf("service: sharded execution does not support checkpointing")
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("service: shard count %d out of range", cfg.Shards)
+	}
+	if cfg.WorkerArgs == nil {
+		return nil, fmt.Errorf("service: ShardConfig.WorkerArgs is required")
+	}
+	r := KsetRunner{}
+	p, err := r.prepare(spec)
+	if err != nil {
+		return nil, err
+	}
+	digest, err := r.Digest(spec)
+	if err != nil {
+		return nil, err
+	}
+	hub := explore.NewLocalShardHub(cfg.Shards)
+	h := &shardHub{hub: hub, inst: shardInstance{Spec: spec, Shards: cfg.Shards, Digest: digest}}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("service: shard listener: %w", err)
+	}
+	srv := &http.Server{Handler: h.handler()}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+	coordURL := "http://" + ln.Addr().String()
+
+	// procCtx is a cleanup backstop, not the cancellation path: a user
+	// cancel flows cooperatively through the coordinator (truncated
+	// verdict, Halt seal, workers drain and exit zero); the hard kill only
+	// fires once RunShardedSearch itself returns.
+	procCtx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Shards; i++ {
+		args := cfg.WorkerArgs(coordURL, i)
+		if len(args) == 0 {
+			hub.Fail(fmt.Errorf("service: empty worker command for shard %d", i))
+			break
+		}
+		cmd := exec.CommandContext(procCtx, args[0], args[1:]...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			hub.Fail(fmt.Errorf("service: starting shard %d worker: %w", i, err))
+			break
+		}
+		wg.Add(1)
+		go func(shard int, cmd *exec.Cmd) {
+			defer wg.Done()
+			if err := cmd.Wait(); err != nil {
+				// A worker that died mid-protocol would otherwise leave the
+				// coordinator parked in a gather; poisoning the hub turns the
+				// crash into a prompt coordinator error. After a clean finish
+				// the Fail is a no-op for the already-returned coordinator.
+				hub.Fail(fmt.Errorf("service: shard %d worker: %w", shard, err))
+			}
+		}(i, cmd)
+	}
+
+	onProgress, _ := progressFuncs(cfg.OnProgress)
+	w, found, err := p.search.ShardCoordinate(ctx, p.request(onProgress), hub)
+	wg.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("service: sharded search: %w", err)
+	}
+	return searchVerdict(digest, w, found), nil
+}
+
+// ShardWorkerMain is the entry point of a worker process: it bootstraps the
+// instance from the coordinator, verifies the content digest, and runs its
+// shard until the coordinator finishes the phase sequence. Protocol errors
+// are reported back to the coordinator (best effort) before returning.
+func ShardWorkerMain(ctx context.Context, coordURL string, shard int) error {
+	client := &http.Client{}
+	c := &shardClient{ctx: ctx, client: client, base: coordURL, shard: shard, phase: -1}
+	var inst shardInstance
+	// Brief retry: the coordinator always listens before spawning workers,
+	// but a loaded machine can still glitch the first connect.
+	var data []byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		data, _, err = c.do(http.MethodGet, "/v1/shard/instance", nil)
+		if err == nil || attempt >= 20 || ctx.Err() != nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("service: fetching shard instance: %w", err)
+	}
+	if err := json.Unmarshal(data, &inst); err != nil {
+		return fmt.Errorf("service: malformed shard instance: %w", err)
+	}
+	if shard < 0 || shard >= inst.Shards {
+		return c.reportError(fmt.Errorf("service: shard index %d out of range [0,%d)", shard, inst.Shards))
+	}
+	r := KsetRunner{}
+	digest, err := r.Digest(inst.Spec)
+	if err != nil {
+		return c.reportError(fmt.Errorf("service: shard %d: %w", shard, err))
+	}
+	if digest != inst.Digest {
+		return c.reportError(fmt.Errorf(
+			"service: shard %d digest mismatch: coordinator %s, worker %s (version skew?)", shard, inst.Digest, digest))
+	}
+	p, err := r.prepare(inst.Spec)
+	if err != nil {
+		return c.reportError(fmt.Errorf("service: shard %d: %w", shard, err))
+	}
+	if err := p.search.ShardWorkerRun(ctx, p.request(nil), shard, inst.Shards, c); err != nil {
+		return c.reportError(fmt.Errorf("service: shard %d: %w", shard, err))
+	}
+	return nil
+}
+
+// reportError forwards a worker-side failure to the coordinator's hub so
+// every participant unblocks, then returns it for the worker's own exit.
+func (c *shardClient) reportError(err error) error {
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	_, _, _ = c.do(http.MethodPost, "/v1/shard/error", body)
+	return err
+}
+
+// ShardedRunner is a Runner that executes eligible GoalSearch jobs as
+// multi-process sharded explorations and delegates everything else
+// (impossibility jobs, checkpoint-opted jobs, Shards <= 1) to the embedded
+// KsetRunner. Digest is inherited unchanged: the shard count is a
+// deployment knob, not part of the verdict's content address, because
+// verdicts are bit-identical at every shard count.
+type ShardedRunner struct {
+	KsetRunner
+	// Shards is the worker-process count; <= 1 disables sharding.
+	Shards int
+	// WorkerArgs builds worker command lines (see ShardConfig.WorkerArgs).
+	WorkerArgs func(coordURL string, shard int) []string
+}
+
+// Run implements Runner.
+func (r ShardedRunner) Run(ctx context.Context, spec InstanceSpec, progress func(ProgressUpdate)) (*Verdict, error) {
+	s := spec.withDefaults()
+	if r.Shards > 1 && s.Goal == GoalSearch && !s.Checkpoint {
+		return RunShardedSearch(ctx, ShardConfig{
+			Spec:       spec,
+			Shards:     r.Shards,
+			WorkerArgs: r.WorkerArgs,
+			OnProgress: progress,
+		})
+	}
+	return r.KsetRunner.Run(ctx, spec, progress)
+}

@@ -117,8 +117,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestExperimentsRegistryComplete(t *testing.T) {
 	exps := Experiments()
-	if len(exps) != 14 {
-		t.Fatalf("suite has %d experiments, want 14", len(exps))
+	if len(exps) != 15 {
+		t.Fatalf("suite has %d experiments, want 15", len(exps))
 	}
 	seen := map[string]bool{}
 	for _, e := range exps {

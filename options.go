@@ -168,6 +168,12 @@ type SearchRequest struct {
 	// OnProgress, when non-nil, receives periodic (visited, level) progress
 	// from the search; level is -1 from engines that do not track depth.
 	OnProgress func(visited, level int)
+	// OnSnapshotError, when non-nil, is notified once if the search's
+	// best-effort level-boundary checkpoint snapshots start failing: the
+	// verdict is unaffected but crash durability degraded (see
+	// explore.Options.OnSnapshotError). Only meaningful with a Checkpoint
+	// configured on the Searcher.
+	OnSnapshotError func(error)
 }
 
 // explorer builds the condition-(C) explorer FindConsensusFailure and
@@ -175,17 +181,18 @@ type SearchRequest struct {
 // that would run.
 func (s *Searcher) explorer(ctx context.Context, req SearchRequest) *explore.Explorer {
 	return explore.New(sim.Restrict(req.Alg, req.Live), req.Inputs, explore.Options{
-		Live:       req.Live,
-		MaxCrashes: req.CrashBudget,
-		MaxConfigs: req.MaxConfigs,
-		Workers:    s.opts.Workers,
-		Symmetry:   s.opts.Symmetry,
-		POR:        s.opts.POR,
-		Faults:     s.faults,
-		Store:      s.store,
-		Checkpoint: s.opts.Checkpoint,
-		Context:    ctx,
-		OnProgress: req.OnProgress,
+		Live:            req.Live,
+		MaxCrashes:      req.CrashBudget,
+		MaxConfigs:      req.MaxConfigs,
+		Workers:         s.opts.Workers,
+		Symmetry:        s.opts.Symmetry,
+		POR:             s.opts.POR,
+		Faults:          s.faults,
+		Store:           s.store,
+		Checkpoint:      s.opts.Checkpoint,
+		Context:         ctx,
+		OnProgress:      req.OnProgress,
+		OnSnapshotError: req.OnSnapshotError,
 	})
 }
 

@@ -1,0 +1,108 @@
+package kset
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"kset/internal/explore"
+)
+
+// Sharded condition-(C) search: the FindConsensusFailure pipeline
+// partitioned across N cooperating explorers by fingerprint ownership
+// (explore.ShardOwner). The Searcher exposes the three roles:
+//
+//   - FindConsensusFailureSharded runs everything in-process (one
+//     coordinator plus N worker goroutines over an explore.LocalShardHub):
+//     the reference implementation the differential tests and experiment
+//     E15 compare against the plain search, and a drop-in way to shard a
+//     search without any process plumbing.
+//   - ShardCoordinate runs only the coordinator half against a caller-
+//     supplied hub, and ShardWorkerRun only one worker shard against a
+//     caller-supplied exchange handle — the split internal/service builds
+//     the multi-process `-shards N` mode from, with workers in separate
+//     OS processes talking to the coordinator's hub over localhost HTTP.
+//
+// Verdicts, stats, and witnesses are bit-identical to the single-process
+// FindConsensusFailure at any shard count; see internal/explore/shard.go
+// for the protocol and the argument.
+
+// shardable rejects Searcher configurations the sharded engine does not
+// support (checkpoint pause/resume of a distributed search is future work).
+func (s *Searcher) shardable() error {
+	if s.opts.Checkpoint != "" {
+		return fmt.Errorf("kset: sharded search does not support Options.Checkpoint")
+	}
+	return nil
+}
+
+// ShardCoordinate runs the coordinator half of a sharded consensus-failure
+// search: the disagreement phase, then — exactly as FindConsensusFailure —
+// the blocking phase even when disagreement only truncated, returning the
+// blocking result. The hub's workers must run ShardWorkerRun for the same
+// request under an identically configured Searcher. The hub is finished
+// (or failed) before returning, so workers always terminate.
+func (s *Searcher) ShardCoordinate(ctx context.Context, req SearchRequest, hub explore.ShardHub) (*explore.Witness, bool, error) {
+	if err := s.shardable(); err != nil {
+		hub.Fail(err)
+		return nil, false, err
+	}
+	ex := s.explorer(ctx, req)
+	defer hub.Finish()
+	w, found, err := ex.ShardSearch("disagreement", hub)
+	if err != nil {
+		hub.Fail(err)
+		return nil, false, err
+	}
+	if found {
+		return w, true, nil
+	}
+	w, found, err = ex.ShardSearch("blocking", hub)
+	if err != nil {
+		hub.Fail(err)
+		return nil, false, err
+	}
+	return w, found, nil
+}
+
+// ShardWorkerRun runs worker shard `shard` of `shards` for a sharded
+// consensus-failure search, driven by the coordinator's phase
+// announcements through ex. It returns when the coordinator finishes the
+// phase sequence, or with the first error (the caller should report errors
+// to the hub so the other participants unblock).
+func (s *Searcher) ShardWorkerRun(ctx context.Context, req SearchRequest, shard, shards int, ex explore.ShardExchange) error {
+	if err := s.shardable(); err != nil {
+		return err
+	}
+	return s.explorer(ctx, req).ShardWorker(shard, shards, ex)
+}
+
+// FindConsensusFailureSharded is FindConsensusFailure sharded across
+// `shards` in-process worker explorers. Results are bit-identical to the
+// plain search — same witness, same found flag, same stats — at any shard
+// count; shards == 1 exercises the full exchange protocol with a single
+// worker. Cancellation behaves as in FindConsensusFailure: the coordinator
+// polls ctx at level boundaries and the search comes back truncated with
+// Stats.Cancelled set.
+func (s *Searcher) FindConsensusFailureSharded(ctx context.Context, req SearchRequest, shards int) (*explore.Witness, bool, error) {
+	if shards < 1 {
+		return nil, false, fmt.Errorf("kset: shard count %d out of range", shards)
+	}
+	if err := s.shardable(); err != nil {
+		return nil, false, err
+	}
+	hub := explore.NewLocalShardHub(shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			if err := s.ShardWorkerRun(ctx, req, shard, shards, hub.Exchange(shard)); err != nil {
+				hub.Fail(fmt.Errorf("kset: shard %d: %w", shard, err))
+			}
+		}(i)
+	}
+	w, found, err := s.ShardCoordinate(ctx, req, hub)
+	wg.Wait()
+	return w, found, err
+}
