@@ -1,6 +1,7 @@
 package kset
 
 import (
+	"context"
 	"testing"
 
 	"kset/internal/algorithms"
@@ -171,17 +172,21 @@ func BenchmarkEngineTheorem10QuorumMin(b *testing.B) {
 }
 
 // BenchmarkSymmetryConsensusFailure times the facade-level condition-(C)
-// search (FindConsensusFailure: exhaustive disagreement + blocking search)
-// on the uniform-input Theorem 2 instance with SearchSymmetry off and on —
-// the EngineTheorem2MinWait-class workload where orbit reduction pays off.
+// search (Searcher.FindConsensusFailure: exhaustive disagreement + blocking
+// search) on the uniform-input Theorem 2 instance with Options.Symmetry off
+// and on — the EngineTheorem2MinWait-class workload where orbit reduction
+// pays off.
 func BenchmarkSymmetryConsensusFailure(b *testing.B) {
 	inputs := []Value{0, 0, 0, 0}
 	live := []ProcessID{1, 2, 3, 4}
 	run := func(b *testing.B, symmetry bool) {
-		defer func(old bool) { SearchSymmetry = old }(SearchSymmetry)
-		SearchSymmetry = symmetry
+		s, err := NewSearcher(Options{Symmetry: symmetry})
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := SearchRequest{Alg: NewMinWait(1), Inputs: inputs, Live: live, CrashBudget: 1, MaxConfigs: 200000}
 		for i := 0; i < b.N; i++ {
-			_, found, err := FindConsensusFailure(NewMinWait(1), inputs, live, 1, 200000)
+			_, found, err := s.FindConsensusFailure(context.Background(), req)
 			if err != nil {
 				b.Fatal(err)
 			}

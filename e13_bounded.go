@@ -33,7 +33,7 @@ type E13Params struct {
 	Spill bool
 	// Search configures the searches' worker count and checkpoint directory
 	// (the store and reductions are the experiment's subject and fixed per
-	// row); nil uses DefaultSearcher (the deprecated Search* globals).
+	// row); nil means default options.
 	Search *Searcher
 }
 

@@ -23,7 +23,7 @@ type E14Params struct {
 	EngineMaxConfigs int
 	// Search supplies the base search configuration; each row derives a
 	// per-fault Searcher from it (the Faults knob is the sweep's subject).
-	// Nil uses DefaultSearcher (the deprecated Search* globals).
+	// Nil means default options.
 	Search *Searcher
 }
 
@@ -73,8 +73,8 @@ func ExperimentFaultModels(p E14Params) (*Table, error) {
 	}
 
 	// Each row derives a per-fault Searcher from the base options instead of
-	// mutating the SearchFaults global: fault configurations stay isolated
-	// per row, so concurrent experiment runs cannot observe each other.
+	// mutating any shared state: fault configurations stay isolated per
+	// row, so concurrent experiment runs cannot observe each other.
 	base := orDefault(p.Search).Options()
 	perFault := func(faults string) (*Searcher, error) {
 		o := base
@@ -137,7 +137,7 @@ func ExperimentFaultModels(p E14Params) (*Table, error) {
 	return t, nil
 }
 
-// faultLabel renders the golden-table spelling of a SearchFaults value.
+// faultLabel renders the golden-table spelling of an Options.Faults value.
 func faultLabel(faults string) string {
 	if faults == "" {
 		return "crash"

@@ -21,8 +21,8 @@ type E15Params struct {
 	BlockingMaxConfigs int
 	// Shards lists the shard counts swept per instance.
 	Shards []int
-	// Search supplies the base search configuration. Nil uses
-	// DefaultSearcher (the deprecated Search* globals). E15 derives from it:
+	// Search supplies the base search configuration; nil means default
+	// options. E15 derives from it:
 	// Checkpoint is stripped (sharded searches do not checkpoint) and an
 	// in-memory store is promoted to "frontier" so the plain baseline
 	// reports the same per-level profile the sharded coordinator does.

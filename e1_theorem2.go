@@ -14,8 +14,8 @@ type E1Params struct {
 	MinN, MaxN int
 	// MaxConfigs bounds each subsystem exploration.
 	MaxConfigs int
-	// Search configures the engine searches; nil uses DefaultSearcher
-	// (the deprecated Search* globals).
+	// Search configures the engine searches; nil means default options
+	// (equivalent to NewSearcher(Options{})).
 	Search *Searcher
 }
 

@@ -15,8 +15,8 @@ import (
 type E5Params struct {
 	MinN, MaxN int
 	MaxConfigs int
-	// Search configures the engine searches; nil uses DefaultSearcher
-	// (the deprecated Search* globals).
+	// Search configures the engine searches; nil means default options
+	// (equivalent to NewSearcher(Options{})).
 	Search *Searcher
 }
 

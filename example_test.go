@@ -1,6 +1,7 @@
 package kset_test
 
 import (
+	"context"
 	"fmt"
 
 	"kset"
@@ -63,10 +64,14 @@ func ExampleCheckImpossibility() {
 	// decisions in witness run: 3
 }
 
-// ExampleTheorem10Construction reproduces the failure-detector
+// ExampleSearcher_Theorem10Construction reproduces the failure-detector
 // impossibility: (Sigma_2, Omega_2) cannot solve 2-set agreement for n = 5.
-func ExampleTheorem10Construction() {
-	rep, merged, err := kset.Theorem10Construction(5, 2, 80000)
+func ExampleSearcher_Theorem10Construction() {
+	s, err := kset.NewSearcher(kset.Options{})
+	if err != nil {
+		panic(err)
+	}
+	rep, merged, err := s.Theorem10Construction(context.Background(), 5, 2, 80000)
 	if err != nil {
 		panic(err)
 	}

@@ -83,16 +83,16 @@ type Experiment struct {
 // order. cmd/experiments prints them all; the root benchmarks time them.
 // Sweep-shaped experiments (E1, E5, E12) evaluate their independent cells on
 // a worker pool sized by SweepWorkers while emitting rows in deterministic
-// sequential order. The search-driven experiments read the deprecated
-// Search* globals via DefaultSearcher; ExperimentsWith threads an explicit
-// Searcher instead.
+// sequential order. The search-driven experiments run with default search
+// options; ExperimentsWith threads an explicit Searcher instead.
 func Experiments() []Experiment {
 	return ExperimentsWith(nil)
 }
 
 // ExperimentsWith is Experiments with an explicit search configuration for
-// the search-driven experiments (E1, E5, E6, E13, E14, E15); nil uses
-// DefaultSearcher (the deprecated Search* globals). Experiments that run no
+// the search-driven experiments (E1, E5, E6, E13, E14, E15); nil means
+// default options (never the deprecated Search* globals — pass
+// DefaultSearcher() explicitly to honour those). Experiments that run no
 // condition-(C) search are unaffected by the Searcher.
 func ExperimentsWith(s *Searcher) []Experiment {
 	return []Experiment{

@@ -31,7 +31,7 @@ var goldenExperiments = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
 
 // TestGoldenTables regenerates each gated experiment table and diffs it
 // against the committed golden file. The tables are deterministic at any
-// SweepWorkers/SearchWorkers setting, so a mismatch means an intended
+// sweep or search worker count, so a mismatch means an intended
 // output change (refresh the golden files) or a real regression.
 func TestGoldenTables(t *testing.T) {
 	byID := map[string]Experiment{}

@@ -1,0 +1,774 @@
+package algorithms
+
+// This file implements the packed encodings (sim.Packer) of the five
+// repository algorithms, making each a sim.PackableAlgorithm. A packer
+// replaces the interface-typed state of its algorithm with a fixed-width
+// record of uint64 words — bitmasks standing in for the id-keyed maps — and
+// must reproduce the pointer implementation BIT FOR BIT: the same state
+// evolution, the same sends in the same order, and hash chains identical to
+// the states' Hash64/SymHash64 and the payloads' chains. The equivalences
+// the encodings rest on:
+//
+//   - A genuine ValuePayload/Stage2Payload always carries the sender's own
+//     proposal (Value == inputs[From-1]), so a value map learned from
+//     genuine messages is fully determined by the set of senders learned
+//     from — a bitmask — and per-sender hash terms are precomputable.
+//   - Corrupted payloads fail every receiver's type assertion in the
+//     pointer engine, so packers ignore messages with the Corrupt flag and
+//     the value-map invariant above survives Byzantine fault injection.
+//   - FLPKSet's heard-lists are always sorted ascending, so a list is
+//     recoverable from its membership bitmask, and the per-sender stored
+//     lists are the senders' frozen stage-1 neighbourhoods — one Aux word
+//     per stage-2 message carries the whole list.
+//
+// The packed-vs-pointer differential tests and FuzzPackedParity in package
+// explore pin the bit-identity of fingerprints, canonical fingerprints,
+// keys, and visited sets across every reduction, fault model, store, and
+// worker count.
+
+import (
+	"math/bits"
+
+	"kset/internal/graph"
+	"kset/internal/sim"
+)
+
+// noValueWord is sim.NoValue as a record word (two's-complement uint64).
+var noValueWord = func() uint64 { v := sim.NoValue; return uint64(v) }()
+
+// maskIDs iterates a process bitmask in ascending id order.
+func maskIDs(mask uint64, fn func(p sim.ProcessID)) {
+	for m := mask; m != 0; m &= m - 1 {
+		fn(sim.ProcessID(bits.TrailingZeros64(m) + 1))
+	}
+}
+
+// hashIDsMask folds the ascending id list encoded by mask (length first)
+// into h — bit-identical to hashIDs over the materialized slice.
+func hashIDsMask(h uint64, mask uint64) uint64 {
+	h = sim.HashUint(h, uint64(bits.OnesCount64(mask)))
+	for m := mask; m != 0; m &= m - 1 {
+		h = sim.HashUint(h, uint64(bits.TrailingZeros64(m)+1))
+	}
+	return h
+}
+
+// idsFromMask materializes the ascending id slice of mask.
+func idsFromMask(mask uint64) []sim.ProcessID {
+	ids := make([]sim.ProcessID, 0, bits.OnesCount64(mask))
+	maskIDs(mask, func(p sim.ProcessID) { ids = append(ids, p) })
+	return ids
+}
+
+// valsFromMask materializes the proposal map {p: inputs[p-1]} of mask.
+func valsFromMask(mask uint64, inputs []sim.Value) map[sim.ProcessID]sim.Value {
+	vals := make(map[sim.ProcessID]sim.Value, bits.OnesCount64(mask))
+	maskIDs(mask, func(p sim.ProcessID) { vals[p] = inputs[p-1] })
+	return vals
+}
+
+// symTables caches the relabeled per-process hash terms of one Symmetry for
+// the broadcast-your-value packers. Built once by AttachSymmetry before the
+// search shares the packer across goroutines; SymHash64 falls back to
+// computing terms on the fly when handed a different Symmetry.
+type symTables struct {
+	sym *sim.Symmetry
+	// prefix[i]: the state-hash chain through (tag, relabel(id), input).
+	prefix []uint64
+	// valHash[j]: ValuePayload{j+1, inputs[j]}.SymHash64.
+	valHash []uint64
+	// valTerm[j]: symHashVals' commutative term for entry (j+1, inputs[j]).
+	valTerm []uint64
+}
+
+func buildSymTables(tag string, n int, inputs []sim.Value, sym *sim.Symmetry) *symTables {
+	t := &symTables{sym: sym, prefix: make([]uint64, n), valHash: make([]uint64, n), valTerm: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		label := sym.Label(sim.ProcessID(i + 1))
+		h := sim.HashString(sim.HashSeed(), tag)
+		h = sim.HashUint(h, label)
+		h = sim.HashUint(h, uint64(inputs[i]))
+		t.prefix[i] = h
+		t.valHash[i] = sim.HashUint(sim.HashUint(sim.HashSeed(), label), uint64(inputs[i]))
+		t.valTerm[i] = sim.HashMix(t.valHash[i])
+	}
+	return t
+}
+
+// valPacker is the shared encoding core of MinWait, QuorumMin, and
+// FirstHeard: one "broadcast ValuePayload once" algorithm family with
+// per-instance precomputed hash tables.
+//
+// Record layout (MinWait/QuorumMin; FirstHeard uses words 0-1 only):
+//
+//	word 0: flags (bit 0: sent)
+//	word 1: decision (uint64(sim.Value))
+//	word 2: vals bitmask (bit j: a value from process j+1 is held)
+type valPacker struct {
+	tag    string
+	n      int
+	inputs []sim.Value
+	// prefix[i]: concrete state-hash chain through (tag, id, input).
+	prefix []uint64
+	// valHash[j]: ValuePayload{j+1, inputs[j]}.Hash64.
+	valHash []uint64
+	// valTerm[j]: hashVals' commutative term for entry (j+1, inputs[j]).
+	valTerm []uint64
+	symtab  *symTables
+}
+
+const valSentBit = 1
+
+// kindVal tags the single message type of the valPacker family.
+const kindVal uint8 = 1
+
+func newValPacker(tag string, n int, inputs []sim.Value) valPacker {
+	p := valPacker{
+		tag: tag, n: n, inputs: append([]sim.Value(nil), inputs...),
+		prefix:  make([]uint64, n),
+		valHash: make([]uint64, n),
+		valTerm: make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		h := sim.HashString(sim.HashSeed(), tag)
+		h = sim.HashUint(h, uint64(i+1))
+		h = sim.HashUint(h, uint64(inputs[i]))
+		p.prefix[i] = h
+		p.valHash[i] = sim.HashUint(sim.HashUint(sim.HashSeed(), uint64(i+1)), uint64(inputs[i]))
+		p.valTerm[i] = sim.HashMix(p.valHash[i])
+	}
+	return p
+}
+
+func (p *valPacker) attachSym(sym *sim.Symmetry) {
+	if t := p.symtab; t != nil && t.sym == sym {
+		return
+	}
+	p.symtab = buildSymTables(p.tag, p.n, p.inputs, sym)
+}
+
+// sumValTerms sums the concrete hashVals terms over mask.
+func (p *valPacker) sumValTerms(mask uint64) uint64 {
+	var sum uint64
+	for m := mask; m != 0; m &= m - 1 {
+		sum += p.valTerm[bits.TrailingZeros64(m)]
+	}
+	return sum
+}
+
+// symSumValTerms sums the relabeled symHashVals terms over mask under sym.
+func (p *valPacker) symSumValTerms(mask uint64, sym *sim.Symmetry) uint64 {
+	if t := p.symtab; t != nil && t.sym == sym {
+		var sum uint64
+		for m := mask; m != 0; m &= m - 1 {
+			sum += t.valTerm[bits.TrailingZeros64(m)]
+		}
+		return sum
+	}
+	var sum uint64
+	for m := mask; m != 0; m &= m - 1 {
+		j := bits.TrailingZeros64(m)
+		sum += sim.HashMix(sim.HashUint(sim.HashUint(sim.HashSeed(), sym.Label(sim.ProcessID(j+1))), uint64(p.inputs[j])))
+	}
+	return sum
+}
+
+// hashTail folds the (sent, decision, valsSum) tail shared by the mw/qm
+// state hash chains.
+func hashTail(prefix uint64, sent bool, decision sim.Value, valsSum uint64) uint64 {
+	h := prefix
+	var sentBit uint64
+	if sent {
+		sentBit = 1
+	}
+	h = sim.HashUint(h, sentBit)
+	h = sim.HashUint(h, uint64(decision))
+	h = sim.HashUint(h, valsSum)
+	return h
+}
+
+func (p *valPacker) symPrefix(i int, sym *sim.Symmetry) uint64 {
+	if t := p.symtab; t != nil && t.sym == sym {
+		return t.prefix[i]
+	}
+	h := sim.HashString(sim.HashSeed(), p.tag)
+	h = sim.HashUint(h, sym.Label(sim.ProcessID(i+1)))
+	h = sim.HashUint(h, uint64(p.inputs[i]))
+	return h
+}
+
+func (p *valPacker) payloadHash(m sim.PackedMsg) uint64 {
+	return p.valHash[m.From-1]
+}
+
+func (p *valPacker) payloadSymHash(m sim.PackedMsg, sym *sim.Symmetry) uint64 {
+	if t := p.symtab; t != nil && t.sym == sym {
+		return t.valHash[m.From-1]
+	}
+	return sim.HashUint(sim.HashUint(sim.HashSeed(), sym.Label(m.From)), uint64(p.inputs[m.From-1]))
+}
+
+// minWaitPacker packs MinWait (see minwait.go).
+type minWaitPacker struct {
+	valPacker
+	f int
+}
+
+// NewPacker implements sim.PackableAlgorithm.
+func (a MinWait) NewPacker(n int, inputs []sim.Value) sim.Packer {
+	return &minWaitPacker{valPacker: newValPacker("mw", n, inputs), f: a.F}
+}
+
+func (p *minWaitPacker) Words() int { return 3 }
+
+func (p *minWaitPacker) Init(rec []uint64, i int) {
+	rec[0] = 0
+	rec[1] = noValueWord
+	rec[2] = 1 << uint(i) // vals = {own proposal}
+}
+
+func (p *minWaitPacker) Step(rec []uint64, i int, in sim.PackedInput, em *sim.PackedEmitter) {
+	if rec[0]&valSentBit == 0 {
+		rec[0] |= valSentBit
+		em.Broadcast(kindVal, 0)
+	}
+	for _, m := range in.Delivered {
+		if m.Corrupt || m.Kind != kindVal {
+			continue
+		}
+		rec[2] |= 1 << uint(m.From-1)
+	}
+	if sim.Value(rec[1]) == sim.NoValue && bits.OnesCount64(rec[2]) >= p.n-p.f {
+		minV := sim.Value(0)
+		first := true
+		maskIDs(rec[2], func(q sim.ProcessID) {
+			if v := p.inputs[q-1]; first || v < minV {
+				minV = v
+				first = false
+			}
+		})
+		rec[1] = uint64(minV)
+	}
+}
+
+func (p *minWaitPacker) Decided(rec []uint64, i int) (sim.Value, bool) {
+	v := sim.Value(rec[1])
+	return v, v != sim.NoValue
+}
+
+func (p *minWaitPacker) SendsDone(rec []uint64, i int) bool { return rec[0]&valSentBit != 0 }
+
+func (p *minWaitPacker) Hash64(rec []uint64, i int) uint64 {
+	return hashTail(p.prefix[i], rec[0]&valSentBit != 0, sim.Value(rec[1]), p.sumValTerms(rec[2]))
+}
+
+func (p *minWaitPacker) SymHash64(rec []uint64, i int, sym *sim.Symmetry) uint64 {
+	return hashTail(p.symPrefix(i, sym), rec[0]&valSentBit != 0, sim.Value(rec[1]), p.symSumValTerms(rec[2], sym))
+}
+
+func (p *minWaitPacker) AttachSymmetry(sym *sim.Symmetry) { p.attachSym(sym) }
+
+func (p *minWaitPacker) PayloadHash64(m sim.PackedMsg) uint64 { return p.payloadHash(m) }
+
+func (p *minWaitPacker) PayloadSymHash64(m sim.PackedMsg, sym *sim.Symmetry) (uint64, bool) {
+	return p.payloadSymHash(m, sym), true
+}
+
+func (p *minWaitPacker) Unpack(rec []uint64, i int) sim.State {
+	return &minWaitState{
+		n: p.n, f: p.f, id: sim.ProcessID(i + 1), input: p.inputs[i],
+		sent:     rec[0]&valSentBit != 0,
+		vals:     valsFromMask(rec[2], p.inputs),
+		decision: sim.Value(rec[1]),
+	}
+}
+
+func (p *minWaitPacker) UnpackPayload(m sim.PackedMsg) sim.Payload {
+	return ValuePayload{From: m.From, Value: p.inputs[m.From-1]}
+}
+
+// quorumMinPacker packs QuorumMin (see candidates.go).
+type quorumMinPacker struct {
+	valPacker
+}
+
+// NewPacker implements sim.PackableAlgorithm.
+func (QuorumMin) NewPacker(n int, inputs []sim.Value) sim.Packer {
+	return &quorumMinPacker{valPacker: newValPacker("qm", n, inputs)}
+}
+
+func (p *quorumMinPacker) Words() int { return 3 }
+
+func (p *quorumMinPacker) Init(rec []uint64, i int) {
+	rec[0] = 0
+	rec[1] = noValueWord
+	rec[2] = 1 << uint(i)
+}
+
+func (p *quorumMinPacker) Step(rec []uint64, i int, in sim.PackedInput, em *sim.PackedEmitter) {
+	if rec[0]&valSentBit == 0 {
+		rec[0] |= valSentBit
+		em.Broadcast(kindVal, 0)
+	}
+	for _, m := range in.Delivered {
+		if m.Corrupt || m.Kind != kindVal {
+			continue
+		}
+		rec[2] |= 1 << uint(m.From-1)
+	}
+	if sim.Value(rec[1]) == sim.NoValue {
+		if q, ok := quorumFromFD(in.FD); ok && len(q.IDs) > 0 {
+			covered := true
+			for _, id := range q.IDs {
+				if id < 1 || int(id) > p.n || rec[2]&(1<<uint(id-1)) == 0 {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				minV := p.inputs[i]
+				maskIDs(rec[2], func(qid sim.ProcessID) {
+					if v := p.inputs[qid-1]; v < minV {
+						minV = v
+					}
+				})
+				rec[1] = uint64(minV)
+			}
+		}
+	}
+}
+
+func (p *quorumMinPacker) Decided(rec []uint64, i int) (sim.Value, bool) {
+	v := sim.Value(rec[1])
+	return v, v != sim.NoValue
+}
+
+func (p *quorumMinPacker) SendsDone(rec []uint64, i int) bool { return rec[0]&valSentBit != 0 }
+
+func (p *quorumMinPacker) Hash64(rec []uint64, i int) uint64 {
+	return hashTail(p.prefix[i], rec[0]&valSentBit != 0, sim.Value(rec[1]), p.sumValTerms(rec[2]))
+}
+
+func (p *quorumMinPacker) SymHash64(rec []uint64, i int, sym *sim.Symmetry) uint64 {
+	return hashTail(p.symPrefix(i, sym), rec[0]&valSentBit != 0, sim.Value(rec[1]), p.symSumValTerms(rec[2], sym))
+}
+
+func (p *quorumMinPacker) AttachSymmetry(sym *sim.Symmetry) { p.attachSym(sym) }
+
+func (p *quorumMinPacker) PayloadHash64(m sim.PackedMsg) uint64 { return p.payloadHash(m) }
+
+func (p *quorumMinPacker) PayloadSymHash64(m sim.PackedMsg, sym *sim.Symmetry) (uint64, bool) {
+	return p.payloadSymHash(m, sym), true
+}
+
+func (p *quorumMinPacker) Unpack(rec []uint64, i int) sim.State {
+	return &quorumMinState{
+		n: p.n, id: sim.ProcessID(i + 1), input: p.inputs[i],
+		sent:     rec[0]&valSentBit != 0,
+		vals:     valsFromMask(rec[2], p.inputs),
+		decision: sim.Value(rec[1]),
+	}
+}
+
+func (p *quorumMinPacker) UnpackPayload(m sim.PackedMsg) sim.Payload {
+	return ValuePayload{From: m.From, Value: p.inputs[m.From-1]}
+}
+
+// firstHeardPacker packs FirstHeard (see candidates.go). The record needs
+// no vals mask — FirstHeard keeps nothing but the sent flag and the
+// decision.
+type firstHeardPacker struct {
+	valPacker
+}
+
+// NewPacker implements sim.PackableAlgorithm.
+func (FirstHeard) NewPacker(n int, inputs []sim.Value) sim.Packer {
+	return &firstHeardPacker{valPacker: newValPacker("fh", n, inputs)}
+}
+
+func (p *firstHeardPacker) Words() int { return 2 }
+
+func (p *firstHeardPacker) Init(rec []uint64, i int) {
+	rec[0] = 0
+	rec[1] = noValueWord
+}
+
+func (p *firstHeardPacker) Step(rec []uint64, i int, in sim.PackedInput, em *sim.PackedEmitter) {
+	if rec[0]&valSentBit == 0 {
+		rec[0] |= valSentBit
+		em.Broadcast(kindVal, 0)
+	}
+	for _, m := range in.Delivered {
+		if m.Corrupt || m.Kind != kindVal || int(m.From) == i+1 {
+			continue
+		}
+		if sim.Value(rec[1]) == sim.NoValue {
+			if v := p.inputs[m.From-1]; v < p.inputs[i] {
+				rec[1] = uint64(v)
+			} else {
+				rec[1] = uint64(p.inputs[i])
+			}
+		}
+	}
+}
+
+func (p *firstHeardPacker) Decided(rec []uint64, i int) (sim.Value, bool) {
+	v := sim.Value(rec[1])
+	return v, v != sim.NoValue
+}
+
+func (p *firstHeardPacker) SendsDone(rec []uint64, i int) bool { return rec[0]&valSentBit != 0 }
+
+// fhHash folds the fh chain (no vals sum).
+func fhHash(prefix uint64, sent bool, decision sim.Value) uint64 {
+	h := prefix
+	var sentBit uint64
+	if sent {
+		sentBit = 1
+	}
+	h = sim.HashUint(h, sentBit)
+	h = sim.HashUint(h, uint64(decision))
+	return h
+}
+
+func (p *firstHeardPacker) Hash64(rec []uint64, i int) uint64 {
+	return fhHash(p.prefix[i], rec[0]&valSentBit != 0, sim.Value(rec[1]))
+}
+
+func (p *firstHeardPacker) SymHash64(rec []uint64, i int, sym *sim.Symmetry) uint64 {
+	return fhHash(p.symPrefix(i, sym), rec[0]&valSentBit != 0, sim.Value(rec[1]))
+}
+
+func (p *firstHeardPacker) AttachSymmetry(sym *sim.Symmetry) { p.attachSym(sym) }
+
+func (p *firstHeardPacker) PayloadHash64(m sim.PackedMsg) uint64 { return p.payloadHash(m) }
+
+func (p *firstHeardPacker) PayloadSymHash64(m sim.PackedMsg, sym *sim.Symmetry) (uint64, bool) {
+	return p.payloadSymHash(m, sym), true
+}
+
+func (p *firstHeardPacker) Unpack(rec []uint64, i int) sim.State {
+	return &firstHeardState{
+		n: p.n, id: sim.ProcessID(i + 1), input: p.inputs[i],
+		sent:     rec[0]&valSentBit != 0,
+		decision: sim.Value(rec[1]),
+	}
+}
+
+func (p *firstHeardPacker) UnpackPayload(m sim.PackedMsg) sim.Payload {
+	return ValuePayload{From: m.From, Value: p.inputs[m.From-1]}
+}
+
+// decideOwnPacker packs DecideOwn: one word holding the stepped bit.
+type decideOwnPacker struct {
+	inputs []sim.Value
+	// hash[i][b]: decideOwnState{inputs[i], b==1}.Hash64 (== SymHash64).
+	hash [][2]uint64
+}
+
+// NewPacker implements sim.PackableAlgorithm.
+func (DecideOwn) NewPacker(n int, inputs []sim.Value) sim.Packer {
+	p := &decideOwnPacker{inputs: append([]sim.Value(nil), inputs...), hash: make([][2]uint64, n)}
+	for i := 0; i < n; i++ {
+		h := sim.HashUint(sim.HashSeed(), uint64(inputs[i]))
+		p.hash[i][0] = sim.HashUint(h, 0)
+		p.hash[i][1] = sim.HashUint(h, 1)
+	}
+	return p
+}
+
+func (p *decideOwnPacker) Words() int { return 1 }
+
+func (p *decideOwnPacker) Init(rec []uint64, i int) { rec[0] = 0 }
+
+func (p *decideOwnPacker) Step(rec []uint64, i int, in sim.PackedInput, em *sim.PackedEmitter) {
+	rec[0] = 1
+}
+
+func (p *decideOwnPacker) Decided(rec []uint64, i int) (sim.Value, bool) {
+	return p.inputs[i], rec[0] != 0
+}
+
+func (p *decideOwnPacker) SendsDone(rec []uint64, i int) bool { return true }
+
+func (p *decideOwnPacker) Hash64(rec []uint64, i int) uint64 { return p.hash[i][rec[0]&1] }
+
+func (p *decideOwnPacker) SymHash64(rec []uint64, i int, sym *sim.Symmetry) uint64 {
+	return p.hash[i][rec[0]&1]
+}
+
+func (p *decideOwnPacker) AttachSymmetry(*sim.Symmetry) {}
+
+// PayloadHash64 is unreachable — DecideOwn never sends — but must satisfy
+// the interface.
+func (p *decideOwnPacker) PayloadHash64(m sim.PackedMsg) uint64 { return 0 }
+
+func (p *decideOwnPacker) PayloadSymHash64(m sim.PackedMsg, sym *sim.Symmetry) (uint64, bool) {
+	return 0, false
+}
+
+func (p *decideOwnPacker) Unpack(rec []uint64, i int) sim.State {
+	return decideOwnState{input: p.inputs[i], stepped: rec[0] != 0}
+}
+
+func (p *decideOwnPacker) UnpackPayload(m sim.PackedMsg) sim.Payload { return nil }
+
+// flpPacker packs FLPKSet (see flpkset.go).
+//
+// Record layout (5 + n words):
+//
+//	word 0: stage (bits 0-7), sentS1 (bit 8), sentS2 (bit 9)
+//	word 1: s1seen bitmask
+//	word 2: heard bitmask (valid once stage >= 2; the frozen stage-1
+//	        neighbourhood, ascending order == ascending bits)
+//	word 3: lists bitmask (senders whose stage-2 list is stored; own bit
+//	        set at the freeze). The vals map is implied: lists | own.
+//	word 4: decision
+//	word 5+j: process j+1's stored list bitmask (valid when bit j of
+//	        word 3 is set)
+//
+// FLPKSet deliberately opts out of SymHasher64 (its min-id decide rule is
+// not renaming-equivariant), so SymHash64 returns the concrete hash and
+// PayloadSymHash64 reports ok=false — reproducing the pointer fallback.
+type flpPacker struct {
+	n, f   int
+	inputs []sim.Value
+	// prefix[i]: hash chain through ("flp", id, input).
+	prefix []uint64
+	// mixID[j]: the s1seen sum term HashMix(j+1).
+	mixID []uint64
+	// valTerm[j]: hashVals' term for (j+1, inputs[j]).
+	valTerm []uint64
+	// s1Hash[j]: Stage1Payload{j+1}.Hash64.
+	s1Hash []uint64
+	// s2Prefix[j]: Stage2Payload chain through ("S2", j+1, inputs[j]).
+	s2Prefix []uint64
+	// listPrefix[j]: the lists-sum inner chain seed HashUint(seed, j+1).
+	listPrefix []uint64
+}
+
+const (
+	flpStageMask       = 0xff
+	flpSentS1Bit       = 1 << 8
+	flpSentS2Bit       = 1 << 9
+	kindS1       uint8 = 1
+	kindS2       uint8 = 2
+	flpListBase        = 5
+)
+
+// NewPacker implements sim.PackableAlgorithm.
+func (a FLPKSet) NewPacker(n int, inputs []sim.Value) sim.Packer {
+	p := &flpPacker{
+		n: n, f: a.F, inputs: append([]sim.Value(nil), inputs...),
+		prefix:     make([]uint64, n),
+		mixID:      make([]uint64, n),
+		valTerm:    make([]uint64, n),
+		s1Hash:     make([]uint64, n),
+		s2Prefix:   make([]uint64, n),
+		listPrefix: make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		h := sim.HashString(sim.HashSeed(), "flp")
+		h = sim.HashUint(h, uint64(i+1))
+		h = sim.HashUint(h, uint64(inputs[i]))
+		p.prefix[i] = h
+		p.mixID[i] = sim.HashMix(uint64(i + 1))
+		p.valTerm[i] = sim.HashMix(sim.HashUint(sim.HashUint(sim.HashSeed(), uint64(i+1)), uint64(inputs[i])))
+		p.s1Hash[i] = sim.HashUint(sim.HashString(sim.HashSeed(), "S1"), uint64(i+1))
+		s2 := sim.HashString(sim.HashSeed(), "S2")
+		s2 = sim.HashUint(s2, uint64(i+1))
+		s2 = sim.HashUint(s2, uint64(inputs[i]))
+		p.s2Prefix[i] = s2
+		p.listPrefix[i] = sim.HashUint(sim.HashSeed(), uint64(i+1))
+	}
+	return p
+}
+
+func (p *flpPacker) Words() int { return flpListBase + p.n }
+
+func (p *flpPacker) l() int { return p.n - p.f }
+
+func (p *flpPacker) Init(rec []uint64, i int) {
+	for j := range rec {
+		rec[j] = 0
+	}
+	rec[0] = 1 // stage 1
+	rec[4] = noValueWord
+}
+
+func (p *flpPacker) Step(rec []uint64, i int, in sim.PackedInput, em *sim.PackedEmitter) {
+	own := uint64(1) << uint(i)
+	if rec[0]&flpSentS1Bit == 0 {
+		rec[0] |= flpSentS1Bit
+		em.Broadcast(kindS1, 0)
+	}
+	for _, m := range in.Delivered {
+		if m.Corrupt {
+			continue
+		}
+		from := uint64(1) << uint(m.From-1)
+		switch m.Kind {
+		case kindS1:
+			if int(m.From) != i+1 && rec[0]&flpStageMask == 1 {
+				rec[1] |= from
+			}
+		case kindS2:
+			if int(m.From) == i+1 {
+				continue
+			}
+			if rec[3]&from == 0 {
+				rec[3] |= from
+				rec[flpListBase+int(m.From)-1] = m.Aux
+			}
+		}
+	}
+	if rec[0]&flpStageMask == 1 && bits.OnesCount64(rec[1]) >= p.l()-1 {
+		rec[2] = rec[1]
+		rec[flpListBase+i] = rec[2]
+		rec[3] |= own
+		rec[0] = rec[0]&^flpStageMask | 2
+	}
+	if rec[0]&flpStageMask == 2 && rec[0]&flpSentS2Bit == 0 {
+		rec[0] |= flpSentS2Bit
+		em.Broadcast(kindS2, rec[2])
+	}
+	if rec[0]&flpStageMask == 2 && p.closureComplete(rec, i) {
+		p.decide(rec, i)
+		rec[0] = rec[0]&^flpStageMask | 3
+	}
+}
+
+// closureComplete mirrors flpState.closureComplete: every process mentioned
+// in any stored list (own id excepted) must have a stored list.
+func (p *flpPacker) closureComplete(rec []uint64, i int) bool {
+	var union uint64
+	for m := rec[3]; m != 0; m &= m - 1 {
+		union |= rec[flpListBase+bits.TrailingZeros64(m)]
+	}
+	own := uint64(1) << uint(i)
+	return union&^own&^rec[3] == 0
+}
+
+// decide mirrors flpState.decide, building the known communication graph
+// and picking the smallest source component reaching this process.
+func (p *flpPacker) decide(rec []uint64, i int) {
+	id := i + 1
+	g := graph.New()
+	g.AddNode(id)
+	for m := rec[3]; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros64(m) + 1
+		g.AddNode(w)
+		for lm := rec[flpListBase+w-1]; lm != 0; lm &= lm - 1 {
+			u := bits.TrailingZeros64(lm) + 1
+			if u == w {
+				continue
+			}
+			_ = g.AddEdge(u, w)
+		}
+	}
+	comps := g.SourceComponentsReaching(id)
+	if len(comps) == 0 {
+		rec[4] = uint64(p.inputs[i])
+		return
+	}
+	root := comps[0][0]
+	valsMask := rec[3] | uint64(1)<<uint(i)
+	if root >= 1 && root <= p.n && valsMask&(1<<uint(root-1)) != 0 {
+		rec[4] = uint64(p.inputs[root-1])
+		return
+	}
+	rec[4] = uint64(p.inputs[i])
+}
+
+func (p *flpPacker) Decided(rec []uint64, i int) (sim.Value, bool) {
+	v := sim.Value(rec[4])
+	return v, v != sim.NoValue
+}
+
+func (p *flpPacker) SendsDone(rec []uint64, i int) bool {
+	return rec[0]&flpSentS1Bit != 0 && rec[0]&flpSentS2Bit != 0
+}
+
+func (p *flpPacker) Hash64(rec []uint64, i int) uint64 {
+	h := p.prefix[i]
+	h = sim.HashUint(h, rec[0]&flpStageMask)
+	var sent uint64
+	if rec[0]&flpSentS1Bit != 0 {
+		sent |= 1
+	}
+	if rec[0]&flpSentS2Bit != 0 {
+		sent |= 2
+	}
+	h = sim.HashUint(h, sent)
+	h = sim.HashUint(h, rec[4])
+	var seen uint64
+	for m := rec[1]; m != 0; m &= m - 1 {
+		seen += p.mixID[bits.TrailingZeros64(m)]
+	}
+	h = sim.HashUint(h, seen)
+	// heard is nil (length 0) until the freeze sets stage 2.
+	var heard uint64
+	if rec[0]&flpStageMask >= 2 {
+		heard = rec[2]
+	}
+	h = hashIDsMask(h, heard)
+	var lists uint64
+	for m := rec[3]; m != 0; m &= m - 1 {
+		j := bits.TrailingZeros64(m)
+		lists += sim.HashMix(hashIDsMask(p.listPrefix[j], rec[flpListBase+j]))
+	}
+	h = sim.HashUint(h, lists)
+	var vals uint64
+	for m := rec[3] | uint64(1)<<uint(i); m != 0; m &= m - 1 {
+		vals += p.valTerm[bits.TrailingZeros64(m)]
+	}
+	h = sim.HashUint(h, vals)
+	return h
+}
+
+func (p *flpPacker) SymHash64(rec []uint64, i int, sym *sim.Symmetry) uint64 {
+	// flpState has no SymHash64 on purpose; the symmetry layer falls back
+	// to the concrete hash.
+	return p.Hash64(rec, i)
+}
+
+func (p *flpPacker) AttachSymmetry(*sim.Symmetry) {}
+
+func (p *flpPacker) PayloadHash64(m sim.PackedMsg) uint64 {
+	if m.Kind == kindS1 {
+		return p.s1Hash[m.From-1]
+	}
+	return hashIDsMask(p.s2Prefix[m.From-1], m.Aux)
+}
+
+func (p *flpPacker) PayloadSymHash64(m sim.PackedMsg, sym *sim.Symmetry) (uint64, bool) {
+	return 0, false
+}
+
+func (p *flpPacker) Unpack(rec []uint64, i int) sim.State {
+	s := &flpState{
+		n: p.n, f: p.f, id: sim.ProcessID(i + 1), input: p.inputs[i],
+		stage:    int(rec[0] & flpStageMask),
+		sentS1:   rec[0]&flpSentS1Bit != 0,
+		sentS2:   rec[0]&flpSentS2Bit != 0,
+		s1seen:   make(map[sim.ProcessID]bool, bits.OnesCount64(rec[1])),
+		lists:    make(map[sim.ProcessID][]sim.ProcessID, bits.OnesCount64(rec[3])),
+		vals:     valsFromMask(rec[3]|uint64(1)<<uint(i), p.inputs),
+		decision: sim.Value(rec[4]),
+	}
+	maskIDs(rec[1], func(q sim.ProcessID) { s.s1seen[q] = true })
+	if s.stage >= 2 {
+		s.heard = idsFromMask(rec[2])
+	}
+	maskIDs(rec[3], func(q sim.ProcessID) {
+		s.lists[q] = idsFromMask(rec[flpListBase+int(q)-1])
+	})
+	return s
+}
+
+func (p *flpPacker) UnpackPayload(m sim.PackedMsg) sim.Payload {
+	if m.Kind == kindS1 {
+		return Stage1Payload{From: m.From}
+	}
+	return Stage2Payload{From: m.From, Value: p.inputs[m.From-1], Heard: idsFromMask(m.Aux)}
+}

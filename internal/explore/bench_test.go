@@ -179,6 +179,40 @@ func BenchmarkFrontierOnlySearch(b *testing.B) {
 	b.Run("frontier", func(b *testing.B) { run(b, StoreFrontierOnly) })
 }
 
+// BenchmarkPackedExpansion times the same exhaustive uniform-input Theorem 2
+// search as BenchmarkFrontierOnlySearch (MinWait{F:1}, four processes, one
+// late crash, ~42683 configurations) on the pointer configuration engine
+// ("off") and the packed struct-of-arrays engine ("on"). Both variants are
+// gated in CI (cmd/benchgate) with the -benchmem columns: the pair pins the
+// packed engine's speedup AND its per-state allocation profile — the packed
+// engine's reason to exist is the B/op and allocs/op columns. Both report
+// nodes/op (identical by the bit-identity guarantee; benchgate shows the
+// delta, which must be zero).
+func BenchmarkPackedExpansion(b *testing.B) {
+	inputs := []sim.Value{0, 0, 0, 0}
+	live := []sim.ProcessID{1, 2, 3, 4}
+	run := func(b *testing.B, packed bool) {
+		b.ReportAllocs()
+		visited := 0
+		for i := 0; i < b.N; i++ {
+			e := New(algorithms.MinWait{F: 1}, inputs, Options{
+				Live:       live,
+				MaxCrashes: 1,
+				Workers:    1,
+				Packed:     packed,
+			})
+			w, found, err := e.FindDisagreement()
+			if err != nil || found || w.Stats.Truncated {
+				b.Fatalf("found=%t truncated=%t err=%v", found, w.Stats.Truncated, err)
+			}
+			visited = w.Stats.Visited
+		}
+		b.ReportMetric(float64(visited), "nodes/op")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}
+
 func BenchmarkValence(b *testing.B) {
 	inputs := []sim.Value{0, 1, 1}
 	for i := 0; i < b.N; i++ {

@@ -219,6 +219,20 @@ type Options struct {
 	// search, from the goroutine driving it, at the moment durability
 	// degrades; Stats.SnapshotFailed records the same fact at completion.
 	OnSnapshotError func(error)
+	// Packed selects the struct-of-arrays configuration engine: process
+	// records live in flat uint64 slices and buffered messages in a flat
+	// pool (see sim.Packer), so cloning a configuration is a handful of
+	// memcpys instead of per-process allocations. Like Workers and Store it
+	// is a memory/speed regime, not a search parameter: visited sets,
+	// insertion order, tie-breaks, truncation points, witnesses, and stats
+	// are bit-identical to the pointer engine (the packed differential
+	// tests and FuzzPackedParity pin this), and it is deliberately excluded
+	// from the search digest so checkpoints and cached verdicts interoperate
+	// across the two engines. The knob stands down silently — exactly like
+	// POR under an oracle — when the algorithm does not implement
+	// sim.PackableAlgorithm or the system exceeds 64 processes. Default
+	// off.
+	Packed bool
 	// Workers caps the number of goroutines expanding the BFS frontier.
 	// Zero means GOMAXPROCS; 1 runs the exact sequential legacy search. Any
 	// value above 1 enables the level-synchronous parallel frontier of
@@ -259,6 +273,9 @@ type Explorer struct {
 	// content — so both the commutation pruning and the crashed-slot key
 	// normalization stand down when one is configured).
 	por bool
+	// packed reports that the packed engine is active: Options.Packed was
+	// set and the algorithm/system pair supports it (sim.PackerFor).
+	packed bool
 	// sc is the explorer's own search context, used by sequential searches
 	// and by the critical-step driver.
 	sc searchCtx
@@ -328,6 +345,12 @@ func New(alg sim.Algorithm, inputs []sim.Value, opts Options) *Explorer {
 	// quotient would erase spent budgets of crashed processes.
 	e.por = opts.POR && opts.Oracle == nil && hasMode(opts.Modes, DeliverAll) &&
 		opts.Faults.Model == sim.FaultCrash
+	// Packed stands down silently when the algorithm/system pair has no
+	// packer; the verdict contract makes the fallback unobservable.
+	if opts.Packed {
+		_, _, ok := sim.PackerFor(alg, e.inputs)
+		e.packed = ok
+	}
 	e.sc.e = e
 	return e
 }
@@ -350,10 +373,22 @@ func (e *Explorer) searchWorkers() int {
 	return w
 }
 
-// initial builds the starting configuration: everyone outside Live is
+// initial builds the starting configuration — on the packed engine when
+// the explorer resolved Options.Packed — with everyone outside Live
 // silently crashed (initially dead).
 func (e *Explorer) initial() (*sim.Configuration, error) {
-	cfg := sim.NewConfiguration(e.alg, e.inputs)
+	var cfg *sim.Configuration
+	if e.packed {
+		pcfg, ok := sim.NewPackedConfiguration(e.alg, e.inputs)
+		if !ok {
+			// PackerFor approved this pair in New; a refusal here means the
+			// algorithm changed identity between calls.
+			return nil, fmt.Errorf("explore: packed engine refused %s", e.alg.Name())
+		}
+		cfg = pcfg
+	} else {
+		cfg = sim.NewConfiguration(e.alg, e.inputs)
+	}
 	liveSet := make(map[sim.ProcessID]bool, len(e.opts.Live))
 	for _, p := range e.opts.Live {
 		liveSet[p] = true
@@ -369,6 +404,18 @@ func (e *Explorer) initial() (*sim.Configuration, error) {
 		cfg.AttachSymmetry(e.sym)
 	}
 	return cfg, nil
+}
+
+// initialView builds the starting configuration on the pointer engine
+// regardless of Options.Packed. Witness replay uses it: a replayed Run
+// escapes to callers who inspect states, apply further steps, and expect
+// the materialized event trail that the packed engine elides.
+func (e *Explorer) initialView() (*sim.Configuration, error) {
+	packed := e.packed
+	e.packed = false
+	cfg, err := e.initial()
+	e.packed = packed
+	return cfg, err
 }
 
 // cfgKey combines the configuration fingerprint with the crash budget

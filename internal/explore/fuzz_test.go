@@ -242,3 +242,79 @@ func FuzzFaultParity(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPackedParity is the fuzzing arm of the packed-engine differential
+// gate (see packed_differential_test.go): for a random small instance, a
+// random fault adversary, and a random reduction mode, the packed
+// struct-of-arrays engine must reproduce the pointer engine's searches
+// bit for bit — found flags, stats (truncation points included), witness
+// details, and scheduled witness runs, with found witnesses revalidating
+// by concrete replay. CI runs the target briefly (see the fuzz-smoke
+// step); the seed corpus runs as ordinary tests on every `go test`.
+func FuzzPackedParity(f *testing.F) {
+	// One seed per algorithm, plus one per non-crash fault model and one
+	// per reduction mode, so every packed code path (corrupt-flag hashing,
+	// omission branching, orbit-canonical packer tables, crash-normalized
+	// keys) fuzzes from the first corpus run.
+	f.Add(byte(0), byte(1), byte(1), uint16(0b100100), byte(0), byte(0)) // minwait n=3 mixed, crash
+	f.Add(byte(1), byte(0), byte(1), uint16(0b0100), byte(0), byte(0))   // flpkset n=2 mixed, crash
+	f.Add(byte(2), byte(1), byte(0), uint16(0b110000), byte(0), byte(0)) // firstheard n=3
+	f.Add(byte(3), byte(1), byte(1), uint16(0b010101), byte(0), byte(0)) // decideown n=3, crash
+	f.Add(byte(0), byte(1), byte(0), uint16(0b100100), byte(1), byte(1)) // minwait, send omission, sym
+	f.Add(byte(2), byte(1), byte(0), uint16(0b110000), byte(2), byte(2)) // firstheard, receive omission, por
+	f.Add(byte(0), byte(0), byte(1), uint16(0b0100), byte(3), byte(1))   // minwait n=2, byzantine, sym
+	f.Add(byte(0), byte(1), byte(1), uint16(0), byte(0), byte(3))        // minwait uniform, crash, por+sym
+	f.Fuzz(func(t *testing.T, algPick, nPick, crashPick byte, inputBits uint16, faultPick, modePick byte) {
+		d := fuzzInstance(algPick, nPick, crashPick, inputBits)
+		faults := fuzzFaults(faultPick)
+		symmetry := modePick&1 != 0
+		por := modePick&2 != 0
+		build := func(packed bool) *Explorer {
+			return New(sim.Restrict(d.alg, d.live), d.inputs, Options{
+				Live:       d.live,
+				MaxCrashes: d.crashes,
+				MaxConfigs: 12000,
+				Workers:    1,
+				Symmetry:   symmetry,
+				POR:        por,
+				Faults:     faults,
+				Packed:     packed,
+			})
+		}
+		goals := []struct {
+			name string
+			find func(*Explorer) (*Witness, bool, error)
+		}{
+			{"disagreement", (*Explorer).FindDisagreement},
+			{"blocking", (*Explorer).FindBlocking},
+		}
+		for _, g := range goals {
+			ptrW, ptrFound, err := g.find(build(false))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pckW, pckFound, err := g.find(build(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pckFound != ptrFound {
+				t.Fatalf("%s verdict diverged on %s %v crashes=%d: packed found=%t, pointer found=%t",
+					g.name, d.name, d.inputs, d.crashes, pckFound, ptrFound)
+			}
+			if pckW.Stats != ptrW.Stats {
+				t.Fatalf("%s stats diverged on %s %v: packed %+v, pointer %+v",
+					g.name, d.name, d.inputs, pckW.Stats, ptrW.Stats)
+			}
+			if !pckFound {
+				continue
+			}
+			if pckW.Detail != ptrW.Detail {
+				t.Fatalf("%s detail diverged: packed %q, pointer %q", g.name, pckW.Detail, ptrW.Detail)
+			}
+			if got, want := runSignature(pckW.Run), runSignature(ptrW.Run); got != want {
+				t.Fatalf("%s witness run diverged:\n got %s\nwant %s", g.name, got, want)
+			}
+			testutil.RevalidateWitness(t, pckW.Kind, pckW.Run)
+		}
+	})
+}

@@ -142,7 +142,7 @@ func (e *Explorer) porPlan(cfg *sim.Configuration) porPlan {
 		if cfg.Crashed(p) {
 			continue
 		}
-		if !sim.StateSendsDone(cfg.State(p)) {
+		if !cfg.StateSendsDone(p) {
 			return porPlan{}
 		}
 		if plan.leader == sim.NoProcess && cfg.BufferSize(p) > 0 {

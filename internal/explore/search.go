@@ -235,7 +235,12 @@ func (e *Explorer) replay(ar *arena, idx int32) (*sim.Run, error) {
 // configuration, producing a recorded run: the shared tail of arena-path
 // replay and of the bounded engines' log-reconstructed witnesses.
 func (e *Explorer) replayActions(acts []action) (*sim.Run, error) {
-	cfg, err := e.initial()
+	// Always replay on the pointer engine: the Run and its Final
+	// configuration escape to callers (state inspection, further Apply
+	// calls, event trails), which is exactly the explain/debug surface the
+	// packed engine trades away. Verdicts never depend on the engine, so
+	// the replayed witness is the same run the packed search found.
+	cfg, err := e.initialView()
 	if err != nil {
 		return nil, err
 	}

@@ -25,8 +25,9 @@ const (
 // InstanceSpec is the wire form of a verification job: everything that
 // determines the verdict, in the CLI spellings of cmd/impossibility. The
 // digest of a spec — and therefore the verdict-cache key — covers exactly
-// the fields that can change the result: Workers and Store are excluded
-// (results are bit-identical across them), everything else is included.
+// the fields that can change the result: Workers, Store, and Packed are
+// excluded (results are bit-identical across them), everything else is
+// included.
 type InstanceSpec struct {
 	// Alg names the algorithm under test (kset.NewAlgorithm spelling).
 	Alg string `json:"alg"`
@@ -60,6 +61,10 @@ type InstanceSpec struct {
 	// Store selects the memory regime: "" or "inmem", "frontier", or
 	// "spill". Not part of the digest.
 	Store string `json:"store,omitempty"`
+	// Packed selects the configuration engine: "" or "off", "on"/"auto"
+	// (explore.ParsePacked spelling, silent fallback where unsupported).
+	// Not part of the digest: verdicts are bit-identical across engines.
+	Packed string `json:"packed,omitempty"`
 	// Faults selects the fault adversary (explore.ParseFaults spelling).
 	Faults string `json:"faults,omitempty"`
 	// Checkpoint opts the job into the server's checkpoint directory:
@@ -114,7 +119,7 @@ func (sp InstanceSpec) validate() error {
 	if sp.MaxConfigs < 1 {
 		return fmt.Errorf("service: max_configs = %d < 1", sp.MaxConfigs)
 	}
-	if err := (kset.Options{Store: sp.Store, Faults: sp.Faults}).Validate(); err != nil {
+	if err := (kset.Options{Store: sp.Store, Faults: sp.Faults, Packed: sp.Packed}).Validate(); err != nil {
 		return fmt.Errorf("service: %w", err)
 	}
 	if sp.Checkpoint {
@@ -138,6 +143,7 @@ func (sp InstanceSpec) options(checkpointDir string) kset.Options {
 		POR:      sp.POR,
 		Store:    sp.Store,
 		Faults:   sp.Faults,
+		Packed:   sp.Packed,
 	}
 	if sp.Checkpoint {
 		o.Checkpoint = checkpointDir

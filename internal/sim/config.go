@@ -65,6 +65,23 @@ type Configuration struct {
 	symfp   uint64
 	symBase []uint64
 	symMsg  []uint64
+
+	// pk, when non-nil, switches the configuration to the packed engine
+	// (see packed.go): states/buffers stay nil and process records live in
+	// the flat pstates slice (n stride-pwords records) with buffered
+	// messages in pbuf. Everything else — crash flags, decisions, fault
+	// counts, fingerprint caches, symmetry caches — is shared between the
+	// two representations, so the fingerprint and symmetry maintenance is
+	// engine-agnostic. psend is the send-membership bitmask of a restricted
+	// algorithm; pdeliver and pem are per-configuration scratch for
+	// applyPacked.
+	pk       Packer
+	psend    uint64
+	pwords   int
+	pstates  []uint64
+	pbuf     [][]PackedMsg
+	pdeliver []PackedMsg
+	pem      PackedEmitter
 }
 
 // NewConfiguration builds the initial configuration for algorithm a with the
@@ -97,8 +114,15 @@ func (c *Configuration) N() int { return c.n }
 // Time returns the global time, i.e. the number of steps taken so far.
 func (c *Configuration) Time() int { return c.time }
 
-// State returns the local state of process p.
-func (c *Configuration) State(p ProcessID) State { return c.states[p-1] }
+// State returns the local state of process p. On a packed configuration it
+// materializes the state from the packed record (allocating) — an
+// inspection view for debug/explain paths, not a hot-path accessor there.
+func (c *Configuration) State(p ProcessID) State {
+	if c.pk != nil {
+		return c.pk.Unpack(c.prec(int(p)-1), int(p)-1)
+	}
+	return c.states[p-1]
+}
 
 // Crashed reports whether process p has taken its final step.
 func (c *Configuration) Crashed(p ProcessID) bool { return c.crashed[p-1] }
@@ -111,8 +135,18 @@ func (c *Configuration) Decision(p ProcessID) (Value, bool) {
 }
 
 // Buffer returns a copy of the pending messages addressed to p, in sending
-// order. Hot paths that only read the buffer should use BufferView.
+// order. Hot paths that only read the buffer should use BufferView. On a
+// packed configuration the messages are materialized from their packed
+// form.
 func (c *Configuration) Buffer(p ProcessID) []Message {
+	if c.pk != nil {
+		pb := c.pbuf[p-1]
+		out := make([]Message, len(pb))
+		for j, m := range pb {
+			out[j] = c.unpackMessage(int(p)-1, m)
+		}
+		return out
+	}
 	buf := c.buffers[p-1]
 	out := make([]Message, len(buf))
 	copy(out, buf)
@@ -122,12 +156,25 @@ func (c *Configuration) Buffer(p ProcessID) []Message {
 // BufferView returns the live slice of pending messages addressed to p, in
 // sending order, without copying. The view is read-only and is invalidated
 // by the next Apply/ApplyQuiet/CloneInto on c; callers that need the
-// messages to outlive the configuration must use Buffer.
-func (c *Configuration) BufferView(p ProcessID) []Message { return c.buffers[p-1] }
+// messages to outlive the configuration must use Buffer. On a packed
+// configuration there is no pointer-based buffer to view, so this
+// materializes a copy like Buffer (debug paths only; hot paths on packed
+// configurations use BufferSize/OldestMessageID/AppendDeliveryIDs).
+func (c *Configuration) BufferView(p ProcessID) []Message {
+	if c.pk != nil {
+		return c.Buffer(p)
+	}
+	return c.buffers[p-1]
+}
 
 // BufferSize returns the number of pending messages addressed to p without
 // copying.
-func (c *Configuration) BufferSize(p ProcessID) int { return len(c.buffers[p-1]) }
+func (c *Configuration) BufferSize(p ProcessID) int {
+	if c.pk != nil {
+		return len(c.pbuf[p-1])
+	}
+	return len(c.buffers[p-1])
+}
 
 // Processes returns the ids 1..n as a fresh slice the caller may modify.
 // Loops that only iterate should use ProcessIDs, which allocates nothing.
@@ -174,6 +221,9 @@ func (c *Configuration) DistinctDecisions() []Value {
 // Clone returns a deep copy of the configuration. States and message
 // payloads are immutable by contract and therefore shared.
 func (c *Configuration) Clone() *Configuration {
+	if c.pk != nil {
+		return c.clonePacked()
+	}
 	cp := &Configuration{
 		n:         c.n,
 		states:    append([]State(nil), c.states...),
@@ -192,6 +242,68 @@ func (c *Configuration) Clone() *Configuration {
 	}
 	for i, buf := range c.buffers {
 		cp.buffers[i] = append([]Message(nil), buf...)
+	}
+	return cp
+}
+
+// clonePacked is Clone for the packed engine. All the fixed-width uint64
+// caches — procFP, the symmetry caches, the packed records — are carved out
+// of one slab, and every buffered message out of one flat PackedMsg slab,
+// with full-capacity subslices so a later append cannot bleed into a
+// neighbour. None of the uint64 regions ever grows, so sharing the slab is
+// permanent; a buffer region that grows (new sends) reallocates away from
+// the slab on its own.
+func (c *Configuration) clonePacked() *Configuration {
+	n := c.n
+	cp := &Configuration{
+		n:         n,
+		crashed:   append([]bool(nil), c.crashed...),
+		decisions: append([]Value(nil), c.decisions...),
+		time:      c.time,
+		nextMsgID: c.nextMsgID,
+		faults:    append([]int32(nil), c.faults...),
+		fp:        c.fp,
+		sym:       c.sym,
+		symfp:     c.symfp,
+		pk:        c.pk,
+		psend:     c.psend,
+		pwords:    c.pwords,
+	}
+	words := n + n*c.pwords
+	if c.sym != nil {
+		words += 2 * n
+	}
+	slab := make([]uint64, words)
+	off := 0
+	carve := func(src []uint64) []uint64 {
+		s := slab[off : off+len(src) : off+len(src)]
+		copy(s, src)
+		off += len(src)
+		return s
+	}
+	cp.procFP = carve(c.procFP)
+	if c.sym != nil {
+		cp.symBase = carve(c.symBase)
+		cp.symMsg = carve(c.symMsg)
+	}
+	cp.pstates = carve(c.pstates)
+	cp.pbuf = make([][]PackedMsg, n)
+	total := 0
+	for _, buf := range c.pbuf {
+		total += len(buf)
+	}
+	if total > 0 {
+		msgs := make([]PackedMsg, total)
+		moff := 0
+		for i, buf := range c.pbuf {
+			if len(buf) == 0 {
+				continue
+			}
+			dst := msgs[moff : moff+len(buf) : moff+len(buf)]
+			copy(dst, buf)
+			cp.pbuf[i] = dst
+			moff += len(buf)
+		}
 	}
 	return cp
 }
@@ -218,6 +330,23 @@ func (c *Configuration) CloneInto(dst *Configuration) *Configuration {
 	dst.procFP = append(dst.procFP[:0], c.procFP...)
 	dst.symBase = append(dst.symBase[:0], c.symBase...)
 	dst.symMsg = append(dst.symMsg[:0], c.symMsg...)
+	dst.pk = c.pk
+	dst.psend = c.psend
+	dst.pwords = c.pwords
+	if c.pk != nil {
+		dst.pstates = append(dst.pstates[:0], c.pstates...)
+		if cap(dst.pbuf) < c.n {
+			dst.pbuf = make([][]PackedMsg, c.n)
+		}
+		dst.pbuf = dst.pbuf[:c.n]
+		for i, buf := range c.pbuf {
+			dst.pbuf[i] = append(dst.pbuf[i][:0], buf...)
+		}
+		// dst's stale pointer buffers (if it was ever a pointer clone) are
+		// never read while dst.pk is set, so the pointer-buffer block below
+		// is skipped entirely — c.buffers is nil here anyway.
+		return dst
+	}
 	if cap(dst.buffers) < c.n {
 		dst.buffers = make([][]Message, c.n)
 	}
@@ -234,6 +363,9 @@ func (c *Configuration) CloneInto(dst *Configuration) *Configuration {
 // uses keys to detect revisited configurations. Time and message ids are
 // excluded on purpose — they do not influence future behaviour.
 func (c *Configuration) Key() string {
+	if c.pk != nil {
+		return c.packedKey()
+	}
 	var b strings.Builder
 	for i, s := range c.states {
 		fmt.Fprintf(&b, "p%d[", i+1)
@@ -254,6 +386,33 @@ func (c *Configuration) Key() string {
 		keys := make([]string, len(c.buffers[i]))
 		for j, m := range c.buffers[i] {
 			keys[j] = m.Key()
+		}
+		sort.Strings(keys)
+		b.WriteString(strings.Join(keys, "|"))
+		b.WriteString("}")
+	}
+	return b.String()
+}
+
+// packedKey is Key over the packed encoding: it materializes states and
+// payloads slot by slot, producing the byte-identical string the pointer
+// engine would (a restriction wrapper delegates Key to the inner state, so
+// unpacking to the inner state preserves equality).
+func (c *Configuration) packedKey() string {
+	var b strings.Builder
+	for i := 0; i < c.n; i++ {
+		fmt.Fprintf(&b, "p%d[", i+1)
+		if c.crashed[i] {
+			b.WriteString("X;")
+		}
+		if f := c.faultCount(i); f != 0 {
+			fmt.Fprintf(&b, "F%d;", f)
+		}
+		b.WriteString(c.pk.Unpack(c.prec(i), i).Key())
+		b.WriteString("]{")
+		keys := make([]string, len(c.pbuf[i]))
+		for j, m := range c.pbuf[i] {
+			keys[j] = c.unpackMessage(i, m).Key()
 		}
 		sort.Strings(keys)
 		b.WriteString(strings.Join(keys, "|"))
@@ -307,6 +466,12 @@ func (c *Configuration) DeliverAll(p ProcessID) []int64 {
 // (in buffer order) and returns the extended slice. Passing a reused scratch
 // slice avoids the per-call allocation of DeliverAll on hot paths.
 func (c *Configuration) AppendDeliveryIDs(dst []int64, p ProcessID) []int64 {
+	if c.pk != nil {
+		for i := range c.pbuf[p-1] {
+			dst = append(dst, c.pbuf[p-1][i].ID)
+		}
+		return dst
+	}
 	for i := range c.buffers[p-1] {
 		dst = append(dst, c.buffers[p-1][i].ID)
 	}
@@ -316,6 +481,13 @@ func (c *Configuration) AppendDeliveryIDs(dst []int64, p ProcessID) []int64 {
 // OldestMessageID returns the id of the oldest pending message for p,
 // without copying the buffer; ok is false when the buffer is empty.
 func (c *Configuration) OldestMessageID(p ProcessID) (id int64, ok bool) {
+	if c.pk != nil {
+		buf := c.pbuf[p-1]
+		if len(buf) == 0 {
+			return 0, false
+		}
+		return buf[0].ID, true
+	}
 	buf := c.buffers[p-1]
 	if len(buf) == 0 {
 		return 0, false
@@ -359,6 +531,11 @@ func (c *Configuration) ApplyQuiet(req StepRequest) error {
 }
 
 func (c *Configuration) apply(req StepRequest, record bool) (Event, error) {
+	if c.pk != nil {
+		// The packed engine never materializes events (witness replay runs
+		// on the pointer engine); record is accepted and ignored.
+		return c.applyPacked(req)
+	}
 	p := req.Proc
 	if p < 1 || int(p) > c.n {
 		return Event{}, fmt.Errorf("sim: step for unknown process %d", p)

@@ -114,6 +114,17 @@ func payloadHash(p Payload) uint64 {
 func procSalt(i int) uint64 { return splitmix64(uint64(i)*2+1) | 1 }
 func bufSalt(i int) uint64  { return splitmix64(uint64(i)*2+2) | 1 }
 
+// stateHash64 returns slot i's state hash on either engine: the packer's
+// record hash on the packed engine, stateHash of the pointer state
+// otherwise. The packer hash contract (see Packer) makes the two
+// bit-identical.
+func (c *Configuration) stateHash64(i int) uint64 {
+	if c.pk != nil {
+		return c.pk.Hash64(c.prec(i), i)
+	}
+	return stateHash(c.states[i])
+}
+
 // procComponent hashes process slot i's behaviourally relevant content:
 // crash flag, state key, and write-once decision.
 func (c *Configuration) procComponent(i int) uint64 {
@@ -121,7 +132,7 @@ func (c *Configuration) procComponent(i int) uint64 {
 	if c.crashed[i] {
 		h = fnvUint(h, 1)
 	}
-	h = fnvUint(h, stateHash(c.states[i]))
+	h = fnvUint(h, c.stateHash64(i))
 	h = fnvUint(h, uint64(c.decisions[i]))
 	if f := c.faultCount(i); f != 0 {
 		// Spent fault budget distinguishes otherwise-identical
@@ -160,6 +171,14 @@ func (c *Configuration) recomputeFingerprint() {
 	for i := 0; i < c.n; i++ {
 		c.procFP[i] = c.procComponent(i)
 		c.fp += c.procFP[i]
+		if c.pk != nil {
+			for j := range c.pbuf[i] {
+				m := &c.pbuf[i][j]
+				m.fp = c.packedMsgComponent(i, *m)
+				c.fp += m.fp
+			}
+			continue
+		}
 		for j := range c.buffers[i] {
 			m := &c.buffers[i][j]
 			m.fp = msgComponent(i, m)
@@ -187,6 +206,12 @@ func (c *Configuration) LiveFingerprint() uint64 {
 			continue
 		}
 		fp += crashedSlotComponent(i, c.decisions[i]) - c.procFP[i]
+		if c.pk != nil {
+			for j := range c.pbuf[i] {
+				fp -= c.pbuf[i][j].fp
+			}
+			continue
+		}
 		for j := range c.buffers[i] {
 			fp -= c.buffers[i][j].fp
 		}

@@ -115,6 +115,16 @@ func symStateHash(s State, sym *Symmetry) uint64 {
 	return stateHash(s)
 }
 
+// symStateHash64 returns slot i's relabeled state hash on either engine:
+// the packer's SymHash64 on the packed engine (which reproduces the pointer
+// fallback for non-equivariant algorithms), symStateHash otherwise.
+func (c *Configuration) symStateHash64(i int) uint64 {
+	if c.pk != nil {
+		return c.pk.SymHash64(c.prec(i), i, c.sym)
+	}
+	return symStateHash(c.states[i], c.sym)
+}
+
 // symBaseComponent hashes process slot i's relabeled content: class label,
 // crash flag, write-once decision, and relabeled state.
 func (c *Configuration) symBaseComponent(i int) uint64 {
@@ -124,7 +134,7 @@ func (c *Configuration) symBaseComponent(i int) uint64 {
 		h = fnvUint(h, 1)
 	}
 	h = fnvUint(h, uint64(c.decisions[i]))
-	h = fnvUint(h, symStateHash(c.states[i], c.sym))
+	h = fnvUint(h, c.symStateHash64(i))
 	if f := c.faultCount(i); f != 0 {
 		// Fault counts fold inside the per-slot signature (not as a separate
 		// additive term) so renamings must match counts slot-by-slot; guarded
@@ -181,6 +191,11 @@ func (c *Configuration) symAddMsg(i int, delta uint64) {
 // treats as interchangeable.
 func (c *Configuration) AttachSymmetry(sym *Symmetry) {
 	c.sym = sym
+	if c.pk != nil {
+		// Let the packer precompute its relabeling tables once, before the
+		// search shares it across worker goroutines.
+		c.pk.AttachSymmetry(sym)
+	}
 	c.recomputeSymmetry()
 }
 
@@ -239,10 +254,18 @@ func (c *Configuration) recomputeSymmetry() {
 	for i := 0; i < c.n; i++ {
 		c.symBase[i] = c.symBaseComponent(i)
 		c.symMsg[i] = 0
-		for j := range c.buffers[i] {
-			m := &c.buffers[i][j]
-			m.sfp = symMsgTerm(c.sym, m)
-			c.symMsg[i] += m.sfp
+		if c.pk != nil {
+			for j := range c.pbuf[i] {
+				m := &c.pbuf[i][j]
+				m.sfp = c.packedSymMsgTerm(*m)
+				c.symMsg[i] += m.sfp
+			}
+		} else {
+			for j := range c.buffers[i] {
+				m := &c.buffers[i][j]
+				m.sfp = symMsgTerm(c.sym, m)
+				c.symMsg[i] += m.sfp
+			}
 		}
 		c.symfp += c.symSig(i)
 	}

@@ -41,6 +41,17 @@ type Options struct {
 	// explore.ParseFaults spelling: "" or "crash", or
 	// "model[:budget[:maxfaulty]]" (SearchFaults).
 	Faults string
+	// Packed selects the configuration engine of the condition-(C)
+	// searches: "" or "off" for the pointer engine, "on" (or "auto") for
+	// the packed struct-of-arrays engine, which clones configurations with
+	// flat memcpys instead of per-process allocations and falls back
+	// silently where an algorithm/system pair has no packed encoding (see
+	// explore.Options.Packed). Like Workers and Store it never changes a
+	// verdict, witness, or visited set, and it is excluded from digests —
+	// cached verdicts and checkpoints interoperate across both engines.
+	// There is no corresponding legacy global: the knob postdates the
+	// migration to Options.
+	Packed string
 }
 
 // Validate reports whether the options' string spellings parse. It is the
@@ -50,6 +61,9 @@ func (o Options) Validate() error {
 		return err
 	}
 	if _, err := explore.ParseFaults(o.Faults); err != nil {
+		return err
+	}
+	if _, err := explore.ParsePacked(o.Packed); err != nil {
 		return err
 	}
 	return nil
@@ -64,6 +78,7 @@ type Searcher struct {
 	opts   Options
 	store  explore.Store
 	faults explore.FaultAdversary
+	packed bool
 }
 
 // NewSearcher validates o and returns a Searcher bound to it.
@@ -76,7 +91,11 @@ func NewSearcher(o Options) (*Searcher, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Searcher{opts: o, store: store, faults: faults}, nil
+	packed, err := explore.ParsePacked(o.Packed)
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{opts: o, store: store, faults: faults, packed: packed}, nil
 }
 
 // DefaultSearcher returns a Searcher snapshotting the current values of the
@@ -104,14 +123,17 @@ func DefaultSearcher() *Searcher {
 // Options returns the validated options the Searcher was built from.
 func (s *Searcher) Options() Options { return s.opts }
 
-// orDefault resolves a possibly-nil Searcher to DefaultSearcher: the
-// convention of the experiment parameter structs, whose zero value keeps
-// the legacy globals-driven behaviour.
+// orDefault resolves a possibly-nil Searcher to the zero-options default:
+// the convention of the experiment parameter structs, whose zero value now
+// means "default knobs" rather than "whatever the deprecated Search*
+// globals currently hold". Callers who want global-driven configuration
+// must pass DefaultSearcher() explicitly — nothing in this repository does
+// anymore (the Search*-reference lint step in CI keeps it that way).
 func orDefault(s *Searcher) *Searcher {
 	if s != nil {
 		return s
 	}
-	return DefaultSearcher()
+	return &Searcher{} // the zero Options are always valid
 }
 
 // instance stamps the Searcher's knobs and the context over inst: the
@@ -127,6 +149,7 @@ func (s *Searcher) instance(ctx context.Context, inst ImpossibilityInstance) Imp
 	inst.SearchStore = s.opts.Store
 	inst.Checkpoint = s.opts.Checkpoint
 	inst.Faults = s.opts.Faults
+	inst.SearchPacked = s.opts.Packed
 	inst.Ctx = ctx
 	return inst
 }
@@ -189,6 +212,7 @@ func (s *Searcher) explorer(ctx context.Context, req SearchRequest) *explore.Exp
 		POR:             s.opts.POR,
 		Faults:          s.faults,
 		Store:           s.store,
+		Packed:          s.packed,
 		Checkpoint:      s.opts.Checkpoint,
 		Context:         ctx,
 		OnProgress:      req.OnProgress,

@@ -42,21 +42,21 @@ func TestSearchStoreFacadeParity(t *testing.T) {
 // identically under the bounded stores: valence bookkeeping is
 // frontier-only by construction, so the store knob must change nothing.
 func TestSearchStoreBivalenceTable(t *testing.T) {
-	defer func(s string) { SearchStore = s }(SearchStore)
-
-	SearchStore = ""
-	ref, err := ExperimentBivalence()
+	ref, err := ExperimentBivalenceWith(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, store := range []string{"frontier", "spill"} {
-		SearchStore = store
-		tab, err := ExperimentBivalence()
+		s, err := NewSearcher(Options{Store: store})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := ExperimentBivalenceWith(s)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if tab.String() != ref.String() {
-			t.Fatalf("E6 table changed under SearchStore=%s:\n%s\nvs default:\n%s", store, tab.String(), ref.String())
+			t.Fatalf("E6 table changed under Store=%s:\n%s\nvs default:\n%s", store, tab.String(), ref.String())
 		}
 	}
 }

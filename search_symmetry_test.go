@@ -52,23 +52,23 @@ func TestSearchSymmetryFacadeParity(t *testing.T) {
 }
 
 // TestSearchSymmetryBivalenceTable proves the E6 valence table — whose
-// searches use orbit-canonical keys when SearchSymmetry is set — renders
+// searches use orbit-canonical keys when Options.Symmetry is set — renders
 // identically with the knob on and off (decision values are
 // orbit-invariant).
 func TestSearchSymmetryBivalenceTable(t *testing.T) {
-	defer func(s bool) { SearchSymmetry = s }(SearchSymmetry)
-
-	SearchSymmetry = false
-	plain, err := ExperimentBivalence()
+	plain, err := ExperimentBivalenceWith(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	SearchSymmetry = true
-	sym, err := ExperimentBivalence()
+	symS, err := NewSearcher(Options{Symmetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym, err := ExperimentBivalenceWith(symS)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sym.String() != plain.String() {
-		t.Fatalf("E6 table changed under SearchSymmetry:\n%s\nvs plain:\n%s", sym.String(), plain.String())
+		t.Fatalf("E6 table changed under Options.Symmetry:\n%s\nvs plain:\n%s", sym.String(), plain.String())
 	}
 }
